@@ -1,0 +1,45 @@
+//! Criterion bench for Figure 3: point-to-point bandwidth micro-benchmark.
+//! Reports *virtual* transfer time per configuration via `iter_custom`
+//! (the simulation is deterministic, so samples are identical — Criterion
+//! here provides uniform reporting across the suite, not noise control).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovcomm_bench::p2p_bandwidth;
+use ovcomm_simnet::MachineProfile;
+
+fn bench_fig3(c: &mut Criterion) {
+    let profile = MachineProfile::stampede2_skylake();
+    let mut group = c.benchmark_group("fig3_p2p");
+    group.sample_size(10);
+    for ppn in [1usize, 4] {
+        for msg in [64 * 1024usize, 4 << 20] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ppn{ppn}"), msg),
+                &(ppn, msg),
+                |b, &(ppn, msg)| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let bw = p2p_bandwidth(&profile, ppn, msg);
+                            let secs = (ppn * msg) as f64 / bw;
+                            total += Duration::from_secs_f64(secs);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // The simulator is deterministic: samples have zero variance, which
+    // criterion's plot generation cannot handle — disable plots.
+    config = Criterion::default().without_plots();
+    targets = bench_fig3
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for Figure 5: collective bandwidth under the three
+//! overlap cases (virtual time via `iter_custom`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovcomm_bench::{coll_bandwidth, CollCase, CollKind};
+use ovcomm_simnet::MachineProfile;
+
+fn bench_fig5(c: &mut Criterion) {
+    let profile = MachineProfile::stampede2_skylake();
+    let mut group = c.benchmark_group("fig5_collectives");
+    group.sample_size(10);
+    let msg = 8 << 20;
+    let cases = [
+        ("blocking", CollCase::Blocking),
+        ("ndup4", CollCase::NonblockingOverlap(4)),
+        ("ppn4", CollCase::PpnOverlap(4)),
+    ];
+    for kind in [CollKind::Bcast, CollKind::Reduce] {
+        for (name, case) in cases {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), name),
+                &(kind, case),
+                |b, &(kind, case)| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let bw = coll_bandwidth(&profile, kind, case, 4, msg);
+                            let p = 4.0f64;
+                            let volume = 2.0 * (p - 1.0) * msg as f64 / p;
+                            total += Duration::from_secs_f64(volume / bw);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // The simulator is deterministic: samples have zero variance, which
+    // criterion's plot generation cannot handle — disable plots.
+    config = Criterion::default().without_plots();
+    targets = bench_fig5
+}
+criterion_main!(benches);

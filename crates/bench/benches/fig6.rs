@@ -1,0 +1,47 @@
+//! Criterion bench for Figure 6: end-to-end virtual time of the 8 MB
+//! reduce/bcast under blocking vs N_DUP=4 overlap (the quantities whose
+//! post/wait breakdown the figure diagrams).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovcomm_bench::{micro::coll_time, CollCase, CollKind};
+use ovcomm_simnet::MachineProfile;
+
+fn bench_fig6(c: &mut Criterion) {
+    let profile = MachineProfile::stampede2_skylake();
+    let mut group = c.benchmark_group("fig6_8mb_ops");
+    group.sample_size(10);
+    for kind in [CollKind::Bcast, CollKind::Reduce] {
+        for (name, case) in [
+            ("blocking", CollCase::Blocking),
+            ("ndup4", CollCase::NonblockingOverlap(4)),
+            ("ppn4", CollCase::PpnOverlap(4)),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{kind:?}"), name),
+                &(kind, case),
+                |b, &(kind, case)| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            total +=
+                                Duration::from_secs_f64(coll_time(&profile, kind, case, 4, 8 << 20));
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // The simulator is deterministic: samples have zero variance, which
+    // criterion's plot generation cannot handle — disable plots.
+    config = Criterion::default().without_plots();
+    targets = bench_fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for the §V-A analysis: simulated baseline communication
+//! time vs the alpha-beta bound (reported as the simulated comm time; the
+//! bound is printed by the `sec5a_alpha_beta` binary).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ovcomm_bench::{symm_run, MeshSpec};
+use ovcomm_purify::KernelChoice;
+use ovcomm_simnet::MachineProfile;
+
+fn bench_sec5a(c: &mut Criterion) {
+    let profile = MachineProfile::stampede2_skylake();
+    let mut group = c.benchmark_group("sec5a_baseline_comm_vs_model");
+    group.sample_size(10);
+    group.bench_function("1hsg_70_baseline_comm", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let s = symm_run(
+                    &profile,
+                    5330,
+                    MeshSpec::Cube { p: 4 },
+                    KernelChoice::Baseline,
+                    1,
+                    1,
+                );
+                total += Duration::from_secs_f64((s.time_per_call - s.compute_time).max(0.0));
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // The simulator is deterministic: samples have zero variance, which
+    // criterion's plot generation cannot handle — disable plots.
+    config = Criterion::default()
+        .without_plots()
+        // One simulation per sample is plenty — the virtual times are
+        // bit-identical across runs; keep wall time bounded.
+        .warm_up_time(std::time::Duration::from_millis(100))
+        .measurement_time(std::time::Duration::from_millis(200));
+    targets = bench_sec5a
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for Table I: Alg 3/4/5 kernel time on 1hsg_45 (the
+//! smallest paper system keeps bench wall time reasonable).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovcomm_bench::{symm_run, MeshSpec};
+use ovcomm_purify::KernelChoice;
+use ovcomm_simnet::MachineProfile;
+
+fn bench_table1(c: &mut Criterion) {
+    let profile = MachineProfile::stampede2_skylake();
+    let mut group = c.benchmark_group("table1_symm_square_cube");
+    group.sample_size(10);
+    let n = 5330;
+    for (name, choice) in [
+        ("alg3_original", KernelChoice::Original),
+        ("alg4_baseline", KernelChoice::Baseline),
+        ("alg5_ndup4", KernelChoice::Optimized { n_dup: 4 }),
+    ] {
+        group.bench_with_input(BenchmarkId::new("1hsg_45", name), &choice, |b, &choice| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let s = symm_run(&profile, n, MeshSpec::Cube { p: 4 }, choice, 1, 1);
+                    total += Duration::from_secs_f64(s.time_per_call);
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // The simulator is deterministic: samples have zero variance, which
+    // criterion's plot generation cannot handle — disable plots.
+    config = Criterion::default()
+        .without_plots()
+        // One simulation per sample is plenty — the virtual times are
+        // bit-identical across runs; keep wall time bounded.
+        .warm_up_time(std::time::Duration::from_millis(100))
+        .measurement_time(std::time::Duration::from_millis(200));
+    targets = bench_table1
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench for Table II: the N_DUP sweep of the optimized kernel.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovcomm_bench::{symm_run, MeshSpec};
+use ovcomm_purify::KernelChoice;
+use ovcomm_simnet::MachineProfile;
+
+fn bench_table2(c: &mut Criterion) {
+    let profile = MachineProfile::stampede2_skylake();
+    let mut group = c.benchmark_group("table2_ndup_sweep");
+    group.sample_size(10);
+    let n = 5330;
+    for n_dup in [1usize, 2, 4, 6] {
+        group.bench_with_input(BenchmarkId::new("ndup", n_dup), &n_dup, |b, &n_dup| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let s = symm_run(
+                        &profile,
+                        n,
+                        MeshSpec::Cube { p: 4 },
+                        KernelChoice::Optimized { n_dup },
+                        1,
+                        1,
+                    );
+                    total += Duration::from_secs_f64(s.time_per_call);
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // The simulator is deterministic: samples have zero variance, which
+    // criterion's plot generation cannot handle — disable plots.
+    config = Criterion::default()
+        .without_plots()
+        // One simulation per sample is plenty — the virtual times are
+        // bit-identical across runs; keep wall time bounded.
+        .warm_up_time(std::time::Duration::from_millis(100))
+        .measurement_time(std::time::Duration::from_millis(200));
+    targets = bench_table2
+}
+criterion_main!(benches);

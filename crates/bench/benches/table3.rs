@@ -1,0 +1,57 @@
+//! Criterion bench for Table III: PPN×N_DUP combinations (reduced set —
+//! the full sweep including the 512-rank mesh lives in the
+//! `table3_ppn_sweep` binary).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovcomm_bench::{symm_run, MeshSpec};
+use ovcomm_purify::KernelChoice;
+use ovcomm_simnet::MachineProfile;
+
+fn bench_table3(c: &mut Criterion) {
+    let profile = MachineProfile::stampede2_skylake();
+    let mut group = c.benchmark_group("table3_ppn");
+    group.sample_size(10);
+    let n = 5330;
+    for (ppn, p) in [(1usize, 4usize), (2, 5)] {
+        for n_dup in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("ppn{ppn}_mesh{p}"), format!("ndup{n_dup}")),
+                &(ppn, p, n_dup),
+                |b, &(ppn, p, n_dup)| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let s = symm_run(
+                                &profile,
+                                n,
+                                MeshSpec::Cube { p },
+                                KernelChoice::Optimized { n_dup },
+                                ppn,
+                                1,
+                            );
+                            total += Duration::from_secs_f64(s.time_per_call);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // The simulator is deterministic: samples have zero variance, which
+    // criterion's plot generation cannot handle — disable plots.
+    config = Criterion::default()
+        .without_plots()
+        // One simulation per sample is plenty — the virtual times are
+        // bit-identical across runs; keep wall time bounded.
+        .warm_up_time(std::time::Duration::from_millis(100))
+        .measurement_time(std::time::Duration::from_millis(200));
+    targets = bench_table3
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for Table IV: baseline-kernel communication time per
+//! PPN (the volume/bandwidth decomposition lives in the binary).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovcomm_bench::{symm_run, MeshSpec};
+use ovcomm_purify::KernelChoice;
+use ovcomm_simnet::MachineProfile;
+
+fn bench_table4(c: &mut Criterion) {
+    let profile = MachineProfile::stampede2_skylake();
+    let mut group = c.benchmark_group("table4_baseline_comm");
+    group.sample_size(10);
+    let n = 5330;
+    for (ppn, p) in [(1usize, 4usize), (2, 5)] {
+        group.bench_with_input(
+            BenchmarkId::new("baseline_comm", format!("ppn{ppn}")),
+            &(ppn, p),
+            |b, &(ppn, p)| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let s = symm_run(
+                            &profile,
+                            n,
+                            MeshSpec::Cube { p },
+                            KernelChoice::Baseline,
+                            ppn,
+                            1,
+                        );
+                        total += Duration::from_secs_f64(
+                            (s.time_per_call - s.compute_time).max(0.0),
+                        );
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // The simulator is deterministic: samples have zero variance, which
+    // criterion's plot generation cannot handle — disable plots.
+    config = Criterion::default()
+        .without_plots()
+        // One simulation per sample is plenty — the virtual times are
+        // bit-identical across runs; keep wall time bounded.
+        .warm_up_time(std::time::Duration::from_millis(100))
+        .measurement_time(std::time::Duration::from_millis(200));
+    targets = bench_table4
+}
+criterion_main!(benches);

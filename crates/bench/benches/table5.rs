@@ -1,0 +1,56 @@
+//! Criterion bench for Table V: 2.5D SymmSquareCube (small configurations;
+//! the full sweep lives in the `table5_25d` binary).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ovcomm_bench::{symm_run, MeshSpec};
+use ovcomm_purify::KernelChoice;
+use ovcomm_simnet::MachineProfile;
+
+fn bench_table5(c: &mut Criterion) {
+    let profile = MachineProfile::stampede2_skylake();
+    let mut group = c.benchmark_group("table5_25d");
+    group.sample_size(10);
+    let n = 5330;
+    for (ppn, q, cc) in [(1usize, 4usize, 4usize), (2, 8, 2)] {
+        for n_dup in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{q}x{q}x{cc}_ppn{ppn}"), format!("ndup{n_dup}")),
+                &(ppn, q, cc, n_dup),
+                |b, &(ppn, q, cc, n_dup)| {
+                    b.iter_custom(|iters| {
+                        let mut total = Duration::ZERO;
+                        for _ in 0..iters {
+                            let s = symm_run(
+                                &profile,
+                                n,
+                                MeshSpec::TwoFiveD { q, c: cc },
+                                KernelChoice::TwoFiveD { c: cc, n_dup },
+                                ppn,
+                                1,
+                            );
+                            total += Duration::from_secs_f64(s.time_per_call);
+                        }
+                        total
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // The simulator is deterministic: samples have zero variance, which
+    // criterion's plot generation cannot handle — disable plots.
+    config = Criterion::default()
+        .without_plots()
+        // One simulation per sample is plenty — the virtual times are
+        // bit-identical across runs; keep wall time bounded.
+        .warm_up_time(std::time::Duration::from_millis(100))
+        .measurement_time(std::time::Duration::from_millis(200));
+    targets = bench_table5
+}
+criterion_main!(benches);

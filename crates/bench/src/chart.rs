@@ -1,0 +1,117 @@
+//! ASCII log–log line charts — terminal renditions of the paper's
+//! bandwidth-vs-message-size figures (Figs. 3 and 5).
+
+/// One curve: a label, a plotting glyph, and (x, y) samples.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Glyph used for this curve's points.
+    pub glyph: char,
+    /// (x, y) samples; x and y must be positive (log axes).
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Render curves on a log–log grid of `width`×`height` characters.
+pub fn plot_loglog(series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 4);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.clone()).collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    for &(x, y) in &all {
+        assert!(x > 0.0 && y > 0.0, "log axes need positive samples");
+    }
+    let (x0, x1) = all
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
+    let (y0, y1) = all
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
+    let (lx0, lx1) = (x0.ln(), (x1 * 1.0001).ln());
+    let (ly0, ly1) = (y0.ln(), (y1 * 1.0001).ln());
+    let xcol = |x: f64| (((x.ln() - lx0) / (lx1 - lx0)) * (width - 1) as f64).round() as usize;
+    let yrow = |y: f64| {
+        height - 1 - (((y.ln() - ly0) / (ly1 - ly0)) * (height - 1) as f64).round() as usize
+    };
+
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        for &(x, y) in &s.points {
+            let (c, r) = (xcol(x).min(width - 1), yrow(y).min(height - 1));
+            grid[r][c] = s.glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let ylab = if r == 0 {
+            format!("{:>9.0} |", y1)
+        } else if r == height - 1 {
+            format!("{:>9.0} |", y0)
+        } else {
+            format!("{:>9} |", "")
+        };
+        out.push_str(&ylab);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>9} +{}\n{:>9}  {:<width$}\n",
+        "",
+        "-".repeat(width),
+        "",
+        format!("{:.0} .. {:.0} (log x)", x0, x1),
+    ));
+    for s in series {
+        out.push_str(&format!("{:>9}  {} = {}\n", "", s.glyph, s.label));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plots_two_series() {
+        let s = vec![
+            Series {
+                label: "a".into(),
+                glyph: '*',
+                points: vec![(1.0, 10.0), (100.0, 1000.0)],
+            },
+            Series {
+                label: "b".into(),
+                glyph: 'o',
+                points: vec![(1.0, 5.0), (100.0, 50.0)],
+            },
+        ];
+        let out = plot_loglog(&s, 40, 10);
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("a"));
+        // Higher series plots above the lower one at x=100.
+        let lines: Vec<&str> = out.lines().collect();
+        let star_line = lines.iter().position(|l| l.contains('*')).unwrap();
+        let o_line = lines.iter().rposition(|l| l.contains('o')).unwrap();
+        assert!(star_line < o_line);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive samples")]
+    fn rejects_nonpositive() {
+        plot_loglog(
+            &[Series {
+                label: "x".into(),
+                glyph: '*',
+                points: vec![(0.0, 1.0)],
+            }],
+            40,
+            8,
+        );
+    }
+}

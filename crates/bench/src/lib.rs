@@ -1,0 +1,36 @@
+//! # ovcomm-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§V). Each artifact has a binary
+//! (`cargo run -p ovcomm-bench --release --bin <name>`):
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Fig. 3 (p2p bandwidth vs size vs PPN) | `fig3_p2p_bandwidth` |
+//! | Fig. 5 (bcast/reduce bandwidth, 3 cases) | `fig5_coll_bandwidth` |
+//! | Fig. 6 (post/wait time diagram) | `fig6_time_diagram` |
+//! | §V-A (α–β model vs simulator) | `sec5a_alpha_beta` |
+//! | Table I (Alg 3/4/5 TFlops) | `table1_algorithms` |
+//! | Table II (N_DUP sweep) | `table2_ndup_sweep` |
+//! | Table III (PPN sweep) | `table3_ppn_sweep` |
+//! | Table IV (volume/bandwidth/time) | `table4_comm_volume` |
+//! | Table V (2.5D sweep) | `table5_25d` |
+//!
+//! Each binary prints the paper-style table and writes a JSON record under
+//! `results/` for EXPERIMENTS.md. Criterion benches under `benches/` wrap
+//! representative configurations with virtual-time measurement
+//! (`iter_custom`).
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod micro;
+pub mod report;
+pub mod symm;
+pub mod timeline;
+
+pub use chart::{plot_loglog, Series};
+pub use micro::{coll_bandwidth, p2p_bandwidth, CollCase, CollKind};
+pub use report::{write_json, Table};
+pub use symm::{symm_run, MeshSpec, SymmStats};
+pub use timeline::{render, Bar};

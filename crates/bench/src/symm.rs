@@ -1,0 +1,189 @@
+//! SymmSquareCube benchmark runner: one configuration → TFlops and traffic
+//! statistics, shared by the Table I/II/III/IV/V generators.
+
+use ovcomm_densemat::{BlockBuf, BlockGrid};
+use ovcomm_kernels::{
+    symm_square_cube_25d, symm_square_cube_baseline, symm_square_cube_flops,
+    symm_square_cube_optimized, symm_square_cube_original, Mesh25D, Mesh3D, SymmInput,
+};
+use ovcomm_core::NDupComms;
+use ovcomm_purify::KernelChoice;
+use ovcomm_simmpi::{run, RankCtx, SimConfig};
+use ovcomm_simnet::MachineProfile;
+use serde::Serialize;
+
+/// The process-mesh geometry of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshSpec {
+    /// p×p×p (3-D algorithms).
+    Cube {
+        /// Mesh dimension.
+        p: usize,
+    },
+    /// q×q×c (2.5D algorithm).
+    TwoFiveD {
+        /// Square dimension.
+        q: usize,
+        /// Replication factor.
+        c: usize,
+    },
+}
+
+impl MeshSpec {
+    /// Total ranks.
+    pub fn nranks(&self) -> usize {
+        match self {
+            MeshSpec::Cube { p } => p * p * p,
+            MeshSpec::TwoFiveD { q, c } => q * q * c,
+        }
+    }
+
+    /// Human-readable mesh string (paper style).
+    pub fn label(&self) -> String {
+        match self {
+            MeshSpec::Cube { p } => format!("{p}x{p}x{p}"),
+            MeshSpec::TwoFiveD { q, c } => format!("{q}x{q}x{c}"),
+        }
+    }
+}
+
+/// Measured statistics of one kernel configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct SymmStats {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Mesh label.
+    pub mesh: String,
+    /// Processes per node.
+    pub ppn: usize,
+    /// Nodes used (⌈ranks/ppn⌉).
+    pub nodes: usize,
+    /// Average kernel time per call (seconds, virtual).
+    pub time_per_call: f64,
+    /// TFlops (4N³ per call / time).
+    pub tflops: f64,
+    /// Inter-node bytes per call.
+    pub inter_bytes_per_call: u64,
+    /// Intra-node bytes per call.
+    pub intra_bytes_per_call: u64,
+    /// Modeled per-call local-GEMM time of the critical rank (seconds).
+    pub compute_time: f64,
+}
+
+/// Run `iters` back-to-back SymmSquareCube calls (barrier-separated, like
+/// the purification loop) with phantom paper-scale data and return averaged
+/// statistics.
+pub fn symm_run(
+    profile: &MachineProfile,
+    n: usize,
+    mesh: MeshSpec,
+    choice: KernelChoice,
+    ppn: usize,
+    iters: usize,
+) -> SymmStats {
+    assert!(iters >= 1);
+    let nranks = mesh.nranks();
+    let cfg = SimConfig::natural(nranks, ppn, profile.clone());
+    let nodes = nranks.div_ceil(ppn);
+    let out = run(cfg, move |rc: RankCtx| {
+        match mesh {
+            MeshSpec::Cube { p } => {
+                let m3 = Mesh3D::new(&rc, p);
+                let grid = BlockGrid::new(n, p);
+                let bundles = match choice {
+                    KernelChoice::Optimized { n_dup } => Some(m3.dup_bundles(n_dup)),
+                    _ => None,
+                };
+                let d_block = (m3.k == 0).then(|| {
+                    let (r, c) = grid.block_dims(m3.i, m3.j);
+                    BlockBuf::Phantom(r, c)
+                });
+                rc.world().barrier();
+                let t0 = rc.now();
+                for _ in 0..iters {
+                    let input = SymmInput {
+                        n,
+                        d_block: d_block.clone(),
+                    };
+                    match choice {
+                        KernelChoice::Original => {
+                            let _ = symm_square_cube_original(&rc, &m3, &input);
+                        }
+                        KernelChoice::Baseline => {
+                            let _ = symm_square_cube_baseline(&rc, &m3, &input);
+                        }
+                        KernelChoice::Optimized { .. } => {
+                            let _ = symm_square_cube_optimized(
+                                &rc,
+                                &m3,
+                                bundles.as_ref().unwrap(),
+                                &input,
+                            );
+                        }
+                        KernelChoice::TwoFiveD { .. } => unreachable!(),
+                    }
+                    rc.world().barrier();
+                }
+                (rc.now() - t0).as_secs_f64()
+            }
+            MeshSpec::TwoFiveD { q, c } => {
+                let n_dup = match choice {
+                    KernelChoice::TwoFiveD { n_dup, .. } => n_dup,
+                    _ => panic!("2.5D mesh needs the 2.5D kernel choice"),
+                };
+                let m25 = Mesh25D::new(&rc, q, c);
+                let grid = BlockGrid::new(n, q);
+                let grd_ndup = NDupComms::new(&m25.grd, n_dup);
+                let d_block = (m25.k == 0).then(|| {
+                    let (r, cc) = grid.block_dims(m25.i, m25.j);
+                    BlockBuf::Phantom(r, cc)
+                });
+                rc.world().barrier();
+                let t0 = rc.now();
+                for _ in 0..iters {
+                    let input = SymmInput {
+                        n,
+                        d_block: d_block.clone(),
+                    };
+                    let _ = symm_square_cube_25d(&rc, &m25, &grd_ndup, &input);
+                    rc.world().barrier();
+                }
+                (rc.now() - t0).as_secs_f64()
+            }
+        }
+    })
+    .unwrap_or_else(|e| panic!("symm_run n={n} {} ppn={ppn}: {e}", mesh.label()));
+
+    let total: f64 = out.results.iter().cloned().fold(0.0, f64::max);
+    let time_per_call = total / iters as f64;
+    let flops = symm_square_cube_flops(n);
+
+    // Modeled per-rank GEMM time (two multiplications over the mesh's
+    // partition of the N³ work).
+    let compute_time = match mesh {
+        MeshSpec::Cube { p } | MeshSpec::TwoFiveD { q: p, .. } => {
+            let b = n.div_ceil(p) as f64;
+            let rate = profile.process_flops(ppn, n.div_ceil(p));
+            // Each rank multiplies blocks worth ~2·b³ flops per phase; with
+            // 2.5D each plane does q/c steps of b³-ish blocks — the same
+            // total per rank.
+            let per_rank = match mesh {
+                MeshSpec::Cube { .. } => 2.0 * 2.0 * b * b * b,
+                MeshSpec::TwoFiveD { q, c } => 2.0 * 2.0 * b * b * b * (q / c) as f64 / 1.0,
+            };
+            per_rank / rate
+        }
+    };
+
+    SymmStats {
+        n,
+        mesh: mesh.label(),
+        ppn,
+        nodes,
+        time_per_call,
+        tflops: flops / time_per_call / 1e12,
+        inter_bytes_per_call: out.inter_node_bytes / iters as u64,
+        intra_bytes_per_call: out.intra_node_bytes / iters as u64,
+        compute_time,
+    }
+}

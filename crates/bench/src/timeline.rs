@@ -1,0 +1,115 @@
+//! ASCII Gantt rendering of trace spans — a terminal rendition of the
+//! paper's Fig. 6 stacked time bars.
+
+/// One bar to render.
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Row label (operation name).
+    pub label: String,
+    /// Start time in microseconds.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+    /// Fill character (e.g. '#' for posts, '=' for waits, '%' blocking).
+    pub fill: char,
+}
+
+/// Render bars on a shared time axis, `width` columns wide.
+pub fn render(bars: &[Bar], width: usize) -> String {
+    if bars.is_empty() {
+        return String::new();
+    }
+    let t_end = bars
+        .iter()
+        .map(|b| b.start_us + b.dur_us)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let label_w = bars.iter().map(|b| b.label.len()).max().unwrap().min(48);
+    let scale = width as f64 / t_end;
+    let mut out = String::new();
+    for b in bars {
+        let start_col = (b.start_us * scale).round() as usize;
+        let mut len = (b.dur_us * scale).round() as usize;
+        if b.dur_us > 0.0 && len == 0 {
+            len = 1;
+        }
+        let start_col = start_col.min(width);
+        let len = len.min(width - start_col);
+        out.push_str(&format!("{:<label_w$} |", truncate(&b.label, label_w)));
+        out.push_str(&" ".repeat(start_col));
+        out.push_str(&b.fill.to_string().repeat(len));
+        out.push_str(&" ".repeat(width - start_col - len));
+        out.push_str(&format!("| {:7.0}us +{:.0}us\n", b.start_us, b.dur_us));
+    }
+    out.push_str(&format!(
+        "{:<label_w$} |{}|\n",
+        "",
+        center(&format!("0 .. {:.0}us", t_end), width)
+    ));
+    out
+}
+
+fn truncate(s: &str, w: usize) -> String {
+    if s.len() <= w {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..w.saturating_sub(1)])
+    }
+}
+
+fn center(s: &str, w: usize) -> String {
+    if s.len() >= w {
+        return s[..w].to_string();
+    }
+    let pad = w - s.len();
+    format!("{}{}{}", "-".repeat(pad / 2), s, "-".repeat(pad - pad / 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_proportional_bars() {
+        let bars = vec![
+            Bar {
+                label: "post".into(),
+                start_us: 0.0,
+                dur_us: 100.0,
+                fill: '#',
+            },
+            Bar {
+                label: "wait".into(),
+                start_us: 100.0,
+                dur_us: 300.0,
+                fill: '=',
+            },
+        ];
+        let s = render(&bars, 40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("##"));
+        assert!(lines[1].contains("==="));
+        // Wait bar is ~3x the post bar.
+        let hashes = lines[0].matches('#').count();
+        let eqs = lines[1].matches('=').count();
+        assert!((eqs as f64 / hashes as f64 - 3.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn tiny_bars_still_visible() {
+        let bars = vec![Bar {
+            label: "blip".into(),
+            start_us: 0.0,
+            dur_us: 0.001,
+            fill: '#',
+        }];
+        let s = render(&bars, 60);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(render(&[], 40).is_empty());
+    }
+}

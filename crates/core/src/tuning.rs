@@ -1,0 +1,124 @@
+//! Choosing N_DUP (§III-A).
+//!
+//! The paper gives a necessary condition for nonblocking overlap to further
+//! utilize bandwidth:
+//!
+//! ```text
+//! N_DUP · f_BW(n / N_DUP)  ≥  f_BW(n)
+//! ```
+//!
+//! and a simpler rule of thumb: keep `n / N_DUP ≥ n_t`, where `n_t` is the
+//! message size at which `f_BW` approaches the achievable bandwidth
+//! (machine-dependent, usually 16 KB ≤ n_t ≤ 1 MB).
+
+/// Measured or modeled effective-bandwidth curve: bytes → bytes/second.
+pub trait BandwidthCurve {
+    /// Effective bandwidth at message size `n`.
+    fn bw(&self, n: usize) -> f64;
+}
+
+impl<F: Fn(usize) -> f64> BandwidthCurve for F {
+    fn bw(&self, n: usize) -> f64 {
+        self(n)
+    }
+}
+
+/// The paper's necessary condition: does splitting `n` bytes into `n_dup`
+/// pipelined parts still offer at least the single-message bandwidth?
+pub fn satisfies_overlap_condition(curve: &impl BandwidthCurve, n: usize, n_dup: usize) -> bool {
+    assert!(n_dup >= 1);
+    if n == 0 {
+        return true;
+    }
+    let chunk = (n / n_dup).max(1);
+    n_dup as f64 * curve.bw(chunk) >= curve.bw(n)
+}
+
+/// The largest N_DUP in `1..=max_n_dup` that satisfies the overlap
+/// condition (checked cumulatively from 1 upward; returns the last value
+/// that still passes).
+pub fn best_n_dup_by_condition(
+    curve: &impl BandwidthCurve,
+    n: usize,
+    max_n_dup: usize,
+) -> usize {
+    let mut best = 1;
+    for d in 1..=max_n_dup {
+        if satisfies_overlap_condition(curve, n, d) {
+            best = d;
+        }
+    }
+    best
+}
+
+/// The simpler threshold rule: the largest N_DUP keeping chunks at or above
+/// `n_t` bytes (at least 1, at most `max_n_dup`). The paper uses N_DUP = 4
+/// as its default operating point.
+pub fn n_dup_by_threshold(n: usize, n_t: usize, max_n_dup: usize) -> usize {
+    assert!(n_t >= 1 && max_n_dup >= 1);
+    (n / n_t).clamp(1, max_n_dup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A saturating curve like the paper's Fig. 3: bw(n) = R·n/(n+h).
+    fn curve(r: f64, h: f64) -> impl BandwidthCurve {
+        move |n: usize| r * n as f64 / (n as f64 + h)
+    }
+
+    #[test]
+    fn saturating_curves_always_satisfy_condition() {
+        // For bw(m) = R·m/(m+h), N·bw(n/N) = n/(h/R·1 + n/(N·R))·… ≥ bw(n):
+        // pipelining a saturating curve never loses bandwidth. The paper's
+        // warning targets curves with protocol steps (below).
+        let c = curve(12e9, 200_000.0);
+        for n in [4 * 1024, 64 * 1024, 16 << 20] {
+            for d in [2, 4, 16] {
+                assert!(satisfies_overlap_condition(&c, n, d), "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_step_curves_fail_condition_for_small_chunks() {
+        // A curve with an eager→rendezvous protocol step: tiny messages get
+        // terrible bandwidth, so splitting a 64 KB message 16 ways (4 KB
+        // chunks) lands every chunk below the step and loses badly.
+        let step = |n: usize| {
+            if n < 8 * 1024 {
+                n as f64 * 1e4 // latency-bound regime
+            } else {
+                12e9 * n as f64 / (n as f64 + 1e5)
+            }
+        };
+        assert!(!satisfies_overlap_condition(&step, 64 * 1024, 16));
+        // Chunks that stay above the step are fine.
+        assert!(satisfies_overlap_condition(&step, 64 * 1024, 4));
+        assert!(satisfies_overlap_condition(&step, 16 << 20, 16));
+    }
+
+    #[test]
+    fn threshold_rule_matches_paper_ranges() {
+        // 27.89 MB messages (1hsg_70 blocks) with n_t = 1 MB: chunks stay
+        // well above threshold for N_DUP ≤ 16.
+        let n = 27_890_000;
+        assert_eq!(n_dup_by_threshold(n, 1 << 20, 16), 16);
+        assert_eq!(n_dup_by_threshold(n, 1 << 20, 4), 4);
+        // 100 KB messages with n_t = 64 KB: only 1 chunk.
+        assert_eq!(n_dup_by_threshold(100_000, 64 * 1024, 16), 1);
+    }
+
+    #[test]
+    fn best_by_condition_grows_with_message_size() {
+        let with_latency = |n: usize| {
+            let t = 1e-5 + n as f64 / 12e9;
+            n as f64 / t
+        };
+        let small = best_n_dup_by_condition(&with_latency, 64 * 1024, 16);
+        let large = best_n_dup_by_condition(&with_latency, 16 << 20, 16);
+        assert!(small <= large);
+        assert!(large >= 4);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests for the overlap library: chunk plans partition exactly,
+//! slicing/reassembly is the identity, and the tuning rules behave
+//! monotonically.
+
+use proptest::prelude::*;
+
+use ovcomm_core::{n_dup_by_threshold, satisfies_overlap_condition, AlphaBeta, ChunkPlan};
+use ovcomm_simmpi::Payload;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chunk_plan_partitions_exactly(n in 0usize..10_000_000, d in 1usize..32) {
+        let plan = ChunkPlan::new(n, d);
+        prop_assert_eq!(plan.total(), n);
+        prop_assert_eq!(plan.n_dup(), d);
+        let mut covered = 0;
+        for c in 0..d {
+            let (s, e) = plan.range(c);
+            prop_assert_eq!(s, covered);
+            covered = e;
+            if c + 1 < d {
+                prop_assert_eq!(e % 8, 0, "interior boundaries must be 8-aligned");
+            }
+        }
+        prop_assert_eq!(covered, n);
+        // Balance: chunks differ by at most one 8-byte element (plus the
+        // ragged tail on the last chunk).
+        let lens: Vec<usize> = (0..d).map(|c| plan.len(c)).collect();
+        let min = *lens.iter().min().unwrap();
+        let max = *lens.iter().max().unwrap();
+        prop_assert!(max - min <= 8 + n % 8);
+    }
+
+    #[test]
+    fn chunk_slices_reassemble(elems in prop::collection::vec(-1e9..1e9f64, 0..500), d in 1usize..9) {
+        let p = Payload::from_f64s(&elems);
+        let plan = ChunkPlan::new(p.len(), d);
+        let chunks: Vec<Payload> = (0..d).map(|c| plan.slice(&p, c)).collect();
+        prop_assert_eq!(plan.concat(&chunks).to_f64s(), elems);
+    }
+
+    #[test]
+    fn threshold_rule_is_monotone_in_message_size(
+        n1 in 1usize..100_000_000,
+        delta in 0usize..100_000_000,
+        nt in 1usize..10_000_000,
+        maxd in 1usize..32,
+    ) {
+        let small = n_dup_by_threshold(n1, nt, maxd);
+        let large = n_dup_by_threshold(n1 + delta, nt, maxd);
+        prop_assert!(large >= small);
+        prop_assert!((1..=maxd).contains(&small));
+    }
+
+    #[test]
+    fn saturating_curves_always_pass_overlap_condition(
+        rmax in 1.0e9..50.0e9f64,
+        half in 1.0e3..1.0e7f64,
+        n in 1usize..100_000_000,
+        d in 1usize..32,
+    ) {
+        let curve = move |m: usize| rmax * m as f64 / (m as f64 + half);
+        prop_assert!(satisfies_overlap_condition(&curve, n, d));
+    }
+
+    #[test]
+    fn alpha_beta_times_scale_linearly_in_bytes(
+        p in 2usize..64,
+        n in 1.0e3..1.0e9f64,
+    ) {
+        let ab = AlphaBeta { alpha: 0.0, beta: 1.0 / 12e9 };
+        let one = ab.t_bcast(p, n);
+        let two = ab.t_bcast(p, 2.0 * n);
+        prop_assert!((two - 2.0 * one).abs() < 1e-12 * two.max(1e-12));
+        prop_assert!((ab.t_reduce(p, n) - one).abs() < 1e-15, "α=0 ⇒ bcast = reduce");
+        prop_assert!(ab.t_baseline_symm_square_cube(p, n) > 0.0);
+    }
+}

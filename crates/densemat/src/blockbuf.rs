@@ -1,0 +1,185 @@
+//! Real/phantom block storage: the bridge between local matrices and
+//! message payloads.
+//!
+//! Distributed kernels operate on [`BlockBuf`]s. In `Real` mode a block
+//! carries an actual [`Matrix`] — arithmetic happens, results are
+//! verifiable. In `Phantom` mode only the dimensions exist: the identical
+//! communication schedule runs (payload sizes match byte-for-byte) and all
+//! modeled virtual time is charged, but no memory is allocated — this is
+//! how the paper-scale benchmarks (64–512 ranks, multi-GB matrices) run on
+//! one small machine. The equality of virtual times across modes is tested
+//! in the kernels crate.
+
+use bytes::Bytes;
+
+use crate::gemm::gemm_acc;
+use crate::matrix::Matrix;
+
+/// A matrix block that either holds data or just its shape.
+#[derive(Debug, Clone)]
+pub enum BlockBuf {
+    /// A real block.
+    Real(Matrix),
+    /// Shape-only block (rows, cols).
+    Phantom(usize, usize),
+}
+
+/// Byte payload for a block: real bytes or a phantom size. Mirrors
+/// `ovcomm_simmpi::Payload` without depending on it (densemat stays
+/// simulator-agnostic); the kernels crate converts between the two.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockBytes {
+    /// Serialized row-major f64 data.
+    Real(Bytes),
+    /// Byte count only.
+    Phantom(usize),
+}
+
+impl BlockBuf {
+    /// A zero block (real or phantom according to `phantom`).
+    pub fn zeros(rows: usize, cols: usize, phantom: bool) -> BlockBuf {
+        if phantom {
+            BlockBuf::Phantom(rows, cols)
+        } else {
+            BlockBuf::Real(Matrix::zeros(rows, cols))
+        }
+    }
+
+    /// Dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        match self {
+            BlockBuf::Real(m) => (m.rows(), m.cols()),
+            BlockBuf::Phantom(r, c) => (*r, *c),
+        }
+    }
+
+    /// Whether this block is phantom.
+    pub fn is_phantom(&self) -> bool {
+        matches!(self, BlockBuf::Phantom(..))
+    }
+
+    /// Byte size as an f64 payload.
+    pub fn byte_len(&self) -> usize {
+        let (r, c) = self.dims();
+        r * c * 8
+    }
+
+    /// The real matrix, or a panic for phantoms.
+    pub fn unwrap_real(&self) -> &Matrix {
+        match self {
+            BlockBuf::Real(m) => m,
+            BlockBuf::Phantom(..) => panic!("block is phantom; no data available"),
+        }
+    }
+
+    /// `self += a · b` where shapes agree; phantom blocks only shape-check.
+    /// (Virtual compute time is charged by the caller.)
+    pub fn gemm_acc(&mut self, a: &BlockBuf, b: &BlockBuf) {
+        let (m, ka) = a.dims();
+        let (kb, n) = b.dims();
+        assert_eq!(ka, kb, "inner dimensions disagree");
+        assert_eq!(self.dims(), (m, n), "output shape disagrees");
+        match (self, a, b) {
+            (BlockBuf::Real(c), BlockBuf::Real(am), BlockBuf::Real(bm)) => {
+                gemm_acc(c, am, bm);
+            }
+            (BlockBuf::Phantom(..), _, _) => {}
+            _ => panic!("cannot mix real output with phantom inputs"),
+        }
+    }
+
+    /// Serialize to a byte payload (row-major f64, native endianness).
+    pub fn to_bytes(&self) -> BlockBytes {
+        match self {
+            BlockBuf::Real(m) => {
+                let mut out = Vec::with_capacity(m.data().len() * 8);
+                for x in m.data() {
+                    out.extend_from_slice(&x.to_ne_bytes());
+                }
+                BlockBytes::Real(Bytes::from(out))
+            }
+            BlockBuf::Phantom(..) => BlockBytes::Phantom(self.byte_len()),
+        }
+    }
+
+    /// Deserialize from a byte payload with known dimensions.
+    pub fn from_bytes(bytes: &BlockBytes, rows: usize, cols: usize) -> BlockBuf {
+        match bytes {
+            BlockBytes::Real(b) => {
+                assert_eq!(b.len(), rows * cols * 8, "payload size mismatch");
+                let data = b
+                    .chunks_exact(8)
+                    .map(|c| f64::from_ne_bytes(c.try_into().unwrap()))
+                    .collect();
+                BlockBuf::Real(Matrix::from_vec(rows, cols, data))
+            }
+            BlockBytes::Phantom(n) => {
+                assert_eq!(*n, rows * cols * 8, "phantom size mismatch");
+                BlockBuf::Phantom(rows, cols)
+            }
+        }
+    }
+
+    /// Transposed copy (phantom transposes its shape).
+    pub fn transpose(&self) -> BlockBuf {
+        match self {
+            BlockBuf::Real(m) => BlockBuf::Real(m.transpose()),
+            BlockBuf::Phantom(r, c) => BlockBuf::Phantom(*c, *r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_roundtrip_through_bytes() {
+        let m = Matrix::from_fn(3, 2, |i, j| (i * 2 + j) as f64 + 0.5);
+        let b = BlockBuf::Real(m.clone());
+        let bytes = b.to_bytes();
+        let back = BlockBuf::from_bytes(&bytes, 3, 2);
+        assert_eq!(back.unwrap_real().max_abs_diff(&m), 0.0);
+    }
+
+    #[test]
+    fn phantom_roundtrip_preserves_shape() {
+        let b = BlockBuf::Phantom(4, 5);
+        assert_eq!(b.byte_len(), 160);
+        let bytes = b.to_bytes();
+        assert_eq!(bytes, BlockBytes::Phantom(160));
+        let back = BlockBuf::from_bytes(&bytes, 4, 5);
+        assert!(back.is_phantom());
+        assert_eq!(back.dims(), (4, 5));
+    }
+
+    #[test]
+    fn gemm_acc_matches_matrix_gemm() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + 2 * j) as f64);
+        let b = Matrix::from_fn(3, 5, |i, j| (2 * i + j) as f64);
+        let mut c = BlockBuf::zeros(4, 5, false);
+        c.gemm_acc(&BlockBuf::Real(a.clone()), &BlockBuf::Real(b.clone()));
+        let want = crate::gemm::gemm(&a, &b);
+        assert_eq!(c.unwrap_real().max_abs_diff(&want), 0.0);
+    }
+
+    #[test]
+    fn phantom_gemm_shape_checks() {
+        let mut c = BlockBuf::zeros(2, 4, true);
+        c.gemm_acc(&BlockBuf::Phantom(2, 3), &BlockBuf::Phantom(3, 4));
+        assert_eq!(c.dims(), (2, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn phantom_gemm_still_validates_shapes() {
+        let mut c = BlockBuf::zeros(2, 4, true);
+        c.gemm_acc(&BlockBuf::Phantom(2, 3), &BlockBuf::Phantom(5, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "phantom; no data")]
+    fn unwrap_real_panics_on_phantom() {
+        BlockBuf::Phantom(1, 1).unwrap_real();
+    }
+}

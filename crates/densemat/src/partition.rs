@@ -1,0 +1,179 @@
+//! Block partitioning of matrices over process meshes.
+//!
+//! The paper partitions the N×N density matrix into p×p blocks with block
+//! (i, j) owned by process P(i, j, 1) of the p×p×p mesh (§IV). Partitions
+//! here are *balanced*: the first `N mod p` blocks along a dimension are one
+//! larger, so block dimensions are `⌈N/p⌉` or `⌊N/p⌋`.
+
+use crate::matrix::Matrix;
+
+/// A balanced 1-D partition of `n` items into `parts` ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition1D {
+    n: usize,
+    parts: usize,
+}
+
+impl Partition1D {
+    /// Partition `n` into `parts` (parts ≥ 1).
+    pub fn new(n: usize, parts: usize) -> Partition1D {
+        assert!(parts >= 1, "need at least one part");
+        Partition1D { n, parts }
+    }
+
+    /// Total size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// (start, length) of part `i`.
+    pub fn range(&self, i: usize) -> (usize, usize) {
+        assert!(i < self.parts, "part {i} out of {}", self.parts);
+        let base = self.n / self.parts;
+        let rem = self.n % self.parts;
+        let len = base + usize::from(i < rem);
+        let start = i * base + i.min(rem);
+        (start, len)
+    }
+
+    /// Length of part `i`.
+    pub fn len(&self, i: usize) -> usize {
+        self.range(i).1
+    }
+
+    /// True iff `n == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Largest part length (`⌈n/parts⌉`).
+    pub fn max_len(&self) -> usize {
+        self.n.div_ceil(self.parts)
+    }
+}
+
+/// A square block grid: an N×N matrix cut into p×p blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockGrid {
+    part: Partition1D,
+}
+
+impl BlockGrid {
+    /// N×N matrix in p×p blocks.
+    pub fn new(n: usize, p: usize) -> BlockGrid {
+        BlockGrid {
+            part: Partition1D::new(n, p),
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.part.n()
+    }
+
+    /// Mesh dimension p.
+    pub fn p(&self) -> usize {
+        self.part.parts()
+    }
+
+    /// Dimensions (rows, cols) of block (i, j).
+    pub fn block_dims(&self, i: usize, j: usize) -> (usize, usize) {
+        (self.part.len(i), self.part.len(j))
+    }
+
+    /// Byte size of block (i, j) as f64 payload.
+    pub fn block_bytes(&self, i: usize, j: usize) -> usize {
+        let (r, c) = self.block_dims(i, j);
+        r * c * 8
+    }
+
+    /// Extract block (i, j) from a full matrix.
+    pub fn extract(&self, m: &Matrix, i: usize, j: usize) -> Matrix {
+        assert_eq!(m.rows(), self.n());
+        assert_eq!(m.cols(), self.n());
+        let (r0, rs) = self.part.range(i);
+        let (c0, cs) = self.part.range(j);
+        m.submatrix(r0, c0, rs, cs)
+    }
+
+    /// Assemble a full matrix from all p² blocks (row-major block order).
+    pub fn assemble(&self, blocks: &[Matrix]) -> Matrix {
+        let p = self.p();
+        assert_eq!(blocks.len(), p * p, "need p^2 blocks");
+        let mut full = Matrix::zeros(self.n(), self.n());
+        for i in 0..p {
+            for j in 0..p {
+                let (r0, rs) = self.part.range(i);
+                let (c0, cs) = self.part.range(j);
+                let b = &blocks[i * p + j];
+                assert_eq!((b.rows(), b.cols()), (rs, cs), "block ({i},{j}) shape");
+                full.set_submatrix(r0, c0, b);
+            }
+        }
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly() {
+        for (n, p) in [(10, 3), (7645, 4), (5, 5), (4, 7), (0, 2)] {
+            let part = Partition1D::new(n, p);
+            let mut total = 0;
+            let mut next = 0;
+            for i in 0..p {
+                let (s, l) = part.range(i);
+                assert_eq!(s, next, "ranges must be contiguous");
+                next = s + l;
+                total += l;
+            }
+            assert_eq!(total, n);
+        }
+    }
+
+    #[test]
+    fn partition_is_balanced() {
+        let part = Partition1D::new(10, 3);
+        assert_eq!(part.len(0), 4);
+        assert_eq!(part.len(1), 3);
+        assert_eq!(part.len(2), 3);
+        assert_eq!(part.max_len(), 4);
+    }
+
+    #[test]
+    fn paper_block_size_anchor() {
+        // §V-A: 1hsg_70 (N=7645) on a 4-mesh has largest block 1912².
+        let part = Partition1D::new(7645, 4);
+        assert_eq!(part.max_len(), 1912);
+    }
+
+    #[test]
+    fn extract_assemble_roundtrip() {
+        let n = 11;
+        let grid = BlockGrid::new(n, 3);
+        let m = Matrix::from_fn(n, n, |i, j| (i * n + j) as f64);
+        let mut blocks = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                blocks.push(grid.extract(&m, i, j));
+            }
+        }
+        let back = grid.assemble(&blocks);
+        assert_eq!(back.max_abs_diff(&m), 0.0);
+    }
+
+    #[test]
+    fn block_bytes_counts_f64s() {
+        let grid = BlockGrid::new(10, 3);
+        assert_eq!(grid.block_bytes(0, 0), 4 * 4 * 8);
+        assert_eq!(grid.block_bytes(2, 2), 3 * 3 * 8);
+    }
+}

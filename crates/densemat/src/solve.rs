@@ -1,0 +1,117 @@
+//! Small dense linear solves (Gaussian elimination with partial pivoting).
+//!
+//! Block iterative solvers need s×s solves of the Gram matrices each
+//! iteration (s = block width, typically ≤ 32); this is that kernel.
+
+use crate::matrix::Matrix;
+
+/// Solve `A · X = B` for square `A` (n×n) and `B` (n×m), returning `X`.
+/// Panics if `A` is numerically singular.
+pub fn solve(a: &Matrix, b: &Matrix) -> Matrix {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "A must be square");
+    assert_eq!(b.rows(), n, "B row count must match A");
+    let m = b.cols();
+
+    // Augmented working copies.
+    let mut lu = a.clone();
+    let mut x = b.clone();
+    for col in 0..n {
+        // Partial pivot.
+        let mut piv = col;
+        let mut best = lu[(col, col)].abs();
+        for r in col + 1..n {
+            let v = lu[(r, col)].abs();
+            if v > best {
+                best = v;
+                piv = r;
+            }
+        }
+        assert!(
+            best > 1e-300,
+            "matrix is numerically singular at column {col}"
+        );
+        if piv != col {
+            for c in 0..n {
+                let tmp = lu[(col, c)];
+                lu[(col, c)] = lu[(piv, c)];
+                lu[(piv, c)] = tmp;
+            }
+            for c in 0..m {
+                let tmp = x[(col, c)];
+                x[(col, c)] = x[(piv, c)];
+                x[(piv, c)] = tmp;
+            }
+        }
+        // Eliminate below.
+        let d = lu[(col, col)];
+        for r in col + 1..n {
+            let f = lu[(r, col)] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = lu[(col, c)];
+                lu[(r, c)] -= f * v;
+            }
+            for c in 0..m {
+                let v = x[(col, c)];
+                x[(r, c)] -= f * v;
+            }
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let d = lu[(col, col)];
+        for c in 0..m {
+            let mut acc = x[(col, c)];
+            for k in col + 1..n {
+                acc -= lu[(col, k)] * x[(k, c)];
+            }
+            x[(col, c)] = acc / d;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+
+    #[test]
+    fn solves_identity() {
+        let i = Matrix::identity(4);
+        let b = Matrix::from_fn(4, 2, |r, c| (r * 2 + c) as f64);
+        let x = solve(&i, &b);
+        assert!(x.max_abs_diff(&b) < 1e-14);
+    }
+
+    #[test]
+    fn solve_then_multiply_roundtrip() {
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            1.0 / (1.0 + (i + j) as f64) + if i == j { 2.0 } else { 0.0 }
+        });
+        let x_true = Matrix::from_fn(5, 3, |i, j| (i as f64 - j as f64) * 0.5);
+        let b = gemm(&a, &x_true);
+        let x = solve(&a, &b);
+        assert!(x.max_abs_diff(&x_true) < 1e-10, "err {}", x.max_abs_diff(&x_true));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let b = Matrix::from_vec(2, 1, vec![3.0, 7.0]);
+        let x = solve(&a, &b);
+        assert!((x[(0, 0)] - 7.0).abs() < 1e-14);
+        assert!((x[(1, 0)] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_detected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        let b = Matrix::from_vec(2, 1, vec![1.0, 1.0]);
+        solve(&a, &b);
+    }
+}

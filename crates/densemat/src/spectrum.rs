@@ -1,0 +1,190 @@
+//! Symmetric test matrices with prescribed spectra.
+//!
+//! Density matrix purification needs Hamiltonians whose eigenvalue
+//! distribution is known (so convergence can be verified analytically).
+//! We build `H = Q Λ Qᵀ` with a prescribed diagonal Λ and an orthogonal `Q`
+//! assembled from random Householder reflections — the standard synthetic
+//! substitute for the paper's 1hsg_* Fock matrices, whose molecular details
+//! the paper itself calls "immaterial ... except for the dimension".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Apply the Householder reflection `(I - 2 v vᵀ / vᵀv)` to every column of
+/// `m` from the left, in place.
+fn apply_householder_left(m: &mut Matrix, v: &[f64]) {
+    let n = m.rows();
+    assert_eq!(v.len(), n);
+    let vtv: f64 = v.iter().map(|x| x * x).sum();
+    if vtv == 0.0 {
+        return;
+    }
+    let cols = m.cols();
+    for j in 0..cols {
+        let mut dot = 0.0;
+        for i in 0..n {
+            dot += v[i] * m[(i, j)];
+        }
+        let s = 2.0 * dot / vtv;
+        for i in 0..n {
+            m[(i, j)] -= s * v[i];
+        }
+    }
+}
+
+/// A symmetric matrix with the exact eigenvalues `eigs` (up to rounding),
+/// built as `Q diag(eigs) Qᵀ` for a random orthogonal `Q` (product of
+/// `reflections` Householder reflections; 4 is plenty of mixing).
+pub fn symmetric_with_spectrum(eigs: &[f64], seed: u64) -> Matrix {
+    let n = eigs.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Start from diag(eigs) and conjugate by reflections: H := P H P for
+    // each reflection P (P symmetric, orthogonal) keeps the spectrum.
+    let mut h = Matrix::zeros(n, n);
+    for i in 0..n {
+        h[(i, i)] = eigs[i];
+    }
+    let reflections = 4.min(n);
+    for _ in 0..reflections {
+        let v: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // H := P·H, then H := (P·H)ᵀ·... — conjugation via two one-sided
+        // applications: P·H then transpose-apply is equivalent to P H P
+        // because P is symmetric.
+        apply_householder_left(&mut h, &v);
+        let mut ht = h.transpose();
+        apply_householder_left(&mut ht, &v);
+        h = ht;
+    }
+    // Clean up rounding asymmetry.
+    let mut sym = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            sym[(i, j)] = 0.5 * (h[(i, j)] + h[(j, i)]);
+        }
+    }
+    sym
+}
+
+/// Eigenvalue layout of a synthetic "Fock matrix": `nocc` occupied states
+/// spread over `[lo_occ, hi_occ]` and the rest over `[lo_virt, hi_virt]`,
+/// with a spectral gap between the bands.
+pub fn fock_like_spectrum(n: usize, nocc: usize) -> Vec<f64> {
+    assert!(nocc <= n);
+    let mut eigs = Vec::with_capacity(n);
+    for i in 0..nocc {
+        // occupied band [-10, -2]
+        let t = if nocc > 1 { i as f64 / (nocc - 1) as f64 } else { 0.0 };
+        eigs.push(-10.0 + 8.0 * t);
+    }
+    for i in 0..n - nocc {
+        // virtual band [0, 6]
+        let nv = n - nocc;
+        let t = if nv > 1 { i as f64 / (nv - 1) as f64 } else { 0.0 };
+        eigs.push(6.0 * t);
+    }
+    eigs
+}
+
+/// The exact density matrix for a given Hamiltonian spectrum construction:
+/// `D = Q diag(occ) Qᵀ` where `occ_i = 1` for the `nocc` lowest eigenvalues.
+/// Rebuilds with the same seed/spectrum as [`symmetric_with_spectrum`], so
+/// `(H, D_exact)` pairs share the same eigenbasis.
+pub fn exact_density(eigs: &[f64], nocc: usize, seed: u64) -> Matrix {
+    let n = eigs.len();
+    // Occupation numbers ordered like `eigs`: the nocc smallest get 1.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| eigs[a].partial_cmp(&eigs[b]).unwrap());
+    let mut occ = vec![0.0; n];
+    for &i in idx.iter().take(nocc) {
+        occ[i] = 1.0;
+    }
+    symmetric_with_spectrum_from(&occ, seed)
+}
+
+/// Same construction as [`symmetric_with_spectrum`] — exposed so callers can
+/// conjugate *any* diagonal by the same `Q` (same seed ⇒ same reflections).
+pub fn symmetric_with_spectrum_from(diag: &[f64], seed: u64) -> Matrix {
+    symmetric_with_spectrum(diag, seed)
+}
+
+/// Gershgorin bounds (λ_min_lower, λ_max_upper) of a symmetric matrix —
+/// what canonical purification uses to scale/shift the initial iterate.
+pub fn gershgorin_bounds(h: &Matrix) -> (f64, f64) {
+    let n = h.rows();
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..n {
+        let d = h[(i, i)];
+        let r: f64 = (0..n).filter(|&j| j != i).map(|j| h[(i, j)].abs()).sum();
+        lo = lo.min(d - r);
+        hi = hi.max(d + r);
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm;
+
+    #[test]
+    fn constructed_matrix_is_symmetric_with_right_trace() {
+        let eigs = fock_like_spectrum(24, 10);
+        let h = symmetric_with_spectrum(&eigs, 42);
+        assert!(h.is_symmetric(1e-10));
+        let want: f64 = eigs.iter().sum();
+        assert!((h.trace() - want).abs() < 1e-8, "trace preserved by conjugation");
+    }
+
+    #[test]
+    fn frobenius_norm_matches_spectrum() {
+        // ||H||_F² = Σ λ² for symmetric H.
+        let eigs = vec![3.0, -1.0, 0.5, 2.0];
+        let h = symmetric_with_spectrum(&eigs, 7);
+        let want: f64 = eigs.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((h.frob_norm() - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_density_is_idempotent_projector() {
+        let eigs = fock_like_spectrum(16, 6);
+        let d = exact_density(&eigs, 6, 99);
+        // D² = D (projector) and tr(D) = nocc.
+        let d2 = gemm(&d, &d);
+        assert!(d2.max_abs_diff(&d) < 1e-8, "density not idempotent");
+        assert!((d.trace() - 6.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn h_and_density_commute() {
+        // Same eigenbasis ⇒ H·D = D·H.
+        let eigs = fock_like_spectrum(12, 5);
+        let h = symmetric_with_spectrum(&eigs, 5);
+        let d = exact_density(&eigs, 5, 5);
+        let hd = gemm(&h, &d);
+        let dh = gemm(&d, &h);
+        assert!(hd.max_abs_diff(&dh) < 1e-8);
+    }
+
+    #[test]
+    fn gershgorin_encloses_spectrum() {
+        let eigs = fock_like_spectrum(20, 8);
+        let h = symmetric_with_spectrum(&eigs, 3);
+        let (lo, hi) = gershgorin_bounds(&h);
+        let min = eigs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = eigs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo <= min + 1e-9);
+        assert!(hi >= max - 1e-9);
+    }
+
+    #[test]
+    fn fock_spectrum_has_gap() {
+        let eigs = fock_like_spectrum(30, 12);
+        assert_eq!(eigs.len(), 30);
+        let occ_max = eigs[..12].iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let virt_min = eigs[12..].iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(occ_max < virt_min, "bands must not overlap");
+    }
+}

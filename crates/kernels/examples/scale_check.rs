@@ -1,0 +1,39 @@
+//! Quick Table-I-style check: Algorithms 3/4/5 TFlops at paper scale on
+//! the calibrated profile (full sweep lives in ovcomm-bench).
+//!
+//! Run with: `cargo run -p ovcomm-kernels --release --example scale_check`
+use ovcomm_densemat::{BlockBuf, BlockGrid};
+use ovcomm_kernels::{symm_square_cube_baseline, symm_square_cube_optimized, symm_square_cube_original, symm_square_cube_flops, Mesh3D, SymmInput};
+use ovcomm_simmpi::{run, RankCtx, SimConfig};
+use ovcomm_simnet::MachineProfile;
+
+fn go(n: usize, which: u8, n_dup: usize) -> f64 {
+    let out = run(SimConfig::natural(64, 1, MachineProfile::stampede2_skylake()), move |rc: RankCtx| {
+        let mesh = Mesh3D::new(&rc, 4);
+        let grid = BlockGrid::new(n, 4);
+        let d_block = (mesh.k == 0).then(|| { let (r,c)=grid.block_dims(mesh.i,mesh.j); BlockBuf::Phantom(r,c) });
+        let bundles = mesh.dup_bundles(n_dup);
+        rc.world().barrier();
+        let t0 = rc.now();
+        let input = SymmInput { n, d_block };
+        match which {
+            0 => { let _ = symm_square_cube_original(&rc, &mesh, &input); }
+            1 => { let _ = symm_square_cube_baseline(&rc, &mesh, &input); }
+            _ => { let _ = symm_square_cube_optimized(&rc, &mesh, &bundles, &input); }
+        }
+        rc.world().barrier();
+        (rc.now() - t0).as_secs_f64()
+    }).unwrap();
+    out.results.iter().cloned().fold(0.0f64, f64::max)
+}
+
+fn main() {
+    for (name, n) in [("1hsg_45", 5330usize), ("1hsg_60", 6895), ("1hsg_70", 7645)] {
+        let t3 = go(n, 0, 1);
+        let t4 = go(n, 1, 1);
+        let t5 = go(n, 2, 4);
+        let f = symm_square_cube_flops(n) / 1e12;
+        println!("{name}: t3 {t3:.5}s t4 {t4:.5}s t5 {t5:.5}s | Alg3 {:.2} TF, Alg4 {:.2} TF, Alg5 {:.2} TF, speedup5/4 {:.3}",
+                 f/t3, f/t4, f/t5, t4/t5);
+    }
+}

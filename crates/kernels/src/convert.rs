@@ -1,0 +1,49 @@
+//! Conversions between [`ovcomm_densemat::BlockBuf`] blocks and
+//! [`ovcomm_simmpi::Payload`] messages (zero-copy for real data via
+//! `bytes::Bytes`).
+
+use ovcomm_densemat::{BlockBuf, BlockBytes};
+use ovcomm_simmpi::Payload;
+
+/// Serialize a block for sending.
+pub fn block_to_payload(b: &BlockBuf) -> Payload {
+    match b.to_bytes() {
+        BlockBytes::Real(bytes) => Payload::Real(bytes),
+        BlockBytes::Phantom(n) => Payload::Phantom(n),
+    }
+}
+
+/// Deserialize a received block with known dimensions.
+pub fn payload_to_block(p: &Payload, rows: usize, cols: usize) -> BlockBuf {
+    let bytes = match p {
+        Payload::Real(b) => BlockBytes::Real(b.clone()),
+        Payload::Phantom(n) => BlockBytes::Phantom(*n),
+    };
+    BlockBuf::from_bytes(&bytes, rows, cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovcomm_densemat::Matrix;
+
+    #[test]
+    fn real_roundtrip() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let b = BlockBuf::Real(m.clone());
+        let p = block_to_payload(&b);
+        assert_eq!(p.len(), 96);
+        let back = payload_to_block(&p, 3, 4);
+        assert_eq!(back.unwrap_real().max_abs_diff(&m), 0.0);
+    }
+
+    #[test]
+    fn phantom_roundtrip() {
+        let b = BlockBuf::Phantom(5, 2);
+        let p = block_to_payload(&b);
+        assert_eq!(p, Payload::Phantom(80));
+        let back = payload_to_block(&p, 5, 2);
+        assert!(back.is_phantom());
+        assert_eq!(back.dims(), (5, 2));
+    }
+}

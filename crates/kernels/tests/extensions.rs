@@ -1,0 +1,413 @@
+//! Tests for the extension kernels: SUMMA (the 2-D related-work baseline)
+//! and block CG with overlapped reductions (the paper's future work).
+
+use ovcomm_densemat::{gemm, symmetric_with_spectrum, BlockBuf, BlockGrid, Matrix, Partition1D};
+use ovcomm_kernels::{
+    block_cg, symm_square_cube_summa, BlockCgConfig, CgComms, Mesh2D, SummaBundles, SymmInput,
+};
+use ovcomm_simmpi::{run, RankCtx, SimConfig};
+use ovcomm_simnet::MachineProfile;
+
+fn test_matrix(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        1.0 / (1.0 + i.abs_diff(j) as f64) + if i == j { 0.5 } else { 0.0 }
+    })
+}
+
+fn run_summa(n: usize, p: usize, n_dup: usize) -> (Matrix, Matrix) {
+    let out = run(
+        SimConfig::natural(p * p, 2, MachineProfile::test_profile()),
+        move |rc: RankCtx| {
+            let mesh = Mesh2D::new(&rc, p);
+            let grid = BlockGrid::new(n, p);
+            let bundles = SummaBundles::new(&mesh, n_dup);
+            let d_block = BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j));
+            let input = SymmInput {
+                n,
+                d_block: Some(d_block),
+            };
+            let result = symm_square_cube_summa(&rc, &mesh, &bundles, &input);
+            (
+                mesh.i,
+                mesh.j,
+                result.d2.unwrap().unwrap_real().clone().into_vec(),
+                result.d3.unwrap().unwrap_real().clone().into_vec(),
+            )
+        },
+    )
+    .unwrap_or_else(|e| panic!("SUMMA n={n} p={p}: {e}"));
+
+    let grid = BlockGrid::new(n, p);
+    let mut d2_blocks = vec![Matrix::zeros(0, 0); p * p];
+    let mut d3_blocks = vec![Matrix::zeros(0, 0); p * p];
+    for (i, j, d2, d3) in out.results {
+        let (r, c) = grid.block_dims(i, j);
+        d2_blocks[i * p + j] = Matrix::from_vec(r, c, d2);
+        d3_blocks[i * p + j] = Matrix::from_vec(r, c, d3);
+    }
+    (grid.assemble(&d2_blocks), grid.assemble(&d3_blocks))
+}
+
+#[test]
+fn summa_square_cube_correct() {
+    for (n, p, n_dup) in [(18, 2, 1), (20, 3, 1), (20, 3, 2), (25, 4, 4)] {
+        let d = test_matrix(n);
+        let d2_ref = gemm(&d, &d);
+        let d3_ref = gemm(&d2_ref, &d);
+        let (d2, d3) = run_summa(n, p, n_dup);
+        assert!(
+            d2.max_abs_diff(&d2_ref) < 1e-9,
+            "SUMMA D² wrong (n={n}, p={p}, n_dup={n_dup})"
+        );
+        assert!(
+            d3.max_abs_diff(&d3_ref) < 1e-8,
+            "SUMMA D³ wrong (n={n}, p={p}, n_dup={n_dup})"
+        );
+    }
+}
+
+#[test]
+fn summa_phantom_and_real_timing_agree() {
+    let go = |phantom: bool| {
+        run(
+            SimConfig::natural(9, 3, MachineProfile::test_profile()),
+            move |rc: RankCtx| {
+                let mesh = Mesh2D::new(&rc, 3);
+                let grid = BlockGrid::new(21, 3);
+                let bundles = SummaBundles::new(&mesh, 2);
+                let d_block = if phantom {
+                    let (r, c) = grid.block_dims(mesh.i, mesh.j);
+                    BlockBuf::Phantom(r, c)
+                } else {
+                    BlockBuf::Real(grid.extract(&test_matrix(21), mesh.i, mesh.j))
+                };
+                let input = SymmInput {
+                    n: 21,
+                    d_block: Some(d_block),
+                };
+                let _ = symm_square_cube_summa(&rc, &mesh, &bundles, &input);
+                rc.now().as_nanos()
+            },
+        )
+        .unwrap()
+    };
+    assert_eq!(go(false).makespan, go(true).makespan);
+}
+
+// ---------------------------------------------------------------------
+// Block CG.
+// ---------------------------------------------------------------------
+
+fn spd_matrix(n: usize, seed: u64) -> Matrix {
+    // Positive eigenvalues in [1, 11]: well-conditioned SPD.
+    let eigs: Vec<f64> = (0..n).map(|i| 1.0 + 10.0 * i as f64 / n as f64).collect();
+    symmetric_with_spectrum(&eigs, seed)
+}
+
+fn run_block_cg(n: usize, p: usize, s: usize, overlap: bool) -> (Matrix, usize, bool, f64) {
+    let seed = 77;
+    let out = run(
+        SimConfig::natural(p * p, 2, MachineProfile::test_profile()),
+        move |rc: RankCtx| {
+            let mesh = Mesh2D::new(&rc, p);
+            let grid = BlockGrid::new(n, p);
+            let part = Partition1D::new(n, p);
+            let a_full = spd_matrix(n, seed);
+            let a = BlockBuf::Real(grid.extract(&a_full, mesh.i, mesh.j));
+            // RHS: deterministic n×s.
+            let b_full = Matrix::from_fn(n, s, |i, j| ((i * 7 + j * 13) % 11) as f64 - 5.0);
+            let (st, l) = part.range(mesh.j);
+            let b_seg = BlockBuf::Real(b_full.submatrix(st, 0, l, s));
+            let comms = CgComms::new(&mesh, 2);
+            let cfg = BlockCgConfig {
+                n,
+                s,
+                tol: 1e-10,
+                max_iter: 200,
+                overlap,
+            };
+            let res = block_cg(&rc, &mesh, &comms, &cfg, &a, &b_seg);
+            (
+                mesh.i,
+                mesh.j,
+                res.iterations,
+                res.converged,
+                res.rel_residual,
+                res.x_segment.unwrap_real().clone().into_vec(),
+            )
+        },
+    )
+    .unwrap_or_else(|e| panic!("block CG n={n} p={p} s={s}: {e}"));
+
+    // Assemble X from row-0 ranks.
+    let part = Partition1D::new(n, p);
+    let mut x = Matrix::zeros(n, s);
+    let mut iters = 0;
+    let mut conv = false;
+    let mut rel = 0.0;
+    for (i, j, it, c, r, seg) in out.results {
+        if i == 0 {
+            let (st, l) = part.range(j);
+            let m = Matrix::from_vec(l, s, seg);
+            x.set_submatrix(st, 0, &m);
+            iters = it;
+            conv = c;
+            rel = r;
+        }
+    }
+    (x, iters, conv, rel)
+}
+
+#[test]
+fn block_cg_solves_spd_system() {
+    let (n, p, s) = (40, 2, 3);
+    let (x, iters, converged, rel) = run_block_cg(n, p, s, false);
+    assert!(converged, "CG did not converge in {iters} iterations (rel {rel})");
+    let a = spd_matrix(n, 77);
+    let b = Matrix::from_fn(n, s, |i, j| ((i * 7 + j * 13) % 11) as f64 - 5.0);
+    let ax = gemm(&a, &x);
+    let mut resid = ax.clone();
+    resid.axpy(-1.0, &b);
+    let rel_true = resid.frob_norm() / b.frob_norm();
+    assert!(rel_true < 1e-8, "true residual {rel_true}");
+}
+
+#[test]
+fn overlapped_and_blocking_cg_agree() {
+    let (x1, it1, c1, _) = run_block_cg(30, 3, 2, false);
+    let (x2, it2, c2, _) = run_block_cg(30, 3, 2, true);
+    assert!(c1 && c2);
+    assert_eq!(it1, it2, "same iteration count");
+    assert!(
+        x1.max_abs_diff(&x2) < 1e-12,
+        "overlap must not change the numerics"
+    );
+}
+
+#[test]
+fn overlapped_gram_reductions_save_time_at_scale() {
+    // Phantom run on the calibrated profile with many nodes: the two
+    // concurrent Gram chains hide one latency chain per iteration.
+    let go = |overlap: bool| {
+        run(
+            SimConfig::natural(64, 1, MachineProfile::stampede2_skylake()),
+            move |rc: RankCtx| {
+                let mesh = Mesh2D::new(&rc, 8);
+                let grid = BlockGrid::new(4096, 8);
+                let part = Partition1D::new(4096, 8);
+                let (r, c) = grid.block_dims(mesh.i, mesh.j);
+                let a = BlockBuf::Phantom(r, c);
+                let b = BlockBuf::Phantom(part.len(mesh.j), 8);
+                let comms = CgComms::new(&mesh, 2);
+                let cfg = BlockCgConfig {
+                    n: 4096,
+                    s: 8,
+                    tol: 1e-9,
+                    max_iter: 10,
+                    overlap,
+                };
+                let _ = block_cg(&rc, &mesh, &comms, &cfg, &a, &b);
+                rc.now().as_nanos()
+            },
+        )
+        .unwrap()
+        .makespan
+    };
+    let blocking = go(false);
+    let overlapped = go(true);
+    assert!(
+        overlapped < blocking,
+        "overlapped grams ({overlapped:?}) must beat sequential ({blocking:?})"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Force-decomposition MD (the paper's particle-simulation future work).
+// ---------------------------------------------------------------------
+
+mod md {
+    use super::*;
+    use ovcomm_kernels::{md_init, md_run, MdConfig};
+
+    /// Serial reference of the same toy dynamics.
+    fn reference_md(n: usize, steps: usize, dt: f64) -> Vec<f64> {
+        let mut x: Vec<f64> = (0..n).map(|t| t as f64 * 1.05).collect();
+        let mut v = vec![0.0; n];
+        let force = |x: &Vec<f64>| -> Vec<f64> {
+            let mut f = vec![0.0; n];
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let d = x[a] - x[b];
+                    let r = d.abs().max(1e-3);
+                    f[a] += -(r - 1.0) / r * d;
+                }
+            }
+            f
+        };
+        for _ in 0..steps {
+            let f = force(&x);
+            for t in 0..n {
+                v[t] += dt * f[t];
+                x[t] += dt * v[t];
+            }
+        }
+        x
+    }
+
+    fn run_md(n: usize, p: usize, steps: usize, overlap: Option<usize>) -> Vec<f64> {
+        let dt = 0.01;
+        let out = run(
+            SimConfig::natural(p * p, 2, MachineProfile::test_profile()),
+            move |rc: RankCtx| {
+                let mesh = Mesh2D::new(&rc, p);
+                let cfg = MdConfig {
+                    n_particles: n,
+                    steps,
+                    dt,
+                    overlap,
+                    neighbors: None,
+                };
+                let state = md_init(&rc, &mesh, &cfg, false);
+                let fin = md_run(&rc, &mesh, &cfg, state);
+                match fin.x {
+                    ovcomm_kernels::VecBuf::Real(v) => (mesh.i, mesh.j, v),
+                    _ => unreachable!(),
+                }
+            },
+        )
+        .unwrap();
+        let part = Partition1D::new(n, p);
+        let mut x = vec![0.0; n];
+        for (i, j, seg) in out.results {
+            if i == 0 {
+                let (s, l) = part.range(j);
+                x[s..s + l].copy_from_slice(&seg[..l]);
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn md_matches_serial_reference() {
+        let n = 14;
+        let want = reference_md(n, 6, 0.01);
+        for p in [2usize, 3] {
+            let got = run_md(n, p, 6, None);
+            for t in 0..n {
+                assert!(
+                    (got[t] - want[t]).abs() < 1e-9,
+                    "p={p} particle {t}: {} vs {}",
+                    got[t],
+                    want[t]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_md_matches_blocking() {
+        let n = 12;
+        let a = run_md(n, 2, 5, None);
+        let b = run_md(n, 2, 5, Some(3));
+        for t in 0..n {
+            assert!((a[t] - b[t]).abs() < 1e-12, "particle {t}");
+        }
+    }
+
+    #[test]
+    fn overlapped_md_saves_time_at_scale() {
+        let go = |overlap: Option<usize>| {
+            run(
+                SimConfig::natural(64, 1, MachineProfile::stampede2_skylake()),
+                move |rc: RankCtx| {
+                    let mesh = Mesh2D::new(&rc, 8);
+                    let cfg = MdConfig {
+                        n_particles: 1 << 22, // 4M particles → 4 MB segments
+                        steps: 3,
+                        dt: 0.01,
+                        overlap,
+                        neighbors: Some(64),
+                    };
+                    let state = md_init(&rc, &mesh, &cfg, true);
+                    let _ = md_run(&rc, &mesh, &cfg, state);
+                    rc.now().as_nanos()
+                },
+            )
+            .unwrap()
+            .makespan
+        };
+        let blocking = go(None);
+        let overlapped = go(Some(4));
+        assert!(
+            overlapped < blocking,
+            "overlapped MD ({overlapped:?}) must beat blocking ({blocking:?})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pipelined SUMMA (panel prefetch with nonblocking collectives).
+// ---------------------------------------------------------------------
+
+mod summa_pipelined {
+    use super::*;
+    use ovcomm_kernels::{summa_multiply, summa_multiply_pipelined};
+
+    fn multiply_both(n: usize, p: usize, n_dup: usize) -> (Matrix, Matrix, u64, u64) {
+        let go = |pipelined: bool| {
+            run(
+                SimConfig::natural(p * p, 1, MachineProfile::stampede2_skylake()),
+                move |rc: RankCtx| {
+                    let mesh = Mesh2D::new(&rc, p);
+                    let grid = BlockGrid::new(n, p);
+                    let bundles = SummaBundles::new(&mesh, n_dup);
+                    let a = BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j));
+                    let b = BlockBuf::Real(grid.extract(&test_matrix(n).transpose(), mesh.i, mesh.j));
+                    let rate = rc.profile().process_flops(1, n / p);
+                    rc.world().barrier();
+                    let c = if pipelined {
+                        summa_multiply_pipelined(&rc, &mesh, &grid, &bundles, &a, &b, rate)
+                    } else {
+                        summa_multiply(&rc, &mesh, &grid, &bundles, &a, &b, rate)
+                    };
+                    rc.world().barrier();
+                    (mesh.i, mesh.j, c.unwrap_real().clone().into_vec())
+                },
+            )
+            .unwrap()
+        };
+        let plain = go(false);
+        let piped = go(true);
+        let grid = BlockGrid::new(n, p);
+        let assemble = |results: Vec<(usize, usize, Vec<f64>)>| {
+            let mut blocks = vec![Matrix::zeros(0, 0); p * p];
+            for (i, j, v) in results {
+                let (r, c) = grid.block_dims(i, j);
+                blocks[i * p + j] = Matrix::from_vec(r, c, v);
+            }
+            grid.assemble(&blocks)
+        };
+        let t_plain = plain.makespan.as_nanos();
+        let t_piped = piped.makespan.as_nanos();
+        (assemble(plain.results), assemble(piped.results), t_plain, t_piped)
+    }
+
+    #[test]
+    fn pipelined_summa_is_correct_and_not_slower() {
+        let n = 36;
+        let p = 3;
+        let (c_plain, c_piped, t_plain, t_piped) = multiply_both(n, p, 2);
+        let a = test_matrix(n);
+        let b = test_matrix(n).transpose();
+        let want = gemm(&a, &b);
+        assert!(c_plain.max_abs_diff(&want) < 1e-8);
+        assert!(c_piped.max_abs_diff(&want) < 1e-8);
+        assert!(
+            t_piped <= t_plain,
+            "pipelined SUMMA ({t_piped}ns) must not lose to plain ({t_plain}ns)"
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests over the distributed kernels: for arbitrary matrix
+//! sizes, mesh dimensions and N_DUP, the kernels agree with the dense
+//! reference and with each other.
+
+use proptest::prelude::*;
+
+use ovcomm_densemat::{gemm, BlockBuf, BlockGrid, Matrix};
+use ovcomm_kernels::{
+    symm_square_cube_baseline, symm_square_cube_optimized, Mesh3D, SymmInput,
+};
+use ovcomm_simmpi::{run, RankCtx, SimConfig};
+use ovcomm_simnet::MachineProfile;
+
+fn seeded_symmetric(n: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let (a, b) = (i.min(j), i.max(j));
+        (((a * 131 + b * 31) as u64 + seed * 977) % 200) as f64 / 23.0
+            - 4.0
+            + if i == j { 1.0 } else { 0.0 }
+    })
+}
+
+fn run_kernel(n: usize, p: usize, n_dup: Option<usize>, seed: u64) -> (Matrix, Matrix) {
+    let out = run(
+        SimConfig::natural(p * p * p, 4, MachineProfile::test_profile()),
+        move |rc: RankCtx| {
+            let mesh = Mesh3D::new(&rc, p);
+            let grid = BlockGrid::new(n, p);
+            let d_block = (mesh.k == 0)
+                .then(|| BlockBuf::Real(grid.extract(&seeded_symmetric(n, seed), mesh.i, mesh.j)));
+            let input = SymmInput { n, d_block };
+            let result = match n_dup {
+                None => symm_square_cube_baseline(&rc, &mesh, &input),
+                Some(d) => {
+                    let bundles = mesh.dup_bundles(d);
+                    symm_square_cube_optimized(&rc, &mesh, &bundles, &input)
+                }
+            };
+            result.d2.map(|d2| {
+                (
+                    mesh.i,
+                    mesh.j,
+                    d2.unwrap_real().clone().into_vec(),
+                    result.d3.unwrap().unwrap_real().clone().into_vec(),
+                )
+            })
+        },
+    )
+    .unwrap();
+    let grid = BlockGrid::new(n, p);
+    let mut d2b = vec![Matrix::zeros(0, 0); p * p];
+    let mut d3b = vec![Matrix::zeros(0, 0); p * p];
+    for (i, j, d2, d3) in out.results.into_iter().flatten() {
+        let (r, c) = grid.block_dims(i, j);
+        d2b[i * p + j] = Matrix::from_vec(r, c, d2);
+        d3b[i * p + j] = Matrix::from_vec(r, c, d3);
+    }
+    (grid.assemble(&d2b), grid.assemble(&d3b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn symm_square_cube_matches_dense_reference(
+        n in 4usize..28,
+        p in 2usize..4,
+        n_dup in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(n >= p);
+        let d = seeded_symmetric(n, seed);
+        let d2_ref = gemm(&d, &d);
+        let d3_ref = gemm(&d2_ref, &d);
+        let (d2, d3) = run_kernel(n, p, Some(n_dup), seed);
+        prop_assert!(d2.max_abs_diff(&d2_ref) < 1e-8, "D² mismatch");
+        prop_assert!(d3.max_abs_diff(&d3_ref) < 1e-7, "D³ mismatch");
+    }
+
+    #[test]
+    fn baseline_and_optimized_agree_bitwise_shape(
+        n in 4usize..24,
+        seed in 0u64..1000,
+    ) {
+        // Summation orders differ between the algorithms, so compare to a
+        // tight tolerance rather than bit equality.
+        let (b2, b3) = run_kernel(n, 2, None, seed);
+        let (o2, o3) = run_kernel(n, 2, Some(3), seed);
+        prop_assert!(b2.max_abs_diff(&o2) < 1e-9);
+        prop_assert!(b3.max_abs_diff(&o3) < 1e-8);
+    }
+}

@@ -1,0 +1,68 @@
+//! Synthetic molecular systems.
+//!
+//! The paper evaluates on Fock matrices of three protein fragments
+//! (1hsg_45/60/70) whose details it calls "immaterial to this paper except
+//! for the dimension of the density matrices" (§V-A). We keep the names and
+//! dimensions and substitute synthetic symmetric matrices with a
+//! gapped occupied/virtual spectrum, which is what canonical purification
+//! needs to converge.
+
+/// A named test system: matrix dimension and occupied-orbital count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MolecularSystem {
+    /// System name (as in the paper's tables).
+    pub name: &'static str,
+    /// Density/Fock matrix dimension N.
+    pub dimension: usize,
+    /// Number of occupied orbitals (trace of the density matrix).
+    pub nocc: usize,
+}
+
+/// The paper's three systems (Table I). Occupation counts are synthetic
+/// (≈ N/5, a typical basis-to-electron ratio) — only the dimension matters
+/// for communication behaviour.
+pub const PAPER_SYSTEMS: [MolecularSystem; 3] = [
+    MolecularSystem {
+        name: "1hsg_45",
+        dimension: 5330,
+        nocc: 1066,
+    },
+    MolecularSystem {
+        name: "1hsg_60",
+        dimension: 6895,
+        nocc: 1379,
+    },
+    MolecularSystem {
+        name: "1hsg_70",
+        dimension: 7645,
+        nocc: 1529,
+    },
+];
+
+/// Look up a paper system by name.
+pub fn paper_system(name: &str) -> Option<MolecularSystem> {
+    PAPER_SYSTEMS.iter().copied().find(|s| s.name == name)
+}
+
+/// A scaled-down system for real-arithmetic runs (tests/examples).
+pub fn small_system(dimension: usize, nocc: usize) -> MolecularSystem {
+    assert!(nocc <= dimension);
+    MolecularSystem {
+        name: "synthetic",
+        dimension,
+        nocc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dimensions_match_table1() {
+        assert_eq!(paper_system("1hsg_45").unwrap().dimension, 5330);
+        assert_eq!(paper_system("1hsg_60").unwrap().dimension, 6895);
+        assert_eq!(paper_system("1hsg_70").unwrap().dimension, 7645);
+        assert!(paper_system("nonesuch").is_none());
+    }
+}

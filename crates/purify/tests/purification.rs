@@ -1,0 +1,264 @@
+//! Purification end-to-end: convergence to the exact spectral projector on
+//! every kernel variant, and timing-faithful phantom runs.
+
+use ovcomm_densemat::{exact_density, fock_like_spectrum, gemm, BlockGrid, Matrix};
+use ovcomm_purify::{purify_rank, KernelChoice, PurifyConfig};
+use ovcomm_simmpi::{run, RankCtx, SimConfig};
+use ovcomm_simnet::MachineProfile;
+
+fn purify_real(n: usize, nocc: usize, nranks: usize, choice: KernelChoice, seed: u64) -> (Matrix, usize, bool) {
+    let cfg = PurifyConfig {
+        n,
+        nocc,
+        tol: 1e-9,
+        max_iter: 100,
+        phantom: false,
+        seed,
+    };
+    let out = run(
+        SimConfig::natural(nranks, 4, MachineProfile::test_profile()),
+        move |rc: RankCtx| {
+            let res = purify_rank(&rc, &cfg, choice);
+            let block = res.d_block.map(|b| b.unwrap_real().clone().into_vec());
+            (res.iterations, res.converged, block, rc.rank())
+        },
+    )
+    .unwrap_or_else(|e| panic!("purify {choice:?}: {e}"));
+
+    // Assemble D from plane-0 blocks. Plane 0 = the first p² (or q²) ranks
+    // in both mesh layouts.
+    let p = match choice {
+        KernelChoice::TwoFiveD { c, .. } => ((nranks / c) as f64).sqrt().round() as usize,
+        _ => (nranks as f64).cbrt().round() as usize,
+    };
+    let grid = BlockGrid::new(n, p);
+    let mut blocks = vec![Matrix::zeros(0, 0); p * p];
+    let mut iterations = 0;
+    let mut converged = false;
+    for (iters, conv, block, rank) in out.results {
+        if let Some(v) = block {
+            let (i, j) = (rank / p, rank % p);
+            let (r, c) = grid.block_dims(i, j);
+            blocks[i * p + j] = Matrix::from_vec(r, c, v);
+            iterations = iters;
+            converged = conv;
+        }
+    }
+    (grid.assemble(&blocks), iterations, converged)
+}
+
+fn check_converges(n: usize, nocc: usize, nranks: usize, choice: KernelChoice) {
+    let seed = 42;
+    let (d, iters, converged) = purify_real(n, nocc, nranks, choice, seed);
+    assert!(converged, "{choice:?} did not converge in {iters} iterations");
+    // D must be an idempotent projector with trace nocc...
+    let d2 = gemm(&d, &d);
+    assert!(
+        d2.max_abs_diff(&d) < 1e-5,
+        "{choice:?}: idempotency error {}",
+        d2.max_abs_diff(&d)
+    );
+    assert!(
+        (d.trace() - nocc as f64).abs() < 1e-5,
+        "{choice:?}: trace {} != {nocc}",
+        d.trace()
+    );
+    // ...and equal to the exact density matrix built from the same
+    // eigenbasis.
+    let eigs = fock_like_spectrum(n, nocc);
+    let exact = exact_density(&eigs, nocc, seed);
+    assert!(
+        d.max_abs_diff(&exact) < 1e-4,
+        "{choice:?}: distance to exact projector {}",
+        d.max_abs_diff(&exact)
+    );
+}
+
+#[test]
+fn purification_converges_with_baseline_kernel() {
+    check_converges(24, 8, 8, KernelChoice::Baseline);
+}
+
+#[test]
+fn purification_converges_with_original_kernel() {
+    check_converges(24, 8, 8, KernelChoice::Original);
+}
+
+#[test]
+fn purification_converges_with_optimized_kernel() {
+    check_converges(24, 8, 8, KernelChoice::Optimized { n_dup: 3 });
+    check_converges(21, 7, 27, KernelChoice::Optimized { n_dup: 2 });
+}
+
+#[test]
+fn purification_converges_with_25d_kernel() {
+    check_converges(24, 8, 8, KernelChoice::TwoFiveD { c: 2, n_dup: 2 });
+    check_converges(24, 8, 16, KernelChoice::TwoFiveD { c: 1, n_dup: 1 });
+}
+
+#[test]
+fn all_kernels_produce_the_same_density() {
+    let a = purify_real(20, 6, 8, KernelChoice::Baseline, 7).0;
+    let b = purify_real(20, 6, 8, KernelChoice::Optimized { n_dup: 4 }, 7).0;
+    let c = purify_real(20, 6, 8, KernelChoice::TwoFiveD { c: 2, n_dup: 2 }, 7).0;
+    assert!(a.max_abs_diff(&b) < 1e-9, "optimized differs from baseline");
+    assert!(a.max_abs_diff(&c) < 1e-9, "2.5D differs from baseline");
+}
+
+#[test]
+fn phantom_run_executes_fixed_iterations_with_timing() {
+    let cfg = PurifyConfig {
+        n: 512,
+        nocc: 100,
+        tol: 1e-9,
+        max_iter: 5,
+        phantom: true,
+        seed: 1,
+    };
+    let out = run(
+        SimConfig::natural(8, 2, MachineProfile::stampede2_skylake()),
+        move |rc: RankCtx| {
+            let res = purify_rank(&rc, &cfg, KernelChoice::Optimized { n_dup: 2 });
+            (res.iterations, res.kernel_time.as_nanos(), res.total_time.as_nanos())
+        },
+    )
+    .unwrap();
+    for (iters, ktime, ttime) in &out.results {
+        assert_eq!(*iters, 5);
+        assert!(*ktime > 0);
+        assert!(ttime >= ktime);
+    }
+}
+
+#[test]
+fn initial_iterate_has_correct_trace_and_bounds() {
+    let eigs = fock_like_spectrum(30, 10);
+    let h = ovcomm_densemat::symmetric_with_spectrum(&eigs, 3);
+    let d0 = ovcomm_purify::initial_iterate(&h, 10);
+    assert!((d0.trace() - 10.0).abs() < 1e-9, "trace {}", d0.trace());
+    assert!(d0.is_symmetric(1e-9));
+}
+
+#[test]
+fn kernel_flops_metric_is_sane() {
+    let cfg = PurifyConfig {
+        n: 24,
+        nocc: 8,
+        tol: 1e-9,
+        max_iter: 30,
+        phantom: false,
+        seed: 5,
+    };
+    let out = run(
+        SimConfig::natural(8, 2, MachineProfile::test_profile()),
+        move |rc: RankCtx| {
+            let res = purify_rank(&rc, &cfg, KernelChoice::Baseline);
+            res.kernel_flops_per_sec(24)
+        },
+    )
+    .unwrap();
+    for f in &out.results {
+        assert!(f.is_finite() && *f > 0.0);
+    }
+}
+
+#[test]
+fn staged_scf_purifies_on_a_per_node_subset() {
+    use ovcomm_core::StagePlan;
+    use ovcomm_purify::{scf_staged, ScfConfig};
+    use ovcomm_simnet::SimDur;
+
+    // 16 ranks at 4 PPN (4 nodes); purification uses 2 per node = 8 ranks
+    // forming a 2x2x2 mesh while the other 8 sleep.
+    let cfg = ScfConfig {
+        purify: PurifyConfig {
+            n: 24,
+            nocc: 8,
+            tol: 1e-9,
+            max_iter: 50,
+            phantom: false,
+            seed: 42,
+        },
+        plan: StagePlan::per_node(2, 4),
+        fock_time: SimDur::from_millis(5),
+        scf_iterations: 2,
+    };
+    let out = run(
+        SimConfig::natural(16, 4, MachineProfile::test_profile()),
+        move |rc: RankCtx| {
+            let res = scf_staged(&rc, &cfg, KernelChoice::Optimized { n_dup: 2 });
+            (res.kernel_calls, res.polls, res.total_time.as_nanos())
+        },
+    )
+    .unwrap();
+    // Active ranks (local index 0,1 of each node) did kernel work, no polls;
+    // sleepers did the opposite.
+    for r in 0..16 {
+        let (calls, polls, _) = out.results[r];
+        if r % 4 < 2 {
+            assert!(calls > 0, "active rank {r} must run the kernel");
+            assert_eq!(polls, 0);
+        } else {
+            assert_eq!(calls, 0, "sleeper {r} must not run the kernel");
+            assert!(polls > 0, "sleeper {r} must have polled");
+        }
+    }
+    // Everyone finishes the same virtual run (two barriers per SCF iter).
+    let t0 = out.results[0].2;
+    for r in 1..16 {
+        assert!(
+            (out.results[r].2 as i64 - t0 as i64).unsigned_abs() < 20_000_000,
+            "rank {r} finished far from rank 0"
+        );
+    }
+}
+
+#[test]
+fn mcweeny_purification_converges_with_known_mu() {
+    use ovcomm_purify::mcweeny_rank;
+    // The synthetic spectrum has its gap between -2 (top of the occupied
+    // band) and 0 (bottom of the virtual band): mu = -1 splits it.
+    let n = 24;
+    let nocc = 8;
+    let seed = 42;
+    let cfg = PurifyConfig {
+        n,
+        nocc,
+        tol: 1e-10,
+        max_iter: 80,
+        phantom: false,
+        seed,
+    };
+    let out = run(
+        SimConfig::natural(8, 4, MachineProfile::test_profile()),
+        move |rc: RankCtx| {
+            let res = mcweeny_rank(&rc, &cfg, -1.0, KernelChoice::Optimized { n_dup: 2 });
+            (
+                res.converged,
+                res.d_block.map(|b| b.unwrap_real().clone().into_vec()),
+                rc.rank(),
+            )
+        },
+    )
+    .unwrap();
+    let p = 2;
+    let grid = BlockGrid::new(n, p);
+    let mut blocks = vec![Matrix::zeros(0, 0); p * p];
+    for (conv, block, rank) in out.results {
+        if let Some(v) = block {
+            assert!(conv, "McWeeny must converge");
+            let (i, j) = (rank / p, rank % p);
+            let (r, c) = grid.block_dims(i, j);
+            blocks[i * p + j] = Matrix::from_vec(r, c, v);
+        }
+    }
+    let d = grid.assemble(&blocks);
+    // Same projector as canonical purification (and the exact density).
+    let exact = exact_density(&fock_like_spectrum(n, nocc), nocc, seed);
+    assert!(
+        d.max_abs_diff(&exact) < 1e-6,
+        "McWeeny projector differs from exact: {}",
+        d.max_abs_diff(&exact)
+    );
+    assert!((d.trace() - nocc as f64).abs() < 1e-6);
+}

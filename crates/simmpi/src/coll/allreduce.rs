@@ -1,0 +1,187 @@
+//! Allreduce (sum): recursive doubling (short) and reduce-scatter +
+//! allgather (long), both with the standard non-power-of-two pre/post fold.
+
+use crate::coll::{chunk_bounds, reduce, CollCtx, COLL_LARGE};
+use crate::payload::Payload;
+
+/// Run a sum-allreduce; every rank returns the full result.
+pub(crate) fn run(ctx: &CollCtx<'_>, contrib: Payload) -> Payload {
+    let p = ctx.p();
+    if p == 1 {
+        return contrib;
+    }
+    if contrib.len() <= COLL_LARGE {
+        recursive_doubling(ctx, contrib)
+    } else if p.is_power_of_two() {
+        rsag(ctx, contrib)
+    } else {
+        // Ring allreduce: bandwidth-optimal for any p, no pre/post fold.
+        ring_allreduce(ctx, contrib)
+    }
+}
+
+/// Ring reduce-scatter (after which rank r owns reduced chunk (r+1) mod p)
+/// followed by a ring allgather.
+fn ring_allreduce(ctx: &CollCtx<'_>, contrib: Payload) -> Payload {
+    let p = ctx.p();
+    let me = ctx.me();
+    let n = contrib.len();
+    let bounds = chunk_bounds(n, p);
+    let mut acc: Vec<Payload> = (0..p)
+        .map(|c| contrib.slice(bounds[c], bounds[c + 1]))
+        .collect();
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    for s in 0..p - 1 {
+        let send_idx = (me + p - s) % p;
+        let recv_idx = (me + p - s - 1) % p;
+        ctx.slack();
+        let incoming = ctx.exchange(right, left, s as u32, acc[send_idx].clone());
+        ctx.reduce_charge(incoming.len());
+        acc[recv_idx] = acc[recv_idx].reduce_sum_f64(&incoming);
+    }
+    let owned = (me + 1) % p;
+    // Rank `me` owns chunk `me+1`: that is the chunk↔rank correspondence of
+    // `allgather_ring` with root = p−1 (virtual rank me+1 owns chunk me+1).
+    crate::coll::bcast::allgather_ring(ctx, p - 1, acc[owned].clone(), n, 500)
+}
+
+/// Core-rank bookkeeping for non-power-of-two sizes (no root here, so
+/// virtual rank = communicator rank).
+struct Core {
+    m: usize,
+    r: usize,
+}
+
+impl Core {
+    fn new(p: usize) -> Core {
+        let mut m = 1usize;
+        while m * 2 <= p {
+            m *= 2;
+        }
+        Core { m, r: p - m }
+    }
+
+    /// Communicator rank of core rank `c`.
+    fn comm_of(&self, c: usize) -> usize {
+        if c < self.r {
+            2 * c
+        } else {
+            c + self.r
+        }
+    }
+}
+
+/// Pre-fold: odd ranks under `2r` contribute to their even neighbour using
+/// the half-vector exchange (each side reduces one half in parallel, the
+/// odd rank hands its half back and retires until the post-fold).
+fn pre_fold(ctx: &CollCtx<'_>, core: &Core, contrib: Payload, step: u32) -> (Payload, Option<usize>) {
+    let me = ctx.me();
+    let n = contrib.len();
+    if me < 2 * core.r {
+        let half = chunk_bounds(n, 2)[1];
+        let (lo, hi) = contrib.split_at(half);
+        if me % 2 == 1 {
+            let partner = me - 1;
+            ctx.slack();
+            let their_hi = ctx.exchange(partner, partner, step, lo);
+            ctx.reduce_charge(hi.len());
+            let reduced_hi = hi.reduce_sum_f64(&their_hi);
+            ctx.send(partner, step + 1, reduced_hi);
+            (contrib, None)
+        } else {
+            let partner = me + 1;
+            ctx.slack();
+            let their_lo = ctx.exchange(partner, partner, step, hi);
+            ctx.reduce_charge(lo.len());
+            let reduced_lo = lo.reduce_sum_f64(&their_lo);
+            let reduced_hi = ctx.recv(partner, step + 1);
+            (
+                Payload::concat(&[reduced_lo, reduced_hi]),
+                Some(me / 2),
+            )
+        }
+    } else {
+        (contrib, Some(me - core.r))
+    }
+}
+
+/// Post-fold: even ranks under `2r` push the final result to their odd
+/// neighbour.
+fn post_fold(ctx: &CollCtx<'_>, core: &Core, result: Option<Payload>, step: u32) -> Payload {
+    let me = ctx.me();
+    if me < 2 * core.r {
+        if me % 2 == 1 {
+            ctx.slack();
+            ctx.recv(me - 1, step)
+        } else {
+            let result = result.expect("core rank without result");
+            ctx.slack();
+            ctx.send(me + 1, step, result.clone());
+            result
+        }
+    } else {
+        result.expect("core rank without result")
+    }
+}
+
+/// Recursive-doubling allreduce over the power-of-two core.
+fn recursive_doubling(ctx: &CollCtx<'_>, contrib: Payload) -> Payload {
+    let core = Core::new(ctx.p());
+    let n = contrib.len();
+    let (mut acc, cv) = pre_fold(ctx, &core, contrib, 0);
+    if let Some(cv) = cv {
+        let mut mask = 1usize;
+        let mut step = 10u32;
+        while mask < core.m {
+            let partner = core.comm_of(cv ^ mask);
+            ctx.slack();
+            let other = ctx.exchange(partner, partner, step, acc.clone());
+            ctx.reduce_charge(n);
+            acc = acc.reduce_sum_f64(&other);
+            mask <<= 1;
+            step += 1;
+        }
+        post_fold(ctx, &core, Some(acc), 100)
+    } else {
+        post_fold(ctx, &core, None, 100)
+    }
+}
+
+/// Reduce-scatter + ring allgather for long messages.
+fn rsag(ctx: &CollCtx<'_>, contrib: Payload) -> Payload {
+    let core = Core::new(ctx.p());
+    let n = contrib.len();
+    let (folded, cv) = pre_fold(ctx, &core, contrib, 0);
+    let result = if let Some(cv) = cv {
+        let bounds = chunk_bounds(n, core.m);
+        let comm_of = |c: usize| core.comm_of(c);
+        let chunk =
+            reduce::reduce_scatter_halving(ctx, cv, core.m, &comm_of, folded, &bounds, 10);
+        // Ring allgather over the core: chunk `i` lives at core rank `i`.
+        let mut chunks: Vec<Option<Payload>> = vec![None; core.m];
+        chunks[cv] = Some(chunk);
+        let right = comm_of((cv + 1) % core.m);
+        let left = comm_of((cv + core.m - 1) % core.m);
+        for s in 0..core.m - 1 {
+            let send_idx = (cv + core.m - s) % core.m;
+            let recv_idx = (cv + core.m - s - 1) % core.m;
+            ctx.slack();
+            let incoming = ctx.exchange(
+                right,
+                left,
+                100 + s as u32,
+                chunks[send_idx].clone().expect("ring chunk missing"),
+            );
+            chunks[recv_idx] = Some(incoming);
+        }
+        let parts: Vec<Payload> = chunks
+            .into_iter()
+            .map(|c| c.expect("allgather missing chunk"))
+            .collect();
+        Some(Payload::concat(&parts))
+    } else {
+        None
+    };
+    post_fold(ctx, &core, result, 1000)
+}

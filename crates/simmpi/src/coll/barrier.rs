@@ -1,0 +1,25 @@
+//! Dissemination barrier: ceil(log2 p) rounds of zero-byte token exchange.
+//! Used both for `barrier`/`ibarrier` and as the wake-up signal of the
+//! paper's multiple-PPN sleep/poll mechanism (§III-B).
+
+use crate::coll::CollCtx;
+use crate::payload::Payload;
+
+/// Run the barrier; returns when every rank has entered it.
+pub(crate) fn run(ctx: &CollCtx<'_>) {
+    let p = ctx.p();
+    if p == 1 {
+        return;
+    }
+    let me = ctx.me();
+    let mut dist = 1usize;
+    let mut step = 0u32;
+    while dist < p {
+        let to = (me + dist) % p;
+        let from = (me + p - dist) % p;
+        ctx.slack();
+        let _ = ctx.exchange(to, from, step, Payload::from_vec(Vec::new()));
+        dist <<= 1;
+        step += 1;
+    }
+}

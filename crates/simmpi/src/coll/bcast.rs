@@ -1,0 +1,171 @@
+//! Broadcast: binomial tree (short) and van de Geijn scatter + ring
+//! allgather (long messages).
+
+use crate::coll::{chunk_bounds, CollCtx, COLL_LARGE};
+use crate::payload::Payload;
+
+/// Run a broadcast. `data` must be `Some` on the root (with `data.len() ==
+//  len`) and is ignored elsewhere; every rank receives the full payload.
+pub(crate) fn run(ctx: &CollCtx<'_>, root: usize, data: Option<Payload>, len: usize) -> Payload {
+    let p = ctx.p();
+    assert!(root < p, "bcast root {root} out of range (p={p})");
+    if ctx.me() == root {
+        let d = data.as_ref().expect("bcast root must supply data");
+        assert_eq!(d.len(), len, "bcast root data length mismatch");
+    }
+    if p == 1 {
+        return data.expect("bcast root must supply data");
+    }
+    if len <= COLL_LARGE {
+        binomial(ctx, root, data, 0)
+    } else {
+        let chunk = scatter_tree(ctx, root, data, len, 0);
+        allgather_ring(ctx, root, chunk, len, 1000)
+    }
+}
+
+/// Binomial-tree broadcast (MPICH-style). `step_base` offsets internal tags
+/// so callers can compose it with other phases.
+pub(crate) fn binomial(
+    ctx: &CollCtx<'_>,
+    root: usize,
+    data: Option<Payload>,
+    step_base: u32,
+) -> Payload {
+    let p = ctx.p();
+    let vrank = (ctx.me() + p - root) % p;
+    let from_v = |v: usize| (v + root) % p;
+    let mut buf = data;
+
+    // Receive once from the parent.
+    let mut mask = 1usize;
+    let mut recv_round = 0u32;
+    while mask < p {
+        if vrank & mask != 0 {
+            let src = from_v(vrank - mask);
+            ctx.slack();
+            buf = Some(ctx.recv(src, step_base + recv_round));
+            break;
+        }
+        mask <<= 1;
+        recv_round += 1;
+    }
+    // Forward to children, highest subtree first. After the receive scan,
+    // `mask` is the lowest set bit of vrank (or ≥ p for the root); children
+    // are vrank + m for every power of two m below it.
+    let buf = buf.expect("binomial bcast rank received nothing");
+    let mut mask = if vrank == 0 {
+        let mut m = 1usize;
+        while m < p {
+            m <<= 1;
+        }
+        m >> 1
+    } else {
+        mask >> 1
+    };
+    while mask > 0 {
+        if vrank + mask < p {
+            let dst = from_v(vrank + mask);
+            ctx.slack();
+            // The child receives at the round matching its own lowest set
+            // bit, i.e. round log2(mask).
+            ctx.send(dst, step_base + mask.trailing_zeros(), buf.clone());
+        }
+        mask >>= 1;
+    }
+    buf
+}
+
+/// Scatter phase of the long-message broadcast: after it, the rank with
+/// virtual rank `v` (relative to root) holds byte range
+/// `bounds[v]..bounds[v+1]` of the payload.
+pub(crate) fn scatter_tree(
+    ctx: &CollCtx<'_>,
+    root: usize,
+    data: Option<Payload>,
+    len: usize,
+    step_base: u32,
+) -> Payload {
+    let p = ctx.p();
+    let vrank = (ctx.me() + p - root) % p;
+    let from_v = |v: usize| (v + root) % p;
+    let bounds = chunk_bounds(len, p);
+
+    // Range-halving tree over virtual ranks [lo, hi); the owner of a range
+    // is its lowest virtual rank and holds data for the entire range.
+    let mut lo = 0usize;
+    let mut hi = p;
+    // Root starts owning everything; others own nothing yet.
+    let mut buf: Option<Payload> = if vrank == 0 { data } else { None };
+    let mut step = step_base;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo).div_ceil(2);
+        if vrank < mid {
+            // I stay in the low half; if I own the range, hand the high
+            // half's bytes to its new owner.
+            if vrank == lo {
+                let owned = buf.as_ref().expect("range owner without data");
+                // My buffer covers bytes bounds[lo]..bounds[hi].
+                let cut = bounds[mid] - bounds[lo];
+                let (keep, give) = owned.split_at(cut);
+                ctx.slack();
+                ctx.send(from_v(mid), step, give);
+                buf = Some(keep);
+            }
+            hi = mid;
+        } else {
+            if vrank == mid {
+                ctx.slack();
+                buf = Some(ctx.recv(from_v(lo), step));
+            }
+            lo = mid;
+        }
+        step += 1;
+    }
+    buf.expect("scatter leaf without data")
+}
+
+/// Ring allgather: rank with virtual rank `v` contributes chunk `v`; all
+/// ranks end with the full payload in original byte order.
+pub(crate) fn allgather_ring(
+    ctx: &CollCtx<'_>,
+    root: usize,
+    my_chunk: Payload,
+    len: usize,
+    step_base: u32,
+) -> Payload {
+    let p = ctx.p();
+    let vrank = (ctx.me() + p - root) % p;
+    let from_v = |v: usize| (v + root) % p;
+    let bounds = chunk_bounds(len, p);
+
+    let mut chunks: Vec<Option<Payload>> = vec![None; p];
+    assert_eq!(
+        my_chunk.len(),
+        bounds[vrank + 1] - bounds[vrank],
+        "allgather contribution size mismatch"
+    );
+    chunks[vrank] = Some(my_chunk);
+    let right = from_v((vrank + 1) % p);
+    let left = from_v((vrank + p - 1) % p);
+    for s in 0..p - 1 {
+        let send_idx = (vrank + p - s) % p;
+        let recv_idx = (vrank + p - s - 1) % p;
+        ctx.slack();
+        // Send chunk `send_idx` rightward, receive `recv_idx` from the
+        // left; per-step tags disambiguate.
+        let incoming = ctx.exchange(
+            right,
+            left,
+            step_base + s as u32,
+            chunks[send_idx].clone().expect("ring chunk missing"),
+        );
+        assert_eq!(incoming.len(), bounds[recv_idx + 1] - bounds[recv_idx]);
+        chunks[recv_idx] = Some(incoming);
+    }
+    let parts: Vec<Payload> = chunks
+        .into_iter()
+        .map(|c| c.expect("ring ended with missing chunk"))
+        .collect();
+    Payload::concat(&parts)
+}

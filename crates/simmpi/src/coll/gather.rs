@@ -1,0 +1,78 @@
+//! Scatter, gather and allgather as standalone collectives.
+//!
+//! Scatter/gather reuse the binomial range-halving trees; allgather is the
+//! ring. Chunking follows [`crate::coll::chunk_bounds`]: rank `i` (in
+//! root-relative virtual order) owns byte range `bounds[i]..bounds[i+1]`.
+
+use crate::coll::bcast::{allgather_ring, scatter_tree};
+use crate::coll::{chunk_bounds, CollCtx};
+use crate::payload::Payload;
+
+/// Scatter `data` (present on `root`, `len` bytes) so that the rank with
+/// virtual rank `v` receives chunk `v`. Returns this rank's chunk.
+pub(crate) fn scatter(
+    ctx: &CollCtx<'_>,
+    root: usize,
+    data: Option<Payload>,
+    len: usize,
+) -> Payload {
+    let p = ctx.p();
+    assert!(root < p);
+    if ctx.me() == root {
+        let d = data.as_ref().expect("scatter root must supply data");
+        assert_eq!(d.len(), len);
+    }
+    if p == 1 {
+        return data.expect("scatter root must supply data");
+    }
+    scatter_tree(ctx, root, data, len, 0)
+}
+
+/// Gather each rank's chunk to `root` (inverse of [`scatter`]); `len` is the
+/// total size. Returns the assembled payload on the root, `None` elsewhere.
+pub(crate) fn gather(
+    ctx: &CollCtx<'_>,
+    root: usize,
+    my_chunk: Payload,
+    len: usize,
+) -> Option<Payload> {
+    let p = ctx.p();
+    assert!(root < p);
+    if p == 1 {
+        return Some(my_chunk);
+    }
+    let vrank = (ctx.me() + p - root) % p;
+    let from_v = |v: usize| (v + root) % p;
+    let bounds = chunk_bounds(len, p);
+    assert_eq!(my_chunk.len(), bounds[vrank + 1] - bounds[vrank]);
+
+    // Binomial gather over the halving tree: at each mask, ranks with the
+    // bit set forward their accumulated contiguous block downward.
+    let mut buf = my_chunk;
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask != 0 {
+            ctx.slack();
+            ctx.send(from_v(vrank - mask), mask.trailing_zeros(), buf);
+            return None;
+        }
+        let src = vrank + mask;
+        if src < p {
+            ctx.slack();
+            let high = ctx.recv(from_v(src), mask.trailing_zeros());
+            buf = Payload::concat(&[buf, high]);
+        }
+        mask <<= 1;
+    }
+    Some(buf)
+}
+
+/// Allgather: every rank contributes chunk `vrank` and ends with the full
+/// payload. Root parameter fixes the chunk↔rank correspondence (use 0 for
+/// the plain MPI semantics).
+pub(crate) fn allgather(ctx: &CollCtx<'_>, my_chunk: Payload, len: usize) -> Payload {
+    if ctx.p() == 1 {
+        return my_chunk;
+    }
+    allgather_ring(ctx, 0, my_chunk, len, 0)
+}

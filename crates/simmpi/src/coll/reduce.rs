@@ -1,0 +1,270 @@
+//! Reduction (sum): binomial tree (short) and Rabenseifner's algorithm
+//! (long): recursive-halving reduce-scatter followed by a binomial gather to
+//! the root. The reduce-scatter core is shared with large allreduce.
+
+use crate::coll::{chunk_bounds, CollCtx, COLL_LARGE};
+use crate::payload::Payload;
+
+/// Run a sum-reduction of `contrib` (same length on every rank) to `root`.
+/// Returns `Some(result)` on the root, `None` elsewhere.
+pub(crate) fn run(ctx: &CollCtx<'_>, root: usize, contrib: Payload) -> Option<Payload> {
+    let p = ctx.p();
+    assert!(root < p, "reduce root {root} out of range (p={p})");
+    if p == 1 {
+        return Some(contrib);
+    }
+    if contrib.len() <= COLL_LARGE {
+        binomial(ctx, root, contrib, 0)
+    } else if p.is_power_of_two() {
+        rabenseifner(ctx, root, contrib)
+    } else {
+        // Rabenseifner's pre-fold puts an extra half-vector transfer and
+        // reduction on the critical path for non-power-of-two sizes; a ring
+        // reduce-scatter + gather is bandwidth-optimal for any p, which is
+        // what production MPIs switch to in this regime.
+        ring(ctx, root, contrib)
+    }
+}
+
+/// Ring reduce for arbitrary p: a ring reduce-scatter (p−1 steps of n/p
+/// chunks, each step receiving, reducing and forwarding), after which
+/// virtual rank v owns the fully reduced chunk (v+1) mod p, followed by
+/// direct gathers to the root.
+pub(crate) fn ring(ctx: &CollCtx<'_>, root: usize, contrib: Payload) -> Option<Payload> {
+    let p = ctx.p();
+    let vrank = (ctx.me() + p - root) % p;
+    let from_v = |v: usize| (v + root) % p;
+    let n = contrib.len();
+    let bounds = chunk_bounds(n, p);
+    let mut acc: Vec<Payload> = (0..p)
+        .map(|c| contrib.slice(bounds[c], bounds[c + 1]))
+        .collect();
+
+    let right = from_v((vrank + 1) % p);
+    let left = from_v((vrank + p - 1) % p);
+    for s in 0..p - 1 {
+        let send_idx = (vrank + p - s) % p;
+        let recv_idx = (vrank + p - s - 1) % p;
+        ctx.slack();
+        let incoming = ctx.exchange(right, left, s as u32, acc[send_idx].clone());
+        ctx.reduce_charge(incoming.len());
+        acc[recv_idx] = acc[recv_idx].reduce_sum_f64(&incoming);
+    }
+    // vrank v now owns reduced chunk (v+1) mod p; hand everything to the
+    // root (chunk c comes from vrank (c−1) mod p).
+    let owned = (vrank + 1) % p;
+    const GATHER: u32 = 500;
+    if vrank == 0 {
+        let mut chunks: Vec<Option<Payload>> = vec![None; p];
+        chunks[owned] = Some(acc[owned].clone());
+        for (c, slot) in chunks.iter_mut().enumerate() {
+            if slot.is_none() {
+                let owner_v = (c + p - 1) % p;
+                ctx.slack();
+                *slot = Some(ctx.recv(from_v(owner_v), GATHER + c as u32));
+            }
+        }
+        let parts: Vec<Payload> = chunks.into_iter().map(Option::unwrap).collect();
+        Some(Payload::concat(&parts))
+    } else {
+        ctx.slack();
+        ctx.send(from_v(0), GATHER + owned as u32, acc[owned].clone());
+        None
+    }
+}
+
+/// Binomial-tree reduction: leaves send up; interior ranks receive from
+/// each child, fold, and forward to the parent.
+pub(crate) fn binomial(
+    ctx: &CollCtx<'_>,
+    root: usize,
+    contrib: Payload,
+    step_base: u32,
+) -> Option<Payload> {
+    let p = ctx.p();
+    let vrank = (ctx.me() + p - root) % p;
+    let from_v = |v: usize| (v + root) % p;
+    let n = contrib.len();
+    let mut acc = contrib;
+    let mut mask = 1usize;
+    while mask < p {
+        if vrank & mask == 0 {
+            let src_v = vrank + mask;
+            if src_v < p {
+                ctx.slack();
+                let data = ctx.recv(from_v(src_v), step_base + mask.trailing_zeros());
+                ctx.reduce_charge(n);
+                acc = acc.reduce_sum_f64(&data);
+            }
+            mask <<= 1;
+        } else {
+            let dst_v = vrank - mask;
+            ctx.slack();
+            ctx.send(from_v(dst_v), step_base + mask.trailing_zeros(), acc);
+            return None;
+        }
+    }
+    debug_assert_eq!(vrank, 0);
+    Some(acc)
+}
+
+/// Role of a rank after the non-power-of-two pre-fold.
+enum CoreRole {
+    /// Out of the core: contributed to a neighbour and is done.
+    Retired,
+    /// In the core with the given core rank (0..m).
+    Core(usize),
+}
+
+/// Fold the `p - 2^k` surplus ranks into their even neighbours so the main
+/// phases run on a power-of-two core, using the MPICH *half-vector* fold:
+/// the pair exchanges opposite halves, each reduces one half in parallel,
+/// and the retiring (odd) rank hands its reduced half back — halving both
+/// the transfer on the critical path and the reduction compute compared to
+/// the naive full-vector fold. Returns the (possibly folded) contribution
+/// and the role.
+fn fold_into_core(
+    ctx: &CollCtx<'_>,
+    vrank: usize,
+    from_v: &dyn Fn(usize) -> usize,
+    contrib: Payload,
+    step_base: u32,
+) -> (Payload, CoreRole, usize) {
+    let p = ctx.p();
+    let mut m = 1usize;
+    while m * 2 <= p {
+        m *= 2;
+    }
+    let r = p - m;
+    let n = contrib.len();
+    if vrank < 2 * r {
+        let half = chunk_bounds(n, 2)[1];
+        let (lo, hi) = contrib.split_at(half);
+        if vrank % 2 == 1 {
+            // Send my low half to the even partner, receive its high half,
+            // reduce the high half, hand it back, retire.
+            let partner = from_v(vrank - 1);
+            ctx.slack();
+            let their_hi = ctx.exchange(partner, partner, step_base, lo);
+            ctx.reduce_charge(hi.len());
+            let reduced_hi = hi.reduce_sum_f64(&their_hi);
+            ctx.send(partner, step_base + 1, reduced_hi);
+            (contrib, CoreRole::Retired, m)
+        } else {
+            // Send my high half, receive the partner's low half, reduce the
+            // low half, then receive the partner's reduced high half.
+            let partner = from_v(vrank + 1);
+            ctx.slack();
+            let their_lo = ctx.exchange(partner, partner, step_base, hi);
+            ctx.reduce_charge(lo.len());
+            let reduced_lo = lo.reduce_sum_f64(&their_lo);
+            let reduced_hi = ctx.recv(partner, step_base + 1);
+            (
+                Payload::concat(&[reduced_lo, reduced_hi]),
+                CoreRole::Core(vrank / 2),
+                m,
+            )
+        }
+    } else {
+        (contrib, CoreRole::Core(vrank - r), m)
+    }
+}
+
+/// Recursive-halving reduce-scatter over a power-of-two core of `m` ranks.
+/// On return, core rank `cv` holds the fully reduced chunk `cv` (byte range
+/// `bounds[cv]..bounds[cv+1]`).
+///
+/// `core_to_comm` maps core ranks back to communicator indices.
+pub(crate) fn reduce_scatter_halving(
+    ctx: &CollCtx<'_>,
+    cv: usize,
+    m: usize,
+    core_to_comm: &dyn Fn(usize) -> usize,
+    contrib: Payload,
+    bounds: &[usize],
+    step_base: u32,
+) -> Payload {
+    debug_assert!(m.is_power_of_two());
+    let mut lo = 0usize;
+    let mut hi = m;
+    let mut buf = contrib; // covers chunks [lo, hi)
+    let mut step = step_base;
+    while hi - lo > 1 {
+        let half = (hi - lo) / 2;
+        let mid = lo + half;
+        // Byte offset of the split inside my current buffer.
+        let cut = bounds[mid] - bounds[lo];
+        let (low_part, high_part) = buf.split_at(cut);
+        let (keep, give, partner) = if cv < mid {
+            (low_part, high_part, cv + half)
+        } else {
+            (high_part, low_part, cv - half)
+        };
+        ctx.slack();
+        let incoming = ctx.exchange(core_to_comm(partner), core_to_comm(partner), step, give);
+        ctx.reduce_charge(keep.len());
+        buf = keep.reduce_sum_f64(&incoming);
+        if cv < mid {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+        step += 1;
+    }
+    debug_assert_eq!(lo, cv);
+    buf
+}
+
+/// Binomial gather of the scattered chunks to core rank 0. Returns the full
+/// result on core rank 0, `None` elsewhere.
+pub(crate) fn gather_to_zero(
+    ctx: &CollCtx<'_>,
+    cv: usize,
+    m: usize,
+    core_to_comm: &dyn Fn(usize) -> usize,
+    my_chunk: Payload,
+    step_base: u32,
+) -> Option<Payload> {
+    let mut buf = my_chunk; // chunks [cv, cv + extent)
+    let mut mask = 1usize;
+    while mask < m {
+        if cv & mask != 0 {
+            ctx.slack();
+            ctx.send(core_to_comm(cv - mask), step_base + mask.trailing_zeros(), buf);
+            return None;
+        }
+        // cv has the bit clear: receive the adjacent higher chunk block.
+        let src = cv + mask;
+        if src < m {
+            ctx.slack();
+            let high = ctx.recv(core_to_comm(src), step_base + mask.trailing_zeros());
+            buf = Payload::concat(&[buf, high]);
+        }
+        mask <<= 1;
+    }
+    Some(buf)
+}
+
+/// Rabenseifner's reduction for long messages.
+fn rabenseifner(ctx: &CollCtx<'_>, root: usize, contrib: Payload) -> Option<Payload> {
+    let p = ctx.p();
+    let vrank = (ctx.me() + p - root) % p;
+    let from_v = |v: usize| (v + root) % p;
+    let n = contrib.len();
+
+    let (folded, role, m) = fold_into_core(ctx, vrank, &from_v, contrib, 0);
+    let cv = match role {
+        CoreRole::Retired => return None,
+        CoreRole::Core(cv) => cv,
+    };
+    let r = p - m;
+    // Map a core rank back to a communicator index.
+    let core_to_comm = |c: usize| -> usize {
+        let v = if c < r { 2 * c } else { c + r };
+        from_v(v)
+    };
+    let bounds = chunk_bounds(n, m);
+    let chunk = reduce_scatter_halving(ctx, cv, m, &core_to_comm, folded, &bounds, 10);
+    // Core rank 0 is virtual rank 0 is the root.
+    gather_to_zero(ctx, cv, m, &core_to_comm, chunk, 100)
+}

@@ -1,0 +1,486 @@
+//! Communicators and the user-facing MPI-like API.
+//!
+//! A [`Comm`] is a per-rank handle (like `MPI_Comm`): it knows the global
+//! context id, the member world ranks, and this rank's index. `dup` creates
+//! an independent context over the same group — the building block of the
+//! paper's nonblocking-overlap technique, which issues each data chunk on
+//! its own duplicated communicator. `split` creates row/column/grid
+//! communicators of process meshes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use ovcomm_simnet::{ParkCell, SimTime, SpanKind};
+
+use crate::agent::Agent;
+use crate::coll::{allreduce, barrier, bcast, gather, reduce, CollCtx};
+use crate::p2p::{irecv_raw, isend_raw};
+use crate::payload::Payload;
+use crate::request::Request;
+use crate::state::SplitGather;
+use crate::universe::op_actor_id;
+
+/// Group/topology info shared by all clones of a communicator handle.
+#[derive(Clone)]
+pub(crate) struct CommInfo {
+    /// Global context id (matching namespace).
+    pub ctx: u32,
+    /// Member world ranks, in communicator order.
+    pub ranks: Arc<Vec<u32>>,
+    /// This rank's index within `ranks`.
+    pub me: usize,
+}
+
+/// A communicator handle for one rank.
+#[derive(Clone)]
+pub struct Comm {
+    pub(crate) info: CommInfo,
+    pub(crate) agent: Agent,
+    dup_seq: Arc<AtomicU64>,
+    split_seq: Arc<AtomicU64>,
+    coll_seq: Arc<AtomicU64>,
+}
+
+impl Comm {
+    pub(crate) fn new(info: CommInfo, agent: Agent) -> Comm {
+        Comm {
+            info,
+            agent,
+            dup_seq: Arc::new(AtomicU64::new(0)),
+            split_seq: Arc::new(AtomicU64::new(0)),
+            coll_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.info.ranks.len()
+    }
+
+    /// This rank's index within the communicator.
+    pub fn rank(&self) -> usize {
+        self.info.me
+    }
+
+    /// World rank of communicator index `idx`.
+    pub fn world_rank(&self, idx: usize) -> usize {
+        self.info.ranks[idx] as usize
+    }
+
+    fn coll_seq_next(&self) -> u64 {
+        self.coll_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn cctx<'a>(&'a self, seq: u64) -> CollCtx<'a> {
+        CollCtx {
+            agent: &self.agent,
+            info: &self.info,
+            seq,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Communicator management
+    // ---------------------------------------------------------------
+
+    /// Duplicate: a new context over the same group. All ranks must call in
+    /// the same order (as in MPI). Used to create the `N_DUP` communicator
+    /// copies of the nonblocking-overlap technique.
+    pub fn dup(&self) -> Comm {
+        let seq = self.dup_seq.fetch_add(1, Ordering::Relaxed);
+        let ctx = self
+            .agent
+            .uni
+            .state
+            .lock()
+            .child_ctx(self.info.ctx, seq);
+        Comm::new(
+            CommInfo {
+                ctx,
+                ranks: self.info.ranks.clone(),
+                me: self.info.me,
+            },
+            self.agent.clone(),
+        )
+    }
+
+    /// `n` duplicates (convenience for building N_DUP bundles).
+    pub fn dup_n(&self, n: usize) -> Vec<Comm> {
+        (0..n).map(|_| self.dup()).collect()
+    }
+
+    /// Split by color/key (like `MPI_Comm_split`). Ranks passing a negative
+    /// color get `None`. Synchronizes all members of this communicator.
+    pub fn split(&self, color: i64, key: u64) -> Option<Comm> {
+        let seq = self.split_seq.fetch_add(1, Ordering::Relaxed);
+        let uni = self.agent.uni.clone();
+        let gather_key = (self.info.ctx, seq);
+        let expected = self.size();
+        let me = self.rank();
+        let now = self.agent.now();
+
+        let to_wake = {
+            let mut st = uni.state.lock();
+            let entry = st.splits.entry(gather_key).or_insert_with(|| SplitGather {
+                entries: Vec::new(),
+                expected,
+                latest: SimTime::ZERO,
+                waiters: Vec::new(),
+                result: None,
+            });
+            entry.entries.push((me, color, key));
+            entry.latest = entry.latest.max(now);
+            entry.waiters.push(self.agent.cell.clone());
+            if entry.entries.len() == expected {
+                // Last depositor: compute groups, allocate child contexts
+                // through the registry (so every rank agrees), publish.
+                let mut sg = st.splits.remove(&gather_key).expect("split entry");
+                let latest = sg.latest;
+                let parent = self.info.ctx;
+                let mut res = crate::state::SplitResult::compute(&sg.entries, latest, || 0);
+                for (gi, g) in res.groups.iter_mut().enumerate() {
+                    g.1 = st.child_ctx(parent, (1 << 32) | (seq << 8) | gi as u64);
+                }
+                sg.result = Some(Arc::new(res));
+                let waiters = std::mem::take(&mut sg.waiters);
+                st.splits.insert(gather_key, sg);
+                Some((waiters, latest))
+            } else {
+                None
+            }
+        };
+        // The last depositor wakes everyone, including itself; its own
+        // stray wake is consumed below.
+        if let Some((waiters, latest)) = to_wake {
+            for cell in &waiters {
+                uni.engine.wake(cell, latest);
+            }
+        }
+
+        // Wait until the result is available.
+        let result = loop {
+            {
+                let mut st = uni.state.lock();
+                let entry = st.splits.get_mut(&gather_key).expect("split entry vanished");
+                if let Some(res) = entry.result.clone() {
+                    // Last reader cleans up.
+                    entry.expected -= 1;
+                    if entry.expected == 0 {
+                        st.splits.remove(&gather_key);
+                    }
+                    break res;
+                }
+            }
+            let t = uni.engine.park(&self.agent.cell);
+            self.agent.advance_to(t);
+        };
+        if let Some(t) = uni.engine.consume_pending(&self.agent.cell) {
+            self.agent.advance_to(t);
+        }
+        self.agent.advance_to(result.at);
+
+        if color < 0 {
+            return None;
+        }
+        let (ctx, members) = result
+            .group_of(me)
+            .expect("non-negative color must produce a group");
+        let my_index = members.iter().position(|&r| r == me).unwrap();
+        let world_ranks: Vec<u32> = members.iter().map(|&r| self.info.ranks[r]).collect();
+        Some(Comm::new(
+            CommInfo {
+                ctx,
+                ranks: Arc::new(world_ranks),
+                me: my_index,
+            },
+            self.agent.clone(),
+        ))
+    }
+
+    // ---------------------------------------------------------------
+    // Point-to-point
+    // ---------------------------------------------------------------
+
+    /// Nonblocking send to communicator rank `dst` with a user tag.
+    pub fn isend(&self, dst: usize, tag: u32, payload: Payload) -> Request<()> {
+        isend_raw(
+            &self.agent,
+            self.info.ctx,
+            self.info.ranks[dst],
+            tag as u64,
+            payload,
+        )
+    }
+
+    /// Nonblocking receive from communicator rank `src`.
+    pub fn irecv(&self, src: usize, tag: u32) -> Request<Payload> {
+        irecv_raw(&self.agent, self.info.ctx, self.info.ranks[src], tag as u64)
+    }
+
+    /// Blocking send.
+    pub fn send(&self, dst: usize, tag: u32, payload: Payload) {
+        let t0 = self.agent.now();
+        let n = payload.len();
+        let r = self.isend(dst, tag, payload);
+        self.wait(&r);
+        self.agent.trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+            format!("MPI_Send {n}B -> {dst}")
+        });
+    }
+
+    /// Blocking receive; returns the payload.
+    pub fn recv(&self, src: usize, tag: u32) -> Payload {
+        let t0 = self.agent.now();
+        let r = self.irecv(src, tag);
+        let p = self.wait(&r);
+        self.agent.trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+            format!("MPI_Recv {}B <- {src}", p.len())
+        });
+        p
+    }
+
+    /// Blocking concurrent send+receive (`MPI_Sendrecv`).
+    pub fn sendrecv(&self, dst: usize, src: usize, tag: u32, payload: Payload) -> Payload {
+        let rr = self.irecv(src, tag);
+        let sr = self.isend(dst, tag, payload);
+        self.wait(&sr);
+        self.wait(&rr)
+    }
+
+    /// Wait for a request (`MPI_Wait`): blocks, returns the value, advances
+    /// this rank's clock to the completion time.
+    pub fn wait<T>(&self, req: &Request<T>) -> T {
+        self.agent.wait(req)
+    }
+
+    /// Wait for a request, recording a `Wait` trace span with `label`.
+    pub fn wait_traced<T>(&self, req: &Request<T>, label: &str) -> T {
+        let t0 = self.agent.now();
+        let v = self.agent.wait(req);
+        let owned = label.to_string();
+        self.agent
+            .trace_span(SpanKind::Wait, t0, self.agent.now(), move || owned);
+        v
+    }
+
+    /// Nonblocking completion probe (`MPI_Test`).
+    pub fn test<T>(&self, req: &Request<T>) -> bool {
+        self.agent.test(req)
+    }
+
+    /// Wait for all requests in order (`MPI_Waitall` for sends).
+    pub fn wait_all(&self, reqs: &[Request<()>]) {
+        for r in reqs {
+            self.wait(r);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Blocking collectives (run inline on the rank thread)
+    // ---------------------------------------------------------------
+
+    /// Blocking broadcast from `root`. `data` must be `Some` at the root;
+    /// `len` is the payload size every rank expects.
+    pub fn bcast(&self, root: usize, data: Option<Payload>, len: usize) -> Payload {
+        let seq = self.coll_seq_next();
+        let t0 = self.agent.now();
+        let out = bcast::run(&self.cctx(seq), root, data, len);
+        self.agent.trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+            format!("MPI_Bcast {len}B root={root}")
+        });
+        out
+    }
+
+    /// Blocking sum-reduction to `root`; returns `Some` at the root.
+    pub fn reduce(&self, root: usize, contrib: Payload) -> Option<Payload> {
+        let seq = self.coll_seq_next();
+        let n = contrib.len();
+        let t0 = self.agent.now();
+        let out = reduce::run(&self.cctx(seq), root, contrib);
+        self.agent.trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+            format!("MPI_Reduce {n}B root={root}")
+        });
+        out
+    }
+
+    /// Blocking sum-allreduce.
+    pub fn allreduce(&self, contrib: Payload) -> Payload {
+        let seq = self.coll_seq_next();
+        let n = contrib.len();
+        let t0 = self.agent.now();
+        let out = allreduce::run(&self.cctx(seq), contrib);
+        self.agent.trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+            format!("MPI_Allreduce {n}B")
+        });
+        out
+    }
+
+    /// Blocking barrier.
+    pub fn barrier(&self) {
+        let seq = self.coll_seq_next();
+        let t0 = self.agent.now();
+        barrier::run(&self.cctx(seq));
+        self.agent
+            .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+                "MPI_Barrier".to_string()
+            });
+    }
+
+    /// Blocking scatter of `len` bytes from `root`; returns this rank's
+    /// chunk (`chunk_bounds` partitioning in root-relative order).
+    pub fn scatter(&self, root: usize, data: Option<Payload>, len: usize) -> Payload {
+        let seq = self.coll_seq_next();
+        gather::scatter(&self.cctx(seq), root, data, len)
+    }
+
+    /// Blocking gather (inverse of scatter); returns `Some` at the root.
+    pub fn gather(&self, root: usize, chunk: Payload, len: usize) -> Option<Payload> {
+        let seq = self.coll_seq_next();
+        gather::gather(&self.cctx(seq), root, chunk, len)
+    }
+
+    /// Blocking allgather; `len` is the assembled size.
+    pub fn allgather(&self, chunk: Payload, len: usize) -> Payload {
+        let seq = self.coll_seq_next();
+        gather::allgather(&self.cctx(seq), chunk, len)
+    }
+
+    // ---------------------------------------------------------------
+    // Nonblocking collectives (run on a progress actor)
+    // ---------------------------------------------------------------
+
+    /// Nonblocking broadcast (`MPI_Ibcast`). Posting costs `post_base` only:
+    /// the paper's Fig. 6 shows Ibcast posts take "very little time" (the
+    /// payload is handed to the progress engine zero-copy), in contrast to
+    /// `MPI_Ireduce`, whose posts cost a full buffer copy.
+    pub fn ibcast(&self, root: usize, data: Option<Payload>, len: usize) -> Request<Payload> {
+        let seq = self.coll_seq_next();
+        let t0 = self.agent.now();
+        let cost = self.agent.uni.profile.post_base;
+        self.agent.advance(cost);
+        self.agent.trace_span(SpanKind::Post, t0, self.agent.now(), || {
+            format!("MPI_Ibcast post {len}B root={root}")
+        });
+        let info = self.info.clone();
+        self.dispatch(move |agent| {
+            let cctx = CollCtx {
+                agent,
+                info: &info,
+                seq,
+            };
+            bcast::run(&cctx, root, data, len)
+        })
+    }
+
+    /// Nonblocking reduction (`MPI_Ireduce`); every rank pays the buffer
+    /// copy at post time. Root's request yields `Some(result)`.
+    pub fn ireduce(&self, root: usize, contrib: Payload) -> Request<Option<Payload>> {
+        let seq = self.coll_seq_next();
+        let n = contrib.len();
+        let t0 = self.agent.now();
+        let cost = self.agent.uni.profile.post_base + self.agent.uni.profile.copy_time(n);
+        self.agent.advance(cost);
+        self.agent.trace_span(SpanKind::Post, t0, self.agent.now(), || {
+            format!("MPI_Ireduce post {n}B root={root}")
+        });
+        let info = self.info.clone();
+        self.dispatch(move |agent| {
+            let cctx = CollCtx {
+                agent,
+                info: &info,
+                seq,
+            };
+            reduce::run(&cctx, root, contrib)
+        })
+    }
+
+    /// Nonblocking allreduce (`MPI_Iallreduce`).
+    pub fn iallreduce(&self, contrib: Payload) -> Request<Payload> {
+        let seq = self.coll_seq_next();
+        let n = contrib.len();
+        let t0 = self.agent.now();
+        let cost = self.agent.uni.profile.post_base + self.agent.uni.profile.copy_time(n);
+        self.agent.advance(cost);
+        self.agent.trace_span(SpanKind::Post, t0, self.agent.now(), || {
+            format!("MPI_Iallreduce post {n}B")
+        });
+        let info = self.info.clone();
+        self.dispatch(move |agent| {
+            let cctx = CollCtx {
+                agent,
+                info: &info,
+                seq,
+            };
+            allreduce::run(&cctx, contrib)
+        })
+    }
+
+    /// Nonblocking barrier (`MPI_Ibarrier`) — the wake-up signal of the
+    /// multiple-PPN sleep mechanism.
+    pub fn ibarrier(&self) -> Request<()> {
+        let seq = self.coll_seq_next();
+        self.agent.advance(self.agent.uni.profile.post_base);
+        let info = self.info.clone();
+        self.dispatch(move |agent| {
+            let cctx = CollCtx {
+                agent,
+                info: &info,
+                seq,
+            };
+            barrier::run(&cctx);
+        })
+    }
+
+    /// Run `f` on a fresh progress actor whose clock starts at this rank's
+    /// current time; the returned request completes with `f`'s value at the
+    /// actor's final time.
+    fn dispatch<T, F>(&self, f: F) -> Request<T>
+    where
+        T: Send + 'static,
+        F: FnOnce(&Agent) -> T + Send + 'static,
+    {
+        let uni = self.agent.uni.clone();
+        let rank = self.agent.rank;
+        let op_idx = self.agent.op_counter.fetch_add(1, Ordering::Relaxed);
+        let id = op_actor_id(rank, op_idx);
+        let cell = Arc::new(ParkCell::new());
+        // Register before returning so the engine cannot advance past the
+        // post time before the worker thread picks the job up.
+        uni.engine.register_actor(id, cell.clone());
+        let start = self.agent.now();
+        let req: Request<T> = Request::new();
+        let req2 = req.clone();
+        let uni2 = uni.clone();
+        uni.pool.submit(Box::new(move || {
+            struct Finish {
+                uni: Arc<crate::universe::UniShared>,
+                id: u32,
+            }
+            impl Drop for Finish {
+                fn drop(&mut self) {
+                    self.uni.engine.actor_finished(self.id);
+                }
+            }
+            let _guard = Finish {
+                uni: uni2.clone(),
+                id,
+            };
+            let agent = Agent::new_op(id, rank, start, cell, uni2.clone());
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&agent)));
+            match out {
+                Ok(v) => uni2.complete(&req2, v, agent.now()),
+                Err(e) => {
+                    // Deadlock unwinds land here; record others for the
+                    // universe to surface.
+                    let msg = e
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| e.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<op actor panic>".to_string());
+                    uni2.record_op_panic(rank, msg);
+                }
+            }
+        }));
+        req
+    }
+}

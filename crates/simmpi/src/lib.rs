@@ -1,0 +1,47 @@
+//! # ovcomm-simmpi
+//!
+//! An in-process MPI-like message-passing library running over the
+//! `ovcomm-simnet` virtual-time network simulator. Every rank is an OS
+//! thread that blocks inside communication calls — rank code reads exactly
+//! like MPI code — while virtual time is accounted by the simulator.
+//!
+//! Implemented surface (what the paper's algorithms need, §III–§IV):
+//!
+//! * communicators: world, `dup` (the N_DUP bundles of the nonblocking
+//!   overlap technique), `split` (row/column/grid communicators of process
+//!   meshes);
+//! * point-to-point: `send`/`recv`/`isend`/`irecv`/`sendrecv` with eager and
+//!   rendezvous protocols;
+//! * blocking collectives: `bcast`, `reduce`, `allreduce`, `barrier`,
+//!   `scatter`, `gather`, `allgather` — implemented as their literal
+//!   point-to-point round structures (binomial, recursive doubling/halving,
+//!   Rabenseifner, ring);
+//! * MPI-3 nonblocking collectives: `ibcast`, `ireduce`, `iallreduce`,
+//!   `ibarrier` — each runs on its own progress actor, so posted operations
+//!   make *asynchronous* progress and genuinely overlap;
+//! * requests with `wait`/`test`, deterministic virtual timing, traffic
+//!   statistics and Fig-6-style span tracing.
+//!
+//! Known deviations from MPI, documented by design: no wildcard
+//! receives (`MPI_ANY_SOURCE`/`ANY_TAG`), reductions are `f64` sums
+//! (`MPI_SUM` over `MPI_DOUBLE` — the only operator the paper's kernels
+//! use), `dup` is bookkeeping-only (no synchronization), and receives
+//! return owned payloads instead of writing into caller buffers.
+
+#![warn(missing_docs)]
+
+mod agent;
+mod coll;
+mod p2p;
+mod progress;
+mod state;
+
+pub mod comm;
+pub mod payload;
+pub mod request;
+pub mod universe;
+
+pub use comm::Comm;
+pub use payload::Payload;
+pub use request::Request;
+pub use universe::{run, RankCtx, SimConfig, SimError, SimOutput};

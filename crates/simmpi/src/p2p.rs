@@ -1,0 +1,297 @@
+//! Point-to-point transport: eager and rendezvous protocols over the flow
+//! network.
+//!
+//! Timing model (constants from [`ovcomm_simnet::MachineProfile`]):
+//!
+//! * **Posting** a send costs `small_post`, plus an internal buffer copy
+//!   (`n / copy_bw`) for eager messages; posting a receive costs
+//!   `small_post`.
+//! * **Eager** (`n < eager_limit`): the sender's request completes at post
+//!   time (buffered); data is injected after the one-way latency α and
+//!   flows to the destination regardless of whether the receive is posted;
+//!   the receive completes one unpack copy after both the data has arrived
+//!   and the receive was posted.
+//! * **Rendezvous** (`n ≥ eager_limit`): the transfer starts only when both
+//!   sides have posted, after α plus a handshake round-trip; sender and
+//!   receiver requests complete together when the last byte arrives. This
+//!   synchronization delay is one of the idle-NIC gaps that the paper's
+//!   overlap techniques fill.
+//!
+//! Flows are capped per-stream at `stream_cap(n)` (inter-node) or
+//! `shm_stream_bw` (intra-node) and share NIC/memory resources max–min
+//! fairly with every other concurrent transfer — so overlapping operations
+//! genuinely raises achieved bandwidth in the model, rather than being
+//! assumed to.
+
+use std::sync::Arc;
+
+use ovcomm_simnet::{SimDur, SimTime};
+
+use crate::agent::{Agent, CLASS_P2P};
+use crate::payload::Payload;
+use crate::request::Request;
+use crate::state::{MatchKey, MsgId, SendSlot, SlotState};
+use crate::universe::UniShared;
+
+/// Transfer path parameters: resources, per-stream cap, latency, rendezvous
+/// handshake extra.
+pub(crate) struct Path {
+    resources: Vec<ovcomm_simnet::ResourceId>,
+    cap: f64,
+    alpha: SimDur,
+    rdv_extra: SimDur,
+}
+
+pub(crate) fn path_params(uni: &UniShared, src: u32, dst: u32, n: usize) -> Path {
+    let (src_node, dst_node) = (uni.node_of(src), uni.node_of(dst));
+    let (resources, intra) = uni.resources.path(src_node, dst_node);
+    let p = &uni.profile;
+    if intra {
+        Path {
+            resources,
+            cap: p.shm_stream_bw,
+            alpha: p.alpha_intra,
+            rdv_extra: SimDur(2 * p.alpha_intra.as_nanos()),
+        }
+    } else {
+        Path {
+            resources,
+            cap: p.stream_cap(n),
+            alpha: p.alpha_inter,
+            rdv_extra: p.rendezvous_rtt,
+        }
+    }
+}
+
+/// Post a nonblocking send from `agent`'s rank to world rank `dst`.
+pub(crate) fn isend_raw(agent: &Agent, ctx: u32, dst: u32, tag: u64, payload: Payload) -> Request<()> {
+    let uni = agent.uni.clone();
+    let n = payload.len();
+    let eager = n < uni.profile.eager_limit;
+    let mut cost = uni.profile.small_post;
+    if eager {
+        cost += uni.profile.copy_time(n);
+    }
+    agent.advance(cost);
+    let req = Request::<()>::new();
+    if eager {
+        // Buffered: the sender may reuse its buffer immediately.
+        let none = req.complete((), agent.now());
+        debug_assert!(none.is_empty());
+    }
+    let key = MatchKey {
+        ctx,
+        src: agent.rank,
+        dst,
+        tag,
+    };
+    let req2 = req.clone();
+    let ts = agent.now();
+    agent.schedule(
+        ts,
+        CLASS_P2P,
+        Box::new(move |_| {
+            inject_send(&uni, key, payload, eager, req2, ts);
+        }),
+    );
+    req
+}
+
+/// Post a nonblocking receive at `agent`'s rank from world rank `src`.
+pub(crate) fn irecv_raw(agent: &Agent, ctx: u32, src: u32, tag: u64) -> Request<Payload> {
+    let uni = agent.uni.clone();
+    agent.advance(uni.profile.small_post);
+    let req = Request::<Payload>::new();
+    let key = MatchKey {
+        ctx,
+        src,
+        dst: agent.rank,
+        tag,
+    };
+    let req2 = req.clone();
+    let tr = agent.now();
+    agent.schedule(
+        tr,
+        CLASS_P2P,
+        Box::new(move |_| {
+            inject_recv(&uni, key, req2, tr);
+        }),
+    );
+    req
+}
+
+/// Engine callback: a send reaches the matching layer at time `ts`.
+fn inject_send(
+    uni: &Arc<UniShared>,
+    key: MatchKey,
+    payload: Payload,
+    eager: bool,
+    sender_req: Request<()>,
+    ts: SimTime,
+) {
+    let n = payload.len();
+    let msg_id;
+    let matched_recv;
+    {
+        let mut st = uni.state.lock();
+        st.messages += 1;
+        if uni.node_of(key.src) == uni.node_of(key.dst) {
+            st.intra_bytes += n as u64;
+        } else {
+            st.inter_bytes += n as u64;
+        }
+        msg_id = st.alloc_msg_id();
+        matched_recv = st.recv_q.get_mut(&key).and_then(|q| q.pop_front());
+        let slot = SendSlot {
+            state: if eager {
+                SlotState::EagerInFlight
+            } else {
+                SlotState::Rendezvous
+            },
+            payload,
+            sender_req,
+            // An eager message binds a waiting receive immediately; the
+            // receive completes when the data lands.
+            bound_recv: if eager { matched_recv.clone() } else { None },
+        };
+        st.slots.insert(msg_id, slot);
+        if matched_recv.is_none() {
+            st.send_q.entry(key).or_default().push_back(msg_id);
+        }
+    }
+    if eager {
+        launch_eager_flow(uni, key, msg_id, n, ts);
+    } else if let Some(recv) = matched_recv {
+        start_rendezvous(uni, key, msg_id, n, recv, ts);
+    }
+}
+
+/// Engine callback: a receive reaches the matching layer at time `tr`.
+fn inject_recv(uni: &Arc<UniShared>, key: MatchKey, req: Request<Payload>, tr: SimTime) {
+    enum Outcome {
+        Queued,
+        Bound,
+        DeliverNow(Payload, usize),
+        Rendezvous(MsgId, usize),
+    }
+    let outcome = {
+        let mut st = uni.state.lock();
+        let head = st.send_q.get_mut(&key).and_then(|q| q.pop_front());
+        match head {
+            None => {
+                st.recv_q.entry(key).or_default().push_back(req.clone());
+                Outcome::Queued
+            }
+            Some(id) => {
+                let slot = st.slots.get_mut(&id).expect("send slot missing");
+                match slot.state {
+                    SlotState::EagerInFlight => {
+                        slot.bound_recv = Some(req.clone());
+                        Outcome::Bound
+                    }
+                    SlotState::EagerArrived => {
+                        let slot = st.slots.remove(&id).unwrap();
+                        let n = slot.payload.len();
+                        Outcome::DeliverNow(slot.payload, n)
+                    }
+                    SlotState::Rendezvous => {
+                        let n = slot.payload.len();
+                        Outcome::Rendezvous(id, n)
+                    }
+                }
+            }
+        }
+    };
+    match outcome {
+        Outcome::Queued | Outcome::Bound => {}
+        Outcome::DeliverNow(payload, n) => {
+            // Data already sits in the receiver's internal buffer: one
+            // unpack copy from now.
+            let done = tr + uni.profile.copy_time(n);
+            uni.complete(&req, payload, done);
+        }
+        Outcome::Rendezvous(id, n) => {
+            start_rendezvous(uni, key, id, n, req, tr);
+        }
+    }
+}
+
+/// Launch the network flow of an eager message at `ts` (post-injection
+/// time); on arrival, deliver to the bound/waiting receive or park the data
+/// as "unexpected".
+fn launch_eager_flow(uni: &Arc<UniShared>, key: MatchKey, msg_id: MsgId, n: usize, ts: SimTime) {
+    let path = path_params(uni, key.src, key.dst, n);
+    let uni2 = uni.clone();
+    let start_at = ts + path.alpha;
+    uni.engine.schedule_engine(
+        start_at,
+        CLASS_P2P,
+        Box::new(move |e| {
+            let uni3 = uni2.clone();
+            e.start_flow(
+                path.resources,
+                path.cap,
+                n as f64,
+                Box::new(move |e2| {
+                    let ta = e2.now();
+                    let deliver = {
+                        let mut st = uni3.state.lock();
+                        let slot = st.slots.get_mut(&msg_id).expect("slot vanished");
+                        match slot.bound_recv.take() {
+                            Some(recv) => {
+                                let slot = st.slots.remove(&msg_id).unwrap();
+                                Some((recv, slot.payload))
+                            }
+                            None => {
+                                slot.state = SlotState::EagerArrived;
+                                None
+                            }
+                        }
+                    };
+                    if let Some((recv, payload)) = deliver {
+                        let done = ta + uni3.profile.copy_time(n);
+                        uni3.complete(&recv, payload, done);
+                    }
+                }),
+            );
+        }),
+    );
+}
+
+/// Both sides of a rendezvous message are present at `tp`: run the
+/// handshake, then the flow; complete both requests when it lands.
+fn start_rendezvous(
+    uni: &Arc<UniShared>,
+    key: MatchKey,
+    msg_id: MsgId,
+    n: usize,
+    recv: Request<Payload>,
+    tp: SimTime,
+) {
+    let path = path_params(uni, key.src, key.dst, n);
+    let start_at = tp + path.alpha + path.rdv_extra;
+    let uni2 = uni.clone();
+    uni.engine.schedule_engine(
+        start_at,
+        CLASS_P2P,
+        Box::new(move |e| {
+            let uni3 = uni2.clone();
+            e.start_flow(
+                path.resources,
+                path.cap,
+                n as f64,
+                Box::new(move |e2| {
+                    let ta = e2.now();
+                    let slot = uni3
+                        .state
+                        .lock()
+                        .slots
+                        .remove(&msg_id)
+                        .expect("rendezvous slot vanished");
+                    uni3.complete(&slot.sender_req, (), ta);
+                    uni3.complete(&recv, slot.payload, ta);
+                }),
+            );
+        }),
+    );
+}

@@ -1,0 +1,205 @@
+//! Message payloads.
+//!
+//! A payload is either **real** bytes (`bytes::Bytes`, so chunking for the
+//! N_DUP pipelines of the paper is zero-copy) or a **phantom** byte count.
+//! Phantom payloads let paper-scale benchmarks (multi-GB matrices on 64–512
+//! simulated ranks) run in bounded memory: the communication schedule and all
+//! modeled times are byte-for-byte identical, only the data is absent.
+//! Correctness of the algorithms is established separately at test scale with
+//! real payloads.
+
+use bytes::Bytes;
+
+/// Data carried by a message: real bytes or a modeled byte count.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Actual data; transfers move (reference-counted) bytes end to end.
+    Real(Bytes),
+    /// Size-only stand-in for paper-scale benchmarks.
+    Phantom(usize),
+}
+
+impl Payload {
+    /// A real payload over a `Vec<u8>`.
+    pub fn from_vec(v: Vec<u8>) -> Payload {
+        Payload::Real(Bytes::from(v))
+    }
+
+    /// A real payload holding `f64` values in native byte order.
+    pub fn from_f64s(v: &[f64]) -> Payload {
+        let mut bytes = Vec::with_capacity(v.len() * 8);
+        for x in v {
+            bytes.extend_from_slice(&x.to_ne_bytes());
+        }
+        Payload::Real(Bytes::from(bytes))
+    }
+
+    /// Interpret a real payload as `f64` values. Panics on phantom payloads
+    /// or lengths that are not a multiple of 8.
+    pub fn to_f64s(&self) -> Vec<f64> {
+        match self {
+            Payload::Real(b) => {
+                assert!(b.len() % 8 == 0, "payload length {} not f64-aligned", b.len());
+                b.chunks_exact(8)
+                    .map(|c| f64::from_ne_bytes(c.try_into().unwrap()))
+                    .collect()
+            }
+            Payload::Phantom(_) => panic!("cannot read data out of a phantom payload"),
+        }
+    }
+
+    /// Byte length.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Real(b) => b.len(),
+            Payload::Phantom(n) => *n,
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this is a phantom payload.
+    pub fn is_phantom(&self) -> bool {
+        matches!(self, Payload::Phantom(_))
+    }
+
+    /// Zero-copy split: returns `(self[..at], self[at..])`. `at` must be
+    /// ≤ `len`. For `f64` data keep `at` a multiple of 8.
+    pub fn split_at(&self, at: usize) -> (Payload, Payload) {
+        assert!(at <= self.len(), "split_at {at} beyond length {}", self.len());
+        match self {
+            Payload::Real(b) => (
+                Payload::Real(b.slice(..at)),
+                Payload::Real(b.slice(at..)),
+            ),
+            Payload::Phantom(n) => (Payload::Phantom(at), Payload::Phantom(n - at)),
+        }
+    }
+
+    /// Zero-copy sub-range `self[start..end]`.
+    pub fn slice(&self, start: usize, end: usize) -> Payload {
+        assert!(start <= end && end <= self.len(), "bad slice {start}..{end}");
+        match self {
+            Payload::Real(b) => Payload::Real(b.slice(start..end)),
+            Payload::Phantom(_) => Payload::Phantom(end - start),
+        }
+    }
+
+    /// Concatenate (copies real data; phantom is free). Both operands must
+    /// have the same representation.
+    pub fn concat(parts: &[Payload]) -> Payload {
+        assert!(!parts.is_empty(), "concat of no parts");
+        if parts.iter().any(Payload::is_phantom) {
+            assert!(
+                parts.iter().all(Payload::is_phantom),
+                "cannot mix real and phantom payloads"
+            );
+            return Payload::Phantom(parts.iter().map(Payload::len).sum());
+        }
+        let mut out = Vec::with_capacity(parts.iter().map(Payload::len).sum());
+        for p in parts {
+            match p {
+                Payload::Real(b) => out.extend_from_slice(b),
+                Payload::Phantom(_) => unreachable!(),
+            }
+        }
+        Payload::from_vec(out)
+    }
+
+    /// Element-wise `f64` sum of two payloads of equal length (the reduction
+    /// operator used throughout the paper's kernels). Phantom + phantom is
+    /// free; mixing representations panics.
+    pub fn reduce_sum_f64(&self, other: &Payload) -> Payload {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "reduce of unequal payloads ({} vs {})",
+            self.len(),
+            other.len()
+        );
+        match (self, other) {
+            (Payload::Phantom(n), Payload::Phantom(_)) => Payload::Phantom(*n),
+            (Payload::Real(a), Payload::Real(b)) => {
+                assert!(a.len() % 8 == 0, "reduce of non-f64-aligned payload");
+                let mut out = Vec::with_capacity(a.len());
+                for (ca, cb) in a.chunks_exact(8).zip(b.chunks_exact(8)) {
+                    let x = f64::from_ne_bytes(ca.try_into().unwrap())
+                        + f64::from_ne_bytes(cb.try_into().unwrap());
+                    out.extend_from_slice(&x.to_ne_bytes());
+                }
+                Payload::from_vec(out)
+            }
+            _ => panic!("cannot reduce a real payload with a phantom one"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_roundtrip() {
+        let v = vec![1.5, -2.25, 0.0, 1e300];
+        let p = Payload::from_f64s(&v);
+        assert_eq!(p.len(), 32);
+        assert_eq!(p.to_f64s(), v);
+    }
+
+    #[test]
+    fn split_and_concat_roundtrip() {
+        let p = Payload::from_f64s(&[1.0, 2.0, 3.0, 4.0]);
+        let (a, b) = p.split_at(16);
+        assert_eq!(a.to_f64s(), vec![1.0, 2.0]);
+        assert_eq!(b.to_f64s(), vec![3.0, 4.0]);
+        let back = Payload::concat(&[a, b]);
+        assert_eq!(back.to_f64s(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn phantom_split_concat() {
+        let p = Payload::Phantom(100);
+        let (a, b) = p.split_at(30);
+        assert_eq!(a.len(), 30);
+        assert_eq!(b.len(), 70);
+        assert_eq!(Payload::concat(&[a, b]).len(), 100);
+    }
+
+    #[test]
+    fn reduce_sums_elementwise() {
+        let a = Payload::from_f64s(&[1.0, 2.0]);
+        let b = Payload::from_f64s(&[10.0, 20.0]);
+        assert_eq!(a.reduce_sum_f64(&b).to_f64s(), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn reduce_phantom_is_free() {
+        let a = Payload::Phantom(64);
+        let b = Payload::Phantom(64);
+        assert_eq!(a.reduce_sum_f64(&b), Payload::Phantom(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reduce a real payload with a phantom")]
+    fn reduce_mixed_panics() {
+        let a = Payload::from_f64s(&[1.0]);
+        let b = Payload::Phantom(8);
+        a.reduce_sum_f64(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal payloads")]
+    fn reduce_unequal_panics() {
+        Payload::from_f64s(&[1.0]).reduce_sum_f64(&Payload::from_f64s(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let p = Payload::from_f64s(&[1.0, 2.0, 3.0]);
+        let s = p.slice(8, 24);
+        assert_eq!(s.to_f64s(), vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,171 @@
+//! The progress-worker pool that executes nonblocking collectives.
+//!
+//! Each posted nonblocking collective becomes a *job* bound to a
+//! deterministic operation-actor id (registered with the engine at post
+//! time, so the engine cannot advance until the job's thread parks). Jobs
+//! are written in plain blocking style — the collective algorithms are the
+//! same code the blocking calls run inline.
+//!
+//! Workers have **dedicated channels** and a free-list of senders: a job is
+//! handed to exactly one idle worker (or a freshly spawned one), never
+//! queued behind a busy worker — if it were, the engine would wait forever
+//! for the job's registered actor to park. Thread identity does not matter
+//! for determinism; the actor id travels with the job.
+//!
+//! Lifetime discipline: an idle worker's *only* live sender sits in the free
+//! list (each job envelope carries the sender and the worker returns it to
+//! the list when done). `shutdown` marks the pool closed and clears the
+//! list, which disconnects every idle worker's channel; busy workers see the
+//! closed flag after their job and exit without re-registering. No worker
+//! thread outlives the pool's users.
+
+use std::sync::Arc;
+use std::thread;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Envelope {
+    job: Job,
+    /// The worker's own sender, returned to the free list after the job.
+    tx: Sender<Envelope>,
+}
+
+struct PoolInner {
+    free: Vec<Sender<Envelope>>,
+    closed: bool,
+    spawned: usize,
+}
+
+/// Grow-on-demand pool of progress workers.
+pub(crate) struct Pool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl Pool {
+    pub fn new() -> Pool {
+        Pool {
+            inner: Arc::new(Mutex::new(PoolInner {
+                free: Vec::new(),
+                closed: false,
+                spawned: 0,
+            })),
+        }
+    }
+
+    /// Number of workers ever spawned (diagnostics).
+    #[cfg(test)]
+    pub fn spawned(&self) -> usize {
+        self.inner.lock().spawned
+    }
+
+    /// Run `job` on an idle worker, spawning one if none is idle.
+    pub fn submit(&self, job: Job) {
+        let tx = {
+            let mut inner = self.inner.lock();
+            assert!(!inner.closed, "submit after pool shutdown");
+            match inner.free.pop() {
+                Some(tx) => tx,
+                None => {
+                    inner.spawned += 1;
+                    drop(inner);
+                    self.spawn_worker()
+                }
+            }
+        };
+        let env = Envelope {
+            job,
+            tx: tx.clone(),
+        };
+        // The worker is blocked on its own empty channel; capacity 1 means
+        // this send cannot block or fail.
+        tx.send(env).expect("progress worker vanished");
+    }
+
+    fn spawn_worker(&self) -> Sender<Envelope> {
+        let (tx, rx) = bounded::<Envelope>(1);
+        let inner = self.inner.clone();
+        thread::Builder::new()
+            .name("ov-progress".into())
+            .stack_size(512 << 10)
+            .spawn(move || {
+                while let Ok(env) = rx.recv() {
+                    (env.job)();
+                    let mut st = inner.lock();
+                    if st.closed {
+                        return;
+                    }
+                    st.free.push(env.tx);
+                }
+            })
+            .expect("failed to spawn progress worker");
+        tx
+    }
+
+    /// Close the pool: idle workers exit (their senders drop), busy workers
+    /// exit after their current job.
+    pub fn shutdown(&self) {
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        inner.free.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_workers_are_reused() {
+        let pool = Pool::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..5 {
+            let c = count.clone();
+            pool.submit(Box::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+            // Give the worker time to finish and re-register so reuse
+            // actually happens.
+            while count.load(Ordering::SeqCst) == 0 {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while count.load(Ordering::SeqCst) < 5 {
+            assert!(std::time::Instant::now() < deadline, "jobs did not finish");
+            thread::sleep(Duration::from_millis(1));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn concurrent_jobs_get_distinct_workers() {
+        let pool = Pool::new();
+        let gate = Arc::new(Mutex::new(()));
+        let running = Arc::new(AtomicUsize::new(0));
+        let guard = gate.lock();
+        for _ in 0..3 {
+            let g = gate.clone();
+            let r = running.clone();
+            pool.submit(Box::new(move || {
+                r.fetch_add(1, Ordering::SeqCst);
+                let _hold = g.lock();
+            }));
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while running.load(Ordering::SeqCst) < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "three jobs should run concurrently on three workers"
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.spawned(), 3);
+        drop(guard);
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,169 @@
+//! Nonblocking-operation request handles (the analogue of `MPI_Request`).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ovcomm_simnet::{ParkCell, SimTime};
+
+struct ReqInner<T> {
+    result: Option<T>,
+    completed_at: Option<SimTime>,
+    taken: bool,
+    waiters: Vec<Arc<ParkCell>>,
+}
+
+/// A handle to an in-flight nonblocking operation producing a `T`
+/// (`Payload` for receives/collectives, `()` for sends and barriers).
+///
+/// Waiting is done through the owning rank/agent (`Agent::wait`), which
+/// advances the rank's virtual clock to the completion time — mirroring
+/// `MPI_Wait`.
+pub struct Request<T> {
+    inner: Arc<Mutex<ReqInner<T>>>,
+}
+
+impl<T> Clone for Request<T> {
+    fn clone(&self) -> Self {
+        Request {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Default for Request<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Request<T> {
+    /// A fresh, incomplete request.
+    pub fn new() -> Request<T> {
+        Request {
+            inner: Arc::new(Mutex::new(ReqInner {
+                result: None,
+                completed_at: None,
+                taken: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// An already-completed request (for degenerate cases, e.g. self-sends
+    /// of zero ranks or single-rank collectives).
+    pub fn ready(value: T, at: SimTime) -> Request<T> {
+        Request {
+            inner: Arc::new(Mutex::new(ReqInner {
+                result: Some(value),
+                completed_at: Some(at),
+                taken: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Mark complete with `value` at virtual time `at`, returning the park
+    /// cells of any waiters (the caller must wake them via the engine).
+    /// Panics if completed twice.
+    pub(crate) fn complete(&self, value: T, at: SimTime) -> Vec<Arc<ParkCell>> {
+        let mut inner = self.inner.lock();
+        assert!(inner.completed_at.is_none(), "request completed twice");
+        inner.result = Some(value);
+        inner.completed_at = Some(at);
+        std::mem::take(&mut inner.waiters)
+    }
+
+    /// Nonblocking completion check (the analogue of `MPI_Test`). Under the
+    /// engine's quiescence rule, every completion event with a virtual time
+    /// at or before the caller's clock has already been processed whenever a
+    /// rank thread is running, so a plain flag check is exact.
+    pub fn is_complete(&self) -> bool {
+        self.inner.lock().completed_at.is_some()
+    }
+
+    /// If complete and not yet consumed, take `(value, completion_time)`.
+    pub(crate) fn try_take(&self) -> Option<(T, SimTime)> {
+        let mut inner = self.inner.lock();
+        if inner.taken {
+            panic!("request waited on twice");
+        }
+        match (inner.result.take(), inner.completed_at) {
+            (Some(v), Some(t)) => {
+                inner.taken = true;
+                Some((v, t))
+            }
+            _ => None,
+        }
+    }
+
+    /// Completion time, if complete (does not consume the result).
+    pub fn completed_at(&self) -> Option<SimTime> {
+        self.inner.lock().completed_at
+    }
+
+    /// Register a waiter cell to be woken on completion. Returns `false`
+    /// (and does not register) if the request is already complete.
+    pub(crate) fn add_waiter(&self, cell: &Arc<ParkCell>) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.completed_at.is_some() {
+            return false;
+        }
+        if !inner.waiters.iter().any(|w| Arc::ptr_eq(w, cell)) {
+            inner.waiters.push(cell.clone());
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_then_take() {
+        let r: Request<u32> = Request::new();
+        assert!(!r.is_complete());
+        assert!(r.try_take().is_none());
+        let waiters = r.complete(7, SimTime(100));
+        assert!(waiters.is_empty());
+        assert!(r.is_complete());
+        let (v, t) = r.try_take().unwrap();
+        assert_eq!(v, 7);
+        assert_eq!(t, SimTime(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "completed twice")]
+    fn double_complete_panics() {
+        let r: Request<()> = Request::new();
+        r.complete((), SimTime(1));
+        r.complete((), SimTime(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "waited on twice")]
+    fn double_take_panics() {
+        let r: Request<()> = Request::new();
+        r.complete((), SimTime(1));
+        r.try_take();
+        r.try_take();
+    }
+
+    #[test]
+    fn waiters_returned_on_complete_and_rejected_after() {
+        let r: Request<()> = Request::new();
+        let cell = Arc::new(ParkCell::new());
+        assert!(r.add_waiter(&cell));
+        assert!(r.add_waiter(&cell), "re-arming same cell is idempotent");
+        let waiters = r.complete((), SimTime(5));
+        assert_eq!(waiters.len(), 1, "duplicate waiter must not be stored");
+        assert!(!r.add_waiter(&cell), "late waiter sees completion");
+    }
+
+    #[test]
+    fn ready_request_is_immediately_takeable() {
+        let r = Request::ready(42u8, SimTime(3));
+        assert_eq!(r.try_take().unwrap(), (42, SimTime(3)));
+    }
+}

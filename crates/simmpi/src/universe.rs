@@ -1,0 +1,447 @@
+//! The simulation universe: spawns rank threads, runs the event loop, and
+//! collects results.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use ovcomm_simnet::{
+    ClusterResources, ClusterSpec, Engine, MachineProfile, NodeMap, ParkCell, SimDur, SimTime,
+    Trace,
+};
+
+use crate::agent::Agent;
+use crate::comm::{Comm, CommInfo};
+use crate::progress::Pool;
+use crate::request::Request;
+use crate::state::MpiState;
+
+/// World communicator context id.
+pub(crate) const WORLD_CTX: u32 = 0;
+
+/// Configuration for one simulated run.
+pub struct SimConfig {
+    /// The cluster (nodes + machine profile).
+    pub cluster: ClusterSpec,
+    /// Rank → node placement; `nodemap.nranks()` ranks are spawned.
+    pub nodemap: NodeMap,
+    /// Record `TraceSpan`s (needed for Fig-6-style timelines).
+    pub trace: bool,
+}
+
+impl SimConfig {
+    /// `nranks` ranks placed `ppn`-per-node ("natural" placement, the
+    /// paper's §V-D mapping) on a cluster with the given profile.
+    pub fn natural(nranks: usize, ppn: usize, profile: MachineProfile) -> SimConfig {
+        let nodemap = NodeMap::natural(nranks, ppn);
+        let cluster = ClusterSpec::new(nodemap.nodes(), profile);
+        SimConfig {
+            cluster,
+            nodemap,
+            trace: false,
+        }
+    }
+
+    /// Explicit node map.
+    pub fn with_map(nodemap: NodeMap, profile: MachineProfile) -> SimConfig {
+        let cluster = ClusterSpec::new(nodemap.nodes(), profile);
+        SimConfig {
+            cluster,
+            nodemap,
+            trace: false,
+        }
+    }
+
+    /// Enable span tracing.
+    pub fn with_trace(mut self) -> SimConfig {
+        self.trace = true;
+        self
+    }
+}
+
+/// Why a run failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// All ranks blocked with no event pending (mismatched communication).
+    Deadlock,
+    /// A rank thread (or progress actor) panicked.
+    RankPanic {
+        /// World rank of the first panicking thread.
+        rank: usize,
+        /// Panic payload rendered as a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Deadlock => write!(f, "simulation deadlocked"),
+            SimError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Results of a successful run.
+pub struct SimOutput<T> {
+    /// Per-rank return values of the rank closure.
+    pub results: Vec<T>,
+    /// Final virtual clock of each rank.
+    pub end_times: Vec<SimTime>,
+    /// Latest final clock across ranks — the virtual makespan.
+    pub makespan: SimTime,
+    /// Total bytes that crossed node boundaries.
+    pub inter_node_bytes: u64,
+    /// Total bytes moved through intra-node shared memory.
+    pub intra_node_bytes: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Recorded spans, if tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+/// Everything shared between rank threads, progress workers and engine
+/// callbacks.
+pub(crate) struct UniShared {
+    pub engine: Engine,
+    pub state: Mutex<MpiState>,
+    pub profile: MachineProfile,
+    pub nodemap: NodeMap,
+    pub resources: ClusterResources,
+    /// Per-rank reduction-compute resource (capacity `gamma_reduce_bw ×
+    /// reduce_parallel`): concurrent nonblocking collectives on one rank
+    /// share it, so pipelined reductions cannot compute faster than the
+    /// process's progress engine allows.
+    pub cpu: Vec<ovcomm_simnet::ResourceId>,
+    pub pool: Pool,
+    pub tracing: bool,
+    pub op_panics: Mutex<Vec<(u32, String)>>,
+}
+
+impl UniShared {
+    /// Complete a request at virtual time `at` and wake its waiters.
+    pub fn complete<T>(&self, req: &Request<T>, value: T, at: SimTime) {
+        for cell in req.complete(value, at) {
+            self.engine.wake(&cell, at);
+        }
+    }
+
+    /// Node hosting a world rank.
+    pub fn node_of(&self, rank: u32) -> usize {
+        self.nodemap.node_of(rank as usize)
+    }
+
+    /// Record a panic that unwound a progress actor.
+    pub fn record_op_panic(&self, rank: u32, msg: String) {
+        self.op_panics.lock().push((rank, msg));
+    }
+}
+
+/// Encode a deterministic actor id for the `op_idx`-th nonblocking
+/// operation posted by `rank`. Rank actors use ids `0..nranks`; operation
+/// actors set the high bit.
+pub(crate) fn op_actor_id(rank: u32, op_idx: u64) -> u32 {
+    assert!(rank < (1 << 17), "rank {rank} too large for op-actor encoding");
+    assert!(
+        op_idx < (1 << 14),
+        "rank {rank} posted more than 16384 nonblocking operations in one run"
+    );
+    0x8000_0000 | (rank << 14) | (op_idx as u32)
+}
+
+/// Handle passed to each rank's closure: identity, clock, and the world
+/// communicator.
+pub struct RankCtx {
+    pub(crate) agent: Agent,
+    world: Comm,
+    /// Per-kernel compute-share override: when some of this node's
+    /// processes sleep (§III-B), the active ones own their cores, so
+    /// compute-rate models should divide the node by the *active* count.
+    active_ppn: std::cell::Cell<usize>,
+}
+
+impl RankCtx {
+    /// World rank of this process.
+    pub fn rank(&self) -> usize {
+        self.agent.rank as usize
+    }
+
+    /// Total number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.agent.uni.nodemap.nranks()
+    }
+
+    /// Node hosting this rank.
+    pub fn node(&self) -> usize {
+        self.agent.uni.node_of(self.agent.rank)
+    }
+
+    /// Number of ranks sharing this rank's node.
+    pub fn ppn(&self) -> usize {
+        let me = self.node();
+        (0..self.nranks())
+            .filter(|&r| self.agent.uni.nodemap.node_of(r) == me)
+            .count()
+    }
+
+    /// Processes per node to use for compute-rate models: the launched PPN
+    /// by default, or the active count set by [`RankCtx::set_active_ppn`]
+    /// during a per-kernel-PPN stage (sleeping processes release their
+    /// cores to the active ones).
+    pub fn compute_ppn(&self) -> usize {
+        let o = self.active_ppn.get();
+        if o == 0 {
+            self.ppn()
+        } else {
+            o
+        }
+    }
+
+    /// Declare how many of this node's processes are actually computing
+    /// (0 restores the default = launched PPN).
+    pub fn set_active_ppn(&self, active: usize) {
+        self.active_ppn.set(active);
+    }
+
+    /// The world communicator (all ranks).
+    pub fn world(&self) -> Comm {
+        self.world.clone()
+    }
+
+    /// This rank's virtual clock.
+    pub fn now(&self) -> SimTime {
+        self.agent.now()
+    }
+
+    /// Charge modeled local computation time.
+    pub fn advance(&self, d: SimDur) {
+        self.agent.advance(d);
+    }
+
+    /// Charge `flops` of dense-kernel computation at `rate` flop/s.
+    pub fn compute_flops(&self, flops: f64, rate: f64) {
+        assert!(rate > 0.0 && flops >= 0.0);
+        self.agent.advance(SimDur::from_secs_f64(flops / rate));
+    }
+
+    /// Sleep for `d` of virtual time (the `usleep` of the paper's
+    /// multiple-PPN sleep/poll mechanism, §III-B).
+    pub fn sleep(&self, d: SimDur) {
+        self.agent.sleep(d);
+    }
+
+    /// The machine profile (for compute-rate lookups).
+    pub fn profile(&self) -> &MachineProfile {
+        &self.agent.uni.profile
+    }
+
+    /// The rank→node map.
+    pub fn nodemap(&self) -> &NodeMap {
+        &self.agent.uni.nodemap
+    }
+
+    /// Record a custom trace span (shown on Fig-6-style timelines).
+    pub fn trace_span(
+        &self,
+        kind: ovcomm_simnet::SpanKind,
+        start: SimTime,
+        end: SimTime,
+        label: String,
+    ) {
+        self.agent.trace_span(kind, start, end, move || label);
+    }
+}
+
+/// Run `f` on every rank of the configured cluster; the calling thread
+/// drives the event loop until all ranks finish.
+///
+/// ```
+/// use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig};
+/// use ovcomm_simnet::MachineProfile;
+///
+/// // Two ranks on two nodes: rank 0 sends a value, rank 1 doubles it.
+/// let out = run(
+///     SimConfig::natural(2, 1, MachineProfile::test_profile()),
+///     |rc: RankCtx| {
+///         let world = rc.world();
+///         if rc.rank() == 0 {
+///             world.send(1, 0, Payload::from_f64s(&[21.0]));
+///             0.0
+///         } else {
+///             2.0 * world.recv(0, 0).to_f64s()[0]
+///         }
+///     },
+/// )
+/// .unwrap();
+/// assert_eq!(out.results[1], 42.0);
+/// assert!(out.makespan.as_nanos() > 0); // virtual time elapsed
+/// ```
+pub fn run<T, F>(cfg: SimConfig, f: F) -> Result<SimOutput<T>, SimError>
+where
+    T: Send + 'static,
+    F: Fn(RankCtx) -> T + Send + Sync + 'static,
+{
+    let nranks = cfg.nodemap.nranks();
+    let engine = Engine::new();
+    if cfg.trace {
+        engine.enable_trace();
+    }
+    // Register node resources on the engine's flow network in the canonical
+    // (tx, rx, mem per node) order.
+    let resources = {
+        let mut tx = Vec::with_capacity(cfg.cluster.nodes);
+        let mut rx = Vec::with_capacity(cfg.cluster.nodes);
+        let mut mem = Vec::with_capacity(cfg.cluster.nodes);
+        for _ in 0..cfg.cluster.nodes {
+            tx.push(engine.add_resource(cfg.cluster.profile.nic_bw));
+            rx.push(engine.add_resource(cfg.cluster.profile.nic_bw));
+            mem.push(engine.add_resource(cfg.cluster.profile.node_mem_bw));
+        }
+        ClusterResources::from_parts(tx, rx, mem)
+    };
+    let cpu: Vec<ovcomm_simnet::ResourceId> = (0..nranks)
+        .map(|_| {
+            engine.add_resource(
+                cfg.cluster.profile.gamma_reduce_bw * cfg.cluster.profile.reduce_parallel,
+            )
+        })
+        .collect();
+
+    let state = MpiState {
+        next_ctx: WORLD_CTX + 1,
+        rank_end_times: vec![SimTime::ZERO; nranks],
+        ..MpiState::default()
+    };
+    let uni = Arc::new(UniShared {
+        engine,
+        state: Mutex::new(state),
+        profile: cfg.cluster.profile.clone(),
+        nodemap: cfg.nodemap.clone(),
+        resources,
+        cpu,
+        pool: Pool::new(),
+        tracing: cfg.trace,
+        op_panics: Mutex::new(Vec::new()),
+    });
+
+    // Register all rank actors before any thread starts so the engine
+    // cannot advance early.
+    let cells: Vec<Arc<ParkCell>> = (0..nranks).map(|_| Arc::new(ParkCell::new())).collect();
+    for (r, cell) in cells.iter().enumerate() {
+        uni.engine.register_actor(r as u32, cell.clone());
+    }
+
+    let f = Arc::new(f);
+    let world_ranks: Arc<Vec<u32>> = Arc::new((0..nranks as u32).collect());
+    let mut handles = Vec::with_capacity(nranks);
+    for (r, cell) in cells.into_iter().enumerate() {
+        let uni2 = uni.clone();
+        let f2 = f.clone();
+        let world_ranks2 = world_ranks.clone();
+        let h = std::thread::Builder::new()
+            .name(format!("rank-{r}"))
+            .stack_size(4 << 20)
+            .spawn(move || {
+                struct Finish {
+                    uni: Arc<UniShared>,
+                    id: u32,
+                }
+                impl Drop for Finish {
+                    fn drop(&mut self) {
+                        self.uni.engine.actor_finished(self.id);
+                    }
+                }
+                let _guard = Finish {
+                    uni: uni2.clone(),
+                    id: r as u32,
+                };
+                let agent = Agent::new_rank(r as u32, cell, uni2.clone());
+                let world = Comm::new(
+                    CommInfo {
+                        ctx: WORLD_CTX,
+                        ranks: world_ranks2,
+                        me: r,
+                    },
+                    agent.clone(),
+                );
+                let rc = RankCtx {
+                    agent: agent.clone(),
+                    world,
+                    active_ppn: std::cell::Cell::new(0),
+                };
+                let out = f2(rc);
+                uni2.state.lock().rank_end_times[r] = agent.now();
+                out
+            })
+            .expect("failed to spawn rank thread");
+        handles.push(h);
+    }
+
+    // Drive the event loop on this thread.
+    uni.engine.run_loop();
+
+    let mut results = Vec::with_capacity(nranks);
+    let mut panics: Vec<(usize, String)> = Vec::new();
+    for (r, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(v) => results.push(Some(v)),
+            Err(p) => {
+                results.push(None);
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                panics.push((r, msg));
+            }
+        }
+    }
+    uni.pool.shutdown();
+
+    // A rank panic often *causes* the deadlock that unwinds everyone else;
+    // report the root cause, not the induced deadlock panics.
+    let is_deadlock_msg = |m: &str| m.contains("simulation deadlock");
+    let mut op_panics = std::mem::take(&mut *uni.op_panics.lock());
+    op_panics.retain(|(_, m)| !is_deadlock_msg(m));
+    if let Some((rank, message)) = panics
+        .iter()
+        .find(|(_, m)| !is_deadlock_msg(m))
+        .cloned()
+        .or_else(|| op_panics.first().map(|(r, m)| (*r as usize, m.clone())))
+    {
+        return Err(SimError::RankPanic { rank, message });
+    }
+    if uni.engine.deadlocked() {
+        return Err(SimError::Deadlock);
+    }
+    if let Some((rank, message)) = panics.into_iter().next() {
+        return Err(SimError::RankPanic { rank, message });
+    }
+
+    let (inter, intra, messages, end_times) = {
+        let st = uni.state.lock();
+        (
+            st.inter_bytes,
+            st.intra_bytes,
+            st.messages,
+            st.rank_end_times.clone(),
+        )
+    };
+    let makespan = end_times.iter().copied().max().unwrap_or(SimTime::ZERO);
+    Ok(SimOutput {
+        results: results
+            .into_iter()
+            .map(|o| o.expect("non-panicked rank must produce a result"))
+            .collect(),
+        end_times,
+        makespan,
+        inter_node_bytes: inter,
+        intra_node_bytes: intra,
+        messages,
+        trace: uni.engine.take_trace(),
+    })
+}

@@ -1,0 +1,121 @@
+//! Property tests: every collective produces exactly the reference result
+//! for arbitrary communicator sizes, roots, payload sizes (crossing the
+//! small/large algorithm threshold and the eager/rendezvous boundary), and
+//! the payload algebra holds for arbitrary splits.
+
+use proptest::prelude::*;
+
+use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig};
+use ovcomm_simnet::MachineProfile;
+
+fn cfg(nranks: usize) -> SimConfig {
+    SimConfig::natural(nranks, 2, MachineProfile::test_profile())
+}
+
+proptest! {
+    // Simulation-backed cases are heavier: keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bcast_delivers_exact_data(
+        p in 1usize..9,
+        root_pick in 0usize..64,
+        n_elems in prop::sample::select(vec![1usize, 7, 128, 4097, 9000]),
+        seed in 0u64..1000,
+    ) {
+        let root = root_pick % p;
+        let data: Vec<f64> = (0..n_elems).map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f64 / 7.0).collect();
+        let expect = data.clone();
+        let out = run(cfg(p), move |rc: RankCtx| {
+            let w = rc.world();
+            let payload = (rc.rank() == root).then(|| Payload::from_f64s(&data));
+            w.bcast(root, payload, n_elems * 8).to_f64s() == expect
+        }).unwrap();
+        prop_assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn reduce_sums_exactly(
+        p in 1usize..9,
+        root_pick in 0usize..64,
+        n_elems in prop::sample::select(vec![1usize, 63, 512, 4100, 8192]),
+    ) {
+        let root = root_pick % p;
+        let out = run(cfg(p), move |rc: RankCtx| {
+            let w = rc.world();
+            let mine: Vec<f64> = (0..n_elems).map(|i| (rc.rank() + 1) as f64 * 0.5 + i as f64).collect();
+            w.reduce(root, Payload::from_f64s(&mine)).map(|r| r.to_f64s())
+        }).unwrap();
+        for (r, res) in out.results.iter().enumerate() {
+            if r == root {
+                let res = res.as_ref().unwrap();
+                for (i, &x) in res.iter().enumerate() {
+                    let want: f64 = (1..=p).map(|k| k as f64 * 0.5 + i as f64).sum();
+                    prop_assert!((x - want).abs() < 1e-9);
+                }
+            } else {
+                prop_assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_equals_reduce_plus_bcast(
+        p in 2usize..8,
+        n_elems in prop::sample::select(vec![3usize, 800, 4099]),
+    ) {
+        let out = run(cfg(p), move |rc: RankCtx| {
+            let w = rc.world();
+            let mine: Vec<f64> = (0..n_elems).map(|i| rc.rank() as f64 - i as f64 * 0.25).collect();
+            let all = w.allreduce(Payload::from_f64s(&mine)).to_f64s();
+            let red = w.reduce(0, Payload::from_f64s(&mine));
+            let via = w.bcast(0, red, n_elems * 8).to_f64s();
+            all == via
+        }).unwrap();
+        prop_assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn scatter_then_allgather_is_identity(
+        p in 1usize..8,
+        n_chunks_elems in 1usize..40,
+    ) {
+        let n = n_chunks_elems * p * 8; // bytes, divisible enough
+        let data: Vec<f64> = (0..n / 8).map(|i| i as f64 * 1.5).collect();
+        let expect = data.clone();
+        let out = run(cfg(p), move |rc: RankCtx| {
+            let w = rc.world();
+            let payload = (rc.rank() == 0).then(|| Payload::from_f64s(&data));
+            let chunk = w.scatter(0, payload, n);
+            w.allgather(chunk, n).to_f64s() == expect
+        }).unwrap();
+        prop_assert!(out.results.iter().all(|&ok| ok));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn payload_split_concat_roundtrip(
+        elems in prop::collection::vec(-1e6..1e6f64, 0..200),
+        cut_ratio in 0.0..1.0f64,
+    ) {
+        let p = Payload::from_f64s(&elems);
+        let cut = ((p.len() as f64 * cut_ratio) as usize / 8) * 8;
+        let (a, b) = p.split_at(cut);
+        let back = Payload::concat(&[a, b]);
+        prop_assert_eq!(back.to_f64s(), elems);
+    }
+
+    #[test]
+    fn payload_reduce_is_commutative(
+        a in prop::collection::vec(-1e6..1e6f64, 1..100),
+        seed in 0u64..100,
+    ) {
+        let b: Vec<f64> = a.iter().enumerate().map(|(i, x)| x * 0.5 + (i as u64 + seed) as f64).collect();
+        let pa = Payload::from_f64s(&a);
+        let pb = Payload::from_f64s(&b);
+        prop_assert_eq!(pa.reduce_sum_f64(&pb), pb.reduce_sum_f64(&pa));
+    }
+}

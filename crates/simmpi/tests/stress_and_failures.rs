@@ -1,0 +1,181 @@
+//! Stress and failure-mode tests: many ranks, deep nonblocking pipelines,
+//! mixed traffic, mismatched collectives, and scheduling-independent
+//! determinism under load.
+
+use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig, SimError};
+use ovcomm_simnet::{MachineProfile, SimDur};
+
+fn cfg(nranks: usize, ppn: usize) -> SimConfig {
+    SimConfig::natural(nranks, ppn, MachineProfile::test_profile())
+}
+
+#[test]
+fn many_ranks_all_to_all_ring_traffic() {
+    // 96 ranks exchanging around a ring with staggered compute.
+    let n = 96;
+    let out = run(cfg(n, 8), move |rc: RankCtx| {
+        let w = rc.world();
+        let me = rc.rank();
+        rc.advance(SimDur::from_micros((me as u64 % 7) * 3));
+        let mut acc = me as f64;
+        for step in 0..4 {
+            let right = (me + 1 + step) % n;
+            let left = (me + n - 1 - step) % n;
+            let got = w.sendrecv(right, left, step as u32, Payload::from_f64s(&[acc]));
+            acc += got.to_f64s()[0];
+        }
+        acc
+    })
+    .unwrap();
+    assert_eq!(out.results.len(), n);
+    // Conservation: the sum of all accumulators is deterministic and
+    // exceeds the initial sum (every rank added four contributions).
+    let total: f64 = out.results.iter().sum();
+    assert!(total > (0..n).map(|r| r as f64).sum::<f64>());
+}
+
+#[test]
+fn deep_nonblocking_pipeline_completes() {
+    // 64 outstanding ibcasts on 64 duplicated communicators at once.
+    let out = run(cfg(8, 4), |rc: RankCtx| {
+        let w = rc.world();
+        let comms = w.dup_n(64);
+        let reqs: Vec<_> = comms
+            .iter()
+            .enumerate()
+            .map(|(c, comm)| {
+                let data = (rc.rank() == c % 8).then(|| Payload::from_f64s(&[c as f64]));
+                comm.ibcast(c % 8, data, 8)
+            })
+            .collect();
+        let mut sum = 0.0;
+        for (c, r) in reqs.iter().enumerate() {
+            sum += comms[c].wait(r).to_f64s()[0];
+        }
+        sum
+    })
+    .unwrap();
+    let want: f64 = (0..64).map(|c| c as f64).sum();
+    for s in &out.results {
+        assert_eq!(*s, want);
+    }
+}
+
+#[test]
+fn mixed_collective_and_p2p_traffic_under_load() {
+    let out = run(cfg(27, 3), |rc: RankCtx| {
+        let w = rc.world();
+        let me = rc.rank();
+        // Interleave: barrier, allreduce, a p2p shift, an ibcast.
+        w.barrier();
+        let s = w.allreduce(Payload::from_f64s(&[me as f64])).to_f64s()[0];
+        let got = w.sendrecv((me + 1) % 27, (me + 26) % 27, 9, Payload::from_f64s(&[s]));
+        let req = w.ibcast(3, (me == 3).then(|| Payload::from_f64s(&[7.0])), 8);
+        let b = w.wait(&req).to_f64s()[0];
+        got.to_f64s()[0] + b
+    })
+    .unwrap();
+    let total: f64 = (0..27).map(|r| r as f64).sum();
+    for s in &out.results {
+        assert_eq!(*s, total + 7.0);
+    }
+}
+
+#[test]
+fn mismatched_bcast_roots_deadlock_cleanly() {
+    // Rank 0 broadcasts as root 0; rank 1 expects root 1: classic user
+    // error → deadlock, not a hang.
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        let root = rc.rank(); // everyone thinks they're the root
+        let data = Some(Payload::Phantom(1 << 20));
+        let _ = w.bcast(root, data, 1 << 20);
+    });
+    assert!(matches!(result, Err(SimError::Deadlock)));
+}
+
+#[test]
+fn missing_collective_participant_deadlocks_cleanly() {
+    let result = run(cfg(3, 1), |rc: RankCtx| {
+        let w = rc.world();
+        if rc.rank() != 2 {
+            // Rank 2 never joins the barrier.
+            w.barrier();
+        }
+    });
+    assert!(matches!(result, Err(SimError::Deadlock)));
+}
+
+#[test]
+fn rank_panic_is_reported_with_rank_and_message() {
+    let result = run(cfg(4, 2), |rc: RankCtx| {
+        if rc.rank() == 2 {
+            panic!("synthetic failure in rank code");
+        }
+        // Other ranks deadlock waiting for rank 2.
+        rc.world().barrier();
+    });
+    match result {
+        Err(SimError::RankPanic { rank, message }) => {
+            assert_eq!(rank, 2);
+            assert!(message.contains("synthetic failure"), "message: {message}");
+        }
+        Err(SimError::Deadlock) => {
+            // Acceptable alternative: the deadlock can be detected first,
+            // but the panic should normally win because it is collected
+            // before the deadlock scan of join results.
+            panic!("panic should be reported in preference to the induced deadlock");
+        }
+        Ok(_) => panic!("run must not succeed"),
+    }
+}
+
+#[test]
+fn determinism_under_heavy_oversubscription() {
+    // 128 ranks on 4 nodes: heavy thread oversubscription of the host —
+    // virtual results must not care.
+    let go = || {
+        run(cfg(128, 32), |rc: RankCtx| {
+            let w = rc.world();
+            let s = w.allreduce(Payload::from_f64s(&[rc.rank() as f64])).to_f64s()[0];
+            let req = w.ibarrier();
+            w.wait(&req);
+            (s, rc.now().as_nanos())
+        })
+        .unwrap()
+    };
+    let a = go();
+    let b = go();
+    assert_eq!(a.results, b.results);
+    assert_eq!(a.makespan, b.makespan);
+}
+
+#[test]
+fn zero_byte_collectives_work() {
+    let out = run(cfg(5, 1), |rc: RankCtx| {
+        let w = rc.world();
+        let b = w.bcast(0, (rc.rank() == 0).then(|| Payload::from_f64s(&[])), 0);
+        let r = w.reduce(0, Payload::from_f64s(&[]));
+        let a = w.allreduce(Payload::from_f64s(&[]));
+        (b.len(), r.map(|p| p.len()), a.len())
+    })
+    .unwrap();
+    for (r, res) in out.results.iter().enumerate() {
+        assert_eq!(res.0, 0);
+        assert_eq!(res.1, (r == 0).then_some(0));
+        assert_eq!(res.2, 0);
+    }
+}
+
+#[test]
+fn single_rank_universe_is_trivial_but_valid() {
+    let out = run(cfg(1, 1), |rc: RankCtx| {
+        let w = rc.world();
+        let b = w.bcast(0, Some(Payload::from_f64s(&[3.0])), 8);
+        let r = w.reduce(0, Payload::from_f64s(&[4.0])).unwrap();
+        w.barrier();
+        b.to_f64s()[0] + r.to_f64s()[0]
+    })
+    .unwrap();
+    assert_eq!(out.results[0], 7.0);
+}

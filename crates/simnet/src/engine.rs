@@ -1,0 +1,672 @@
+//! The discrete-event engine with threads-as-actors.
+//!
+//! Actor (rank) code runs on ordinary OS threads and *blocks* in
+//! communication calls, exactly like an MPI program. Virtual time advances
+//! only inside the engine: the event loop pops the earliest event **only when
+//! every registered actor is parked**, which makes the simulation a
+//! conservative discrete-event simulation regardless of how the OS schedules
+//! the threads.
+//!
+//! # Determinism
+//!
+//! Event ordering is a total order on [`EventKey`] `(time, class, origin,
+//! seq)`. Actor-posted events carry the actor's id and a per-actor sequence
+//! number; engine-posted events carry [`ENGINE_ORIGIN`] and an engine
+//! counter. Because actors may only schedule events at or after their own
+//! local clock, and the engine only advances when all actors are parked, the
+//! popped sequence — and therefore every virtual timestamp — is identical
+//! across runs and independent of thread scheduling.
+//!
+//! # Lock ordering
+//!
+//! `Engine`'s core mutex and each [`ParkCell`]'s mutex are never held
+//! simultaneously. Higher layers (simmpi) take their own state lock *before*
+//! calling into the engine; engine callbacks run with the core lock
+//! released.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::flow::{FlowId, FlowNet, FlowSpec, ResourceId};
+use crate::time::{SimDur, SimTime};
+use crate::trace::{Trace, TraceSpan};
+
+/// Origin id used for events scheduled by the engine itself (flow
+/// completions, timer chains created inside callbacks).
+pub const ENGINE_ORIGIN: u32 = u32::MAX;
+
+/// Event class for flow-completion events (sorts after same-time actor
+/// events so that, e.g., a wake posted "at" a flow's completion instant is
+/// handled deterministically).
+pub const CLASS_FLOW: u8 = 200;
+
+/// A callback run by the event loop at its scheduled virtual time, with the
+/// core lock released.
+pub type Action = Box<dyn FnOnce(&Engine) + Send>;
+
+/// Total ordering key for events: `(time, class, origin, seq)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// Virtual time the event fires.
+    pub time: SimTime,
+    /// Secondary ordering class; lower classes fire first at equal times.
+    pub class: u8,
+    /// Posting actor (or [`ENGINE_ORIGIN`]).
+    pub origin: u32,
+    /// Per-origin monotonic sequence number.
+    pub seq: u64,
+}
+
+enum Slot {
+    Call(Action),
+    FlowDone(FlowId),
+}
+
+struct FlowMeta {
+    key: EventKey,
+    on_complete: Option<Action>,
+}
+
+/// How a parked actor was released.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeKind {
+    /// Normal wake; the actor's clock becomes the wake time.
+    Normal,
+    /// The simulation deadlocked: no runnable actor and no pending event.
+    Deadlock,
+}
+
+#[derive(Default)]
+struct CellState {
+    pending: Option<SimTime>,
+    deadlock: bool,
+}
+
+/// Per-actor parking spot. An actor parks on its cell inside blocking
+/// calls; event callbacks release it via [`Engine::wake`].
+pub struct ParkCell {
+    state: Mutex<CellState>,
+    cv: Condvar,
+}
+
+impl Default for ParkCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ParkCell {
+    /// Fresh, unarmed cell.
+    pub fn new() -> ParkCell {
+        ParkCell {
+            state: Mutex::new(CellState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block the calling thread until woken; returns the wake time.
+    /// Must be preceded by [`Engine::park_begin`].
+    fn wait(&self) -> (SimTime, WakeKind) {
+        let mut st = self.state.lock();
+        loop {
+            if st.deadlock {
+                return (SimTime::ZERO, WakeKind::Deadlock);
+            }
+            if let Some(t) = st.pending.take() {
+                return (t, WakeKind::Normal);
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+}
+
+struct Core {
+    now: SimTime,
+    queue: BTreeMap<EventKey, Slot>,
+    runnable: usize,
+    live: usize,
+    engine_seq: u64,
+    flows: FlowNet,
+    flow_meta: BTreeMap<FlowId, FlowMeta>,
+    flows_settled_at: SimTime,
+    actors: BTreeMap<u32, Arc<ParkCell>>,
+    trace: Option<Trace>,
+    deadlocked: bool,
+    stopped: bool,
+}
+
+/// The virtual-time discrete-event engine. Shared by reference between the
+/// event-loop thread and all actor threads.
+pub struct Engine {
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+impl Engine {
+    /// New engine at virtual time zero with no resources or actors.
+    pub fn new() -> Engine {
+        Engine {
+            core: Mutex::new(Core {
+                now: SimTime::ZERO,
+                queue: BTreeMap::new(),
+                runnable: 0,
+                live: 0,
+                engine_seq: 0,
+                flows: FlowNet::new(),
+                flow_meta: BTreeMap::new(),
+                flows_settled_at: SimTime::ZERO,
+                actors: BTreeMap::new(),
+                trace: None,
+                deadlocked: false,
+                stopped: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Enable span tracing (for Fig.-6-style timelines).
+    pub fn enable_trace(&self) {
+        self.core.lock().trace = Some(Trace::new());
+    }
+
+    /// Record a span if tracing is enabled.
+    pub fn record_span(&self, span: TraceSpan) {
+        if let Some(t) = self.core.lock().trace.as_mut() {
+            t.push(span);
+        }
+    }
+
+    /// Take the accumulated trace, if tracing was enabled.
+    pub fn take_trace(&self) -> Option<Trace> {
+        self.core.lock().trace.take()
+    }
+
+    /// Register a network resource (must happen before flows use it).
+    pub fn add_resource(&self, capacity: f64) -> ResourceId {
+        self.core.lock().flows.add_resource(capacity)
+    }
+
+    /// Current virtual time of the event loop. Actor threads should use
+    /// their own local clocks; this is primarily for event callbacks.
+    pub fn now(&self) -> SimTime {
+        self.core.lock().now
+    }
+
+    /// Whether the run ended in deadlock.
+    pub fn deadlocked(&self) -> bool {
+        self.core.lock().deadlocked
+    }
+
+    /// Register an actor and its park cell. The actor starts runnable.
+    pub fn register_actor(&self, id: u32, cell: Arc<ParkCell>) {
+        let mut core = self.core.lock();
+        assert!(
+            core.actors.insert(id, cell).is_none(),
+            "actor {id} registered twice"
+        );
+        core.live += 1;
+        core.runnable += 1;
+    }
+
+    /// Mark an actor finished (called from the actor thread, including on
+    /// unwind). The actor must currently be runnable.
+    pub fn actor_finished(&self, id: u32) {
+        let mut core = self.core.lock();
+        core.actors.remove(&id).expect("finishing unknown actor");
+        core.live -= 1;
+        core.runnable -= 1;
+        if core.runnable == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Schedule an action at an explicit key. Panics on key collision —
+    /// callers must use unique per-origin sequence numbers.
+    pub fn schedule(&self, key: EventKey, action: Action) {
+        let mut core = self.core.lock();
+        assert!(
+            !core.stopped,
+            "scheduling after the simulation has stopped"
+        );
+        let prev = core.queue.insert(key, Slot::Call(action));
+        assert!(prev.is_none(), "event key collision: {key:?}");
+    }
+
+    /// Schedule an action with an engine-assigned sequence number.
+    pub fn schedule_engine(&self, time: SimTime, class: u8, action: Action) -> EventKey {
+        let mut core = self.core.lock();
+        assert!(!core.stopped, "scheduling after stop");
+        let key = EventKey {
+            time,
+            class,
+            origin: ENGINE_ORIGIN,
+            seq: core.engine_seq,
+        };
+        core.engine_seq += 1;
+        let prev = core.queue.insert(key, Slot::Call(action));
+        debug_assert!(prev.is_none());
+        key
+    }
+
+    /// Cancel a previously scheduled action. Returns it if it had not fired.
+    pub fn cancel(&self, key: EventKey) -> Option<Action> {
+        match self.core.lock().queue.remove(&key) {
+            Some(Slot::Call(a)) => Some(a),
+            Some(Slot::FlowDone(_)) => panic!("cannot cancel a flow event"),
+            None => None,
+        }
+    }
+
+    /// Start a bulk transfer. Must be called from an event callback (so that
+    /// the flow starts exactly at the callback's virtual time);
+    /// `on_complete` runs when the last byte arrives.
+    ///
+    /// Returns the flow id (useful only for diagnostics).
+    pub fn start_flow(
+        &self,
+        resources: Vec<ResourceId>,
+        cap: f64,
+        bytes: f64,
+        on_complete: Action,
+    ) -> FlowId {
+        let mut core = self.core.lock();
+        assert!(!core.stopped, "starting a flow after stop");
+        let now = core.now;
+        core.settle_flows(now);
+        let id = core.flows.add(FlowSpec {
+            resources,
+            cap,
+            bytes,
+        });
+        let seq = core.engine_seq;
+        core.engine_seq += 1;
+        core.flow_meta.insert(
+            id,
+            FlowMeta {
+                // Placeholder; fixed up by reschedule_flows below.
+                key: EventKey {
+                    time: now,
+                    class: CLASS_FLOW,
+                    origin: ENGINE_ORIGIN,
+                    seq,
+                },
+                on_complete: Some(on_complete),
+            },
+        );
+        core.queue.insert(
+            EventKey {
+                time: now,
+                class: CLASS_FLOW,
+                origin: ENGINE_ORIGIN,
+                seq,
+            },
+            Slot::FlowDone(id),
+        );
+        core.reschedule_flows();
+        id
+    }
+
+    /// Release a parked actor at virtual time `t`. May be called before the
+    /// actor has actually gone to sleep (the wake is then consumed
+    /// immediately); repeated wakes merge to the latest time.
+    pub fn wake(&self, cell: &ParkCell, t: SimTime) {
+        let mut st = cell.state.lock();
+        let was_pending = st.pending.is_some();
+        st.pending = Some(st.pending.map_or(t, |p| p.max(t)));
+        drop(st);
+        if !was_pending {
+            self.core.lock().runnable += 1;
+        }
+        cell.cv.notify_all();
+    }
+
+    /// Consume a pending wake on `cell` without sleeping, decrementing the
+    /// runnable count that the wake added. Waiters that find their condition
+    /// satisfied *without* parking must call this before returning, or the
+    /// engine would believe an extra actor is runnable forever.
+    pub fn consume_pending(&self, cell: &ParkCell) -> Option<SimTime> {
+        let t = cell.state.lock().pending.take();
+        if t.is_some() {
+            let mut core = self.core.lock();
+            core.runnable -= 1;
+            if core.runnable == 0 {
+                self.cv.notify_all();
+            }
+        }
+        t
+    }
+
+    /// Declare the calling actor blocked, then sleep on `cell` until woken.
+    /// Returns the wake time; panics with a diagnostic if the simulation
+    /// deadlocked.
+    pub fn park(&self, cell: &ParkCell) -> SimTime {
+        {
+            let mut core = self.core.lock();
+            core.runnable -= 1;
+            if core.runnable == 0 {
+                self.cv.notify_all();
+            }
+        }
+        match cell.wait() {
+            (t, WakeKind::Normal) => t,
+            (_, WakeKind::Deadlock) => {
+                // Restore the runnable count so that the unwinding actor's
+                // `actor_finished` (run from a drop guard) doesn't underflow.
+                self.core.lock().runnable += 1;
+                panic!(
+                    "simulation deadlock: every rank is blocked and no event is pending \
+                     (mismatched send/recv or collective call order?)"
+                )
+            }
+        }
+    }
+
+    /// Run the event loop until all actors have finished (or deadlock).
+    /// Typically run on the caller's thread while actor threads execute.
+    pub fn run_loop(&self) {
+        loop {
+            let work: Action = {
+                let mut core = self.core.lock();
+                loop {
+                    if core.stopped {
+                        return;
+                    }
+                    if core.runnable > 0 {
+                        self.cv.wait(&mut core);
+                        continue;
+                    }
+                    if core.live == 0 {
+                        core.stopped = true;
+                        return;
+                    }
+                    if core.queue.is_empty() {
+                        // Deadlock: release everyone with a diagnostic.
+                        core.deadlocked = true;
+                        core.stopped = true;
+                        let cells: Vec<Arc<ParkCell>> = core.actors.values().cloned().collect();
+                        drop(core);
+                        for cell in cells {
+                            let mut st = cell.state.lock();
+                            st.deadlock = true;
+                            cell.cv.notify_all();
+                        }
+                        return;
+                    }
+                    let (key, slot) = core.queue.pop_first().expect("queue non-empty");
+                    debug_assert!(key.time >= core.now, "event in the past: {key:?}");
+                    core.now = key.time;
+                    match slot {
+                        Slot::Call(a) => break a,
+                        Slot::FlowDone(id) => {
+                            let now = core.now;
+                            core.settle_flows(now);
+                            let mut meta =
+                                core.flow_meta.remove(&id).expect("flow meta missing");
+                            core.flows.remove(id);
+                            core.reschedule_flows();
+                            let cb = meta.on_complete.take().expect("flow callback missing");
+                            break cb;
+                        }
+                    }
+                }
+            };
+            work(self);
+        }
+    }
+
+    /// Number of flows currently in the network (diagnostics).
+    pub fn active_flows(&self) -> usize {
+        self.core.lock().flows.num_flows()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Core {
+    fn settle_flows(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.flows_settled_at);
+        if dt > SimDur::ZERO {
+            self.flows.progress(dt.as_secs_f64());
+        }
+        self.flows_settled_at = now;
+    }
+
+    /// Recompute completion events after any change to the flow set.
+    fn reschedule_flows(&mut self) {
+        let now = self.flows_settled_at;
+        let ids: Vec<FlowId> = self.flows.flow_ids().collect();
+        for id in ids {
+            let eta = self.flows.eta_secs(id);
+            assert!(
+                eta.is_finite(),
+                "flow {id:?} has infinite ETA (zero rate with bytes remaining)"
+            );
+            let t = now + SimDur::from_secs_f64(eta);
+            let meta = self.flow_meta.get_mut(&id).expect("meta for active flow");
+            if meta.key.time != t {
+                let slot = self
+                    .queue
+                    .remove(&meta.key)
+                    .expect("flow completion event missing");
+                debug_assert!(matches!(slot, Slot::FlowDone(_)));
+                meta.key.time = t;
+                let prev = self.queue.insert(meta.key, slot);
+                debug_assert!(prev.is_none(), "flow key collision");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    /// Drive a single-actor simulation: the actor body gets (engine, cell).
+    fn run_one_actor<F>(engine: Arc<Engine>, body: F)
+    where
+        F: FnOnce(&Engine, &ParkCell) + Send + 'static,
+    {
+        let cell = Arc::new(ParkCell::new());
+        engine.register_actor(0, cell.clone());
+        let eng2 = engine.clone();
+        let t = thread::spawn(move || {
+            body(&eng2, &cell);
+            eng2.actor_finished(0);
+        });
+        engine.run_loop();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn timer_event_wakes_actor_at_scheduled_time() {
+        let engine = Arc::new(Engine::new());
+        let woke_at = Arc::new(AtomicU64::new(0));
+        let woke_at2 = woke_at.clone();
+        run_one_actor(engine, move |eng, _| {
+            // Schedule a wake at t = 5us, then park.
+            let cell = Arc::new(ParkCell::new());
+            let cell_for_event = cell.clone();
+            eng.schedule(
+                EventKey {
+                    time: SimTime(5_000),
+                    class: 0,
+                    origin: 0,
+                    seq: 0,
+                },
+                Box::new(move |e| {
+                    e.wake(&cell_for_event, SimTime(5_000));
+                }),
+            );
+            let t = eng.park(&cell);
+            woke_at2.store(t.as_nanos(), Ordering::SeqCst);
+        });
+        assert_eq!(woke_at.load(Ordering::SeqCst), 5_000);
+    }
+
+    #[test]
+    fn events_fire_in_key_order() {
+        let engine = Arc::new(Engine::new());
+        let order = Arc::new(Mutex::new(Vec::<u32>::new()));
+        let order2 = order.clone();
+        run_one_actor(engine, move |eng, _| {
+            let cell = Arc::new(ParkCell::new());
+            for (i, t) in [(0u32, 9_000u64), (1, 3_000), (2, 3_000)] {
+                let order3 = order2.clone();
+                let cell2 = cell.clone();
+                eng.schedule(
+                    EventKey {
+                        time: SimTime(t),
+                        class: 0,
+                        origin: 0,
+                        seq: i as u64,
+                    },
+                    Box::new(move |e| {
+                        order3.lock().push(i);
+                        if i == 0 {
+                            // Last event by time: release the actor.
+                            e.wake(&cell2, SimTime(9_000));
+                        }
+                    }),
+                );
+            }
+            eng.park(&cell);
+        });
+        // Same-time events (1, 2) fire in seq order, then the later one (0).
+        assert_eq!(*order.lock(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn flow_completion_time_matches_bandwidth() {
+        let engine = Arc::new(Engine::new());
+        let nic = engine.add_resource(1e9); // 1 GB/s
+        let done_at = Arc::new(AtomicU64::new(0));
+        let done_at2 = done_at.clone();
+        run_one_actor(engine, move |eng, _| {
+            let cell = Arc::new(ParkCell::new());
+            let cell2 = cell.clone();
+            // Kick off the flow from an event so it starts at t=0 exactly.
+            eng.schedule(
+                EventKey {
+                    time: SimTime(0),
+                    class: 0,
+                    origin: 0,
+                    seq: 0,
+                },
+                Box::new(move |e| {
+                    let cell3 = cell2.clone();
+                    e.start_flow(
+                        vec![nic],
+                        1e9,
+                        1_000_000.0, // 1 MB at 1 GB/s = 1 ms
+                        Box::new(move |e2| {
+                            e2.wake(&cell3, e2.now());
+                        }),
+                    );
+                }),
+            );
+            let t = eng.park(&cell);
+            done_at2.store(t.as_nanos(), Ordering::SeqCst);
+        });
+        let t = done_at.load(Ordering::SeqCst);
+        assert!((t as i64 - 1_000_000).abs() < 10, "flow done at {t}ns");
+    }
+
+    #[test]
+    fn two_flows_share_then_speed_up() {
+        // Two 1 MB flows on one 1 GB/s NIC started together: each runs at
+        // 0.5 GB/s and finishes at 2 ms (fair sharing, work conservation).
+        let engine = Arc::new(Engine::new());
+        let nic = engine.add_resource(1e9);
+        let done = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let done2 = done.clone();
+        run_one_actor(engine, move |eng, _| {
+            let cell = Arc::new(ParkCell::new());
+            let cell2 = cell.clone();
+            let done3 = done2.clone();
+            eng.schedule(
+                EventKey {
+                    time: SimTime(0),
+                    class: 0,
+                    origin: 0,
+                    seq: 0,
+                },
+                Box::new(move |e| {
+                    let remaining = Arc::new(AtomicU64::new(2));
+                    for _ in 0..2 {
+                        let done4 = done3.clone();
+                        let cell3 = cell2.clone();
+                        let rem = remaining.clone();
+                        e.start_flow(
+                            vec![nic],
+                            1e9,
+                            1_000_000.0,
+                            Box::new(move |e2| {
+                                done4.lock().push(e2.now().as_nanos());
+                                if rem.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                    e2.wake(&cell3, e2.now());
+                                }
+                            }),
+                        );
+                    }
+                }),
+            );
+            eng.park(&cell);
+        });
+        let times = done.lock().clone();
+        assert_eq!(times.len(), 2);
+        for t in times {
+            assert!((t as i64 - 2_000_000).abs() < 10, "finished at {t}ns");
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_panics_parked_actor() {
+        let engine = Arc::new(Engine::new());
+        let cell = Arc::new(ParkCell::new());
+        engine.register_actor(0, cell.clone());
+        let eng2 = engine.clone();
+        let t = thread::spawn(move || {
+            // Park with nothing scheduled: guaranteed deadlock.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                eng2.park(&cell);
+            }));
+            eng2.actor_finished(0);
+            assert!(result.is_err(), "park should panic on deadlock");
+        });
+        engine.run_loop();
+        t.join().unwrap();
+        assert!(engine.deadlocked());
+    }
+
+    #[test]
+    fn wake_before_park_is_not_lost() {
+        let engine = Arc::new(Engine::new());
+        run_one_actor(engine, move |eng, _| {
+            let cell = Arc::new(ParkCell::new());
+            // Wake first (e.g. a request completed before the waiter looked).
+            eng.wake(&cell, SimTime(42));
+            let t = eng.park(&cell);
+            assert_eq!(t.as_nanos(), 42);
+        });
+    }
+
+    #[test]
+    fn merged_wakes_keep_latest_time() {
+        let engine = Arc::new(Engine::new());
+        run_one_actor(engine, move |eng, _| {
+            let cell = Arc::new(ParkCell::new());
+            eng.wake(&cell, SimTime(10));
+            eng.wake(&cell, SimTime(30));
+            eng.wake(&cell, SimTime(20));
+            assert_eq!(eng.park(&cell).as_nanos(), 30);
+        });
+    }
+}

@@ -1,0 +1,370 @@
+//! Max–min fair flow-level network model.
+//!
+//! A *flow* is a bulk data transfer that consumes capacity on a set of
+//! *resources* (NIC transmit/receive sides, intra-node memory channels, …)
+//! and is additionally limited by a per-flow rate cap (the "single stream"
+//! bandwidth — the reason one MPI process cannot saturate a NIC, which is the
+//! root motivation of the paper, §V-A / Fig. 3).
+//!
+//! Rates are assigned by progressive filling (max–min fairness): repeatedly
+//! find the most-constrained bottleneck — either a resource whose fair share
+//! is smallest or a flow whose own cap is below every share — fix the
+//! affected flows at that rate, remove the consumed capacity, and continue.
+//!
+//! The allocator is deterministic: flows are iterated in `FlowId` order and
+//! resources in index order, so equal inputs always produce equal rates.
+
+use std::collections::BTreeMap;
+
+/// Identifies a capacity-constrained resource (e.g. one NIC direction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub u32);
+
+/// Identifies an active flow. Ids are assigned monotonically and never
+/// reused, so `FlowId` order is creation order — part of the determinism
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// Description of a new flow.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Resources this flow consumes capacity on (typically source NIC tx and
+    /// destination NIC rx, or a node memory channel for intra-node flows).
+    /// Duplicates are allowed and are counted once.
+    pub resources: Vec<ResourceId>,
+    /// Per-flow rate cap in bytes/second (single-stream bandwidth).
+    pub cap: f64,
+    /// Bytes to transfer.
+    pub bytes: f64,
+}
+
+#[derive(Debug)]
+struct Flow {
+    resources: Vec<ResourceId>,
+    cap: f64,
+    /// Bytes still to transfer as of `FlowNet::progress`' last call.
+    remaining: f64,
+    /// Current max–min fair rate in bytes/second.
+    rate: f64,
+}
+
+/// The set of active flows plus the fixed resource capacities.
+///
+/// `FlowNet` is a pure model: it knows nothing about virtual time. The
+/// caller (the engine) drives it by calling [`FlowNet::progress`] with
+/// elapsed durations and re-reading per-flow rates/ETAs after each
+/// [`FlowNet::add`]/[`FlowNet::remove`].
+#[derive(Debug, Default)]
+pub struct FlowNet {
+    capacity: Vec<f64>,
+    flows: BTreeMap<FlowId, Flow>,
+    next_id: u64,
+}
+
+impl FlowNet {
+    /// Create an empty network with no resources.
+    pub fn new() -> FlowNet {
+        FlowNet::default()
+    }
+
+    /// Register a resource with the given capacity (bytes/second) and return
+    /// its id. Capacities are fixed for the lifetime of the network.
+    pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "resource capacity must be positive and finite, got {capacity}"
+        );
+        let id = ResourceId(self.capacity.len() as u32);
+        self.capacity.push(capacity);
+        id
+    }
+
+    /// Number of registered resources.
+    pub fn num_resources(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Number of active flows.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Add a flow and recompute all rates. Returns the new flow's id.
+    ///
+    /// A zero-byte flow is legal; it will report an ETA of zero.
+    pub fn add(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(
+            spec.cap.is_finite() && spec.cap > 0.0,
+            "flow cap must be positive and finite, got {}",
+            spec.cap
+        );
+        assert!(
+            spec.bytes.is_finite() && spec.bytes >= 0.0,
+            "flow size must be non-negative, got {}",
+            spec.bytes
+        );
+        let mut resources = spec.resources;
+        resources.sort_unstable();
+        resources.dedup();
+        for r in &resources {
+            assert!(
+                (r.0 as usize) < self.capacity.len(),
+                "unknown resource {r:?}"
+            );
+        }
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                resources,
+                cap: spec.cap,
+                remaining: spec.bytes,
+                rate: 0.0,
+            },
+        );
+        self.recompute();
+        id
+    }
+
+    /// Remove a flow (complete or cancelled) and recompute rates.
+    /// Returns the bytes it still had outstanding.
+    pub fn remove(&mut self, id: FlowId) -> f64 {
+        let flow = self.flows.remove(&id).expect("removing unknown flow");
+        self.recompute();
+        flow.remaining
+    }
+
+    /// Advance every flow by `dt_secs`, decrementing remaining bytes at the
+    /// current rates. Rates themselves do not change here.
+    pub fn progress(&mut self, dt_secs: f64) {
+        debug_assert!(dt_secs >= 0.0);
+        for flow in self.flows.values_mut() {
+            flow.remaining = (flow.remaining - flow.rate * dt_secs).max(0.0);
+        }
+    }
+
+    /// Current rate of a flow in bytes/second.
+    pub fn rate(&self, id: FlowId) -> f64 {
+        self.flows[&id].rate
+    }
+
+    /// Bytes outstanding as of the last `progress` call.
+    pub fn remaining(&self, id: FlowId) -> f64 {
+        self.flows[&id].remaining
+    }
+
+    /// Seconds from now until the flow finishes at its current rate
+    /// (`f64::INFINITY` if its rate is zero and bytes remain; zero-byte
+    /// flows finish immediately).
+    pub fn eta_secs(&self, id: FlowId) -> f64 {
+        let f = &self.flows[&id];
+        if f.remaining <= 0.0 {
+            0.0
+        } else if f.rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            f.remaining / f.rate
+        }
+    }
+
+    /// Iterate over active flow ids in creation order.
+    pub fn flow_ids(&self) -> impl Iterator<Item = FlowId> + '_ {
+        self.flows.keys().copied()
+    }
+
+    /// Progressive-filling max–min fair rate allocation.
+    fn recompute(&mut self) {
+        let nres = self.capacity.len();
+        let mut remaining_cap = self.capacity.clone();
+        let mut count = vec![0usize; nres];
+        // Unfixed flows, in deterministic id order.
+        let mut unfixed: Vec<FlowId> = self.flows.keys().copied().collect();
+        for id in &unfixed {
+            for r in &self.flows[id].resources {
+                count[r.0 as usize] += 1;
+            }
+        }
+
+        while !unfixed.is_empty() {
+            // Bottleneck share over resources that still carry unfixed flows.
+            let mut share = f64::INFINITY;
+            for r in 0..nres {
+                if count[r] > 0 {
+                    share = share.min(remaining_cap[r].max(0.0) / count[r] as f64);
+                }
+            }
+            // A flow with no resources is limited only by its own cap.
+            // Determine this round's rate: the smaller of the bottleneck
+            // share and the smallest unfixed per-flow cap.
+            let min_cap = unfixed
+                .iter()
+                .map(|id| self.flows[id].cap)
+                .fold(f64::INFINITY, f64::min);
+            let level = share.min(min_cap);
+            debug_assert!(level.is_finite(), "no constraint bound any flow");
+
+            // Fix every flow that is pinned at this level: either its cap is
+            // the binding constraint, or it crosses a bottleneck resource.
+            let mut fixed_any = false;
+            let mut still: Vec<FlowId> = Vec::with_capacity(unfixed.len());
+            for id in unfixed.drain(..) {
+                let flow = &self.flows[&id];
+                let at_cap = flow.cap <= level + level * 1e-12;
+                let at_bottleneck = flow.resources.iter().any(|r| {
+                    let r = r.0 as usize;
+                    count[r] > 0
+                        && remaining_cap[r].max(0.0) / count[r] as f64 <= level + level * 1e-12
+                });
+                if at_cap || at_bottleneck {
+                    fixed_any = true;
+                    let resources = flow.resources.clone();
+                    self.flows.get_mut(&id).unwrap().rate = level;
+                    for r in resources {
+                        let r = r.0 as usize;
+                        remaining_cap[r] -= level;
+                        count[r] -= 1;
+                    }
+                } else {
+                    still.push(id);
+                }
+            }
+            unfixed = still;
+            assert!(fixed_any, "max-min allocation failed to make progress");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(resources: &[ResourceId], cap: f64, bytes: f64) -> FlowSpec {
+        FlowSpec {
+            resources: resources.to_vec(),
+            cap,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn single_flow_capped_by_stream_cap() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(12e9);
+        let f = net.add(spec(&[nic], 9e9, 1e6));
+        assert_eq!(net.rate(f), 9e9);
+    }
+
+    #[test]
+    fn single_flow_capped_by_resource() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(5e9);
+        let f = net.add(spec(&[nic], 9e9, 1e6));
+        assert_eq!(net.rate(f), 5e9);
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(12e9);
+        let a = net.add(spec(&[nic], 9e9, 1e6));
+        let b = net.add(spec(&[nic], 9e9, 1e6));
+        assert!((net.rate(a) - 6e9).abs() < 1.0);
+        assert!((net.rate(b) - 6e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn capped_flow_releases_share_to_others() {
+        // One flow capped at 2 GB/s on a 12 GB/s NIC; the other (cap 11)
+        // should get the remaining 10 GB/s, not the naive 6.
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(12e9);
+        let slow = net.add(spec(&[nic], 2e9, 1e6));
+        let fast = net.add(spec(&[nic], 11e9, 1e6));
+        assert!((net.rate(slow) - 2e9).abs() < 1.0);
+        assert!((net.rate(fast) - 10e9).abs() < 1e3);
+    }
+
+    #[test]
+    fn multi_resource_bottleneck() {
+        // tx capacity 12, rx capacity 4: flow crossing both is limited by rx.
+        let mut net = FlowNet::new();
+        let tx = net.add_resource(12e9);
+        let rx = net.add_resource(4e9);
+        let f = net.add(spec(&[tx, rx], 20e9, 1e6));
+        assert!((net.rate(f) - 4e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn incast_shares_receiver() {
+        // Four senders (distinct tx NICs) into one rx NIC of 12 GB/s:
+        // each should get 3 GB/s.
+        let mut net = FlowNet::new();
+        let rx = net.add_resource(12e9);
+        let mut flows = Vec::new();
+        for _ in 0..4 {
+            let tx = net.add_resource(12e9);
+            flows.push(net.add(spec(&[tx, rx], 10e9, 1e6)));
+        }
+        for f in flows {
+            assert!((net.rate(f) - 3e9).abs() < 1e3);
+        }
+    }
+
+    #[test]
+    fn progress_and_eta() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(10.0); // 10 B/s for easy math
+        let f = net.add(spec(&[nic], 100.0, 50.0));
+        assert!((net.eta_secs(f) - 5.0).abs() < 1e-12);
+        net.progress(2.0);
+        assert!((net.remaining(f) - 30.0).abs() < 1e-12);
+        assert!((net.eta_secs(f) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_restores_capacity() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(12e9);
+        let a = net.add(spec(&[nic], 12e9, 1e6));
+        let b = net.add(spec(&[nic], 12e9, 1e6));
+        assert!((net.rate(a) - 6e9).abs() < 1.0);
+        net.remove(b);
+        assert!((net.rate(a) - 12e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_byte_flow_has_zero_eta() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(12e9);
+        let f = net.add(spec(&[nic], 12e9, 0.0));
+        assert_eq!(net.eta_secs(f), 0.0);
+    }
+
+    #[test]
+    fn duplicate_resources_counted_once() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(10e9);
+        let f = net.add(spec(&[nic, nic], 20e9, 1.0));
+        assert!((net.rate(f) - 10e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn work_conservation_on_shared_resource() {
+        // Sum of rates on the shared NIC must equal its capacity when demand
+        // exceeds it.
+        let mut net = FlowNet::new();
+        let nic = net.add_resource(12e9);
+        let flows: Vec<_> = (0..5).map(|_| net.add(spec(&[nic], 9e9, 1.0))).collect();
+        let total: f64 = flows.iter().map(|&f| net.rate(f)).sum();
+        assert!((total - 12e9).abs() < 1e3, "total {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown resource")]
+    fn unknown_resource_panics() {
+        let mut net = FlowNet::new();
+        net.add(spec(&[ResourceId(7)], 1e9, 1.0));
+    }
+}

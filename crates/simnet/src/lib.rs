@@ -1,0 +1,40 @@
+//! # ovcomm-simnet
+//!
+//! A deterministic, virtual-time, flow-level cluster network simulator — the
+//! hardware substrate for reproducing *"Overlapping Communications with Other
+//! Communications and its Application to Distributed Dense Matrix
+//! Computations"* (Huang & Chow, IPDPS 2019) without a physical cluster.
+//!
+//! The simulator has four pieces:
+//!
+//! * [`time`] — `u64`-nanosecond virtual clock types.
+//! * [`flow`] — a max–min fair flow network: NICs and memory channels are
+//!   capacity resources; transfers are flows with per-stream caps. The fact
+//!   that a *single* stream cannot saturate a NIC (the paper's Fig. 3 and the
+//!   root motivation for overlapping communications) is modeled by the
+//!   message-size-dependent stream cap in [`profile::MachineProfile`].
+//! * [`engine`] — a conservative discrete-event engine in which each actor
+//!   (MPI rank) is an OS thread that parks inside blocking calls; virtual
+//!   time advances only when every actor is parked, making runs
+//!   bit-deterministic regardless of OS thread scheduling.
+//! * [`profile`]/[`topology`] — calibration constants (Stampede2 Skylake
+//!   preset fitted to the paper's measured anchors) and rank→node maps.
+//!
+//! Higher layers: `ovcomm-simmpi` implements MPI semantics on these
+//! primitives; `ovcomm-kernels` implements the paper's algorithms on that.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod flow;
+pub mod profile;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use engine::{Action, Engine, EventKey, ParkCell, WakeKind, CLASS_FLOW, ENGINE_ORIGIN};
+pub use flow::{FlowId, FlowNet, FlowSpec, ResourceId};
+pub use profile::MachineProfile;
+pub use time::{SimDur, SimTime};
+pub use topology::{ClusterResources, ClusterSpec, NodeMap};
+pub use trace::{SpanKind, Trace, TraceSpan};

@@ -1,0 +1,211 @@
+//! Virtual time for the discrete-event simulation.
+//!
+//! All simulator clocks are [`SimTime`] values: nanoseconds since the start of
+//! the run, stored as `u64`. Durations are [`SimDur`]. One nanosecond of
+//! granularity is ample for cluster-network modelling (link latencies are
+//! microseconds) while `u64` nanoseconds covers ~584 years of virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute instant on the virtual clock (nanoseconds since run start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of virtual time (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDur(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since run start.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since run start, as `f64`.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Elapsed duration since `earlier`; saturates to zero if `earlier` is
+    /// actually later (never panics — useful in lazily-updated flow math).
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDur {
+        SimDur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+}
+
+impl SimDur {
+    /// Zero-length duration.
+    pub const ZERO: SimDur = SimDur(0);
+
+    /// Construct from whole nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: u64) -> SimDur {
+        SimDur(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub fn from_micros(us: u64) -> SimDur {
+        SimDur(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub fn from_millis(ms: u64) -> SimDur {
+        SimDur(ms * 1_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding up to the next nanosecond
+    /// so that a nonzero physical duration never becomes a zero virtual one.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> SimDur {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative, got {secs}"
+        );
+        SimDur((secs * 1e9).ceil() as u64)
+    }
+
+    /// Nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds, as `f64`.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Microseconds, as `f64` (the unit the paper's Fig. 6 uses).
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 * 1e-3
+    }
+}
+
+impl Add<SimDur> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDur) -> SimTime {
+        SimTime(self.0.checked_add(rhs.0).expect("virtual clock overflow"))
+    }
+}
+
+impl AddAssign<SimDur> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDur {
+    type Output = SimDur;
+    #[inline]
+    fn add(self, rhs: SimDur) -> SimDur {
+        SimDur(self.0.checked_add(rhs.0).expect("virtual duration overflow"))
+    }
+}
+
+impl AddAssign for SimDur {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDur;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDur {
+        SimDur(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("subtracting a later SimTime from an earlier one"),
+        )
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.2}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.4}s", self.as_secs_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion_roundtrip() {
+        assert_eq!(SimDur::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(SimDur::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDur::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        let t = SimTime::ZERO + SimDur::from_secs_f64(0.25);
+        assert!((t.as_secs_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_rounds_up() {
+        // 1.5 ns worth of seconds must not truncate to 1 ns silently; it
+        // rounds *up* so tiny positive costs remain positive.
+        assert_eq!(SimDur::from_secs_f64(1.5e-9).as_nanos(), 2);
+        assert_eq!(SimDur::from_secs_f64(0.0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime(100);
+        let b = SimTime(40);
+        assert_eq!(a.saturating_since(b).as_nanos(), 60);
+        assert_eq!(b.saturating_since(a).as_nanos(), 0);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        assert!(SimTime(1) < SimTime(2));
+        assert_eq!(SimTime(1).max(SimTime(2)), SimTime(2));
+        assert_eq!(SimTime(5).max(SimTime(2)), SimTime(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_duration_panics() {
+        let _ = SimDur::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(format!("{}", SimDur(500)), "500ns");
+        assert_eq!(format!("{}", SimDur(1_500)), "1.50us");
+        assert_eq!(format!("{}", SimDur(2_500_000)), "2.50ms");
+    }
+}

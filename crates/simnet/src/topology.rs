@@ -1,0 +1,197 @@
+//! Cluster topology: nodes, their network resources, and the mapping of
+//! ranks (processes) onto nodes.
+//!
+//! The fabric itself (a fat tree with six core switches on Stampede2) is
+//! assumed non-blocking, as is standard for flow-level models of full-bisection
+//! fat trees: only the NICs (one transmit and one receive resource per node)
+//! and the intra-node memory channel constrain transfers.
+
+use crate::flow::{FlowNet, ResourceId};
+use crate::profile::MachineProfile;
+
+/// Static description of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Hardware/software constants.
+    pub profile: MachineProfile,
+}
+
+impl ClusterSpec {
+    /// A cluster of `nodes` identical nodes with the given profile.
+    pub fn new(nodes: usize, profile: MachineProfile) -> ClusterSpec {
+        assert!(nodes >= 1, "cluster needs at least one node");
+        ClusterSpec { nodes, profile }
+    }
+
+    /// Register this cluster's resources into a [`FlowNet`] and return the
+    /// lookup table.
+    pub fn build_resources(&self, net: &mut FlowNet) -> ClusterResources {
+        let mut tx = Vec::with_capacity(self.nodes);
+        let mut rx = Vec::with_capacity(self.nodes);
+        let mut mem = Vec::with_capacity(self.nodes);
+        for _ in 0..self.nodes {
+            tx.push(net.add_resource(self.profile.nic_bw));
+            rx.push(net.add_resource(self.profile.nic_bw));
+            mem.push(net.add_resource(self.profile.node_mem_bw));
+        }
+        ClusterResources { tx, rx, mem }
+    }
+}
+
+/// Resource ids for each node, produced by [`ClusterSpec::build_resources`].
+#[derive(Debug, Clone)]
+pub struct ClusterResources {
+    tx: Vec<ResourceId>,
+    rx: Vec<ResourceId>,
+    mem: Vec<ResourceId>,
+}
+
+impl ClusterResources {
+    /// Assemble from explicit per-node resource ids (ids must have been
+    /// registered in the same order `build_resources` uses: tx, rx, mem per
+    /// node).
+    pub fn from_parts(
+        tx: Vec<ResourceId>,
+        rx: Vec<ResourceId>,
+        mem: Vec<ResourceId>,
+    ) -> ClusterResources {
+        assert!(tx.len() == rx.len() && rx.len() == mem.len());
+        ClusterResources { tx, rx, mem }
+    }
+
+    /// Resources consumed by a transfer from `src` node to `dst` node, plus
+    /// whether it is intra-node.
+    pub fn path(&self, src: usize, dst: usize) -> (Vec<ResourceId>, bool) {
+        if src == dst {
+            (vec![self.mem[src]], true)
+        } else {
+            (vec![self.tx[src], self.rx[dst]], false)
+        }
+    }
+
+    /// NIC transmit resource of a node.
+    pub fn tx(&self, node: usize) -> ResourceId {
+        self.tx[node]
+    }
+
+    /// NIC receive resource of a node.
+    pub fn rx(&self, node: usize) -> ResourceId {
+        self.rx[node]
+    }
+
+    /// Intra-node memory channel of a node.
+    pub fn mem(&self, node: usize) -> ResourceId {
+        self.mem[node]
+    }
+}
+
+/// Mapping of ranks to nodes.
+///
+/// The paper uses the "natural" assignment: MPI ranks on a node are numbered
+/// consecutively (`node = rank / ppn`), with ranks assigned row by row in one
+/// plane of the process mesh and then plane by plane (§V-D).
+#[derive(Debug, Clone)]
+pub struct NodeMap {
+    node_of: Vec<usize>,
+    nodes: usize,
+}
+
+impl NodeMap {
+    /// Consecutive ("natural") placement: ranks `[k·ppn, (k+1)·ppn)` live on
+    /// node `k`. The node count is `ceil(nranks / ppn)`.
+    pub fn natural(nranks: usize, ppn: usize) -> NodeMap {
+        assert!(nranks >= 1 && ppn >= 1);
+        let node_of = (0..nranks).map(|r| r / ppn).collect::<Vec<_>>();
+        let nodes = nranks.div_ceil(ppn);
+        NodeMap { node_of, nodes }
+    }
+
+    /// Round-robin placement across `nodes` nodes (rank r → node r % nodes).
+    pub fn round_robin(nranks: usize, nodes: usize) -> NodeMap {
+        assert!(nranks >= 1 && nodes >= 1);
+        NodeMap {
+            node_of: (0..nranks).map(|r| r % nodes).collect(),
+            nodes,
+        }
+    }
+
+    /// Explicit placement.
+    pub fn custom(node_of: Vec<usize>) -> NodeMap {
+        assert!(!node_of.is_empty());
+        let nodes = node_of.iter().copied().max().unwrap() + 1;
+        NodeMap { node_of, nodes }
+    }
+
+    /// Node hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        self.node_of[rank]
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// Number of nodes actually used.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether two ranks share a node.
+    pub fn same_node(&self, a: usize, b: usize) -> bool {
+        self.node_of[a] == self.node_of[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn natural_mapping_is_consecutive() {
+        let m = NodeMap::natural(10, 4);
+        assert_eq!(m.nodes(), 3);
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(3), 0);
+        assert_eq!(m.node_of(4), 1);
+        assert_eq!(m.node_of(9), 2);
+        assert!(m.same_node(4, 7));
+        assert!(!m.same_node(3, 4));
+    }
+
+    #[test]
+    fn round_robin_mapping() {
+        let m = NodeMap::round_robin(6, 4);
+        assert_eq!(m.node_of(5), 1);
+        assert_eq!(m.nodes(), 4);
+    }
+
+    #[test]
+    fn custom_mapping_counts_nodes() {
+        let m = NodeMap::custom(vec![0, 2, 2, 1]);
+        assert_eq!(m.nodes(), 3);
+        assert_eq!(m.nranks(), 4);
+    }
+
+    #[test]
+    fn resources_distinguish_intra_and_inter() {
+        let spec = ClusterSpec::new(3, MachineProfile::test_profile());
+        let mut net = FlowNet::new();
+        let res = spec.build_resources(&mut net);
+        assert_eq!(net.num_resources(), 9);
+        let (inter, intra) = res.path(0, 2);
+        assert!(!intra);
+        assert_eq!(inter, vec![res.tx(0), res.rx(2)]);
+        let (local, intra) = res.path(1, 1);
+        assert!(intra);
+        assert_eq!(local, vec![res.mem(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_rejected() {
+        ClusterSpec::new(0, MachineProfile::test_profile());
+    }
+}

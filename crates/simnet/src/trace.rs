@@ -1,0 +1,105 @@
+//! Span tracing for timeline diagrams (the paper's Fig. 6).
+//!
+//! Components record `TraceSpan`s — an actor id, a category, a label and a
+//! virtual start/end — and the bench harness renders them as per-operation
+//! time bars ("posting MPI_Ireduce", "waiting for MPI_Ibcast", …).
+
+use crate::time::SimTime;
+
+/// Coarse category of a traced span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Time spent inside a blocking communication call.
+    BlockingCall,
+    /// Time spent posting a nonblocking operation.
+    Post,
+    /// Time spent waiting for a nonblocking operation to complete.
+    Wait,
+    /// Modeled local computation.
+    Compute,
+    /// Anything else worth showing on a timeline.
+    Other,
+}
+
+/// One bar on a per-rank timeline.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// Actor (rank) the span belongs to.
+    pub actor: u32,
+    /// Category, used for grouping/coloring.
+    pub kind: SpanKind,
+    /// Human-readable label, e.g. `"MPI_Ireduce post c=2"`.
+    pub label: String,
+    /// Span start on the virtual clock.
+    pub start: SimTime,
+    /// Span end on the virtual clock.
+    pub end: SimTime,
+}
+
+impl TraceSpan {
+    /// Span length in microseconds (the unit of the paper's Fig. 6).
+    pub fn micros(&self) -> f64 {
+        self.end.saturating_since(self.start).as_micros_f64()
+    }
+}
+
+/// An append-only collection of spans for one simulation run.
+#[derive(Debug, Default)]
+pub struct Trace {
+    spans: Vec<TraceSpan>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Record a span.
+    pub fn push(&mut self, span: TraceSpan) {
+        debug_assert!(span.start <= span.end, "span ends before it starts");
+        self.spans.push(span);
+    }
+
+    /// All spans, in recording order.
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// Spans of one actor, in recording order.
+    pub fn for_actor(&self, actor: u32) -> impl Iterator<Item = &TraceSpan> {
+        self.spans.iter().filter(move |s| s.actor == actor)
+    }
+
+    /// Consume the trace, returning the spans.
+    pub fn into_spans(self) -> Vec<TraceSpan> {
+        self.spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_filters_spans() {
+        let mut t = Trace::new();
+        t.push(TraceSpan {
+            actor: 0,
+            kind: SpanKind::Post,
+            label: "post".into(),
+            start: SimTime(0),
+            end: SimTime(1_000),
+        });
+        t.push(TraceSpan {
+            actor: 1,
+            kind: SpanKind::Wait,
+            label: "wait".into(),
+            start: SimTime(1_000),
+            end: SimTime(3_000),
+        });
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.for_actor(1).count(), 1);
+        assert!((t.spans()[1].micros() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the max–min fair flow allocator: capacity limits,
+//! per-flow caps, work conservation and fairness hold for arbitrary
+//! topologies and flow sets.
+
+use proptest::prelude::*;
+
+use ovcomm_simnet::{FlowNet, FlowSpec, ResourceId};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    capacities: Vec<f64>,
+    flows: Vec<(Vec<usize>, f64, f64)>, // (resource indices, cap, bytes)
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    let caps = prop::collection::vec(1.0e6..1.0e10f64, 1..6);
+    caps.prop_flat_map(|capacities| {
+        let nres = capacities.len();
+        let flow = (
+            prop::collection::vec(0..nres, 1..=nres.min(3)),
+            1.0e5..1.0e10f64,
+            0.0..1.0e9f64,
+        );
+        let flows = prop::collection::vec(flow, 1..12);
+        (Just(capacities), flows).prop_map(|(capacities, flows)| Scenario { capacities, flows })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn max_min_allocation_invariants(s in scenario()) {
+        let mut net = FlowNet::new();
+        let res: Vec<ResourceId> = s.capacities.iter().map(|&c| net.add_resource(c)).collect();
+        let mut ids = Vec::new();
+        for (rs, cap, bytes) in &s.flows {
+            let resources: Vec<ResourceId> = rs.iter().map(|&i| res[i]).collect();
+            ids.push(net.add(FlowSpec { resources, cap: *cap, bytes: *bytes }));
+        }
+
+        // 1. Every flow gets a strictly positive rate no greater than its cap.
+        for (id, (_, cap, _)) in ids.iter().zip(&s.flows) {
+            let r = net.rate(*id);
+            prop_assert!(r > 0.0, "flow starved");
+            prop_assert!(r <= cap * (1.0 + 1e-9), "rate {r} exceeds cap {cap}");
+        }
+
+        // 2. No resource is over-allocated.
+        for (ri, &capacity) in s.capacities.iter().enumerate() {
+            let used: f64 = ids
+                .iter()
+                .zip(&s.flows)
+                .filter(|(_, (rs, _, _))| rs.contains(&ri))
+                .map(|(id, _)| net.rate(*id))
+                .sum();
+            prop_assert!(
+                used <= capacity * (1.0 + 1e-6),
+                "resource {ri} over-allocated: {used} > {capacity}"
+            );
+        }
+
+        // 3. Work conservation / max-min: every flow is bottlenecked by its
+        // own cap or by some saturated resource it crosses.
+        for (id, (rs, cap, _)) in ids.iter().zip(&s.flows) {
+            let r = net.rate(*id);
+            let at_cap = r >= cap * (1.0 - 1e-6);
+            let at_bottleneck = rs.iter().any(|&ri| {
+                let used: f64 = ids
+                    .iter()
+                    .zip(&s.flows)
+                    .filter(|(_, (rs2, _, _))| rs2.contains(&ri))
+                    .map(|(id2, _)| net.rate(*id2))
+                    .sum();
+                used >= s.capacities[ri] * (1.0 - 1e-6)
+            });
+            prop_assert!(
+                at_cap || at_bottleneck,
+                "flow neither capped nor bottlenecked (rate {r}, cap {cap})"
+            );
+        }
+    }
+
+    #[test]
+    fn progress_conserves_bytes(bytes in 1.0..1e9f64, dt in 0.0..10.0f64) {
+        let mut net = FlowNet::new();
+        let r = net.add_resource(1e9);
+        let f = net.add(FlowSpec { resources: vec![r], cap: 2e9, bytes });
+        let rate = net.rate(f);
+        net.progress(dt);
+        let expect = (bytes - rate * dt).max(0.0);
+        prop_assert!((net.remaining(f) - expect).abs() < 1e-6 * bytes.max(1.0));
+    }
+
+    #[test]
+    fn removal_never_decreases_other_rates(n in 2usize..8) {
+        let mut net = FlowNet::new();
+        let r = net.add_resource(1e9);
+        let ids: Vec<_> = (0..n)
+            .map(|_| net.add(FlowSpec { resources: vec![r], cap: 5e8, bytes: 1e6 }))
+            .collect();
+        let before: Vec<f64> = ids.iter().map(|&i| net.rate(i)).collect();
+        net.remove(ids[0]);
+        for (&id, &b) in ids[1..].iter().zip(&before[1..]) {
+            prop_assert!(net.rate(id) >= b - 1e-6, "rate dropped after removal");
+        }
+    }
+}

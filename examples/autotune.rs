@@ -1,0 +1,107 @@
+//! Choosing N_DUP automatically (§III-A): measure the effective-bandwidth
+//! curve with the simulator's micro-benchmark, derive the threshold n_t,
+//! and let the tuner pick N_DUP per message size — then verify the picks
+//! against brute force.
+//!
+//! Run with: `cargo run --release --example autotune`
+
+use ovcomm::core::{overlapped_bcast, AutoTuner, MeasuredCurve, NDupComms};
+use ovcomm::prelude::*;
+
+/// Measure the blocking-broadcast effective bandwidth at `msg` bytes on 4
+/// nodes (volume-normalized, like the paper's Fig. 5).
+fn measure_bcast_bw(msg: usize) -> f64 {
+    let t = run(
+        SimConfig::natural(4, 1, MachineProfile::stampede2_skylake()),
+        move |rc: RankCtx| {
+            let w = rc.world();
+            let data = (rc.rank() == 0).then(|| Payload::Phantom(msg));
+            let _ = w.bcast(0, data, msg);
+        },
+    )
+    .expect("bandwidth probe")
+    .makespan
+    .as_secs_f64();
+    2.0 * 3.0 / 4.0 * msg as f64 / t
+}
+
+/// Virtual time of an N_DUP-overlapped broadcast of `msg` bytes.
+fn overlapped_time(msg: usize, n_dup: usize) -> f64 {
+    run(
+        SimConfig::natural(4, 1, MachineProfile::stampede2_skylake()),
+        move |rc: RankCtx| {
+            let w = rc.world();
+            let comms = NDupComms::new(&w, n_dup);
+            let data = (rc.rank() == 0).then(|| Payload::Phantom(msg));
+            let _ = overlapped_bcast(&comms, 0, data.as_ref(), msg);
+        },
+    )
+    .expect("overlap probe")
+    .makespan
+    .as_secs_f64()
+}
+
+fn main() {
+    // Step 1: probe the curve (once per machine, the paper says).
+    let sizes = [
+        4 * 1024usize,
+        16 * 1024,
+        64 * 1024,
+        256 * 1024,
+        1 << 20,
+        4 << 20,
+        16 << 20,
+    ];
+    let samples: Vec<(usize, f64)> = sizes.iter().map(|&n| (n, measure_bcast_bw(n))).collect();
+    println!("measured broadcast bandwidth curve (4 nodes):");
+    for (n, bw) in &samples {
+        println!("  {:>9} B : {:>8.0} MB/s", n, bw / 1e6);
+    }
+    let tuner = AutoTuner::new(MeasuredCurve::new(samples), 8);
+    println!(
+        "\nderived threshold n_t = {} KB (paper: usually 16 KB <= n_t <= 1 MB)",
+        tuner.threshold() / 1024
+    );
+
+    // Step 2: ask the tuner, then check its pick against brute force.
+    // The threshold rule is meant for messages at/above n_t; below it the
+    // paper notes chunking "is still possible and likely to accelerate
+    // communications" — so the conservative pick may leave speed on the
+    // table there, and we only assert agreement in the rule's regime.
+    println!(
+        "\n{:>9}  {:>6}  {:>10}  {:>12}  {:>12}",
+        "message", "tuned", "brute best", "t(tuned)", "t(brute)"
+    );
+    for msg in [64 * 1024usize, 1 << 20, 8 << 20, 32 << 20] {
+        let pick = tuner.n_dup_for(msg);
+        let brute = (1..=8)
+            .min_by(|&a, &b| {
+                overlapped_time(msg, a)
+                    .partial_cmp(&overlapped_time(msg, b))
+                    .unwrap()
+            })
+            .unwrap();
+        let t_pick = overlapped_time(msg, pick);
+        let t_brute = overlapped_time(msg, brute);
+        println!(
+            "{:>9}  {:>6}  {:>10}  {:>10.1}us  {:>10.1}us",
+            msg,
+            pick,
+            brute,
+            t_pick * 1e6,
+            t_brute * 1e6
+        );
+        // Safety property of the conservative rule: the tuned pick never
+        // loses to not chunking at all.
+        let t_unchunked = overlapped_time(msg, 1);
+        assert!(
+            t_pick <= t_unchunked * 1.02,
+            "tuned pick {pick} ({t_pick:.6}s) must not lose to N_DUP=1 ({t_unchunked:.6}s)"
+        );
+    }
+    println!(
+        "\n(the conservative threshold rule never loses to not chunking; the brute-force \
+         column shows that in this simulator — with its ideal asynchronous progress — \
+         aggressive chunking can pay even below n_t, as the paper itself anticipates)"
+    );
+}

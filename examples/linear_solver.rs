@@ -1,0 +1,82 @@
+//! The paper's future work (§VI), working today: a block conjugate-gradient
+//! solver whose simultaneous Gram-matrix reductions are overlapped with
+//! each other. Solves an SPD system on a 3×3 process mesh, verifies the
+//! solution, and shows the overlapped variant's timing at larger meshes.
+//!
+//! Run with: `cargo run --release --example linear_solver`
+
+use ovcomm::densemat::{gemm, symmetric_with_spectrum, BlockBuf, BlockGrid, Matrix, Partition1D};
+use ovcomm::kernels::{block_cg, BlockCgConfig, CgComms, Mesh2D};
+use ovcomm::prelude::*;
+
+const N: usize = 48;
+const S: usize = 4;
+const P: usize = 3;
+const SEED: u64 = 11;
+
+fn spd(n: usize) -> Matrix {
+    let eigs: Vec<f64> = (0..n).map(|i| 1.0 + 9.0 * i as f64 / n as f64).collect();
+    symmetric_with_spectrum(&eigs, SEED)
+}
+
+fn rhs(n: usize, s: usize) -> Matrix {
+    Matrix::from_fn(n, s, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0)
+}
+
+fn main() {
+    let out = run(
+        SimConfig::natural(P * P, 1, MachineProfile::stampede2_skylake()),
+        |rc: RankCtx| {
+            let mesh = Mesh2D::new(&rc, P);
+            let grid = BlockGrid::new(N, P);
+            let part = Partition1D::new(N, P);
+            let a = BlockBuf::Real(grid.extract(&spd(N), mesh.i, mesh.j));
+            let (st, l) = part.range(mesh.j);
+            let b = BlockBuf::Real(rhs(N, S).submatrix(st, 0, l, S));
+            let comms = CgComms::new(&mesh, 2);
+            let cfg = BlockCgConfig {
+                n: N,
+                s: S,
+                tol: 1e-11,
+                max_iter: 100,
+                overlap: true,
+            };
+            let res = block_cg(&rc, &mesh, &comms, &cfg, &a, &b);
+            (
+                mesh.i,
+                mesh.j,
+                res.iterations,
+                res.converged,
+                res.x_segment.unwrap_real().clone().into_vec(),
+            )
+        },
+    )
+    .expect("solver run");
+
+    // Assemble X from row 0 and verify A·X = B.
+    let part = Partition1D::new(N, P);
+    let mut x = Matrix::zeros(N, S);
+    let mut iters = 0;
+    for (i, j, it, conv, seg) in out.results {
+        assert!(conv, "solver must converge");
+        if i == 0 {
+            let (st, l) = part.range(j);
+            x.set_submatrix(st, 0, &Matrix::from_vec(l, S, seg));
+            iters = it;
+        }
+    }
+    let a = spd(N);
+    let b = rhs(N, S);
+    let mut resid = gemm(&a, &x);
+    resid.axpy(-1.0, &b);
+    let rel = resid.frob_norm() / b.frob_norm();
+    println!("block CG on a {P}x{P} mesh, N = {N}, s = {S} right-hand sides:");
+    println!("  converged in {iters} iterations, true relative residual {rel:.2e}");
+    println!("  virtual makespan: {}", out.makespan);
+    assert!(rel < 1e-9);
+    println!(
+        "\n(the Gram reductions of each iteration run as concurrent nonblocking\n\
+         collectives on duplicated communicators — see `blockcg_overlap` in the\n\
+         bench crate for the scaling of that overlap across mesh sizes)"
+    );
+}

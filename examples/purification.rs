@@ -1,0 +1,85 @@
+//! Density matrix purification end to end: builds a synthetic Hamiltonian,
+//! runs canonical purification on a 2×2×2 process mesh through the
+//! baseline and the optimized SymmSquareCube kernels, verifies both
+//! converge to the same idempotent projector, and reports the kernels'
+//! virtual-time performance.
+//!
+//! Run with: `cargo run --release --example purification`
+
+use ovcomm::densemat::{exact_density, fock_like_spectrum, gemm, BlockGrid, Matrix};
+use ovcomm::purify::{purify_rank, KernelChoice, PurifyConfig};
+use ovcomm::prelude::*;
+
+const N: usize = 60;
+const NOCC: usize = 20;
+const RANKS: usize = 8; // 2x2x2 mesh
+const SEED: u64 = 2024;
+
+fn drive(choice: KernelChoice) -> (Matrix, usize, f64) {
+    let cfg = PurifyConfig {
+        n: N,
+        nocc: NOCC,
+        tol: 1e-9,
+        max_iter: 80,
+        phantom: false,
+        seed: SEED,
+    };
+    let out = run(
+        SimConfig::natural(RANKS, 2, MachineProfile::stampede2_skylake()),
+        move |rc: RankCtx| {
+            let res = purify_rank(&rc, &cfg, choice);
+            (
+                res.iterations,
+                res.kernel_flops_per_sec(N),
+                res.d_block.map(|b| b.unwrap_real().clone().into_vec()),
+                rc.rank(),
+            )
+        },
+    )
+    .expect("purification run");
+
+    let p = 2;
+    let grid = BlockGrid::new(N, p);
+    let mut blocks = vec![Matrix::zeros(0, 0); p * p];
+    let mut iterations = 0;
+    let mut gflops = 0.0;
+    for (iters, f, block, rank) in out.results {
+        if let Some(v) = block {
+            let (i, j) = (rank / p, rank % p);
+            let (r, c) = grid.block_dims(i, j);
+            blocks[i * p + j] = Matrix::from_vec(r, c, v);
+            iterations = iters;
+            gflops = f / 1e9;
+        }
+    }
+    (grid.assemble(&blocks), iterations, gflops)
+}
+
+fn main() {
+    let (d_base, it_base, gf_base) = drive(KernelChoice::Baseline);
+    let (d_opt, it_opt, gf_opt) = drive(KernelChoice::Optimized { n_dup: 4 });
+
+    // Verify: idempotent projector with the right trace, equal to the exact
+    // density matrix built in the same eigenbasis.
+    let d2 = gemm(&d_base, &d_base);
+    let exact = exact_density(&fock_like_spectrum(N, NOCC), NOCC, SEED);
+    println!("canonical purification, N = {N}, nocc = {NOCC}, 2x2x2 mesh:");
+    println!(
+        "  baseline kernel : {it_base} iterations, {gf_base:.1} GFlop/s (virtual), \
+         idempotency err {:.2e}",
+        d2.max_abs_diff(&d_base)
+    );
+    println!(
+        "  optimized kernel: {it_opt} iterations, {gf_opt:.1} GFlop/s (virtual), \
+         agrees with baseline to {:.2e}",
+        d_opt.max_abs_diff(&d_base)
+    );
+    println!(
+        "  distance to exact spectral projector: {:.2e}",
+        d_base.max_abs_diff(&exact)
+    );
+    println!("  trace(D) = {:.6} (target {NOCC})", d_base.trace());
+    assert!(d2.max_abs_diff(&d_base) < 1e-6);
+    assert!(d_opt.max_abs_diff(&d_base) < 1e-8);
+    assert!(d_base.max_abs_diff(&exact) < 1e-5);
+}
