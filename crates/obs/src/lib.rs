@@ -1,0 +1,2 @@
+//! Observability for the ovcomm stack.
+#![warn(missing_docs)]

@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate (see `shims/README.md`).
+//!
+//! Provides the reporting surface the workspace benches use (`Criterion`,
+//! `benchmark_group`, `bench_with_input`, `iter_custom`, the
+//! `criterion_group!`/`criterion_main!` macros) with a trivial runner: each
+//! benchmark executes once and prints its measured (or, for `iter_custom`,
+//! reported) time. Statistical sampling and plotting are omitted — the
+//! workspace's simulator is deterministic, so repeated samples are
+//! identical anyway. When invoked without `--bench` (e.g. by `cargo test`
+//! running a `harness = false` target), the harness exits immediately so
+//! test runs stay fast.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Disable plot generation (no-op: the shim never plots).
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (no-op: the shim runs one sample).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark over an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { reported: None };
+        let wall = Instant::now();
+        f(&mut b, input);
+        self.report(&id.label, b.reported, wall.elapsed());
+        self
+    }
+
+    /// Run a benchmark identified only by name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { reported: None };
+        let wall = Instant::now();
+        f(&mut b);
+        self.report(name, b.reported, wall.elapsed());
+        self
+    }
+
+    /// Finish the group (prints a terminator line).
+    pub fn finish(&mut self) {
+        println!("group {} done", self.name);
+    }
+
+    fn report(&self, label: &str, reported: Option<Duration>, wall: Duration) {
+        match reported {
+            Some(d) => println!("{}/{label}: {d:?} (reported), wall {wall:?}", self.name),
+            None => println!("{}/{label}: wall {wall:?}", self.name),
+        }
+    }
+}
+
+/// Identifies one benchmark within a group by name and parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a parameter into an id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Timing handle passed to each benchmark closure.
+pub struct Bencher {
+    reported: Option<Duration>,
+}
+
+impl Bencher {
+    /// Run a routine whose measured time the closure itself reports
+    /// (used here to report *virtual* simulation time). The closure is
+    /// called once with `iters = 1`.
+    pub fn iter_custom<F>(&mut self, mut routine: F)
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        self.reported = Some(routine(1));
+    }
+
+    /// Run and wall-clock a routine once.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let _keep = routine();
+        self.reported = Some(start.elapsed());
+    }
+}
+
+/// Prevent the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Define a benchmark group function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main()` running the given groups (only under `cargo bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes --bench; `cargo test` runs harness=false
+            // bench targets with no such flag — skip there to keep test
+            // runs fast.
+            if !std::env::args().any(|a| a == "--bench") {
+                println!("criterion shim: skipping benchmarks (run via `cargo bench`)");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_custom_reports_virtual_time() {
+        let mut c = Criterion::default().without_plots();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 8), &8u32, |b, &x| {
+            b.iter_custom(|iters| Duration::from_nanos(iters * x as u64));
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+    }
+}

@@ -1,0 +1,76 @@
+//! Offline stand-in for the `crossbeam` crate, backed by `std::sync::mpsc`.
+//!
+//! Only `crossbeam::channel::{bounded, Sender, Receiver}` is provided — the
+//! surface the progress-worker pool uses. See `shims/README.md`.
+
+/// Multi-producer multi-consumer channels (subset: bounded MPSC).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel. Cloneable.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while the channel is full. Errors if disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a value arrives. Errors if disconnected.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+    }
+
+    /// The channel is disconnected; the value is returned.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "SendError(..)")
+        }
+    }
+
+    /// The channel is disconnected and empty.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Create a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        let tx2 = tx.clone();
+        tx2.send(7).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+}

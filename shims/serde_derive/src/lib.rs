@@ -1,0 +1,119 @@
+//! Offline stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` for non-generic structs with named
+//! fields — the only shape the workspace derives on. Parsing is done
+//! directly on the token stream (no `syn`/`quote`, which are unavailable
+//! offline): the field names are the idents preceding each top-level `:`,
+//! with `<…>` generic argument depth tracked so commas inside field types
+//! don't split fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim data model: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_struct(input);
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+        ));
+    }
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec::Vec::from([{entries}]))\n\
+             }}\n\
+         }}"
+    );
+    code.parse().expect("serde_derive shim: generated code must parse")
+}
+
+/// Extract `(struct_name, field_names)` from the derive input.
+fn parse_struct(input: TokenStream) -> (String, Vec<String>) {
+    let mut iter = input.into_iter();
+    // Skip outer attributes / visibility until the `struct` keyword.
+    let mut name = None;
+    let mut body = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                panic!("serde_derive shim: #[derive(Serialize)] on enums is unsupported")
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    other => panic!("serde_derive shim: expected struct name, got {other:?}"),
+                }
+                for tt2 in iter.by_ref() {
+                    match tt2 {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            body = Some(g.stream());
+                            break;
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            panic!("serde_derive shim: generic structs are unsupported")
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ';' => {
+                            panic!("serde_derive shim: unit/tuple structs are unsupported")
+                        }
+                        _ => {}
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde_derive shim: no struct found in derive input");
+    let body = body.expect("serde_derive shim: struct has no braced field list");
+    (name, parse_field_names(body))
+}
+
+/// Field names of a named-field struct body, in declaration order.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    'fields: loop {
+        // Skip field attributes (`#[...]`, including expanded doc comments).
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        // Skip visibility: `pub` possibly followed by `(crate)` etc.
+        if let Some(TokenTree::Ident(id)) = iter.peek() {
+            if id.to_string() == "pub" {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+        }
+        // Field name.
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break 'fields,
+            other => panic!("serde_derive shim: expected field name, got {other:?}"),
+        }
+        // Skip `:` and the type, honoring `<…>` nesting, up to the next
+        // top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break 'fields,
+            }
+        }
+    }
+    fields
+}
