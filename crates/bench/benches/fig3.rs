@@ -35,7 +35,7 @@ fn bench_fig3(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // The simulator is deterministic: samples have zero variance, which
     // criterion's plot generation cannot handle — disable plots.

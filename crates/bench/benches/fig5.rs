@@ -40,7 +40,7 @@ fn bench_fig5(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // The simulator is deterministic: samples have zero variance, which
     // criterion's plot generation cannot handle — disable plots.

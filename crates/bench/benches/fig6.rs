@@ -25,8 +25,13 @@ fn bench_fig6(c: &mut Criterion) {
                     b.iter_custom(|iters| {
                         let mut total = Duration::ZERO;
                         for _ in 0..iters {
-                            total +=
-                                Duration::from_secs_f64(coll_time(&profile, kind, case, 4, 8 << 20));
+                            total += Duration::from_secs_f64(coll_time(
+                                &profile,
+                                kind,
+                                case,
+                                4,
+                                8 << 20,
+                            ));
                         }
                         total
                     });
@@ -37,7 +42,7 @@ fn bench_fig6(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // The simulator is deterministic: samples have zero variance, which
     // criterion's plot generation cannot handle — disable plots.

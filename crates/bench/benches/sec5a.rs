@@ -33,7 +33,7 @@ fn bench_sec5a(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // The simulator is deterministic: samples have zero variance, which
     // criterion's plot generation cannot handle — disable plots.

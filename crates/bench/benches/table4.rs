@@ -29,9 +29,8 @@ fn bench_table4(c: &mut Criterion) {
                             ppn,
                             1,
                         );
-                        total += Duration::from_secs_f64(
-                            (s.time_per_call - s.compute_time).max(0.0),
-                        );
+                        total +=
+                            Duration::from_secs_f64((s.time_per_call - s.compute_time).max(0.0));
                     }
                     total
                 });
@@ -41,7 +40,7 @@ fn bench_table4(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // The simulator is deterministic: samples have zero variance, which
     // criterion's plot generation cannot handle — disable plots.

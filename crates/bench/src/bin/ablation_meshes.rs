@@ -7,7 +7,9 @@
 
 use ovcomm_bench::{symm_run, write_json, MeshSpec, Table};
 use ovcomm_densemat::{BlockBuf, BlockGrid};
-use ovcomm_kernels::{symm_square_cube_flops, symm_square_cube_summa, Mesh2D, SummaBundles, SymmInput};
+use ovcomm_kernels::{
+    symm_square_cube_flops, symm_square_cube_summa, Mesh2D, SummaBundles, SymmInput,
+};
 use ovcomm_purify::{paper_system, KernelChoice};
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;

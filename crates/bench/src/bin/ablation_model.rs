@@ -5,8 +5,8 @@
 //! copy bandwidth. This quantifies which modeled effect the technique's
 //! benefit actually comes from.
 
-use ovcomm_bench::{symm_run, write_json, MeshSpec};
 use ovcomm_bench::Table;
+use ovcomm_bench::{symm_run, write_json, MeshSpec};
 use ovcomm_purify::{paper_system, KernelChoice};
 use ovcomm_simnet::{MachineProfile, SimDur};
 use serde::Serialize;

@@ -37,7 +37,14 @@ fn main() {
     let mut rows = Vec::new();
     for profile in profiles {
         let s1 = symm_run(&profile, n, mesh, KernelChoice::Baseline, 1, 2);
-        let s4 = symm_run(&profile, n, mesh, KernelChoice::Optimized { n_dup: 4 }, 1, 2);
+        let s4 = symm_run(
+            &profile,
+            n,
+            mesh,
+            KernelChoice::Optimized { n_dup: 4 },
+            1,
+            2,
+        );
         let speedup = s1.time_per_call / s4.time_per_call;
         let comm_frac = ((s1.time_per_call - s1.compute_time) / s1.time_per_call).max(0.0);
         table.row(vec![

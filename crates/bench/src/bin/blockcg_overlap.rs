@@ -4,7 +4,7 @@
 //! bottleneck — so the latency hidden by overlapping the two simultaneous
 //! reductions should grow with the mesh.
 
-use ovcomm_bench::{write_json, Table};
+use ovcomm_bench::{metrics_block, write_json, MetricsBlock, Table};
 use ovcomm_densemat::{BlockBuf, BlockGrid, Partition1D};
 use ovcomm_kernels::{block_cg, BlockCgConfig, CgComms, Mesh2D};
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
@@ -18,9 +18,10 @@ struct Row {
     t_blocking_s: f64,
     t_overlap_s: f64,
     speedup: f64,
+    metrics: MetricsBlock,
 }
 
-fn cg_time(p: usize, n: usize, s: usize, overlap: bool) -> f64 {
+fn cg_time(p: usize, n: usize, s: usize, overlap: bool) -> (f64, MetricsBlock) {
     let iters = 8;
     let out = run(
         SimConfig::natural(p * p, 1, MachineProfile::stampede2_skylake()),
@@ -47,18 +48,25 @@ fn cg_time(p: usize, n: usize, s: usize, overlap: bool) -> f64 {
         },
     )
     .expect("block CG run");
-    out.results.into_iter().fold(0.0, f64::max)
+    let t = out.results.iter().cloned().fold(0.0, f64::max);
+    (t, metrics_block(&out))
 }
 
 fn main() {
     let n = 65536;
     let s = 8;
     println!("Block CG with overlapped Gram reductions (N = {n}, s = {s}, PPN=1)\n");
-    let mut table = Table::new(&["mesh", "nodes", "blocking s/iter", "overlap s/iter", "speedup"]);
+    let mut table = Table::new(&[
+        "mesh",
+        "nodes",
+        "blocking s/iter",
+        "overlap s/iter",
+        "speedup",
+    ]);
     let mut rows = Vec::new();
     for p in [2usize, 4, 8, 12, 16] {
-        let tb = cg_time(p, n, s, false);
-        let to = cg_time(p, n, s, true);
+        let (tb, _) = cg_time(p, n, s, false);
+        let (to, metrics) = cg_time(p, n, s, true);
         table.row(vec![
             format!("{p}x{p}"),
             (p * p).to_string(),
@@ -72,6 +80,7 @@ fn main() {
             t_blocking_s: tb,
             t_overlap_s: to,
             speedup: tb / to,
+            metrics,
         });
     }
     table.print();

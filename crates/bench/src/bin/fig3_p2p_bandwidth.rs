@@ -1,7 +1,7 @@
 //! Figure 3: unidirectional point-to-point bandwidth vs message size for
 //! PPN = 1, 2, 4, 8 across two nodes (all sources on one node).
 
-use ovcomm_bench::{p2p_bandwidth, plot_loglog, write_json, Series, Table};
+use ovcomm_bench::{p2p_bandwidth_metrics, plot_loglog, write_json, MetricsBlock, Series, Table};
 use ovcomm_simnet::MachineProfile;
 use serde::Serialize;
 
@@ -10,6 +10,7 @@ struct Row {
     msg_bytes: usize,
     ppn: usize,
     bandwidth_mb_s: f64,
+    metrics: MetricsBlock,
 }
 
 fn main() {
@@ -35,11 +36,12 @@ fn main() {
     for &msg in &sizes {
         let mut cells = vec![fmt_size(msg)];
         for &ppn in &ppns {
-            let bw = p2p_bandwidth(&profile, ppn, msg);
+            let (bw, metrics) = p2p_bandwidth_metrics(&profile, ppn, msg);
             rows.push(Row {
                 msg_bytes: msg,
                 ppn,
                 bandwidth_mb_s: bw / 1e6,
+                metrics,
             });
             cells.push(format!("{:.0}", bw / 1e6));
         }

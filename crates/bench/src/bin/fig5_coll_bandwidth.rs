@@ -3,7 +3,10 @@
 //! N_DUP = 4, and 4-PPN overlap. Bandwidth is normalized by the algorithmic
 //! volume 2(p−1)n/p.
 
-use ovcomm_bench::{coll_bandwidth, plot_loglog, write_json, CollCase, CollKind, Series, Table};
+use ovcomm_bench::{
+    coll_bandwidth_metrics, plot_loglog, write_json, CollCase, CollKind, MetricsBlock, Series,
+    Table,
+};
 use ovcomm_simnet::MachineProfile;
 use serde::Serialize;
 
@@ -13,6 +16,7 @@ struct Row {
     kind: String,
     case: String,
     bandwidth_mb_s: f64,
+    metrics: MetricsBlock,
 }
 
 fn main() {
@@ -49,12 +53,13 @@ fn main() {
         let mut cells = vec![fmt_size(msg)];
         for kind in [CollKind::Bcast, CollKind::Reduce] {
             for (name, case) in cases {
-                let bw = coll_bandwidth(&profile, kind, case, 4, msg);
+                let (bw, metrics) = coll_bandwidth_metrics(&profile, kind, case, 4, msg);
                 rows.push(Row {
                     msg_bytes: msg,
                     kind: format!("{kind:?}"),
                     case: name.to_string(),
                     bandwidth_mb_s: bw / 1e6,
+                    metrics,
                 });
                 cells.push(format!("{:.0}", bw / 1e6));
             }

@@ -3,7 +3,7 @@
 //! and 8 MB single nonblocking calls for comparison. Reproduces the post /
 //! wait breakdown of the paper's stacked bars (times on node 0).
 
-use ovcomm_bench::{render, write_json, Bar, Table};
+use ovcomm_bench::{metrics_block, render, trace_out_arg, write_json, Bar, MetricsBlock, Table};
 use ovcomm_core::NDupComms;
 use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
@@ -14,6 +14,7 @@ struct SpanRow {
     scenario: String,
     kind: String,
     label: String,
+    chunk: Option<u32>,
     start_us: f64,
     dur_us: f64,
 }
@@ -24,13 +25,35 @@ enum Op {
     Reduce,
 }
 
-/// Run one scenario with tracing and return rank-0 (node-0) spans.
-fn traced(scenario: &str, nranks: usize, ppn: usize, f: impl Fn(RankCtx) + Send + Sync + 'static) -> Vec<SpanRow> {
-    let cfg = SimConfig::natural(nranks, ppn, MachineProfile::stampede2_skylake()).with_trace();
+/// Run one scenario with tracing and return rank-0 (node-0) spans plus the
+/// scenario's metrics block. With `--trace-out <path>` each scenario also
+/// writes a Perfetto trace to `<path minus extension>-<scenario slug>.json`.
+fn traced(
+    scenario: &str,
+    nranks: usize,
+    ppn: usize,
+    f: impl Fn(RankCtx) + Send + Sync + 'static,
+) -> (Vec<SpanRow>, MetricsBlock) {
+    let mut cfg = SimConfig::natural(nranks, ppn, MachineProfile::stampede2_skylake()).with_trace();
+    if let Some(base) = trace_out_arg() {
+        let slug: String = scenario
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let stem = base.with_extension("");
+        cfg = cfg.with_trace_out(format!("{}-{slug}.json", stem.display()));
+    }
     let out = run(cfg, move |rc: RankCtx| f(rc)).expect("fig6 scenario");
+    let metrics = metrics_block(&out);
     let trace = out.trace.expect("tracing enabled");
     let node0_actors: Vec<u32> = (0..ppn as u32).collect();
-    trace
+    let rows = trace
         .spans()
         .iter()
         .filter(|s| {
@@ -47,18 +70,20 @@ fn traced(scenario: &str, nranks: usize, ppn: usize, f: impl Fn(RankCtx) + Send 
             scenario: scenario.to_string(),
             kind: format!("{:?}", s.kind),
             label: s.label.clone(),
+            chunk: s.chunk,
             start_us: s.start.as_secs_f64() * 1e6,
             dur_us: s.end.saturating_since(s.start).as_micros_f64(),
         })
-        .collect()
+        .collect();
+    (rows, metrics)
 }
 
-fn scenario_blocking(op: Op, msg: usize, name: &str) -> Vec<SpanRow> {
+fn scenario_blocking(op: Op, msg: usize, name: &str) -> (Vec<SpanRow>, MetricsBlock) {
     traced(name, 4, 1, move |rc| {
         let w = rc.world();
         match op {
             Op::Bcast => {
-                let data = (rc.rank() == 0).then(|| Payload::Phantom(msg));
+                let data = (rc.rank() == 0).then_some(Payload::Phantom(msg));
                 let _ = w.bcast(0, data, msg);
             }
             Op::Reduce => {
@@ -68,12 +93,12 @@ fn scenario_blocking(op: Op, msg: usize, name: &str) -> Vec<SpanRow> {
     })
 }
 
-fn scenario_nonblocking_single(op: Op, msg: usize, name: &str) -> Vec<SpanRow> {
+fn scenario_nonblocking_single(op: Op, msg: usize, name: &str) -> (Vec<SpanRow>, MetricsBlock) {
     traced(name, 4, 1, move |rc| {
         let w = rc.world();
         match op {
             Op::Bcast => {
-                let data = (rc.rank() == 0).then(|| Payload::Phantom(msg));
+                let data = (rc.rank() == 0).then_some(Payload::Phantom(msg));
                 let r = w.ibcast(0, data, msg);
                 let _ = w.wait_traced(&r, "wait MPI_Ibcast");
             }
@@ -85,7 +110,7 @@ fn scenario_nonblocking_single(op: Op, msg: usize, name: &str) -> Vec<SpanRow> {
     })
 }
 
-fn scenario_ndup(op: Op, msg: usize, n_dup: usize, name: &str) -> Vec<SpanRow> {
+fn scenario_ndup(op: Op, msg: usize, n_dup: usize, name: &str) -> (Vec<SpanRow>, MetricsBlock) {
     traced(name, 4, 1, move |rc| {
         let w = rc.world();
         let comms = NDupComms::new(&w, n_dup);
@@ -94,7 +119,7 @@ fn scenario_ndup(op: Op, msg: usize, n_dup: usize, name: &str) -> Vec<SpanRow> {
                 let reqs: Vec<_> = comms
                     .iter()
                     .map(|(c, comm)| {
-                        let data = (rc.rank() == 0).then(|| Payload::Phantom(msg / n_dup));
+                        let data = (rc.rank() == 0).then_some(Payload::Phantom(msg / n_dup));
                         let r = comm.ibcast(0, data, msg / n_dup);
                         (c, r)
                     })
@@ -102,7 +127,7 @@ fn scenario_ndup(op: Op, msg: usize, n_dup: usize, name: &str) -> Vec<SpanRow> {
                 for (c, r) in &reqs {
                     let _ = comms
                         .comm(*c)
-                        .wait_traced(r, &format!("wait MPI_Ibcast chunk {}", c + 1));
+                        .wait_traced_chunk(r, "wait MPI_Ibcast", *c as u32);
                 }
             }
             Op::Reduce => {
@@ -113,14 +138,14 @@ fn scenario_ndup(op: Op, msg: usize, n_dup: usize, name: &str) -> Vec<SpanRow> {
                 for (c, r) in &reqs {
                     let _ = comms
                         .comm(*c)
-                        .wait_traced(r, &format!("wait MPI_Ireduce chunk {}", c + 1));
+                        .wait_traced_chunk(r, "wait MPI_Ireduce", *c as u32);
                 }
             }
         }
     })
 }
 
-fn scenario_ppn(op: Op, msg: usize, ppn: usize, name: &str) -> Vec<SpanRow> {
+fn scenario_ppn(op: Op, msg: usize, ppn: usize, name: &str) -> (Vec<SpanRow>, MetricsBlock) {
     traced(name, 4 * ppn, ppn, move |rc| {
         let w = rc.world();
         let local = rc.rank() % ppn;
@@ -129,7 +154,7 @@ fn scenario_ppn(op: Op, msg: usize, ppn: usize, name: &str) -> Vec<SpanRow> {
         let part = msg / ppn;
         match op {
             Op::Bcast => {
-                let data = (node == 0).then(|| Payload::Phantom(part));
+                let data = (node == 0).then_some(Payload::Phantom(part));
                 let _ = col.bcast(0, data, part);
             }
             Op::Reduce => {
@@ -139,13 +164,19 @@ fn scenario_ppn(op: Op, msg: usize, ppn: usize, name: &str) -> Vec<SpanRow> {
     })
 }
 
+/// Human-readable chunk tag from the structured span field (1-based, as in
+/// the paper's Fig. 6 labeling).
+fn chunk_suffix(chunk: Option<u32>) -> String {
+    chunk.map_or(String::new(), |c| format!(" chunk {}", c + 1))
+}
+
 fn print_section(title: &str, rows: &[SpanRow]) {
     println!("\n== {title} ==");
     let mut table = Table::new(&["scenario", "span", "start(us)", "dur(us)"]);
     for r in rows {
         table.row(vec![
             r.scenario.clone(),
-            format!("{} [{}]", r.label, r.kind),
+            format!("{}{} [{}]", r.label, chunk_suffix(r.chunk), r.kind),
             format!("{:.0}", r.start_us),
             format!("{:.0}", r.dur_us),
         ]);
@@ -155,7 +186,7 @@ fn print_section(title: &str, rows: &[SpanRow]) {
     let bars: Vec<Bar> = rows
         .iter()
         .map(|r| Bar {
-            label: format!("{} / {}", r.scenario, r.label),
+            label: format!("{} / {}{}", r.scenario, r.label, chunk_suffix(r.chunk)),
             start_us: r.start_us,
             dur_us: r.dur_us,
             fill: match r.kind.as_str() {
@@ -169,34 +200,76 @@ fn print_section(title: &str, rows: &[SpanRow]) {
     print!("{}", render(&bars, 72));
 }
 
+#[derive(Serialize)]
+struct ScenarioMetrics {
+    scenario: String,
+    metrics: MetricsBlock,
+}
+
+#[derive(Serialize)]
+struct Fig6Record {
+    spans: Vec<SpanRow>,
+    scenarios: Vec<ScenarioMetrics>,
+}
+
 fn main() {
     let m8 = 8 << 20;
     let m2 = 2 << 20;
-    let mut all: Vec<SpanRow> = Vec::new();
+    let mut all = Fig6Record {
+        spans: Vec::new(),
+        scenarios: Vec::new(),
+    };
     for op in [Op::Reduce, Op::Bcast] {
-        let opname = if op == Op::Reduce { "Reduction" } else { "Broadcast" };
+        let opname = if op == Op::Reduce {
+            "Reduction"
+        } else {
+            "Broadcast"
+        };
         let mut section: Vec<SpanRow> = Vec::new();
-        section.extend(scenario_blocking(op, m8, &format!("{opname} blocking 8MB")));
-        section.extend(scenario_nonblocking_single(
-            op,
-            m8,
-            &format!("{opname} nonblocking 8MB"),
-        ));
-        section.extend(scenario_blocking(op, m2, &format!("{opname} blocking 2MB")));
-        section.extend(scenario_nonblocking_single(
-            op,
-            m2,
-            &format!("{opname} nonblocking 2MB"),
-        ));
-        section.extend(scenario_ndup(
-            op,
-            m8,
-            4,
-            &format!("{opname} nonblocking overlap N_DUP=4 (4x2MB)"),
-        ));
-        section.extend(scenario_ppn(op, m8, 4, &format!("{opname} 4 PPN overlap (4x2MB)")));
-        print_section(&format!("{opname} of 8MB on 4 nodes (times on node 0)"), &section);
-        all.extend(section);
+        let scenarios: Vec<(String, (Vec<SpanRow>, MetricsBlock))> = vec![
+            {
+                let name = format!("{opname} blocking 8MB");
+                let r = scenario_blocking(op, m8, &name);
+                (name, r)
+            },
+            {
+                let name = format!("{opname} nonblocking 8MB");
+                let r = scenario_nonblocking_single(op, m8, &name);
+                (name, r)
+            },
+            {
+                let name = format!("{opname} blocking 2MB");
+                let r = scenario_blocking(op, m2, &name);
+                (name, r)
+            },
+            {
+                let name = format!("{opname} nonblocking 2MB");
+                let r = scenario_nonblocking_single(op, m2, &name);
+                (name, r)
+            },
+            {
+                let name = format!("{opname} nonblocking overlap N_DUP=4 (4x2MB)");
+                let r = scenario_ndup(op, m8, 4, &name);
+                (name, r)
+            },
+            {
+                let name = format!("{opname} 4 PPN overlap (4x2MB)");
+                let r = scenario_ppn(op, m8, 4, &name);
+                (name, r)
+            },
+        ];
+        for (name, (spans, metrics)) in scenarios {
+            section.extend(spans);
+            all.scenarios.push(ScenarioMetrics {
+                scenario: name,
+                metrics,
+            });
+        }
+        print_section(
+            &format!("{opname} of 8MB on 4 nodes (times on node 0)"),
+            &section,
+        );
+        all.spans.extend(section);
     }
     println!(
         "\npaper anchors (Fig. 6): blocking 8MB reduce ≈ 5746us vs bcast ≈ 1392us; \

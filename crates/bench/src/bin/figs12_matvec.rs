@@ -3,7 +3,7 @@
 //! (blocking reduce then broadcast) vs Algorithm 2 (N_DUP pipelined
 //! ireduce→ibcast) over a sweep of vector sizes and N_DUP values.
 
-use ovcomm_bench::{write_json, Table};
+use ovcomm_bench::{metrics_block, write_json, MetricsBlock, Table};
 use ovcomm_core::{pipelined_reduce_bcast, NDupComms};
 use ovcomm_densemat::Partition1D;
 use ovcomm_kernels::Mesh2D;
@@ -20,11 +20,12 @@ struct Row {
     alg1_s: f64,
     alg2_s: f64,
     speedup: f64,
+    metrics: MetricsBlock,
 }
 
 /// Time just the reduce+broadcast phase (the part Figs. 1–2 illustrate).
-fn comm_phase(n: usize, n_dup: Option<usize>) -> f64 {
-    run(
+fn comm_phase(n: usize, n_dup: Option<usize>) -> (f64, MetricsBlock) {
+    let out = run(
         SimConfig::natural(P * P, 1, MachineProfile::stampede2_skylake()),
         move |rc: RankCtx| {
             let mesh = Mesh2D::new(&rc, P);
@@ -51,10 +52,9 @@ fn comm_phase(n: usize, n_dup: Option<usize>) -> f64 {
             (rc.now() - t0).as_secs_f64()
         },
     )
-    .expect("matvec comm phase")
-    .results
-    .into_iter()
-    .fold(0.0, f64::max)
+    .expect("matvec comm phase");
+    let t = out.results.iter().cloned().fold(0.0, f64::max);
+    (t, metrics_block(&out))
 }
 
 fn main() {
@@ -62,9 +62,9 @@ fn main() {
     let mut table = Table::new(&["vector", "N_DUP", "Alg1 (s)", "Alg2 (s)", "speedup"]);
     let mut rows = Vec::new();
     for elems in [1 << 18, 1 << 21, 1 << 24, 1 << 26] {
-        let t1 = comm_phase(elems, None);
+        let (t1, _) = comm_phase(elems, None);
         for n_dup in [2usize, 4, 8] {
-            let t2 = comm_phase(elems, Some(n_dup));
+            let (t2, metrics) = comm_phase(elems, Some(n_dup));
             let label = if elems >= 1 << 20 {
                 format!("{}M", elems >> 20)
             } else {
@@ -83,6 +83,7 @@ fn main() {
                 alg1_s: t1,
                 alg2_s: t2,
                 speedup: t1 / t2,
+                metrics,
             });
         }
     }

@@ -2,7 +2,7 @@
 //! with the per-step reduce→broadcast pipelined (Algorithm 2 applied to an
 //! N-body code). Sweeps the mesh size at a fixed particle count.
 
-use ovcomm_bench::{write_json, Table};
+use ovcomm_bench::{metrics_block, write_json, MetricsBlock, Table};
 use ovcomm_kernels::{md_init, md_run, MdConfig, Mesh2D};
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
@@ -15,11 +15,12 @@ struct Row {
     t_blocking_s: f64,
     t_overlap_s: f64,
     speedup: f64,
+    metrics: MetricsBlock,
 }
 
-fn md_time(p: usize, n: usize, overlap: Option<usize>) -> f64 {
+fn md_time(p: usize, n: usize, overlap: Option<usize>) -> (f64, MetricsBlock) {
     let steps = 4;
-    run(
+    let out = run(
         SimConfig::natural(p * p, 1, MachineProfile::stampede2_skylake()),
         move |rc: RankCtx| {
             let mesh = Mesh2D::new(&rc, p);
@@ -38,20 +39,25 @@ fn md_time(p: usize, n: usize, overlap: Option<usize>) -> f64 {
             (rc.now() - t0).as_secs_f64() / steps as f64
         },
     )
-    .expect("MD run")
-    .results
-    .into_iter()
-    .fold(0.0, f64::max)
+    .expect("MD run");
+    let t = out.results.iter().cloned().fold(0.0, f64::max);
+    (t, metrics_block(&out))
 }
 
 fn main() {
     let n = 16 << 20; // 16M particles
     println!("Force-decomposition MD (16M particles, PPN=1): step time\n");
-    let mut table = Table::new(&["mesh", "nodes", "blocking s/step", "overlap s/step", "speedup"]);
+    let mut table = Table::new(&[
+        "mesh",
+        "nodes",
+        "blocking s/step",
+        "overlap s/step",
+        "speedup",
+    ]);
     let mut rows = Vec::new();
     for p in [2usize, 4, 8] {
-        let tb = md_time(p, n, None);
-        let to = md_time(p, n, Some(4));
+        let (tb, _) = md_time(p, n, None);
+        let (to, metrics) = md_time(p, n, Some(4));
         table.row(vec![
             format!("{p}x{p}"),
             (p * p).to_string(),
@@ -65,6 +71,7 @@ fn main() {
             t_blocking_s: tb,
             t_overlap_s: to,
             speedup: tb / to,
+            metrics,
         });
     }
     table.print();

@@ -4,7 +4,7 @@
 //! `MPI_Ibarrier`. Compares keeping all 512 processes active against
 //! waking only 1 or 2 per node for the purification kernel.
 
-use ovcomm_bench::{write_json, Table};
+use ovcomm_bench::{metrics_block, write_json, MetricsBlock, Table};
 use ovcomm_core::StagePlan;
 use ovcomm_purify::{paper_system, scf_staged, KernelChoice, PurifyConfig, ScfConfig};
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
@@ -17,9 +17,15 @@ struct Row {
     mesh: String,
     scf_time_s: f64,
     kernel_tflops: f64,
+    metrics: MetricsBlock,
 }
 
-fn staged(plan: StagePlan, choice: KernelChoice, label: &str, n: usize) -> (f64, f64) {
+fn staged(
+    plan: StagePlan,
+    choice: KernelChoice,
+    label: &str,
+    n: usize,
+) -> (f64, f64, MetricsBlock) {
     let cfg = ScfConfig {
         purify: PurifyConfig {
             n,
@@ -63,14 +69,12 @@ fn staged(plan: StagePlan, choice: KernelChoice, label: &str, n: usize) -> (f64,
     } else {
         0.0
     };
-    (total, tflops)
+    (total, tflops, metrics_block(&out))
 }
 
 fn main() {
     let n = paper_system("1hsg_70").unwrap().dimension;
-    println!(
-        "Per-kernel PPN (§III-B): 64 nodes x 8 PPN launched; purification wakes a subset\n"
-    );
+    println!("Per-kernel PPN (§III-B): 64 nodes x 8 PPN launched; purification wakes a subset\n");
     let mut table = Table::new(&["purify actives", "mesh", "SCF total (s)", "kernel TFlops"]);
     let mut rows = Vec::new();
     let configs: Vec<(usize, String, StagePlan, KernelChoice)> = vec![
@@ -94,7 +98,7 @@ fn main() {
         ),
     ];
     for (k, mesh, plan, choice) in configs {
-        let (total, tflops) = staged(plan, choice, &mesh, n);
+        let (total, tflops, metrics) = staged(plan, choice, &mesh, n);
         table.row(vec![
             format!("{k}/node"),
             mesh.clone(),
@@ -106,6 +110,7 @@ fn main() {
             mesh,
             scf_time_s: total,
             kernel_tflops: tflops,
+            metrics,
         });
     }
     table.print();

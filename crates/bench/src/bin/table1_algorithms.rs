@@ -24,13 +24,25 @@ fn main() {
     let iters = 3;
 
     println!("Table I: SymmSquareCube performance, 64 nodes, PPN=1, N_DUP=4\n");
-    let mut table = Table::new(&[
-        "System", "Dim", "Alg3 TF", "Alg4 TF", "Alg5 TF", "5/4",
-    ]);
+    let mut table = Table::new(&["System", "Dim", "Alg3 TF", "Alg4 TF", "Alg5 TF", "5/4"]);
     let mut rows = Vec::new();
     for sys in PAPER_SYSTEMS {
-        let s3 = symm_run(&profile, sys.dimension, mesh, KernelChoice::Original, 1, iters);
-        let s4 = symm_run(&profile, sys.dimension, mesh, KernelChoice::Baseline, 1, iters);
+        let s3 = symm_run(
+            &profile,
+            sys.dimension,
+            mesh,
+            KernelChoice::Original,
+            1,
+            iters,
+        );
+        let s4 = symm_run(
+            &profile,
+            sys.dimension,
+            mesh,
+            KernelChoice::Baseline,
+            1,
+            iters,
+        );
         let s5 = symm_run(
             &profile,
             sys.dimension,

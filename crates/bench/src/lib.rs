@@ -24,13 +24,18 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod metrics;
 pub mod micro;
 pub mod report;
 pub mod symm;
 pub mod timeline;
 
 pub use chart::{plot_loglog, Series};
-pub use micro::{coll_bandwidth, p2p_bandwidth, CollCase, CollKind};
+pub use metrics::{metrics_block, trace_out_arg, MetricsBlock};
+pub use micro::{
+    coll_bandwidth, coll_bandwidth_metrics, p2p_bandwidth, p2p_bandwidth_metrics, CollCase,
+    CollKind,
+};
 pub use report::{write_json, Table};
 pub use symm::{symm_run, MeshSpec, SymmStats};
 pub use timeline::{render, Bar};

@@ -1,0 +1,101 @@
+//! The structured metrics block attached to every JSON record the harness
+//! emits: overlap efficiency, NIC utilization and wait-time share of the
+//! simulated run each record was measured from.
+
+use ovcomm_obs::analyze;
+use ovcomm_simmpi::SimOutput;
+use ovcomm_simnet::TraceSpan;
+use serde::Serialize;
+
+/// Headline observability figures of one simulated run.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsBlock {
+    /// Fraction of NIC-busy time carrying ≥ 2 concurrent flows — how much
+    /// of the communication was overlapped with other communication.
+    pub overlap_efficiency: f64,
+    /// Mean NIC busy fraction over the run.
+    pub nic_busy_frac: f64,
+    /// Share of total rank-time blocked in waits and blocking calls.
+    pub wait_time_share: f64,
+    /// Flows that ran to completion.
+    pub completed_flows: u64,
+    /// Mean per-flow queueing delay in microseconds.
+    pub mean_queue_delay_us: f64,
+    /// Spans clamped for `end < start` — non-zero flags an
+    /// instrumentation bug.
+    pub clamped_spans: u64,
+}
+
+/// Build the metrics block from a finished run. Works with or without
+/// tracing: the NIC figures come from the always-on network accounting,
+/// and the wait share from the always-on `simmpi.wait_ns` /
+/// `simmpi.blocking_ns` histograms.
+pub fn metrics_block<T>(out: &SimOutput<T>) -> MetricsBlock {
+    let empty: &[TraceSpan] = &[];
+    let spans = out.trace.as_ref().map_or(empty, |t| t.spans());
+    let report = analyze(spans, &out.net, out.makespan);
+    let blocked_ns: u64 = out
+        .metrics
+        .histograms
+        .iter()
+        .filter(|(k, _)| k.starts_with("simmpi.wait_ns") || k.starts_with("simmpi.blocking_ns"))
+        .map(|(_, h)| h.sum)
+        .sum();
+    let nranks = out.results.len().max(1) as f64;
+    let total_ns = out.makespan.as_nanos() as f64 * nranks;
+    let wait_time_share = if total_ns > 0.0 {
+        (blocked_ns as f64 / total_ns).min(1.0)
+    } else {
+        0.0
+    };
+    MetricsBlock {
+        overlap_efficiency: report.nic_overlap2_frac,
+        nic_busy_frac: report.nic_busy_frac,
+        wait_time_share,
+        completed_flows: report.completed_flows,
+        mean_queue_delay_us: report.mean_queue_delay_us,
+        clamped_spans: out.clamped_spans as u64,
+    }
+}
+
+/// `--trace-out <path>` from the process arguments, if present — bench
+/// binaries pass it through to [`ovcomm_simmpi::SimConfig::with_trace_out`]
+/// so any table/figure run can be opened in ui.perfetto.dev.
+pub fn trace_out_arg() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace-out=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig};
+    use ovcomm_simnet::MachineProfile;
+
+    #[test]
+    fn metrics_block_reflects_communication() {
+        let out = run(
+            SimConfig::natural(4, 1, MachineProfile::test_profile()),
+            |rc: RankCtx| {
+                let w = rc.world();
+                let data = (rc.rank() == 0).then_some(Payload::Phantom(1 << 20));
+                let _ = w.bcast(0, data, 1 << 20);
+            },
+        )
+        .unwrap();
+        let m = metrics_block(&out);
+        assert!(m.nic_busy_frac > 0.0, "bcast must use the NICs");
+        assert!(m.wait_time_share > 0.0, "non-roots block in bcast");
+        assert!(m.wait_time_share <= 1.0);
+        assert!(m.completed_flows > 0);
+        assert_eq!(m.clamped_spans, 0);
+    }
+}

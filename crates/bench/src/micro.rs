@@ -5,11 +5,22 @@ use ovcomm_core::{overlapped_bcast, overlapped_reduce, NDupComms};
 use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig};
 use ovcomm_simnet::{MachineProfile, NodeMap};
 
+use crate::metrics::{metrics_block, MetricsBlock};
+
 /// Unidirectional point-to-point bandwidth between two nodes with `ppn`
 /// sender/receiver pairs, each moving `msg` bytes. All sources live on node
 /// 0, all destinations on node 1 (the paper's Fig. 3 setup). Returns the
 /// aggregate bandwidth in bytes/second.
 pub fn p2p_bandwidth(profile: &MachineProfile, ppn: usize, msg: usize) -> f64 {
+    p2p_bandwidth_metrics(profile, ppn, msg).0
+}
+
+/// [`p2p_bandwidth`] plus the run's observability block.
+pub fn p2p_bandwidth_metrics(
+    profile: &MachineProfile,
+    ppn: usize,
+    msg: usize,
+) -> (f64, MetricsBlock) {
     let nranks = 2 * ppn;
     let node_of: Vec<usize> = (0..nranks).map(|r| usize::from(r >= ppn)).collect();
     let cfg = SimConfig::with_map(NodeMap::custom(node_of), profile.clone());
@@ -23,7 +34,8 @@ pub fn p2p_bandwidth(profile: &MachineProfile, ppn: usize, msg: usize) -> f64 {
         }
     })
     .expect("p2p micro-benchmark");
-    (ppn * msg) as f64 / out.makespan.as_secs_f64()
+    let bw = (ppn * msg) as f64 / out.makespan.as_secs_f64();
+    (bw, metrics_block(&out))
 }
 
 /// Which collective the micro-benchmark measures.
@@ -59,10 +71,21 @@ pub fn coll_bandwidth(
     nodes: usize,
     msg: usize,
 ) -> f64 {
-    let time = coll_time(profile, kind, case, nodes, msg);
+    coll_bandwidth_metrics(profile, kind, case, nodes, msg).0
+}
+
+/// [`coll_bandwidth`] plus the run's observability block.
+pub fn coll_bandwidth_metrics(
+    profile: &MachineProfile,
+    kind: CollKind,
+    case: CollCase,
+    nodes: usize,
+    msg: usize,
+) -> (f64, MetricsBlock) {
+    let (time, metrics) = coll_run(profile, kind, case, nodes, msg);
     let p = nodes as f64;
     let volume = 2.0 * (p - 1.0) * msg as f64 / p;
-    volume / time
+    (volume / time, metrics)
 }
 
 /// Virtual time of the collective under the given case.
@@ -73,14 +96,24 @@ pub fn coll_time(
     nodes: usize,
     msg: usize,
 ) -> f64 {
-    match case {
+    coll_run(profile, kind, case, nodes, msg).0
+}
+
+fn coll_run(
+    profile: &MachineProfile,
+    kind: CollKind,
+    case: CollCase,
+    nodes: usize,
+    msg: usize,
+) -> (f64, MetricsBlock) {
+    let out = match case {
         CollCase::Blocking => {
             let cfg = SimConfig::natural(nodes, 1, profile.clone());
             run(cfg, move |rc: RankCtx| {
                 let w = rc.world();
                 match kind {
                     CollKind::Bcast => {
-                        let data = (rc.rank() == 0).then(|| Payload::Phantom(msg));
+                        let data = (rc.rank() == 0).then_some(Payload::Phantom(msg));
                         let _ = w.bcast(0, data, msg);
                     }
                     CollKind::Reduce => {
@@ -89,8 +122,6 @@ pub fn coll_time(
                 }
             })
             .expect("blocking collective micro-benchmark")
-            .makespan
-            .as_secs_f64()
         }
         CollCase::NonblockingOverlap(n_dup) => {
             let cfg = SimConfig::natural(nodes, 1, profile.clone());
@@ -99,7 +130,7 @@ pub fn coll_time(
                 let comms = NDupComms::new(&w, n_dup);
                 match kind {
                     CollKind::Bcast => {
-                        let data = (rc.rank() == 0).then(|| Payload::Phantom(msg));
+                        let data = (rc.rank() == 0).then_some(Payload::Phantom(msg));
                         let _ = overlapped_bcast(&comms, 0, data.as_ref(), msg);
                     }
                     CollKind::Reduce => {
@@ -109,8 +140,6 @@ pub fn coll_time(
                 }
             })
             .expect("nonblocking-overlap micro-benchmark")
-            .makespan
-            .as_secs_f64()
         }
         CollCase::PpnOverlap(ppn) => {
             // `nodes` nodes × ppn ranks; column communicator j contains the
@@ -129,7 +158,7 @@ pub fn coll_time(
                     .expect("column communicator");
                 match kind {
                     CollKind::Bcast => {
-                        let data = (node == 0).then(|| Payload::Phantom(part));
+                        let data = (node == 0).then_some(Payload::Phantom(part));
                         let _ = col.bcast(0, data, part);
                     }
                     CollKind::Reduce => {
@@ -138,10 +167,9 @@ pub fn coll_time(
                 }
             })
             .expect("ppn-overlap micro-benchmark")
-            .makespan
-            .as_secs_f64()
         }
-    }
+    };
+    (out.makespan.as_secs_f64(), metrics_block(&out))
 }
 
 #[cfg(test)]
@@ -173,7 +201,10 @@ mod tests {
             let blocking = coll_bandwidth(&p, kind, CollCase::Blocking, 4, 8 << 20);
             let ndup = coll_bandwidth(&p, kind, CollCase::NonblockingOverlap(4), 4, 8 << 20);
             let ppn = coll_bandwidth(&p, kind, CollCase::PpnOverlap(4), 4, 8 << 20);
-            assert!(ndup > blocking, "{kind:?}: ndup {ndup} vs blocking {blocking}");
+            assert!(
+                ndup > blocking,
+                "{kind:?}: ndup {ndup} vs blocking {blocking}"
+            );
             assert!(ppn > blocking, "{kind:?}: ppn {ppn} vs blocking {blocking}");
         }
     }

@@ -1,16 +1,18 @@
 //! SymmSquareCube benchmark runner: one configuration → TFlops and traffic
 //! statistics, shared by the Table I/II/III/IV/V generators.
 
+use ovcomm_core::NDupComms;
 use ovcomm_densemat::{BlockBuf, BlockGrid};
 use ovcomm_kernels::{
     symm_square_cube_25d, symm_square_cube_baseline, symm_square_cube_flops,
     symm_square_cube_optimized, symm_square_cube_original, Mesh25D, Mesh3D, SymmInput,
 };
-use ovcomm_core::NDupComms;
 use ovcomm_purify::KernelChoice;
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
 use serde::Serialize;
+
+use crate::metrics::{metrics_block, MetricsBlock};
 
 /// The process-mesh geometry of one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +70,9 @@ pub struct SymmStats {
     pub intra_bytes_per_call: u64,
     /// Modeled per-call local-GEMM time of the critical rank (seconds).
     pub compute_time: f64,
+    /// Observability block of the measured run (overlap efficiency, NIC
+    /// utilization, wait-time share).
+    pub metrics: MetricsBlock,
 }
 
 /// Run `iters` back-to-back SymmSquareCube calls (barrier-separated, like
@@ -85,71 +90,65 @@ pub fn symm_run(
     let nranks = mesh.nranks();
     let cfg = SimConfig::natural(nranks, ppn, profile.clone());
     let nodes = nranks.div_ceil(ppn);
-    let out = run(cfg, move |rc: RankCtx| {
-        match mesh {
-            MeshSpec::Cube { p } => {
-                let m3 = Mesh3D::new(&rc, p);
-                let grid = BlockGrid::new(n, p);
-                let bundles = match choice {
-                    KernelChoice::Optimized { n_dup } => Some(m3.dup_bundles(n_dup)),
-                    _ => None,
+    let out = run(cfg, move |rc: RankCtx| match mesh {
+        MeshSpec::Cube { p } => {
+            let m3 = Mesh3D::new(&rc, p);
+            let grid = BlockGrid::new(n, p);
+            let bundles = match choice {
+                KernelChoice::Optimized { n_dup } => Some(m3.dup_bundles(n_dup)),
+                _ => None,
+            };
+            let d_block = (m3.k == 0).then(|| {
+                let (r, c) = grid.block_dims(m3.i, m3.j);
+                BlockBuf::Phantom(r, c)
+            });
+            rc.world().barrier();
+            let t0 = rc.now();
+            for _ in 0..iters {
+                let input = SymmInput {
+                    n,
+                    d_block: d_block.clone(),
                 };
-                let d_block = (m3.k == 0).then(|| {
-                    let (r, c) = grid.block_dims(m3.i, m3.j);
-                    BlockBuf::Phantom(r, c)
-                });
-                rc.world().barrier();
-                let t0 = rc.now();
-                for _ in 0..iters {
-                    let input = SymmInput {
-                        n,
-                        d_block: d_block.clone(),
-                    };
-                    match choice {
-                        KernelChoice::Original => {
-                            let _ = symm_square_cube_original(&rc, &m3, &input);
-                        }
-                        KernelChoice::Baseline => {
-                            let _ = symm_square_cube_baseline(&rc, &m3, &input);
-                        }
-                        KernelChoice::Optimized { .. } => {
-                            let _ = symm_square_cube_optimized(
-                                &rc,
-                                &m3,
-                                bundles.as_ref().unwrap(),
-                                &input,
-                            );
-                        }
-                        KernelChoice::TwoFiveD { .. } => unreachable!(),
+                match choice {
+                    KernelChoice::Original => {
+                        let _ = symm_square_cube_original(&rc, &m3, &input);
                     }
-                    rc.world().barrier();
+                    KernelChoice::Baseline => {
+                        let _ = symm_square_cube_baseline(&rc, &m3, &input);
+                    }
+                    KernelChoice::Optimized { .. } => {
+                        let _ =
+                            symm_square_cube_optimized(&rc, &m3, bundles.as_ref().unwrap(), &input);
+                    }
+                    KernelChoice::TwoFiveD { .. } => unreachable!(),
                 }
-                (rc.now() - t0).as_secs_f64()
-            }
-            MeshSpec::TwoFiveD { q, c } => {
-                let n_dup = match choice {
-                    KernelChoice::TwoFiveD { n_dup, .. } => n_dup,
-                    _ => panic!("2.5D mesh needs the 2.5D kernel choice"),
-                };
-                let m25 = Mesh25D::new(&rc, q, c);
-                let grid = BlockGrid::new(n, q);
-                let grd_ndup = NDupComms::new(&m25.grd, n_dup);
-                let d_block = (m25.k == 0).then(|| {
-                    let (r, cc) = grid.block_dims(m25.i, m25.j);
-                    BlockBuf::Phantom(r, cc)
-                });
                 rc.world().barrier();
-                let t0 = rc.now();
-                for _ in 0..iters {
-                    let input = SymmInput {
-                        n,
-                        d_block: d_block.clone(),
-                    };
-                    let _ = symm_square_cube_25d(&rc, &m25, &grd_ndup, &input);
-                    rc.world().barrier();
-                }
-                (rc.now() - t0).as_secs_f64()
             }
+            (rc.now() - t0).as_secs_f64()
+        }
+        MeshSpec::TwoFiveD { q, c } => {
+            let n_dup = match choice {
+                KernelChoice::TwoFiveD { n_dup, .. } => n_dup,
+                _ => panic!("2.5D mesh needs the 2.5D kernel choice"),
+            };
+            let m25 = Mesh25D::new(&rc, q, c);
+            let grid = BlockGrid::new(n, q);
+            let grd_ndup = NDupComms::new(&m25.grd, n_dup);
+            let d_block = (m25.k == 0).then(|| {
+                let (r, cc) = grid.block_dims(m25.i, m25.j);
+                BlockBuf::Phantom(r, cc)
+            });
+            rc.world().barrier();
+            let t0 = rc.now();
+            for _ in 0..iters {
+                let input = SymmInput {
+                    n,
+                    d_block: d_block.clone(),
+                };
+                let _ = symm_square_cube_25d(&rc, &m25, &grd_ndup, &input);
+                rc.world().barrier();
+            }
+            (rc.now() - t0).as_secs_f64()
         }
     })
     .unwrap_or_else(|e| panic!("symm_run n={n} {} ppn={ppn}: {e}", mesh.label()));
@@ -185,5 +184,6 @@ pub fn symm_run(
         inter_bytes_per_call: out.inter_node_bytes / iters as u64,
         intra_bytes_per_call: out.intra_node_bytes / iters as u64,
         compute_time,
+        metrics: metrics_block(&out),
     }
 }

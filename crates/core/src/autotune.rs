@@ -25,7 +25,10 @@ impl MeasuredCurve {
         samples.sort_by_key(|&(n, _)| n);
         samples.dedup_by_key(|&mut (n, _)| n);
         for &(n, bw) in &samples {
-            assert!(n > 0 && bw.is_finite() && bw > 0.0, "bad sample ({n}, {bw})");
+            assert!(
+                n > 0 && bw.is_finite() && bw > 0.0,
+                "bad sample ({n}, {bw})"
+            );
         }
         MeasuredCurve { samples }
     }

@@ -30,8 +30,8 @@ pub use chunk::ChunkPlan;
 pub use model::{block_bytes, AlphaBeta};
 pub use ndup::NDupComms;
 pub use pipeline::{
-    overlapped_allreduce, overlapped_bcast, overlapped_isend, overlapped_recv,
-    overlapped_reduce, pipelined_reduce_bcast,
+    overlapped_allreduce, overlapped_bcast, overlapped_isend, overlapped_recv, overlapped_reduce,
+    pipelined_reduce_bcast,
 };
 pub use ppn::{run_stage, StagePlan};
 pub use tuning::{best_n_dup_by_condition, n_dup_by_threshold, satisfies_overlap_condition};

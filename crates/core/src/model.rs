@@ -77,7 +77,10 @@ mod tests {
         // p³ = 64 ⇒ p = 4; N = 7645 ⇒ block 1912² ⇒ 27.89 MBize.
         let ab = AlphaBeta::paper_sec5a();
         let n = block_bytes(7645, 4);
-        assert!((n / 1e6 - 29.24).abs() < 0.1, "block ≈ 29.24 MB decimal ({n})");
+        assert!(
+            (n / 1e6 - 29.24).abs() < 0.1,
+            "block ≈ 29.24 MB decimal ({n})"
+        );
         // The paper quotes 27.89 MB using binary MB; both feed the same β.
         let t_p2p = ab.t_p2p(n);
         let t_bcast = ab.t_bcast(4, n);

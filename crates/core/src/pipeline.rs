@@ -47,20 +47,13 @@ pub fn overlapped_bcast(
         .zip(parts)
         .map(|((c, comm), part)| (c, comm.ibcast(root, part, plan.len(c))))
         .collect();
-    let chunks: Vec<Payload> = reqs
-        .iter()
-        .map(|(c, r)| comms.comm(*c).wait(r))
-        .collect();
+    let chunks: Vec<Payload> = reqs.iter().map(|(c, r)| comms.comm(*c).wait(r)).collect();
     plan.concat(&chunks)
 }
 
 /// Sum-reduce `contrib` to `root`, overlapped with itself: N_DUP chunked
 /// `ireduce`s. Returns the assembled result on the root.
-pub fn overlapped_reduce(
-    comms: &NDupComms,
-    root: usize,
-    contrib: &Payload,
-) -> Option<Payload> {
+pub fn overlapped_reduce(comms: &NDupComms, root: usize, contrib: &Payload) -> Option<Payload> {
     let plan = ChunkPlan::new(contrib.len(), comms.n_dup());
     let reqs: Vec<(usize, Request<Option<Payload>>)> = comms
         .iter()
@@ -135,9 +128,11 @@ pub fn pipelined_reduce_bcast(
     let bcast_reqs: Vec<Request<Payload>> = (0..n_dup)
         .map(|c| {
             let data = if am_pipeliner {
-                let reduced = reduce_comms
-                    .comm(c)
-                    .wait_traced(&red_reqs[c], "wait MPI_Ireduce chunk");
+                let reduced = reduce_comms.comm(c).wait_traced_chunk(
+                    &red_reqs[c],
+                    "wait MPI_Ireduce",
+                    c as u32,
+                );
                 Some(reduced.expect("reduce root must receive the chunk"))
             } else {
                 None
@@ -150,7 +145,11 @@ pub fn pipelined_reduce_bcast(
     let chunks: Vec<Payload> = bcast_reqs
         .iter()
         .enumerate()
-        .map(|(c, r)| bcast_comms.comm(c).wait_traced(r, "wait MPI_Ibcast chunk"))
+        .map(|(c, r)| {
+            bcast_comms
+                .comm(c)
+                .wait_traced_chunk(r, "wait MPI_Ibcast", c as u32)
+        })
         .collect();
 
     // Ranks that are reduce roots but not bcast roots still need their
@@ -183,7 +182,12 @@ pub fn overlapped_allreduce(comms: &NDupComms, contrib: &Payload) -> Payload {
 /// Overlapped point-to-point: send `payload` to `dst` as N_DUP chunked
 /// `isend`s on the duplicated communicators (Algorithm 5, lines 22–26 use
 /// this for the D² and D³ hand-backs).
-pub fn overlapped_isend(comms: &NDupComms, dst: usize, tag: u32, payload: &Payload) -> Vec<Request<()>> {
+pub fn overlapped_isend(
+    comms: &NDupComms,
+    dst: usize,
+    tag: u32,
+    payload: &Payload,
+) -> Vec<Request<()>> {
     let plan = ChunkPlan::new(payload.len(), comms.n_dup());
     comms
         .iter()
@@ -195,17 +199,18 @@ pub fn overlapped_isend(comms: &NDupComms, dst: usize, tag: u32, payload: &Paylo
 /// reassemble.
 pub fn overlapped_recv(comms: &NDupComms, src: usize, tag: u32, len: usize) -> Payload {
     let plan = ChunkPlan::new(len, comms.n_dup());
-    let reqs: Vec<Request<Payload>> = comms
-        .iter()
-        .map(|(_, comm)| comm.irecv(src, tag))
-        .collect();
+    let reqs: Vec<Request<Payload>> = comms.iter().map(|(_, comm)| comm.irecv(src, tag)).collect();
     let chunks: Vec<Payload> = reqs
         .iter()
         .enumerate()
         .map(|(c, r)| comms.comm(c).wait(r))
         .collect();
     for (c, chunk) in chunks.iter().enumerate() {
-        assert_eq!(chunk.len(), plan.len(c), "received chunk {c} has wrong size");
+        assert_eq!(
+            chunk.len(),
+            plan.len(c),
+            "received chunk {c} has wrong size"
+        );
     }
     plan.concat(&chunks)
 }

@@ -37,11 +37,7 @@ pub fn satisfies_overlap_condition(curve: &impl BandwidthCurve, n: usize, n_dup:
 /// The largest N_DUP in `1..=max_n_dup` that satisfies the overlap
 /// condition (checked cumulatively from 1 upward; returns the last value
 /// that still passes).
-pub fn best_n_dup_by_condition(
-    curve: &impl BandwidthCurve,
-    n: usize,
-    max_n_dup: usize,
-) -> usize {
+pub fn best_n_dup_by_condition(curve: &impl BandwidthCurve, n: usize, max_n_dup: usize) -> usize {
     let mut best = 1;
     for d in 1..=max_n_dup {
         if satisfies_overlap_condition(curve, n, d) {

@@ -3,8 +3,8 @@
 //! actually save virtual time on the calibrated machine profile.
 
 use ovcomm_core::{
-    overlapped_bcast, overlapped_isend, overlapped_recv, overlapped_reduce,
-    pipelined_reduce_bcast, run_stage, NDupComms, StagePlan,
+    overlapped_bcast, overlapped_isend, overlapped_recv, overlapped_reduce, pipelined_reduce_bcast,
+    run_stage, NDupComms, StagePlan,
 };
 use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
@@ -41,7 +41,9 @@ fn overlapped_reduce_matches_blocking_for_all_ndup() {
         let out = run(cfg(6, 2), move |rc: RankCtx| {
             let w = rc.world();
             let comms = NDupComms::new(&w, n_dup);
-            let mine: Vec<f64> = (0..300).map(|i| (rc.rank() + 1) as f64 + i as f64).collect();
+            let mine: Vec<f64> = (0..300)
+                .map(|i| (rc.rank() + 1) as f64 + i as f64)
+                .collect();
             let contrib = Payload::from_f64s(&mine);
             overlapped_reduce(&comms, 3, &contrib).map(|p| p.to_f64s())
         })

@@ -21,6 +21,4 @@ pub use gemm::{gemm, gemm_acc, gemm_flops, gemm_naive};
 pub use matrix::Matrix;
 pub use partition::{BlockGrid, Partition1D};
 pub use solve::solve;
-pub use spectrum::{
-    exact_density, fock_like_spectrum, gershgorin_bounds, symmetric_with_spectrum,
-};
+pub use spectrum::{exact_density, fock_like_spectrum, gershgorin_bounds, symmetric_with_spectrum};

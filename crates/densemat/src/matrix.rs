@@ -91,7 +91,10 @@ impl Matrix {
 
     /// Extract the sub-matrix at (`r0`, `c0`) of size `rs` × `cs`.
     pub fn submatrix(&self, r0: usize, c0: usize, rs: usize, cs: usize) -> Matrix {
-        assert!(r0 + rs <= self.rows && c0 + cs <= self.cols, "submatrix out of range");
+        assert!(
+            r0 + rs <= self.rows && c0 + cs <= self.cols,
+            "submatrix out of range"
+        );
         let mut out = Matrix::zeros(rs, cs);
         for i in 0..rs {
             let src = (r0 + i) * self.cols + c0;

@@ -95,7 +95,11 @@ mod tests {
         let x_true = Matrix::from_fn(5, 3, |i, j| (i as f64 - j as f64) * 0.5);
         let b = gemm(&a, &x_true);
         let x = solve(&a, &b);
-        assert!(x.max_abs_diff(&x_true) < 1e-10, "err {}", x.max_abs_diff(&x_true));
+        assert!(
+            x.max_abs_diff(&x_true) < 1e-10,
+            "err {}",
+            x.max_abs_diff(&x_true)
+        );
     }
 
     #[test]

@@ -75,13 +75,21 @@ pub fn fock_like_spectrum(n: usize, nocc: usize) -> Vec<f64> {
     let mut eigs = Vec::with_capacity(n);
     for i in 0..nocc {
         // occupied band [-10, -2]
-        let t = if nocc > 1 { i as f64 / (nocc - 1) as f64 } else { 0.0 };
+        let t = if nocc > 1 {
+            i as f64 / (nocc - 1) as f64
+        } else {
+            0.0
+        };
         eigs.push(-10.0 + 8.0 * t);
     }
     for i in 0..n - nocc {
         // virtual band [0, 6]
         let nv = n - nocc;
-        let t = if nv > 1 { i as f64 / (nv - 1) as f64 } else { 0.0 };
+        let t = if nv > 1 {
+            i as f64 / (nv - 1) as f64
+        } else {
+            0.0
+        };
         eigs.push(6.0 * t);
     }
     eigs
@@ -135,7 +143,10 @@ mod tests {
         let h = symmetric_with_spectrum(&eigs, 42);
         assert!(h.is_symmetric(1e-10));
         let want: f64 = eigs.iter().sum();
-        assert!((h.trace() - want).abs() < 1e-8, "trace preserved by conjugation");
+        assert!(
+            (h.trace() - want).abs() < 1e-8,
+            "trace preserved by conjugation"
+        );
     }
 
     #[test]

@@ -3,27 +3,43 @@
 //!
 //! Run with: `cargo run -p ovcomm-kernels --release --example scale_check`
 use ovcomm_densemat::{BlockBuf, BlockGrid};
-use ovcomm_kernels::{symm_square_cube_baseline, symm_square_cube_optimized, symm_square_cube_original, symm_square_cube_flops, Mesh3D, SymmInput};
+use ovcomm_kernels::{
+    symm_square_cube_baseline, symm_square_cube_flops, symm_square_cube_optimized,
+    symm_square_cube_original, Mesh3D, SymmInput,
+};
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
 
 fn go(n: usize, which: u8, n_dup: usize) -> f64 {
-    let out = run(SimConfig::natural(64, 1, MachineProfile::stampede2_skylake()), move |rc: RankCtx| {
-        let mesh = Mesh3D::new(&rc, 4);
-        let grid = BlockGrid::new(n, 4);
-        let d_block = (mesh.k == 0).then(|| { let (r,c)=grid.block_dims(mesh.i,mesh.j); BlockBuf::Phantom(r,c) });
-        let bundles = mesh.dup_bundles(n_dup);
-        rc.world().barrier();
-        let t0 = rc.now();
-        let input = SymmInput { n, d_block };
-        match which {
-            0 => { let _ = symm_square_cube_original(&rc, &mesh, &input); }
-            1 => { let _ = symm_square_cube_baseline(&rc, &mesh, &input); }
-            _ => { let _ = symm_square_cube_optimized(&rc, &mesh, &bundles, &input); }
-        }
-        rc.world().barrier();
-        (rc.now() - t0).as_secs_f64()
-    }).unwrap();
+    let out = run(
+        SimConfig::natural(64, 1, MachineProfile::stampede2_skylake()),
+        move |rc: RankCtx| {
+            let mesh = Mesh3D::new(&rc, 4);
+            let grid = BlockGrid::new(n, 4);
+            let d_block = (mesh.k == 0).then(|| {
+                let (r, c) = grid.block_dims(mesh.i, mesh.j);
+                BlockBuf::Phantom(r, c)
+            });
+            let bundles = mesh.dup_bundles(n_dup);
+            rc.world().barrier();
+            let t0 = rc.now();
+            let input = SymmInput { n, d_block };
+            match which {
+                0 => {
+                    let _ = symm_square_cube_original(&rc, &mesh, &input);
+                }
+                1 => {
+                    let _ = symm_square_cube_baseline(&rc, &mesh, &input);
+                }
+                _ => {
+                    let _ = symm_square_cube_optimized(&rc, &mesh, &bundles, &input);
+                }
+            }
+            rc.world().barrier();
+            (rc.now() - t0).as_secs_f64()
+        },
+    )
+    .unwrap();
     out.results.iter().cloned().fold(0.0f64, f64::max)
 }
 

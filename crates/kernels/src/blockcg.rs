@@ -150,7 +150,10 @@ fn grams(
     s: usize,
     overlap: bool,
 ) -> Vec<Payload> {
-    assert!(pairs.len() <= 2, "two independent communicator sets available");
+    assert!(
+        pairs.len() <= 2,
+        "two independent communicator sets available"
+    );
     let on_row0 = mesh.i == 0;
     let bytes = s * s * 8;
     if overlap {
@@ -177,8 +180,7 @@ fn grams(
         // Post every column broadcast before waiting on any of them.
         let col_reqs: Vec<Request<Payload>> = (0..pairs.len())
             .map(|idx| {
-                let from_row0 =
-                    on_row0.then(|| comms.gram_row[idx].comm(0).wait(&row_bcasts[idx]));
+                let from_row0 = on_row0.then(|| comms.gram_row[idx].comm(0).wait(&row_bcasts[idx]));
                 comms.gram_col[idx].comm(0).ibcast(0, from_row0, bytes)
             })
             .collect();

@@ -29,9 +29,9 @@ pub mod symm3d;
 
 pub use blockcg::{block_cg, BlockCgConfig, BlockCgResult, CgComms};
 pub use matvec::{matvec_blocking, matvec_pipelined, MatvecInput, VecBuf};
-pub use summa::{summa_multiply, summa_multiply_pipelined, symm_square_cube_summa, SummaBundles};
 pub use mesh::{Mesh2D, Mesh3D, Mesh3DBundles};
 pub use particles::{md_init, md_run, MdConfig, MdState};
+pub use summa::{summa_multiply, summa_multiply_pipelined, symm_square_cube_summa, SummaBundles};
 pub use symm25d::{symm_square_cube_25d, Mesh25D};
 pub use symm3d::{
     symm_square_cube_baseline, symm_square_cube_flops, symm_square_cube_optimized,

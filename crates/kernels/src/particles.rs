@@ -72,7 +72,7 @@ pub fn md_init(rc: &RankCtx, mesh: &Mesh2D, cfg: &MdConfig, phantom: bool) -> Md
     if phantom {
         MdState {
             x: VecBuf::Phantom(l),
-            v: (mesh.i == mesh.j).then(|| Vec::new()),
+            v: (mesh.i == mesh.j).then(Vec::new),
         }
     } else {
         let x: Vec<f64> = (s..s + l).map(|t| t as f64 * 1.05).collect();
@@ -93,12 +93,9 @@ pub fn md_run(rc: &RankCtx, mesh: &Mesh2D, cfg: &MdConfig, mut state: MdState) -
     // Positions of my row group (group i), needed to compute F(i, j):
     // maintained by a row broadcast from the diagonal at each step; the
     // initial copy comes from the same broadcast with the diagonal's x.
-    let bundles = cfg.overlap.map(|d| {
-        (
-            NDupComms::new(&mesh.row, d),
-            NDupComms::new(&mesh.col, d),
-        )
-    });
+    let bundles = cfg
+        .overlap
+        .map(|d| (NDupComms::new(&mesh.row, d), NDupComms::new(&mesh.col, d)));
 
     // Initial row-group positions (diagonal owns group i — note for rank
     // (i, j), the row group index is i, held by (i, i) in this row).
@@ -115,12 +112,12 @@ pub fn md_run(rc: &RankCtx, mesh: &Mesh2D, cfg: &MdConfig, mut state: MdState) -
             (VecBuf::Real(xa), VecBuf::Real(xb)) => {
                 let mut f = vec![0.0; li];
                 for (a, fa) in f.iter_mut().enumerate() {
-                    for b in 0..lj {
+                    for (b, &xbv) in xb.iter().enumerate().take(lj) {
                         // Skip self-interaction on diagonal blocks.
                         if i == j && a == b {
                             continue;
                         }
-                        *fa += pair_force(xa[a], xb[b]);
+                        *fa += pair_force(xa[a], xbv);
                     }
                 }
                 VecBuf::Real(f)
@@ -141,17 +138,9 @@ pub fn md_run(rc: &RankCtx, mesh: &Mesh2D, cfg: &MdConfig, mut state: MdState) -
                 // *velocity updates*: for the toy integrator
                 // x' = x + dt·(v + dt·f) each chunk of f maps to a chunk of
                 // x' locally on the diagonal.
-                let reduced_bcast = pipelined_reduce_bcast_with_integrate(
-                    rc,
-                    mesh,
-                    row_ndup,
-                    col_ndup,
-                    &partial,
-                    &mut state,
-                    cfg.dt,
-                    lj,
-                );
-                reduced_bcast
+                pipelined_reduce_bcast_with_integrate(
+                    rc, mesh, row_ndup, col_ndup, &partial, &mut state, cfg.dt, lj,
+                )
             }
             None => {
                 let reduced = mesh.row.reduce(i, partial.to_payload());
@@ -213,13 +202,6 @@ fn pipelined_reduce_bcast_with_integrate(
         ovcomm_core::overlapped_bcast(col_ndup, j, Some(&new_x.to_payload()), lj * 8)
     } else {
         // Contribute force chunks; receive position chunks.
-        pipelined_reduce_bcast(
-            row_ndup,
-            i,
-            col_ndup,
-            j,
-            &partial.to_payload(),
-            lj * 8,
-        )
+        pipelined_reduce_bcast(row_ndup, i, col_ndup, j, &partial.to_payload(), lj * 8)
     }
 }

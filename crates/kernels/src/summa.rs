@@ -66,29 +66,21 @@ pub fn summa_multiply(
     let mut c = BlockBuf::zeros(li, lj, phantom);
 
     for l in 0..p {
+        let t_step = rc.now();
         // A(i,l) travels along row i from the column-l owner.
         let a_payload = (j == l).then(|| block_to_payload(a));
-        let a_panel = overlapped_bcast(
-            &bundles.row,
-            l,
-            a_payload.as_ref(),
-            grid.block_bytes(i, l),
-        );
+        let a_panel = overlapped_bcast(&bundles.row, l, a_payload.as_ref(), grid.block_bytes(i, l));
         let (ra, ca) = grid.block_dims(i, l);
         let a_blk = payload_to_block(&a_panel, ra, ca);
 
         // B(l,j) travels down column j from the row-l owner.
         let b_payload = (i == l).then(|| block_to_payload(b));
-        let b_panel = overlapped_bcast(
-            &bundles.col,
-            l,
-            b_payload.as_ref(),
-            grid.block_bytes(l, j),
-        );
+        let b_panel = overlapped_bcast(&bundles.col, l, b_payload.as_ref(), grid.block_bytes(l, j));
         let (rb, cb) = grid.block_dims(l, j);
         let b_blk = payload_to_block(&b_panel, rb, cb);
 
         local_multiply(rc, &mut c, &a_blk, &b_blk, rate);
+        rc.phase_span(t_step, format!("summa step {l}"));
     }
     c
 }
@@ -137,6 +129,7 @@ pub fn summa_multiply_pipelined(
     let depth = n_dup.min(p);
     let mut inflight: std::collections::VecDeque<_> = (0..depth).map(post).collect();
     for l in 0..p {
+        let t_step = rc.now();
         let (ra, rb) = inflight.pop_front().expect("pipeline primed");
         let a_panel = bundles.row.comm(l % n_dup).wait(&ra);
         let (rra, cca) = grid.block_dims(i, l);
@@ -149,6 +142,7 @@ pub fn summa_multiply_pipelined(
             inflight.push_back(post(l + depth));
         }
         local_multiply(rc, &mut c, &a_blk, &b_blk, rate);
+        rc.phase_span(t_step, format!("summa step {l}"));
     }
     c
 }
@@ -170,8 +164,12 @@ pub fn symm_square_cube_summa(
     let block_dim = grid.n().div_ceil(grid.p()).max(1);
     let rate = rc.profile().process_flops(rc.compute_ppn(), block_dim);
 
+    let t_d2 = rc.now();
     let d2 = summa_multiply(rc, mesh, &grid, bundles, d, d, rate);
+    rc.phase_span(t_d2, "summa D2".to_string());
+    let t_d3 = rc.now();
     let d3 = summa_multiply(rc, mesh, &grid, bundles, d, &d2, rate);
+    rc.phase_span(t_d3, "summa D3".to_string());
     SymmOutput {
         d2: Some(d2),
         d3: Some(d3),

@@ -52,14 +52,23 @@ impl Mesh25D {
     /// a per-kernel-PPN stage).
     pub fn new_on(world: Comm, q: usize, c: usize) -> Mesh25D {
         assert_eq!(world.size(), q * q * c, "need exactly q^2*c ranks");
-        assert!(c >= 1 && q.is_multiple_of(c), "replication factor must divide q");
+        assert!(
+            c >= 1 && q.is_multiple_of(c),
+            "replication factor must divide q"
+        );
         let rank = world.rank();
         let k = rank / (q * q);
         let r = rank % (q * q);
         let (i, j) = (r / q, r % q);
-        let row = world.split((i + k * q) as i64, j as u64).expect("row split");
-        let col = world.split((j + k * q) as i64, i as u64).expect("col split");
-        let grd = world.split((i + j * q) as i64, k as u64).expect("grd split");
+        let row = world
+            .split((i + k * q) as i64, j as u64)
+            .expect("row split");
+        let col = world
+            .split((j + k * q) as i64, i as u64)
+            .expect("col split");
+        let grd = world
+            .split((i + j * q) as i64, k as u64)
+            .expect("grd split");
         debug_assert_eq!(row.rank(), j);
         debug_assert_eq!(col.rank(), i);
         debug_assert_eq!(grd.rank(), k);
@@ -125,11 +134,19 @@ fn cannon_phase(
     let mut la = l0; // logical column of my current A block / row of B.
     let mut a_cur = {
         let incoming = roll(&mesh.row, a_shift, tag_base, block_to_payload(a0));
-        payload_to_block(&incoming, grid.block_dims(i, l0).0, grid.block_dims(i, l0).1)
+        payload_to_block(
+            &incoming,
+            grid.block_dims(i, l0).0,
+            grid.block_dims(i, l0).1,
+        )
     };
     let mut b_cur = {
         let incoming = roll(&mesh.col, b_shift, tag_base + 1, block_to_payload(b0));
-        payload_to_block(&incoming, grid.block_dims(l0, j).0, grid.block_dims(l0, j).1)
+        payload_to_block(
+            &incoming,
+            grid.block_dims(l0, j).0,
+            grid.block_dims(l0, j).1,
+        )
     };
 
     for s in 0..steps {
@@ -137,9 +154,19 @@ fn cannon_phase(
         if s + 1 < steps {
             // Shift A one left along the row, B one up along the column.
             let ln = (la + 1) % q;
-            let a_in = roll(&mesh.row, -1, tag_base + 2 + 2 * s as u32, block_to_payload(&a_cur));
+            let a_in = roll(
+                &mesh.row,
+                -1,
+                tag_base + 2 + 2 * s as u32,
+                block_to_payload(&a_cur),
+            );
             a_cur = payload_to_block(&a_in, grid.block_dims(i, ln).0, grid.block_dims(i, ln).1);
-            let b_in = roll(&mesh.col, -1, tag_base + 3 + 2 * s as u32, block_to_payload(&b_cur));
+            let b_in = roll(
+                &mesh.col,
+                -1,
+                tag_base + 3 + 2 * s as u32,
+                block_to_payload(&b_cur),
+            );
             b_cur = payload_to_block(&b_in, grid.block_dims(ln, j).0, grid.block_dims(ln, j).1);
             la = ln;
         }
@@ -159,7 +186,10 @@ pub fn symm_square_cube_25d(
     let grid = BlockGrid::new(input.n, mesh.q);
     let (i, j, k) = (mesh.i, mesh.j, mesh.k);
     if k == 0 {
-        let d = input.d_block.as_ref().expect("plane 0 must supply D blocks");
+        let d = input
+            .d_block
+            .as_ref()
+            .expect("plane 0 must supply D blocks");
         assert_eq!(d.dims(), grid.block_dims(i, j), "D block has wrong dims");
     } else {
         assert!(input.d_block.is_none());
@@ -170,25 +200,35 @@ pub fn symm_square_cube_25d(
 
     // Step 1: broadcast D(i,j) as A and B along the grid fibre (overlapped
     // with itself).
+    let t1 = rc.now();
     let d_payload = input.d_block.as_ref().map(block_to_payload);
     let d_recv = overlapped_bcast(grd_ndup, 0, d_payload.as_ref(), grid.block_bytes(i, j));
     let d_block = payload_to_block(&d_recv, li, lj);
     let phantom = d_block.is_phantom();
+    rc.phase_span(t1, "25d bcast D".to_string());
 
     // Step 2: first Cannon phase: C = (band of) D·D.
+    let t2 = rc.now();
     let mut c_blk = BlockBuf::zeros(li, lj, phantom);
     cannon_phase(rc, mesh, &grid, &d_block, &d_block, &mut c_blk, rate, 200);
+    rc.phase_span(t2, "25d cannon D*D".to_string());
 
     // Step 3: allreduce across planes → D²(i,j) everywhere (overlapped).
+    let t3 = rc.now();
     let d2_payload = overlapped_allreduce(grd_ndup, &block_to_payload(&c_blk));
     let d2_block = payload_to_block(&d2_payload, li, lj);
+    rc.phase_span(t3, "25d allreduce D2".to_string());
 
     // Step 4: second Cannon phase: C = (band of) D·D².
+    let t4 = rc.now();
     let mut c3 = BlockBuf::zeros(li, lj, phantom);
     cannon_phase(rc, mesh, &grid, &d_block, &d2_block, &mut c3, rate, 600);
+    rc.phase_span(t4, "25d cannon D*D2".to_string());
 
     // Step 5: reduce across planes to plane 0 → D³(i,j) (overlapped).
+    let t5 = rc.now();
     let d3_payload = overlapped_reduce(grd_ndup, 0, &block_to_payload(&c3));
+    rc.phase_span(t5, "25d reduce D3".to_string());
 
     if k == 0 {
         SymmOutput {

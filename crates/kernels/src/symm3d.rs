@@ -44,7 +44,10 @@ pub fn symm_square_cube_flops(n: usize) -> f64 {
 
 fn check_input(mesh: &Mesh3D, grid: &BlockGrid, input: &SymmInput) {
     if mesh.k == 0 {
-        let d = input.d_block.as_ref().expect("plane 0 must supply D blocks");
+        let d = input
+            .d_block
+            .as_ref()
+            .expect("plane 0 must supply D blocks");
         assert_eq!(
             d.dims(),
             grid.block_dims(mesh.i, mesh.j),
@@ -211,7 +214,11 @@ pub fn symm_square_cube_baseline(rc: &RankCtx, mesh: &Mesh3D, input: &SymmInput)
     let d2_red = mesh.col.reduce(i, block_to_payload(&c));
 
     // 5: row broadcast of D²(j,k) straight from P(j,j,k) — no transpose.
-    let b2 = mesh.row.bcast(j, (i == j).then(|| d2_red.clone().unwrap()), grid.block_bytes(j, k));
+    let b2 = mesh.row.bcast(
+        j,
+        (i == j).then(|| d2_red.clone().unwrap()),
+        grid.block_bytes(j, k),
+    );
     let b2_block = payload_to_block(&b2, lj, lk);
 
     // 6: C := A·B².
@@ -273,6 +280,7 @@ pub fn symm_square_cube_optimized(
     let lk = grid.block_dims(k, k).0;
 
     // ---- Lines 1–8: pipelined grid-bcast → row-bcast of D blocks. ----
+    let t_bcast = rc.now();
     let plan_a = ChunkPlan::new(grid.block_bytes(i, j), n_dup);
     let a_payload = input.d_block.as_ref().map(block_to_payload);
     let grd_reqs: Vec<Request<Payload>> = bundles
@@ -294,7 +302,11 @@ pub fn symm_square_cube_optimized(
     let row_reqs: Vec<Request<Payload>> = (0..n_dup)
         .map(|c| {
             let data = if i == k {
-                let chunk = bundles.grd.comm(c).wait_traced(&grd_reqs[c], "wait Ibcast grd chunk");
+                let chunk = bundles.grd.comm(c).wait_traced_chunk(
+                    &grd_reqs[c],
+                    "wait Ibcast grd",
+                    c as u32,
+                );
                 a_chunks[c] = Some(chunk.clone());
                 Some(chunk)
             } else {
@@ -307,7 +319,11 @@ pub fn symm_square_cube_optimized(
     // Line 8: wait for everything outstanding; assemble A and Bᵀ.
     for c in 0..n_dup {
         if a_chunks[c].is_none() {
-            a_chunks[c] = Some(bundles.grd.comm(c).wait_traced(&grd_reqs[c], "wait Ibcast grd chunk"));
+            a_chunks[c] = Some(bundles.grd.comm(c).wait_traced_chunk(
+                &grd_reqs[c],
+                "wait Ibcast grd",
+                c as u32,
+            ));
         }
     }
     let a_full = plan_a.concat(&a_chunks.into_iter().map(Option::unwrap).collect::<Vec<_>>());
@@ -316,15 +332,22 @@ pub fn symm_square_cube_optimized(
     let b_chunks: Vec<Payload> = row_reqs
         .iter()
         .enumerate()
-        .map(|(c, r)| bundles.row.comm(c).wait_traced(r, "wait Ibcast row chunk"))
+        .map(|(c, r)| {
+            bundles
+                .row
+                .comm(c)
+                .wait_traced_chunk(r, "wait Ibcast row", c as u32)
+        })
         .collect();
     let b = payload_to_block(&plan_b.concat(&b_chunks), grid.block_dims(k, j).0, lj).transpose();
+    rc.phase_span(t_bcast, "symm3d bcast D".to_string());
 
     // Line 9: C := A·B.
     let mut c_blk = BlockBuf::zeros(li, lk, phantom);
     local_multiply(rc, &mut c_blk, &a, &b, rate);
 
     // ---- Lines 10–17: pipelined col-ireduce → row-ibcast of D². ----
+    let t_d2 = rc.now();
     // Reduce root j = i (D² lands on P(i,i,k)); bcast root i = j.
     let b2_payload = pipelined_reduce_bcast(
         &bundles.col,
@@ -335,6 +358,7 @@ pub fn symm_square_cube_optimized(
         grid.block_bytes(j, k),
     );
     let b2 = payload_to_block(&b2_payload, lj, lk);
+    rc.phase_span(t_d2, "symm3d reduce-bcast D2".to_string());
     // P(i,i,k)'s own D²(i,k) is the payload it just pipelined (i == j).
     let d2_mine = (i == j).then(|| b2_payload.clone());
 
@@ -343,6 +367,7 @@ pub fn symm_square_cube_optimized(
     local_multiply(rc, &mut c2, &a, &b2, rate);
 
     // ---- Lines 19–27: col-ireduce of D³ overlapped with both hand-backs.
+    let t_d3 = rc.now();
     let plan_c = ChunkPlan::new(grid.block_bytes(i, k), n_dup);
     let c2_payload = block_to_payload(&c2);
     let d3_reqs: Vec<Request<Option<Payload>>> = bundles
@@ -384,7 +409,7 @@ pub fn symm_square_cube_optimized(
             let chunk = bundles
                 .col
                 .comm(c)
-                .wait_traced(&d3_reqs[c], "wait MPI_Ireduce D3 chunk")
+                .wait_traced_chunk(&d3_reqs[c], "wait MPI_Ireduce D3", c as u32)
                 .expect("P(i,k,k) is the D³ reduce root");
             if k == 0 {
                 // Already home (P(i,0,0) owns block (i,0)).
@@ -425,7 +450,10 @@ pub fn symm_square_cube_optimized(
                 .iter()
                 .enumerate()
                 .map(|(c, r)| {
-                    let got = bundles.world.comm(c).wait_traced(r, "wait Irecv D2 chunk");
+                    let got = bundles
+                        .world
+                        .comm(c)
+                        .wait_traced_chunk(r, "wait Irecv D2", c as u32);
                     assert_eq!(got.len(), plan.len(c), "D² chunk size mismatch");
                     got
                 })
@@ -447,7 +475,10 @@ pub fn symm_square_cube_optimized(
                 .iter()
                 .enumerate()
                 .map(|(c, r)| {
-                    let got = bundles.grd.comm(c).wait_traced(r, "wait Irecv D3 chunk");
+                    let got = bundles
+                        .grd
+                        .comm(c)
+                        .wait_traced_chunk(r, "wait Irecv D3", c as u32);
                     assert_eq!(got.len(), plan.len(c), "D³ chunk size mismatch");
                     got
                 })
@@ -457,6 +488,7 @@ pub fn symm_square_cube_optimized(
     } else {
         None
     };
+    rc.phase_span(t_d3, "symm3d reduce+handback D3".to_string());
 
     finish(mesh, &grid, d2_home, d3_home)
 }

@@ -162,7 +162,10 @@ fn run_block_cg(n: usize, p: usize, s: usize, overlap: bool) -> (Matrix, usize, 
 fn block_cg_solves_spd_system() {
     let (n, p, s) = (40, 2, 3);
     let (x, iters, converged, rel) = run_block_cg(n, p, s, false);
-    assert!(converged, "CG did not converge in {iters} iterations (rel {rel})");
+    assert!(
+        converged,
+        "CG did not converge in {iters} iterations (rel {rel})"
+    );
     let a = spd_matrix(n, 77);
     let b = Matrix::from_fn(n, s, |i, j| ((i * 7 + j * 13) % 11) as f64 - 5.0);
     let ax = gemm(&a, &x);
@@ -365,7 +368,8 @@ mod summa_pipelined {
                     let grid = BlockGrid::new(n, p);
                     let bundles = SummaBundles::new(&mesh, n_dup);
                     let a = BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j));
-                    let b = BlockBuf::Real(grid.extract(&test_matrix(n).transpose(), mesh.i, mesh.j));
+                    let b =
+                        BlockBuf::Real(grid.extract(&test_matrix(n).transpose(), mesh.i, mesh.j));
                     let rate = rc.profile().process_flops(1, n / p);
                     rc.world().barrier();
                     let c = if pipelined {
@@ -392,7 +396,12 @@ mod summa_pipelined {
         };
         let t_plain = plain.makespan.as_nanos();
         let t_piped = piped.makespan.as_nanos();
-        (assemble(plain.results), assemble(piped.results), t_plain, t_piped)
+        (
+            assemble(plain.results),
+            assemble(piped.results),
+            t_plain,
+            t_piped,
+        )
     }
 
     #[test]

@@ -2,13 +2,13 @@
 //! references, plus the real/phantom timing-equivalence invariant and the
 //! headline performance ordering at paper scale.
 
+use ovcomm_core::NDupComms;
 use ovcomm_densemat::{gemm, BlockBuf, BlockGrid, Matrix, Partition1D};
 use ovcomm_kernels::{
     matvec_blocking, matvec_pipelined, symm_square_cube_25d, symm_square_cube_baseline,
     symm_square_cube_optimized, symm_square_cube_original, MatvecInput, Mesh25D, Mesh2D, Mesh3D,
     SymmInput, VecBuf,
 };
-use ovcomm_core::NDupComms;
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
 
@@ -320,9 +320,8 @@ fn run_symm25d(n: usize, q: usize, c: usize, n_dup: usize) -> (Matrix, Matrix) {
         move |rc: RankCtx| {
             let mesh = Mesh25D::new(&rc, q, c);
             let grid = BlockGrid::new(n, q);
-            let d_block = (mesh.k == 0).then(|| {
-                BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j))
-            });
+            let d_block = (mesh.k == 0)
+                .then(|| BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j)));
             let grd_ndup = NDupComms::new(&mesh.grd, n_dup);
             let input = SymmInput { n, d_block };
             let result = symm_square_cube_25d(&rc, &mesh, &grd_ndup, &input);

@@ -5,17 +5,14 @@
 use proptest::prelude::*;
 
 use ovcomm_densemat::{gemm, BlockBuf, BlockGrid, Matrix};
-use ovcomm_kernels::{
-    symm_square_cube_baseline, symm_square_cube_optimized, Mesh3D, SymmInput,
-};
+use ovcomm_kernels::{symm_square_cube_baseline, symm_square_cube_optimized, Mesh3D, SymmInput};
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
 
 fn seeded_symmetric(n: usize, seed: u64) -> Matrix {
     Matrix::from_fn(n, n, |i, j| {
         let (a, b) = (i.min(j), i.max(j));
-        (((a * 131 + b * 31) as u64 + seed * 977) % 200) as f64 / 23.0
-            - 4.0
+        (((a * 131 + b * 31) as u64 + seed * 977) % 200) as f64 / 23.0 - 4.0
             + if i == j { 1.0 } else { 0.0 }
     })
 }

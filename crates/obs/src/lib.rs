@@ -1,2 +1,25 @@
-//! Observability for the ovcomm stack.
+//! # ovcomm-obs
+//!
+//! Observability for the ovcomm stack: a lock-cheap [`registry`] of
+//! counters/gauges/virtual-time histograms fed by the simulator layers, an
+//! [`analyze`] pass that turns trace spans and network utilization
+//! integrals into overlap-efficiency numbers (how much NIC-busy time
+//! carried ≥ 2 concurrent flows — the paper's central quantity — plus the
+//! Fig.-6 per-rank compute/post/wait/idle split and a critical path), and
+//! a [`perfetto`] exporter that writes Chrome trace-event JSON loadable in
+//! `ui.perfetto.dev`.
+//!
+//! The crate depends only on `ovcomm-simnet` types; `ovcomm-simmpi` feeds
+//! it and the kernel/bench layers consume the reports.
+
 #![warn(missing_docs)]
+
+pub mod analyze;
+pub mod perfetto;
+pub mod registry;
+
+pub use analyze::{analyze, CriticalSegment, OverlapReport, RankBreakdown, ResourceUtilization};
+pub use perfetto::{trace_to_json, trace_to_json_with_names, validate_trace_events, write_trace};
+pub use registry::{
+    Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};

@@ -1,0 +1,356 @@
+//! A lock-cheap metrics registry.
+//!
+//! Registration (naming a metric, attaching labels) takes a mutex once and
+//! hands back a handle backed by atomics; the hot path — incrementing a
+//! counter from inside an MPI call, recording a virtual-time duration —
+//! touches only those atomics. Snapshots walk the registry under the lock
+//! and produce a plain, serializable, deterministically ordered value.
+//!
+//! Metric identity is `name{k=v,…}` with labels sorted by key, so equal
+//! registrations from different call sites share one instrument.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use serde::Serialize;
+
+/// Number of power-of-two histogram buckets (covers the full `u64` range).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter (bytes, calls, …).
+#[derive(Clone)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level with a high-water mark (e.g. progress-pool
+/// occupancy, in-flight operations).
+#[derive(Clone)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+    high_water: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Raise the level by one and update the high-water mark.
+    pub fn inc(&self) {
+        let v = self.value.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Lower the level by one.
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Set the level to an absolute value and update the high-water mark.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+        self.high_water.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram of `u64` samples (virtual-time durations in nanoseconds)
+/// with power-of-two buckets plus count/sum/min/max.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// Bucket index for a sample: 0 holds zero, bucket `i` holds samples whose
+/// highest set bit is `i - 1` (i.e. `[2^(i-1), 2^i)`).
+fn bucket_of(sample: u64) -> usize {
+    (u64::BITS - sample.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, sample: u64) {
+        let h = &self.inner;
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(sample, Ordering::Relaxed);
+        h.min.fetch_min(sample, Ordering::Relaxed);
+        h.max.fetch_max(sample, Ordering::Relaxed);
+        h.buckets[bucket_of(sample)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// The registry: metric identity → instrument storage.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Instrument>>,
+}
+
+/// Canonical metric identity: `name{k=v,…}` with labels sorted by key, or
+/// bare `name` when there are none.
+pub fn metric_key(name: &str, labels: &[(&str, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<&(&str, String)> = labels.iter().collect();
+    sorted.sort_by_key(|(k, _)| *k);
+    let body: Vec<String> = sorted.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{name}{{{}}}", body.join(","))
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter `name{labels}`.
+    pub fn counter(&self, name: &str, labels: &[(&str, String)]) -> Counter {
+        let key = metric_key(name, labels);
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(key.clone()).or_insert_with(|| {
+            Instrument::Counter(Counter {
+                cell: Arc::new(AtomicU64::new(0)),
+            })
+        }) {
+            Instrument::Counter(c) => c.clone(),
+            _ => panic!("metric {key} already registered with a different type"),
+        }
+    }
+
+    /// Get or create the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, labels: &[(&str, String)]) -> Gauge {
+        let key = metric_key(name, labels);
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(key.clone()).or_insert_with(|| {
+            Instrument::Gauge(Gauge {
+                value: Arc::new(AtomicU64::new(0)),
+                high_water: Arc::new(AtomicU64::new(0)),
+            })
+        }) {
+            Instrument::Gauge(g) => g.clone(),
+            _ => panic!("metric {key} already registered with a different type"),
+        }
+    }
+
+    /// Get or create the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, labels: &[(&str, String)]) -> Histogram {
+        let key = metric_key(name, labels);
+        let mut m = self.metrics.lock().unwrap();
+        match m.entry(key.clone()).or_insert_with(|| {
+            Instrument::Histogram(Histogram {
+                inner: Arc::new(HistogramInner {
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                    min: AtomicU64::new(u64::MAX),
+                    max: AtomicU64::new(0),
+                    buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                }),
+            })
+        }) {
+            Instrument::Histogram(h) => h.clone(),
+            _ => panic!("metric {key} already registered with a different type"),
+        }
+    }
+
+    /// Snapshot every instrument into a plain, ordered, serializable value.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let m = self.metrics.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (key, inst) in m.iter() {
+            match inst {
+                Instrument::Counter(c) => {
+                    snap.counters.insert(key.clone(), c.get());
+                }
+                Instrument::Gauge(g) => {
+                    snap.gauges.insert(
+                        key.clone(),
+                        GaugeSnapshot {
+                            value: g.get(),
+                            high_water: g.high_water(),
+                        },
+                    );
+                }
+                Instrument::Histogram(h) => {
+                    let inner = &h.inner;
+                    let count = inner.count.load(Ordering::Relaxed);
+                    snap.histograms.insert(
+                        key.clone(),
+                        HistogramSnapshot {
+                            count,
+                            sum: inner.sum.load(Ordering::Relaxed),
+                            min: if count == 0 {
+                                0
+                            } else {
+                                inner.min.load(Ordering::Relaxed)
+                            },
+                            max: inner.max.load(Ordering::Relaxed),
+                            buckets: inner
+                                .buckets
+                                .iter()
+                                .map(|b| b.load(Ordering::Relaxed))
+                                .collect(),
+                        },
+                    );
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// Point-in-time value of a gauge.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct GaugeSnapshot {
+    /// Level at snapshot time.
+    pub value: u64,
+    /// Highest level ever observed.
+    pub high_water: u64,
+}
+
+/// Point-in-time contents of a histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Power-of-two bucket counts; bucket 0 holds zero-valued samples,
+    /// bucket `i` holds samples in `[2^(i-1), 2^i)`.
+    pub buckets: Vec<u64>,
+}
+
+/// Everything in the registry at one instant, deterministically ordered by
+/// metric key.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by metric key.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric key.
+    pub gauges: BTreeMap<String, GaugeSnapshot>,
+    /// Histogram contents by metric key.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip_and_identity() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("bytes", &[("rank", "0".into()), ("op", "ibcast".into())]);
+        // Same name + same labels (any order) → same instrument.
+        let b = reg.counter("bytes", &[("op", "ibcast".into()), ("rank", "0".into())]);
+        a.add(10);
+        b.add(5);
+        assert_eq!(a.get(), 15);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["bytes{op=ibcast,rank=0}"], 15);
+    }
+
+    #[test]
+    fn gauge_tracks_high_water() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("occupancy", &[]);
+        g.inc();
+        g.inc();
+        g.dec();
+        g.inc();
+        assert_eq!(g.get(), 2);
+        assert_eq!(g.high_water(), 2);
+        g.set(7);
+        g.set(1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges["occupancy"].value, 1);
+        assert_eq!(snap.gauges["occupancy"].high_water, 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("wait_ns", &[("rank", "1".into())]);
+        h.record(0);
+        h.record(1);
+        h.record(1024);
+        h.record(1500);
+        let snap = reg.snapshot();
+        let hs = &snap.histograms["wait_ns{rank=1}"];
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.sum, 2525);
+        assert_eq!(hs.min, 0);
+        assert_eq!(hs.max, 1500);
+        assert_eq!(hs.buckets[0], 1); // the zero
+        assert_eq!(hs.buckets[1], 1); // 1 ∈ [1,2)
+        assert_eq!(hs.buckets[11], 2); // 1024, 1500 ∈ [1024,2048)
+        assert_eq!(hs.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn empty_histogram_min_is_zero() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("empty", &[]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms["empty"].min, 0);
+        assert_eq!(snap.histograms["empty"].count, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x", &[]);
+        reg.gauge("x", &[]);
+    }
+}

@@ -299,6 +299,7 @@ pub(crate) fn purify_loop_on(
         world.barrier();
         kernel_time += rc.now() - t0;
         iterations += 1;
+        rc.phase_span(t0, format!("purify iter {iterations}"));
 
         // Canonical update on plane 0.
         let mut stop = false;

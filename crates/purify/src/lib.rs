@@ -13,7 +13,9 @@ pub mod mcweeny;
 pub mod staged;
 pub mod systems;
 
-pub use canonical::{initial_iterate, purify_rank, purify_rank_on, KernelChoice, PurifyConfig, PurifyResult};
+pub use canonical::{
+    initial_iterate, purify_rank, purify_rank_on, KernelChoice, PurifyConfig, PurifyResult,
+};
 pub use mcweeny::{mcweeny_initial, mcweeny_rank};
 pub use staged::{scf_staged, ScfConfig, ScfResult};
 pub use systems::{paper_system, small_system, MolecularSystem, PAPER_SYSTEMS};

@@ -65,7 +65,8 @@ pub fn scf_staged(rc: &RankCtx, cfg: &ScfConfig, choice: KernelChoice) -> ScfRes
         let (res, p) = run_stage(rc, &world, &cfg.plan, || {
             purify_rank_on(
                 rc,
-                sub.as_ref().expect("active ranks have the sub-communicator"),
+                sub.as_ref()
+                    .expect("active ranks have the sub-communicator"),
                 &cfg.purify,
                 choice,
             )

@@ -6,7 +6,13 @@ use ovcomm_purify::{purify_rank, KernelChoice, PurifyConfig};
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
 
-fn purify_real(n: usize, nocc: usize, nranks: usize, choice: KernelChoice, seed: u64) -> (Matrix, usize, bool) {
+fn purify_real(
+    n: usize,
+    nocc: usize,
+    nranks: usize,
+    choice: KernelChoice,
+    seed: u64,
+) -> (Matrix, usize, bool) {
     let cfg = PurifyConfig {
         n,
         nocc,
@@ -50,7 +56,10 @@ fn purify_real(n: usize, nocc: usize, nranks: usize, choice: KernelChoice, seed:
 fn check_converges(n: usize, nocc: usize, nranks: usize, choice: KernelChoice) {
     let seed = 42;
     let (d, iters, converged) = purify_real(n, nocc, nranks, choice, seed);
-    assert!(converged, "{choice:?} did not converge in {iters} iterations");
+    assert!(
+        converged,
+        "{choice:?} did not converge in {iters} iterations"
+    );
     // D must be an idempotent projector with trace nocc...
     let d2 = gemm(&d, &d);
     assert!(
@@ -119,7 +128,11 @@ fn phantom_run_executes_fixed_iterations_with_timing() {
         SimConfig::natural(8, 2, MachineProfile::stampede2_skylake()),
         move |rc: RankCtx| {
             let res = purify_rank(&rc, &cfg, KernelChoice::Optimized { n_dup: 2 });
-            (res.iterations, res.kernel_time.as_nanos(), res.total_time.as_nanos())
+            (
+                res.iterations,
+                res.kernel_time.as_nanos(),
+                res.total_time.as_nanos(),
+            )
         },
     )
     .unwrap();

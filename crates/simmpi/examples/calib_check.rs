@@ -7,10 +7,13 @@ use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
 
 fn bench(f: impl Fn(&RankCtx) + Send + Sync + 'static) -> f64 {
-    run(SimConfig::natural(4, 1, MachineProfile::stampede2_skylake()), move |rc: RankCtx| {
-        f(&rc);
-        rc.now().as_secs_f64()
-    })
+    run(
+        SimConfig::natural(4, 1, MachineProfile::stampede2_skylake()),
+        move |rc: RankCtx| {
+            f(&rc);
+            rc.now().as_secs_f64()
+        },
+    )
     .unwrap()
     .makespan
     .as_secs_f64()
@@ -20,7 +23,7 @@ fn main() {
     let n = 8 << 20;
     let t_bcast = bench(move |rc| {
         let w = rc.world();
-        let _ = w.bcast(0, (rc.rank() == 0).then(|| Payload::Phantom(n)), n);
+        let _ = w.bcast(0, (rc.rank() == 0).then_some(Payload::Phantom(n)), n);
     });
     let t_reduce = bench(move |rc| {
         let w = rc.world();
@@ -29,25 +32,54 @@ fn main() {
     let t_ib = bench(move |rc| {
         let w = rc.world();
         let comms = w.dup_n(4);
-        let reqs: Vec<_> = comms.iter().map(|c| c.ibcast(0, (rc.rank()==0).then(|| Payload::Phantom(n/4)), n/4)).collect();
-        for (c, r) in comms.iter().zip(&reqs) { let _ = c.wait(r); }
+        let reqs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                c.ibcast(
+                    0,
+                    (rc.rank() == 0).then_some(Payload::Phantom(n / 4)),
+                    n / 4,
+                )
+            })
+            .collect();
+        for (c, r) in comms.iter().zip(&reqs) {
+            let _ = c.wait(r);
+        }
     });
     let t_ir = bench(move |rc| {
         let w = rc.world();
         let comms = w.dup_n(4);
-        let reqs: Vec<_> = comms.iter().map(|c| c.ireduce(0, Payload::Phantom(n/4))).collect();
-        for (c, r) in comms.iter().zip(&reqs) { let _ = c.wait(r); }
+        let reqs: Vec<_> = comms
+            .iter()
+            .map(|c| c.ireduce(0, Payload::Phantom(n / 4)))
+            .collect();
+        for (c, r) in comms.iter().zip(&reqs) {
+            let _ = c.wait(r);
+        }
     });
-    println!("blocking bcast 8MB : {:8.1} us (paper 1392)", t_bcast*1e6);
-    println!("blocking reduce 8MB: {:8.1} us (paper 5746)", t_reduce*1e6);
-    println!("ndup4 ibcast 8MB   : {:8.1} us (paper ~1000)", t_ib*1e6);
-    println!("ndup4 ireduce 8MB  : {:8.1} us (paper ~2600)", t_ir*1e6);
-    for sz in [64*1024usize, 1<<20, 4<<20, 16<<20] {
-        let t = run(SimConfig::natural(2, 1, MachineProfile::stampede2_skylake()), move |rc: RankCtx| {
-            let w = rc.world();
-            if rc.rank() == 0 { w.send(1, 0, Payload::Phantom(sz)); } else { let _ = w.recv(0, 0); }
-            rc.now().as_secs_f64()
-        }).unwrap().makespan.as_secs_f64();
+    println!("blocking bcast 8MB : {:8.1} us (paper 1392)", t_bcast * 1e6);
+    println!(
+        "blocking reduce 8MB: {:8.1} us (paper 5746)",
+        t_reduce * 1e6
+    );
+    println!("ndup4 ibcast 8MB   : {:8.1} us (paper ~1000)", t_ib * 1e6);
+    println!("ndup4 ireduce 8MB  : {:8.1} us (paper ~2600)", t_ir * 1e6);
+    for sz in [64 * 1024usize, 1 << 20, 4 << 20, 16 << 20] {
+        let t = run(
+            SimConfig::natural(2, 1, MachineProfile::stampede2_skylake()),
+            move |rc: RankCtx| {
+                let w = rc.world();
+                if rc.rank() == 0 {
+                    w.send(1, 0, Payload::Phantom(sz));
+                } else {
+                    let _ = w.recv(0, 0);
+                }
+                rc.now().as_secs_f64()
+            },
+        )
+        .unwrap()
+        .makespan
+        .as_secs_f64();
         println!("p2p {:9}B: {:7.0} MB/s", sz, sz as f64 / t / 1e6);
     }
 }

@@ -53,7 +53,13 @@ impl Agent {
     }
 
     /// Agent for an operation (progress) actor starting at `start`.
-    pub fn new_op(id: u32, rank: u32, start: SimTime, cell: Arc<ParkCell>, uni: Arc<UniShared>) -> Agent {
+    pub fn new_op(
+        id: u32,
+        rank: u32,
+        start: SimTime,
+        cell: Arc<ParkCell>,
+        uni: Arc<UniShared>,
+    ) -> Agent {
         Agent {
             id,
             rank,
@@ -182,12 +188,31 @@ impl Agent {
     }
 
     /// Record a trace span if tracing is on (label built lazily).
-    pub fn trace_span(&self, kind: SpanKind, start: SimTime, end: SimTime, label: impl FnOnce() -> String) {
+    pub fn trace_span(
+        &self,
+        kind: SpanKind,
+        start: SimTime,
+        end: SimTime,
+        label: impl FnOnce() -> String,
+    ) {
+        self.trace_span_chunk(kind, None, start, end, label);
+    }
+
+    /// Record a trace span carrying a pipeline chunk index.
+    pub fn trace_span_chunk(
+        &self,
+        kind: SpanKind,
+        chunk: Option<u32>,
+        start: SimTime,
+        end: SimTime,
+        label: impl FnOnce() -> String,
+    ) {
         if self.uni.tracing {
             self.uni.engine.record_span(TraceSpan {
                 actor: self.id,
                 kind,
                 label: label(),
+                chunk,
                 start,
                 end,
             });

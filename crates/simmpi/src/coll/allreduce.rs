@@ -75,7 +75,12 @@ impl Core {
 /// Pre-fold: odd ranks under `2r` contribute to their even neighbour using
 /// the half-vector exchange (each side reduces one half in parallel, the
 /// odd rank hands its half back and retires until the post-fold).
-fn pre_fold(ctx: &CollCtx<'_>, core: &Core, contrib: Payload, step: u32) -> (Payload, Option<usize>) {
+fn pre_fold(
+    ctx: &CollCtx<'_>,
+    core: &Core,
+    contrib: Payload,
+    step: u32,
+) -> (Payload, Option<usize>) {
     let me = ctx.me();
     let n = contrib.len();
     if me < 2 * core.r {
@@ -96,10 +101,7 @@ fn pre_fold(ctx: &CollCtx<'_>, core: &Core, contrib: Payload, step: u32) -> (Pay
             ctx.reduce_charge(lo.len());
             let reduced_lo = lo.reduce_sum_f64(&their_lo);
             let reduced_hi = ctx.recv(partner, step + 1);
-            (
-                Payload::concat(&[reduced_lo, reduced_hi]),
-                Some(me / 2),
-            )
+            (Payload::concat(&[reduced_lo, reduced_hi]), Some(me / 2))
         }
     } else {
         (contrib, Some(me - core.r))
@@ -156,8 +158,7 @@ fn rsag(ctx: &CollCtx<'_>, contrib: Payload) -> Payload {
     let result = if let Some(cv) = cv {
         let bounds = chunk_bounds(n, core.m);
         let comm_of = |c: usize| core.comm_of(c);
-        let chunk =
-            reduce::reduce_scatter_halving(ctx, cv, core.m, &comm_of, folded, &bounds, 10);
+        let chunk = reduce::reduce_scatter_halving(ctx, cv, core.m, &comm_of, folded, &bounds, 10);
         // Ring allgather over the core: chunk `i` lives at core rank `i`.
         let mut chunks: Vec<Option<Payload>> = vec![None; core.m];
         chunks[cv] = Some(chunk);

@@ -58,7 +58,10 @@ impl CollCtx<'_> {
 
     /// Internal tag for communication step `step` of this instance.
     fn tag(&self, step: u32) -> u64 {
-        assert!(self.seq < (1 << 24), "too many collectives on one communicator");
+        assert!(
+            self.seq < (1 << 24),
+            "too many collectives on one communicator"
+        );
         (1 << 63) | (self.seq << 24) | step as u64
     }
 
@@ -69,7 +72,13 @@ impl CollCtx<'_> {
 
     /// Nonblocking internal send to communicator index `dst`.
     pub fn isend(&self, dst: usize, step: u32, payload: Payload) -> Request<()> {
-        isend_raw(self.agent, self.info.ctx, self.world(dst), self.tag(step), payload)
+        isend_raw(
+            self.agent,
+            self.info.ctx,
+            self.world(dst),
+            self.tag(step),
+            payload,
+        )
     }
 
     /// Nonblocking internal receive from communicator index `src`.
@@ -92,7 +101,13 @@ impl CollCtx<'_> {
     /// Concurrent send-to/receive-from (possibly different peers) — the
     /// pairwise-exchange building block of recursive halving/doubling and
     /// rings.
-    pub fn exchange(&self, send_to: usize, recv_from: usize, step: u32, payload: Payload) -> Payload {
+    pub fn exchange(
+        &self,
+        send_to: usize,
+        recv_from: usize,
+        step: u32,
+        payload: Payload,
+    ) -> Payload {
         let rr = self.irecv(recv_from, step);
         let sr = self.isend(send_to, step, payload);
         self.agent.wait(&sr);

@@ -230,7 +230,11 @@ pub(crate) fn gather_to_zero(
     while mask < m {
         if cv & mask != 0 {
             ctx.slack();
-            ctx.send(core_to_comm(cv - mask), step_base + mask.trailing_zeros(), buf);
+            ctx.send(
+                core_to_comm(cv - mask),
+                step_base + mask.trailing_zeros(),
+                buf,
+            );
             return None;
         }
         // cv has the bit clear: receive the adjacent higher chunk block.

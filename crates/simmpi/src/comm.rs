@@ -14,6 +14,7 @@ use ovcomm_simnet::{ParkCell, SimTime, SpanKind};
 
 use crate::agent::Agent;
 use crate::coll::{allreduce, barrier, bcast, gather, reduce, CollCtx};
+use crate::metrics::OpKind;
 use crate::p2p::{irecv_raw, isend_raw};
 use crate::payload::Payload;
 use crate::request::Request;
@@ -88,12 +89,11 @@ impl Comm {
     /// copies of the nonblocking-overlap technique.
     pub fn dup(&self) -> Comm {
         let seq = self.dup_seq.fetch_add(1, Ordering::Relaxed);
-        let ctx = self
-            .agent
+        self.agent
             .uni
-            .state
-            .lock()
-            .child_ctx(self.info.ctx, seq);
+            .metrics
+            .comm_dup(self.agent.rank, self.info.ctx);
+        let ctx = self.agent.uni.state.lock().child_ctx(self.info.ctx, seq);
         Comm::new(
             CommInfo {
                 ctx,
@@ -161,7 +161,10 @@ impl Comm {
         let result = loop {
             {
                 let mut st = uni.state.lock();
-                let entry = st.splits.get_mut(&gather_key).expect("split entry vanished");
+                let entry = st
+                    .splits
+                    .get_mut(&gather_key)
+                    .expect("split entry vanished");
                 if let Some(res) = entry.result.clone() {
                     // Last reader cleans up.
                     entry.expected -= 1;
@@ -203,6 +206,10 @@ impl Comm {
 
     /// Nonblocking send to communicator rank `dst` with a user tag.
     pub fn isend(&self, dst: usize, tag: u32, payload: Payload) -> Request<()> {
+        self.agent
+            .uni
+            .metrics
+            .op(self.agent.rank, OpKind::Isend, payload.len());
         isend_raw(
             &self.agent,
             self.info.ctx,
@@ -214,6 +221,7 @@ impl Comm {
 
     /// Nonblocking receive from communicator rank `src`.
     pub fn irecv(&self, src: usize, tag: u32) -> Request<Payload> {
+        self.agent.uni.metrics.op(self.agent.rank, OpKind::Irecv, 0);
         irecv_raw(&self.agent, self.info.ctx, self.info.ranks[src], tag as u64)
     }
 
@@ -221,11 +229,14 @@ impl Comm {
     pub fn send(&self, dst: usize, tag: u32, payload: Payload) {
         let t0 = self.agent.now();
         let n = payload.len();
+        self.agent.uni.metrics.op(self.agent.rank, OpKind::Send, n);
         let r = self.isend(dst, tag, payload);
         self.wait(&r);
-        self.agent.trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
-            format!("MPI_Send {n}B -> {dst}")
-        });
+        self.blocking_done(t0);
+        self.agent
+            .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+                format!("MPI_Send {n}B -> {dst}")
+            });
     }
 
     /// Blocking receive; returns the payload.
@@ -233,10 +244,25 @@ impl Comm {
         let t0 = self.agent.now();
         let r = self.irecv(src, tag);
         let p = self.wait(&r);
-        self.agent.trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
-            format!("MPI_Recv {}B <- {src}", p.len())
-        });
+        self.agent
+            .uni
+            .metrics
+            .op(self.agent.rank, OpKind::Recv, p.len());
+        self.blocking_done(t0);
+        self.agent
+            .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+                format!("MPI_Recv {}B <- {src}", p.len())
+            });
         p
+    }
+
+    /// Record the virtual duration of a blocking call that started at `t0`.
+    fn blocking_done(&self, t0: SimTime) {
+        let d = self.agent.now().saturating_since(t0);
+        self.agent
+            .uni
+            .metrics
+            .blocking_duration(self.agent.rank, d.as_nanos());
     }
 
     /// Blocking concurrent send+receive (`MPI_Sendrecv`).
@@ -250,21 +276,39 @@ impl Comm {
     /// Wait for a request (`MPI_Wait`): blocks, returns the value, advances
     /// this rank's clock to the completion time.
     pub fn wait<T>(&self, req: &Request<T>) -> T {
-        self.agent.wait(req)
+        let t0 = self.agent.now();
+        let v = self.agent.wait(req);
+        let d = self.agent.now().saturating_since(t0);
+        self.agent
+            .uni
+            .metrics
+            .wait_duration(self.agent.rank, d.as_nanos());
+        v
     }
 
     /// Wait for a request, recording a `Wait` trace span with `label`.
     pub fn wait_traced<T>(&self, req: &Request<T>, label: &str) -> T {
+        self.wait_traced_impl(req, label, None)
+    }
+
+    /// Wait for a request, recording a `Wait` trace span tagged with the
+    /// pipeline chunk index the request belongs to.
+    pub fn wait_traced_chunk<T>(&self, req: &Request<T>, label: &str, chunk: u32) -> T {
+        self.wait_traced_impl(req, label, Some(chunk))
+    }
+
+    fn wait_traced_impl<T>(&self, req: &Request<T>, label: &str, chunk: Option<u32>) -> T {
         let t0 = self.agent.now();
-        let v = self.agent.wait(req);
+        let v = self.wait(req);
         let owned = label.to_string();
         self.agent
-            .trace_span(SpanKind::Wait, t0, self.agent.now(), move || owned);
+            .trace_span_chunk(SpanKind::Wait, chunk, t0, self.agent.now(), move || owned);
         v
     }
 
     /// Nonblocking completion probe (`MPI_Test`).
     pub fn test<T>(&self, req: &Request<T>) -> bool {
+        self.agent.uni.metrics.test_probe(self.agent.rank);
         self.agent.test(req)
     }
 
@@ -284,10 +328,16 @@ impl Comm {
     pub fn bcast(&self, root: usize, data: Option<Payload>, len: usize) -> Payload {
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
+        self.agent
+            .uni
+            .metrics
+            .op(self.agent.rank, OpKind::Bcast, len);
         let out = bcast::run(&self.cctx(seq), root, data, len);
-        self.agent.trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
-            format!("MPI_Bcast {len}B root={root}")
-        });
+        self.blocking_done(t0);
+        self.agent
+            .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+                format!("MPI_Bcast {len}B root={root}")
+            });
         out
     }
 
@@ -296,10 +346,16 @@ impl Comm {
         let seq = self.coll_seq_next();
         let n = contrib.len();
         let t0 = self.agent.now();
+        self.agent
+            .uni
+            .metrics
+            .op(self.agent.rank, OpKind::Reduce, n);
         let out = reduce::run(&self.cctx(seq), root, contrib);
-        self.agent.trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
-            format!("MPI_Reduce {n}B root={root}")
-        });
+        self.blocking_done(t0);
+        self.agent
+            .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+                format!("MPI_Reduce {n}B root={root}")
+            });
         out
     }
 
@@ -308,10 +364,16 @@ impl Comm {
         let seq = self.coll_seq_next();
         let n = contrib.len();
         let t0 = self.agent.now();
+        self.agent
+            .uni
+            .metrics
+            .op(self.agent.rank, OpKind::Allreduce, n);
         let out = allreduce::run(&self.cctx(seq), contrib);
-        self.agent.trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
-            format!("MPI_Allreduce {n}B")
-        });
+        self.blocking_done(t0);
+        self.agent
+            .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
+                format!("MPI_Allreduce {n}B")
+            });
         out
     }
 
@@ -319,7 +381,12 @@ impl Comm {
     pub fn barrier(&self) {
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
+        self.agent
+            .uni
+            .metrics
+            .op(self.agent.rank, OpKind::Barrier, 0);
         barrier::run(&self.cctx(seq));
+        self.blocking_done(t0);
         self.agent
             .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
                 "MPI_Barrier".to_string()
@@ -330,19 +397,40 @@ impl Comm {
     /// chunk (`chunk_bounds` partitioning in root-relative order).
     pub fn scatter(&self, root: usize, data: Option<Payload>, len: usize) -> Payload {
         let seq = self.coll_seq_next();
-        gather::scatter(&self.cctx(seq), root, data, len)
+        let t0 = self.agent.now();
+        self.agent
+            .uni
+            .metrics
+            .op(self.agent.rank, OpKind::Scatter, len);
+        let out = gather::scatter(&self.cctx(seq), root, data, len);
+        self.blocking_done(t0);
+        out
     }
 
     /// Blocking gather (inverse of scatter); returns `Some` at the root.
     pub fn gather(&self, root: usize, chunk: Payload, len: usize) -> Option<Payload> {
         let seq = self.coll_seq_next();
-        gather::gather(&self.cctx(seq), root, chunk, len)
+        let t0 = self.agent.now();
+        self.agent
+            .uni
+            .metrics
+            .op(self.agent.rank, OpKind::Gather, len);
+        let out = gather::gather(&self.cctx(seq), root, chunk, len);
+        self.blocking_done(t0);
+        out
     }
 
     /// Blocking allgather; `len` is the assembled size.
     pub fn allgather(&self, chunk: Payload, len: usize) -> Payload {
         let seq = self.coll_seq_next();
-        gather::allgather(&self.cctx(seq), chunk, len)
+        let t0 = self.agent.now();
+        self.agent
+            .uni
+            .metrics
+            .op(self.agent.rank, OpKind::Allgather, len);
+        let out = gather::allgather(&self.cctx(seq), chunk, len);
+        self.blocking_done(t0);
+        out
     }
 
     // ---------------------------------------------------------------
@@ -358,9 +446,11 @@ impl Comm {
         let t0 = self.agent.now();
         let cost = self.agent.uni.profile.post_base;
         self.agent.advance(cost);
-        self.agent.trace_span(SpanKind::Post, t0, self.agent.now(), || {
-            format!("MPI_Ibcast post {len}B root={root}")
-        });
+        self.post_done(t0, OpKind::Ibcast, len);
+        self.agent
+            .trace_span(SpanKind::Post, t0, self.agent.now(), || {
+                format!("MPI_Ibcast post {len}B root={root}")
+            });
         let info = self.info.clone();
         self.dispatch(move |agent| {
             let cctx = CollCtx {
@@ -380,9 +470,11 @@ impl Comm {
         let t0 = self.agent.now();
         let cost = self.agent.uni.profile.post_base + self.agent.uni.profile.copy_time(n);
         self.agent.advance(cost);
-        self.agent.trace_span(SpanKind::Post, t0, self.agent.now(), || {
-            format!("MPI_Ireduce post {n}B root={root}")
-        });
+        self.post_done(t0, OpKind::Ireduce, n);
+        self.agent
+            .trace_span(SpanKind::Post, t0, self.agent.now(), || {
+                format!("MPI_Ireduce post {n}B root={root}")
+            });
         let info = self.info.clone();
         self.dispatch(move |agent| {
             let cctx = CollCtx {
@@ -401,9 +493,11 @@ impl Comm {
         let t0 = self.agent.now();
         let cost = self.agent.uni.profile.post_base + self.agent.uni.profile.copy_time(n);
         self.agent.advance(cost);
-        self.agent.trace_span(SpanKind::Post, t0, self.agent.now(), || {
-            format!("MPI_Iallreduce post {n}B")
-        });
+        self.post_done(t0, OpKind::Iallreduce, n);
+        self.agent
+            .trace_span(SpanKind::Post, t0, self.agent.now(), || {
+                format!("MPI_Iallreduce post {n}B")
+            });
         let info = self.info.clone();
         self.dispatch(move |agent| {
             let cctx = CollCtx {
@@ -419,7 +513,9 @@ impl Comm {
     /// multiple-PPN sleep mechanism.
     pub fn ibarrier(&self) -> Request<()> {
         let seq = self.coll_seq_next();
+        let t0 = self.agent.now();
         self.agent.advance(self.agent.uni.profile.post_base);
+        self.post_done(t0, OpKind::Ibarrier, 0);
         let info = self.info.clone();
         self.dispatch(move |agent| {
             let cctx = CollCtx {
@@ -429,6 +525,17 @@ impl Comm {
             };
             barrier::run(&cctx);
         })
+    }
+
+    /// Record a nonblocking post: the op counters plus the post-duration
+    /// histogram.
+    fn post_done(&self, t0: SimTime, kind: OpKind, bytes: usize) {
+        let m = &self.agent.uni.metrics;
+        m.op(self.agent.rank, kind, bytes);
+        m.post_duration(
+            self.agent.rank,
+            self.agent.now().saturating_since(t0).as_nanos(),
+        );
     }
 
     /// Run `f` on a fresh progress actor whose clock starts at this rank's
@@ -451,6 +558,7 @@ impl Comm {
         let req: Request<T> = Request::new();
         let req2 = req.clone();
         let uni2 = uni.clone();
+        uni.metrics.pool_occupancy.inc();
         uni.pool.submit(Box::new(move || {
             struct Finish {
                 uni: Arc<crate::universe::UniShared>,
@@ -465,6 +573,13 @@ impl Comm {
                 uni: uni2.clone(),
                 id,
             };
+            struct Occupied(Arc<crate::universe::UniShared>);
+            impl Drop for Occupied {
+                fn drop(&mut self) {
+                    self.0.metrics.pool_occupancy.dec();
+                }
+            }
+            let _occupied = Occupied(uni2.clone());
             let agent = Agent::new_op(id, rank, start, cell, uni2.clone());
             let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&agent)));
             match out {

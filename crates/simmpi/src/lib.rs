@@ -32,6 +32,7 @@
 
 mod agent;
 mod coll;
+mod metrics;
 mod p2p;
 mod progress;
 mod state;
@@ -44,4 +45,4 @@ pub mod universe;
 pub use comm::Comm;
 pub use payload::Payload;
 pub use request::Request;
-pub use universe::{run, RankCtx, SimConfig, SimError, SimOutput};
+pub use universe::{actor_name, run, RankCtx, SimConfig, SimError, SimOutput};

@@ -64,7 +64,13 @@ pub(crate) fn path_params(uni: &UniShared, src: u32, dst: u32, n: usize) -> Path
 }
 
 /// Post a nonblocking send from `agent`'s rank to world rank `dst`.
-pub(crate) fn isend_raw(agent: &Agent, ctx: u32, dst: u32, tag: u64, payload: Payload) -> Request<()> {
+pub(crate) fn isend_raw(
+    agent: &Agent,
+    ctx: u32,
+    dst: u32,
+    tag: u64,
+    payload: Payload,
+) -> Request<()> {
     let uni = agent.uni.clone();
     let n = payload.len();
     let eager = n < uni.profile.eager_limit;

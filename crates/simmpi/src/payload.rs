@@ -39,7 +39,11 @@ impl Payload {
     pub fn to_f64s(&self) -> Vec<f64> {
         match self {
             Payload::Real(b) => {
-                assert!(b.len() % 8 == 0, "payload length {} not f64-aligned", b.len());
+                assert!(
+                    b.len() % 8 == 0,
+                    "payload length {} not f64-aligned",
+                    b.len()
+                );
                 b.chunks_exact(8)
                     .map(|c| f64::from_ne_bytes(c.try_into().unwrap()))
                     .collect()
@@ -69,19 +73,23 @@ impl Payload {
     /// Zero-copy split: returns `(self[..at], self[at..])`. `at` must be
     /// ≤ `len`. For `f64` data keep `at` a multiple of 8.
     pub fn split_at(&self, at: usize) -> (Payload, Payload) {
-        assert!(at <= self.len(), "split_at {at} beyond length {}", self.len());
+        assert!(
+            at <= self.len(),
+            "split_at {at} beyond length {}",
+            self.len()
+        );
         match self {
-            Payload::Real(b) => (
-                Payload::Real(b.slice(..at)),
-                Payload::Real(b.slice(at..)),
-            ),
+            Payload::Real(b) => (Payload::Real(b.slice(..at)), Payload::Real(b.slice(at..))),
             Payload::Phantom(n) => (Payload::Phantom(at), Payload::Phantom(n - at)),
         }
     }
 
     /// Zero-copy sub-range `self[start..end]`.
     pub fn slice(&self, start: usize, end: usize) -> Payload {
-        assert!(start <= end && end <= self.len(), "bad slice {start}..{end}");
+        assert!(
+            start <= end && end <= self.len(),
+            "bad slice {start}..{end}"
+        );
         match self {
             Payload::Real(b) => Payload::Real(b.slice(start..end)),
             Payload::Phantom(_) => Payload::Phantom(end - start),

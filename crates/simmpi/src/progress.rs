@@ -55,8 +55,8 @@ impl Pool {
         }
     }
 
-    /// Number of workers ever spawned (diagnostics).
-    #[cfg(test)]
+    /// Number of workers ever spawned (diagnostics; OS-scheduling
+    /// dependent — reported through a gauge, never a counter).
     pub fn spawned(&self) -> usize {
         self.inner.lock().spawned
     }

@@ -1,17 +1,20 @@
 //! The simulation universe: spawns rank threads, runs the event loop, and
 //! collects results.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use ovcomm_obs::MetricsSnapshot;
 use ovcomm_simnet::{
-    ClusterResources, ClusterSpec, Engine, MachineProfile, NodeMap, ParkCell, SimDur, SimTime,
-    Trace,
+    ClusterResources, ClusterSpec, Engine, MachineProfile, NetStats, NodeMap, ParkCell,
+    ResourceKind, SimDur, SimTime, Trace,
 };
 
 use crate::agent::Agent;
 use crate::comm::{Comm, CommInfo};
+use crate::metrics::SimMetrics;
 use crate::progress::Pool;
 use crate::request::Request;
 use crate::state::MpiState;
@@ -27,6 +30,9 @@ pub struct SimConfig {
     pub nodemap: NodeMap,
     /// Record `TraceSpan`s (needed for Fig-6-style timelines).
     pub trace: bool,
+    /// Write the recorded trace as Perfetto/Chrome trace-event JSON to this
+    /// path after the run (implies `trace`). Load it in `ui.perfetto.dev`.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl SimConfig {
@@ -39,6 +45,7 @@ impl SimConfig {
             cluster,
             nodemap,
             trace: false,
+            trace_out: None,
         }
     }
 
@@ -49,12 +56,21 @@ impl SimConfig {
             cluster,
             nodemap,
             trace: false,
+            trace_out: None,
         }
     }
 
     /// Enable span tracing.
     pub fn with_trace(mut self) -> SimConfig {
         self.trace = true;
+        self
+    }
+
+    /// Enable tracing and write the trace as Perfetto/Chrome trace-event
+    /// JSON to `path` when the run completes.
+    pub fn with_trace_out(mut self, path: impl Into<PathBuf>) -> SimConfig {
+        self.trace = true;
+        self.trace_out = Some(path.into());
         self
     }
 }
@@ -102,6 +118,14 @@ pub struct SimOutput<T> {
     pub messages: u64,
     /// Recorded spans, if tracing was enabled.
     pub trace: Option<Trace>,
+    /// Snapshot of every metric the run recorded (byte/call counters,
+    /// virtual-time histograms, pool gauges).
+    pub metrics: MetricsSnapshot,
+    /// Per-resource utilization integrals and flow queueing-delay totals.
+    pub net: NetStats,
+    /// Trace spans that arrived with `end < start` and were clamped —
+    /// non-zero indicates an instrumentation bug upstream.
+    pub clamped_spans: usize,
 }
 
 /// Everything shared between rank threads, progress workers and engine
@@ -119,6 +143,7 @@ pub(crate) struct UniShared {
     pub cpu: Vec<ovcomm_simnet::ResourceId>,
     pub pool: Pool,
     pub tracing: bool,
+    pub metrics: SimMetrics,
     pub op_panics: Mutex<Vec<(u32, String)>>,
 }
 
@@ -145,12 +170,27 @@ impl UniShared {
 /// operation posted by `rank`. Rank actors use ids `0..nranks`; operation
 /// actors set the high bit.
 pub(crate) fn op_actor_id(rank: u32, op_idx: u64) -> u32 {
-    assert!(rank < (1 << 17), "rank {rank} too large for op-actor encoding");
+    assert!(
+        rank < (1 << 17),
+        "rank {rank} too large for op-actor encoding"
+    );
     assert!(
         op_idx < (1 << 14),
         "rank {rank} posted more than 16384 nonblocking operations in one run"
     );
     0x8000_0000 | (rank << 14) | (op_idx as u32)
+}
+
+/// Human-readable track name for an actor id (inverse of [`op_actor_id`]
+/// for operation actors), used for Perfetto thread names.
+pub fn actor_name(id: u32) -> String {
+    if id & 0x8000_0000 != 0 {
+        let rank = (id & 0x7FFF_FFFF) >> 14;
+        let op = id & 0x3FFF;
+        format!("rank {rank} op {op}")
+    } else {
+        format!("rank {id}")
+    }
 }
 
 /// Handle passed to each rank's closure: identity, clock, and the world
@@ -222,10 +262,18 @@ impl RankCtx {
         self.agent.advance(d);
     }
 
-    /// Charge `flops` of dense-kernel computation at `rate` flop/s.
+    /// Charge `flops` of dense-kernel computation at `rate` flop/s,
+    /// recording a `Compute` trace span when tracing is on.
     pub fn compute_flops(&self, flops: f64, rate: f64) {
         assert!(rate > 0.0 && flops >= 0.0);
+        let t0 = self.agent.now();
         self.agent.advance(SimDur::from_secs_f64(flops / rate));
+        self.agent.trace_span(
+            ovcomm_simnet::SpanKind::Compute,
+            t0,
+            self.agent.now(),
+            || format!("compute {flops:.3e} flops"),
+        );
     }
 
     /// Sleep for `d` of virtual time (the `usleep` of the paper's
@@ -253,6 +301,31 @@ impl RankCtx {
         label: String,
     ) {
         self.agent.trace_span(kind, start, end, move || label);
+    }
+
+    /// Record a custom trace span tagged with a pipeline chunk index.
+    pub fn trace_span_chunk(
+        &self,
+        kind: ovcomm_simnet::SpanKind,
+        chunk: u32,
+        start: SimTime,
+        end: SimTime,
+        label: String,
+    ) {
+        self.agent
+            .trace_span_chunk(kind, Some(chunk), start, end, move || label);
+    }
+
+    /// Record a `Phase` span from `start` to now — kernels bracket their
+    /// algorithm phases (a SUMMA step, a purification iteration) with these
+    /// so timelines and the critical-path analysis can group finer spans.
+    pub fn phase_span(&self, start: SimTime, label: String) {
+        self.agent.trace_span(
+            ovcomm_simnet::SpanKind::Phase,
+            start,
+            self.agent.now(),
+            move || label,
+        );
     }
 }
 
@@ -296,17 +369,21 @@ where
         let mut tx = Vec::with_capacity(cfg.cluster.nodes);
         let mut rx = Vec::with_capacity(cfg.cluster.nodes);
         let mut mem = Vec::with_capacity(cfg.cluster.nodes);
-        for _ in 0..cfg.cluster.nodes {
-            tx.push(engine.add_resource(cfg.cluster.profile.nic_bw));
-            rx.push(engine.add_resource(cfg.cluster.profile.nic_bw));
-            mem.push(engine.add_resource(cfg.cluster.profile.node_mem_bw));
+        for node in 0..cfg.cluster.nodes {
+            let n = node as u32;
+            tx.push(engine.add_resource_kind(cfg.cluster.profile.nic_bw, ResourceKind::NicTx(n)));
+            rx.push(engine.add_resource_kind(cfg.cluster.profile.nic_bw, ResourceKind::NicRx(n)));
+            mem.push(
+                engine.add_resource_kind(cfg.cluster.profile.node_mem_bw, ResourceKind::Mem(n)),
+            );
         }
         ClusterResources::from_parts(tx, rx, mem)
     };
     let cpu: Vec<ovcomm_simnet::ResourceId> = (0..nranks)
-        .map(|_| {
-            engine.add_resource(
+        .map(|r| {
+            engine.add_resource_kind(
                 cfg.cluster.profile.gamma_reduce_bw * cfg.cluster.profile.reduce_parallel,
+                ResourceKind::Cpu(r as u32),
             )
         })
         .collect();
@@ -325,6 +402,7 @@ where
         cpu,
         pool: Pool::new(),
         tracing: cfg.trace,
+        metrics: SimMetrics::new(nranks),
         op_panics: Mutex::new(Vec::new()),
     });
 
@@ -432,6 +510,15 @@ where
         )
     };
     let makespan = end_times.iter().copied().max().unwrap_or(SimTime::ZERO);
+    uni.metrics.pool_spawned.set(uni.pool.spawned() as u64);
+    let clamped_spans = uni.engine.clamped_spans();
+    let trace = uni.engine.take_trace();
+    if let Some(path) = &cfg.trace_out {
+        let spans: &[ovcomm_simnet::TraceSpan] = trace.as_ref().map_or(&[], |t| t.spans());
+        if let Err(e) = ovcomm_obs::write_trace(path, spans, actor_name) {
+            eprintln!("warning: failed to write trace to {}: {e}", path.display());
+        }
+    }
     Ok(SimOutput {
         results: results
             .into_iter()
@@ -442,6 +529,9 @@ where
         inter_node_bytes: inter,
         intra_node_bytes: intra,
         messages,
-        trace: uni.engine.take_trace(),
+        trace,
+        metrics: uni.metrics.snapshot(),
+        net: uni.engine.net_stats(),
+        clamped_spans,
     })
 }

@@ -120,7 +120,11 @@ fn eager_send_completes_immediately() {
         }
     })
     .unwrap();
-    assert!(out.results[0] < 1e-3, "eager sender blocked: {}", out.results[0]);
+    assert!(
+        out.results[0] < 1e-3,
+        "eager sender blocked: {}",
+        out.results[0]
+    );
     assert!(out.results[1] >= 5e-3);
 }
 
@@ -157,7 +161,10 @@ fn bcast_case(p: usize, root: usize, n_elems: usize) {
         w.bcast(root, payload, n_elems * 8).to_f64s() == expect
     })
     .unwrap();
-    assert!(out.results.iter().all(|&ok| ok), "bcast p={p} root={root} n={n_elems}");
+    assert!(
+        out.results.iter().all(|&ok| ok),
+        "bcast p={p} root={root} n={n_elems}"
+    );
 }
 
 #[test]
@@ -228,7 +235,9 @@ fn reduce_large_rabenseifner_various() {
 fn allreduce_case(p: usize, n_elems: usize) {
     let out = run(cfg(p, 2), move |rc: RankCtx| {
         let w = rc.world();
-        let mine: Vec<f64> = (0..n_elems).map(|i| (rc.rank() * n_elems + i) as f64).collect();
+        let mine: Vec<f64> = (0..n_elems)
+            .map(|i| (rc.rank() * n_elems + i) as f64)
+            .collect();
         w.allreduce(Payload::from_f64s(&mine)).to_f64s()
     })
     .unwrap();
@@ -343,31 +352,31 @@ fn nonblocking_overlap_beats_blocking_bcast() {
     // regime.
     let n = 8 << 20; // 8 MB, the paper's Fig. 6 size
     let profile = || MachineProfile::stampede2_skylake();
-    let blocking = run(
-        SimConfig::natural(4, 1, profile()),
-        move |rc: RankCtx| {
-            let w = rc.world();
-            let data = (rc.rank() == 0).then(|| Payload::Phantom(n));
-            let _ = w.bcast(0, data, n);
-        },
-    )
+    let blocking = run(SimConfig::natural(4, 1, profile()), move |rc: RankCtx| {
+        let w = rc.world();
+        let data = (rc.rank() == 0).then_some(Payload::Phantom(n));
+        let _ = w.bcast(0, data, n);
+    })
     .unwrap()
     .makespan;
-    let overlapped = run(
-        SimConfig::natural(4, 1, profile()),
-        move |rc: RankCtx| {
-            let w = rc.world();
-            let comms = w.dup_n(4);
-            let chunk = n / 4;
-            let reqs: Vec<_> = comms
-                .iter()
-                .map(|c| c.ibcast(0, (rc.rank() == 0).then(|| Payload::Phantom(chunk)), chunk))
-                .collect();
-            for (c, r) in comms.iter().zip(&reqs) {
-                let _ = c.wait(r);
-            }
-        },
-    )
+    let overlapped = run(SimConfig::natural(4, 1, profile()), move |rc: RankCtx| {
+        let w = rc.world();
+        let comms = w.dup_n(4);
+        let chunk = n / 4;
+        let reqs: Vec<_> = comms
+            .iter()
+            .map(|c| {
+                c.ibcast(
+                    0,
+                    (rc.rank() == 0).then_some(Payload::Phantom(chunk)),
+                    chunk,
+                )
+            })
+            .collect();
+        for (c, r) in comms.iter().zip(&reqs) {
+            let _ = c.wait(r);
+        }
+    })
     .unwrap()
     .makespan;
     assert!(
@@ -382,30 +391,24 @@ fn nonblocking_overlap_beats_blocking_reduce() {
     // blocking 8 MB reduce ≈ 4x slower than broadcast).
     let n = 8 << 20;
     let profile = || MachineProfile::stampede2_skylake();
-    let blocking = run(
-        SimConfig::natural(4, 1, profile()),
-        move |rc: RankCtx| {
-            let w = rc.world();
-            let _ = w.reduce(0, Payload::Phantom(n));
-        },
-    )
+    let blocking = run(SimConfig::natural(4, 1, profile()), move |rc: RankCtx| {
+        let w = rc.world();
+        let _ = w.reduce(0, Payload::Phantom(n));
+    })
     .unwrap()
     .makespan;
-    let overlapped = run(
-        SimConfig::natural(4, 1, profile()),
-        move |rc: RankCtx| {
-            let w = rc.world();
-            let comms = w.dup_n(4);
-            let chunk = n / 4;
-            let reqs: Vec<_> = comms
-                .iter()
-                .map(|c| c.ireduce(0, Payload::Phantom(chunk)))
-                .collect();
-            for (c, r) in comms.iter().zip(&reqs) {
-                let _ = c.wait(r);
-            }
-        },
-    )
+    let overlapped = run(SimConfig::natural(4, 1, profile()), move |rc: RankCtx| {
+        let w = rc.world();
+        let comms = w.dup_n(4);
+        let chunk = n / 4;
+        let reqs: Vec<_> = comms
+            .iter()
+            .map(|c| c.ireduce(0, Payload::Phantom(chunk)))
+            .collect();
+        for (c, r) in comms.iter().zip(&reqs) {
+            let _ = c.wait(r);
+        }
+    })
     .unwrap()
     .makespan;
     assert!(
@@ -460,8 +463,12 @@ fn split_builds_row_and_column_communicators() {
         let row_comm = w.split(row as i64, col as u64).unwrap();
         let col_comm = w.split(col as i64, row as u64).unwrap();
         // Row-wise allreduce of rank → sum of world ranks in my row.
-        let rsum = row_comm.allreduce(Payload::from_f64s(&[me as f64])).to_f64s()[0];
-        let csum = col_comm.allreduce(Payload::from_f64s(&[me as f64])).to_f64s()[0];
+        let rsum = row_comm
+            .allreduce(Payload::from_f64s(&[me as f64]))
+            .to_f64s()[0];
+        let csum = col_comm
+            .allreduce(Payload::from_f64s(&[me as f64]))
+            .to_f64s()[0];
         (row_comm.size(), col_comm.size(), rsum, csum)
     })
     .unwrap();
@@ -544,11 +551,17 @@ fn runs_are_deterministic() {
         run(cfg(8, 4), |rc: RankCtx| {
             let w = rc.world();
             // A mix of traffic: collective + p2p ring.
-            let s = w.allreduce(Payload::from_f64s(&[rc.rank() as f64])).to_f64s()[0];
+            let s = w
+                .allreduce(Payload::from_f64s(&[rc.rank() as f64]))
+                .to_f64s()[0];
             let right = (rc.rank() + 1) % rc.nranks();
             let left = (rc.rank() + rc.nranks() - 1) % rc.nranks();
             let got = w.sendrecv(right, left, 3, Payload::from_f64s(&[s]));
-            let req = w.ibcast(0, (rc.rank() == 0).then(|| Payload::Phantom(1 << 20)), 1 << 20);
+            let req = w.ibcast(
+                0,
+                (rc.rank() == 0).then_some(Payload::Phantom(1 << 20)),
+                1 << 20,
+            );
             let _ = w.wait(&req);
             (rc.now().as_nanos(), got.len())
         })

@@ -137,7 +137,9 @@ fn determinism_under_heavy_oversubscription() {
     let go = || {
         run(cfg(128, 32), |rc: RankCtx| {
             let w = rc.world();
-            let s = w.allreduce(Payload::from_f64s(&[rc.rank() as f64])).to_f64s()[0];
+            let s = w
+                .allreduce(Payload::from_f64s(&[rc.rank() as f64]))
+                .to_f64s()[0];
             let req = w.ibarrier();
             w.wait(&req);
             (s, rc.now().as_nanos())

@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
-use crate::flow::{FlowId, FlowNet, FlowSpec, ResourceId};
+use crate::flow::{FlowId, FlowNet, FlowSpec, ResourceId, ResourceKind, ResourceStats};
 use crate::time::{SimDur, SimTime};
 use crate::trace::{Trace, TraceSpan};
 
@@ -67,6 +67,36 @@ enum Slot {
 struct FlowMeta {
     key: EventKey,
     on_complete: Option<Action>,
+    /// When the flow started, for queueing-delay accounting.
+    started: SimTime,
+    /// Seconds the flow would take at its full per-flow cap with no
+    /// contention; the excess of actual over this is queueing delay.
+    ideal_secs: f64,
+}
+
+/// Snapshot of one resource's registration and accumulated utilization.
+#[derive(Debug, Clone)]
+pub struct ResourceEntry {
+    /// What the resource models.
+    pub kind: ResourceKind,
+    /// Registered capacity in bytes/second.
+    pub capacity: f64,
+    /// Busy/overlap time integrals, bytes carried, concurrency high-water.
+    pub stats: ResourceStats,
+}
+
+/// Snapshot of network-level accounting, taken via [`Engine::net_stats`].
+#[derive(Debug, Clone, Default)]
+pub struct NetStats {
+    /// All registered resources, in registration order.
+    pub resources: Vec<ResourceEntry>,
+    /// Flows that ran to completion.
+    pub completed_flows: u64,
+    /// Sum over completed flows of (actual duration − contention-free
+    /// duration at the flow's own cap), in seconds.
+    pub total_queue_delay_secs: f64,
+    /// Largest single-flow queueing delay, in seconds.
+    pub max_queue_delay_secs: f64,
 }
 
 /// How a parked actor was released.
@@ -133,6 +163,9 @@ struct Core {
     flows_settled_at: SimTime,
     actors: BTreeMap<u32, Arc<ParkCell>>,
     trace: Option<Trace>,
+    completed_flows: u64,
+    total_queue_delay_secs: f64,
+    max_queue_delay_secs: f64,
     deadlocked: bool,
     stopped: bool,
 }
@@ -159,6 +192,9 @@ impl Engine {
                 flows_settled_at: SimTime::ZERO,
                 actors: BTreeMap::new(),
                 trace: None,
+                completed_flows: 0,
+                total_queue_delay_secs: 0.0,
+                max_queue_delay_secs: 0.0,
                 deadlocked: false,
                 stopped: false,
             }),
@@ -186,6 +222,41 @@ impl Engine {
     /// Register a network resource (must happen before flows use it).
     pub fn add_resource(&self, capacity: f64) -> ResourceId {
         self.core.lock().flows.add_resource(capacity)
+    }
+
+    /// Register a network resource labeled with what it models, for
+    /// utilization accounting (see [`Engine::net_stats`]).
+    pub fn add_resource_kind(&self, capacity: f64, kind: ResourceKind) -> ResourceId {
+        self.core.lock().flows.add_resource_kind(capacity, kind)
+    }
+
+    /// Snapshot per-resource utilization and flow-level queueing-delay
+    /// accounting. Utilization integrals are settled up to the engine's
+    /// current virtual time before the snapshot is taken.
+    pub fn net_stats(&self) -> NetStats {
+        let mut core = self.core.lock();
+        let now = core.now;
+        core.settle_flows(now);
+        NetStats {
+            resources: core
+                .flows
+                .resources()
+                .map(|(_, kind, capacity, stats)| ResourceEntry {
+                    kind,
+                    capacity,
+                    stats,
+                })
+                .collect(),
+            completed_flows: core.completed_flows,
+            total_queue_delay_secs: core.total_queue_delay_secs,
+            max_queue_delay_secs: core.max_queue_delay_secs,
+        }
+    }
+
+    /// Number of trace spans that were clamped on insertion (end before
+    /// start). Zero when tracing is off. See [`Trace::clamped`].
+    pub fn clamped_spans(&self) -> usize {
+        self.core.lock().trace.as_ref().map_or(0, Trace::clamped)
     }
 
     /// Current virtual time of the event loop. Actor threads should use
@@ -226,10 +297,7 @@ impl Engine {
     /// callers must use unique per-origin sequence numbers.
     pub fn schedule(&self, key: EventKey, action: Action) {
         let mut core = self.core.lock();
-        assert!(
-            !core.stopped,
-            "scheduling after the simulation has stopped"
-        );
+        assert!(!core.stopped, "scheduling after the simulation has stopped");
         let prev = core.queue.insert(key, Slot::Call(action));
         assert!(prev.is_none(), "event key collision: {key:?}");
     }
@@ -293,6 +361,8 @@ impl Engine {
                     seq,
                 },
                 on_complete: Some(on_complete),
+                started: now,
+                ideal_secs: if cap > 0.0 { bytes / cap } else { 0.0 },
             },
         );
         core.queue.insert(
@@ -402,10 +472,14 @@ impl Engine {
                         Slot::FlowDone(id) => {
                             let now = core.now;
                             core.settle_flows(now);
-                            let mut meta =
-                                core.flow_meta.remove(&id).expect("flow meta missing");
+                            let mut meta = core.flow_meta.remove(&id).expect("flow meta missing");
                             core.flows.remove(id);
                             core.reschedule_flows();
+                            let actual = now.saturating_since(meta.started).as_secs_f64();
+                            let delay = (actual - meta.ideal_secs).max(0.0);
+                            core.completed_flows += 1;
+                            core.total_queue_delay_secs += delay;
+                            core.max_queue_delay_secs = core.max_queue_delay_secs.max(delay);
                             let cb = meta.on_complete.take().expect("flow callback missing");
                             break cb;
                         }

@@ -20,6 +20,57 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ResourceId(pub u32);
 
+/// What a resource models, for utilization accounting. Purely a label: the
+/// allocator treats all resources identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// Transmit side of the NIC of node `node`.
+    NicTx(u32),
+    /// Receive side of the NIC of node `node`.
+    NicRx(u32),
+    /// Intra-node memory channel of node `node`.
+    Mem(u32),
+    /// Per-rank CPU resource (e.g. the reduction-compute stream of `rank`).
+    Cpu(u32),
+    /// Unlabeled resource.
+    Other,
+}
+
+impl ResourceKind {
+    /// True for either direction of a NIC.
+    pub fn is_nic(&self) -> bool {
+        matches!(self, ResourceKind::NicTx(_) | ResourceKind::NicRx(_))
+    }
+
+    /// Stable display label, e.g. `"nic_tx/3"`.
+    pub fn label(&self) -> String {
+        match self {
+            ResourceKind::NicTx(n) => format!("nic_tx/{n}"),
+            ResourceKind::NicRx(n) => format!("nic_rx/{n}"),
+            ResourceKind::Mem(n) => format!("mem/{n}"),
+            ResourceKind::Cpu(r) => format!("cpu/{r}"),
+            ResourceKind::Other => "other".to_string(),
+        }
+    }
+}
+
+/// Utilization accounting for one resource, integrated over virtual time by
+/// [`FlowNet::progress`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceStats {
+    /// Seconds during which at least one flow was actively moving bytes
+    /// through this resource.
+    pub busy_secs: f64,
+    /// Seconds during which at least two flows were concurrently moving
+    /// bytes through this resource — the paper's "overlapped communication"
+    /// condition.
+    pub overlap2_secs: f64,
+    /// Total bytes carried through this resource.
+    pub bytes: f64,
+    /// High-water mark of concurrently attached flows.
+    pub max_concurrent: u32,
+}
+
 /// Identifies an active flow. Ids are assigned monotonically and never
 /// reused, so `FlowId` order is creation order — part of the determinism
 /// contract.
@@ -58,6 +109,8 @@ struct Flow {
 #[derive(Debug, Default)]
 pub struct FlowNet {
     capacity: Vec<f64>,
+    kinds: Vec<ResourceKind>,
+    stats: Vec<ResourceStats>,
     flows: BTreeMap<FlowId, Flow>,
     next_id: u64,
 }
@@ -71,12 +124,20 @@ impl FlowNet {
     /// Register a resource with the given capacity (bytes/second) and return
     /// its id. Capacities are fixed for the lifetime of the network.
     pub fn add_resource(&mut self, capacity: f64) -> ResourceId {
+        self.add_resource_kind(capacity, ResourceKind::Other)
+    }
+
+    /// Register a resource labeled with what it models (NIC side, memory
+    /// channel, CPU). The label only affects utilization reporting.
+    pub fn add_resource_kind(&mut self, capacity: f64, kind: ResourceKind) -> ResourceId {
         assert!(
             capacity.is_finite() && capacity > 0.0,
             "resource capacity must be positive and finite, got {capacity}"
         );
         let id = ResourceId(self.capacity.len() as u32);
         self.capacity.push(capacity);
+        self.kinds.push(kind);
+        self.stats.push(ResourceStats::default());
         id
     }
 
@@ -125,7 +186,21 @@ impl FlowNet {
             },
         );
         self.recompute();
+        self.update_high_water();
         id
+    }
+
+    /// Record the concurrent-flow high-water mark per resource.
+    fn update_high_water(&mut self) {
+        let mut attached = vec![0u32; self.capacity.len()];
+        for flow in self.flows.values() {
+            for r in &flow.resources {
+                attached[r.0 as usize] += 1;
+            }
+        }
+        for (stat, n) in self.stats.iter_mut().zip(attached) {
+            stat.max_concurrent = stat.max_concurrent.max(n);
+        }
     }
 
     /// Remove a flow (complete or cancelled) and recompute rates.
@@ -138,10 +213,33 @@ impl FlowNet {
 
     /// Advance every flow by `dt_secs`, decrementing remaining bytes at the
     /// current rates. Rates themselves do not change here.
+    ///
+    /// This is also where per-resource utilization integrals accumulate: a
+    /// resource is *busy* for this interval if at least one attached flow is
+    /// actively moving bytes, and *overlapped* if at least two are.
     pub fn progress(&mut self, dt_secs: f64) {
         debug_assert!(dt_secs >= 0.0);
+        let mut active = vec![0u32; self.capacity.len()];
         for flow in self.flows.values_mut() {
-            flow.remaining = (flow.remaining - flow.rate * dt_secs).max(0.0);
+            let moved = (flow.rate * dt_secs).min(flow.remaining);
+            flow.remaining -= moved;
+            if flow.rate > 0.0 && moved > 0.0 {
+                for r in &flow.resources {
+                    let r = r.0 as usize;
+                    active[r] += 1;
+                    self.stats[r].bytes += moved;
+                }
+            }
+        }
+        if dt_secs > 0.0 {
+            for (stat, n) in self.stats.iter_mut().zip(active) {
+                if n >= 1 {
+                    stat.busy_secs += dt_secs;
+                }
+                if n >= 2 {
+                    stat.overlap2_secs += dt_secs;
+                }
+            }
         }
     }
 
@@ -172,6 +270,35 @@ impl FlowNet {
     /// Iterate over active flow ids in creation order.
     pub fn flow_ids(&self) -> impl Iterator<Item = FlowId> + '_ {
         self.flows.keys().copied()
+    }
+
+    /// The kind label a resource was registered with.
+    pub fn resource_kind(&self, id: ResourceId) -> ResourceKind {
+        self.kinds[id.0 as usize]
+    }
+
+    /// The fixed capacity a resource was registered with (bytes/second).
+    pub fn resource_capacity(&self, id: ResourceId) -> f64 {
+        self.capacity[id.0 as usize]
+    }
+
+    /// Accumulated utilization of one resource.
+    pub fn resource_stats(&self, id: ResourceId) -> ResourceStats {
+        self.stats[id.0 as usize]
+    }
+
+    /// Iterate `(id, kind, capacity, stats)` over all registered resources.
+    pub fn resources(
+        &self,
+    ) -> impl Iterator<Item = (ResourceId, ResourceKind, f64, ResourceStats)> + '_ {
+        (0..self.capacity.len()).map(move |i| {
+            (
+                ResourceId(i as u32),
+                self.kinds[i],
+                self.capacity[i],
+                self.stats[i],
+            )
+        })
     }
 
     /// Progressive-filling max–min fair rate allocation.
@@ -366,5 +493,43 @@ mod tests {
     fn unknown_resource_panics() {
         let mut net = FlowNet::new();
         net.add(spec(&[ResourceId(7)], 1e9, 1.0));
+    }
+
+    #[test]
+    fn resource_stats_accumulate_busy_and_overlap() {
+        let mut net = FlowNet::new();
+        let nic = net.add_resource_kind(10.0, ResourceKind::NicTx(0));
+        let a = net.add(spec(&[nic], 100.0, 100.0));
+        net.progress(2.0); // one active flow: busy only
+        let b = net.add(spec(&[nic], 100.0, 100.0));
+        net.progress(3.0); // two active flows: busy + overlap
+        let s = net.resource_stats(nic);
+        assert!((s.busy_secs - 5.0).abs() < 1e-12, "busy {}", s.busy_secs);
+        assert!(
+            (s.overlap2_secs - 3.0).abs() < 1e-12,
+            "overlap {}",
+            s.overlap2_secs
+        );
+        // 10 B/s for 2 s solo + 10 B/s aggregate for 3 s shared.
+        assert!((s.bytes - 50.0).abs() < 1e-9, "bytes {}", s.bytes);
+        assert_eq!(s.max_concurrent, 2);
+        assert_eq!(net.resource_kind(nic), ResourceKind::NicTx(0));
+        assert!(net.resource_kind(nic).is_nic());
+        assert_eq!(net.resource_capacity(nic), 10.0);
+        let _ = (a, b);
+    }
+
+    #[test]
+    fn idle_resource_accumulates_nothing() {
+        let mut net = FlowNet::new();
+        let busy = net.add_resource(10.0);
+        let idle = net.add_resource_kind(10.0, ResourceKind::Mem(1));
+        net.add(spec(&[busy], 100.0, 100.0));
+        net.progress(1.0);
+        let s = net.resource_stats(idle);
+        assert_eq!(s.busy_secs, 0.0);
+        assert_eq!(s.bytes, 0.0);
+        assert_eq!(s.max_concurrent, 0);
+        assert_eq!(net.resources().count(), 2);
     }
 }

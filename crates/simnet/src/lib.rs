@@ -32,8 +32,11 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{Action, Engine, EventKey, ParkCell, WakeKind, CLASS_FLOW, ENGINE_ORIGIN};
-pub use flow::{FlowId, FlowNet, FlowSpec, ResourceId};
+pub use engine::{
+    Action, Engine, EventKey, NetStats, ParkCell, ResourceEntry, WakeKind, CLASS_FLOW,
+    ENGINE_ORIGIN,
+};
+pub use flow::{FlowId, FlowNet, FlowSpec, ResourceId, ResourceKind, ResourceStats};
 pub use profile::MachineProfile;
 pub use time::{SimDur, SimTime};
 pub use topology::{ClusterResources, ClusterSpec, NodeMap};

@@ -117,7 +117,11 @@ impl Add for SimDur {
     type Output = SimDur;
     #[inline]
     fn add(self, rhs: SimDur) -> SimDur {
-        SimDur(self.0.checked_add(rhs.0).expect("virtual duration overflow"))
+        SimDur(
+            self.0
+                .checked_add(rhs.0)
+                .expect("virtual duration overflow"),
+        )
     }
 }
 

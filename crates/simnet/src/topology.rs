@@ -6,7 +6,7 @@
 //! fat trees: only the NICs (one transmit and one receive resource per node)
 //! and the intra-node memory channel constrain transfers.
 
-use crate::flow::{FlowNet, ResourceId};
+use crate::flow::{FlowNet, ResourceId, ResourceKind};
 use crate::profile::MachineProfile;
 
 /// Static description of the simulated cluster.
@@ -31,10 +31,11 @@ impl ClusterSpec {
         let mut tx = Vec::with_capacity(self.nodes);
         let mut rx = Vec::with_capacity(self.nodes);
         let mut mem = Vec::with_capacity(self.nodes);
-        for _ in 0..self.nodes {
-            tx.push(net.add_resource(self.profile.nic_bw));
-            rx.push(net.add_resource(self.profile.nic_bw));
-            mem.push(net.add_resource(self.profile.node_mem_bw));
+        for node in 0..self.nodes {
+            let n = node as u32;
+            tx.push(net.add_resource_kind(self.profile.nic_bw, ResourceKind::NicTx(n)));
+            rx.push(net.add_resource_kind(self.profile.nic_bw, ResourceKind::NicRx(n)));
+            mem.push(net.add_resource_kind(self.profile.node_mem_bw, ResourceKind::Mem(n)));
         }
         ClusterResources { tx, rx, mem }
     }

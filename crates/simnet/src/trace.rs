@@ -17,8 +17,26 @@ pub enum SpanKind {
     Wait,
     /// Modeled local computation.
     Compute,
+    /// A coarse algorithm phase (e.g. one SUMMA step or a purification
+    /// iteration) that groups finer spans beneath it on a timeline.
+    Phase,
     /// Anything else worth showing on a timeline.
     Other,
+}
+
+impl SpanKind {
+    /// Stable lowercase name, used as the Perfetto category string and in
+    /// metrics labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::BlockingCall => "blocking",
+            SpanKind::Post => "post",
+            SpanKind::Wait => "wait",
+            SpanKind::Compute => "compute",
+            SpanKind::Phase => "phase",
+            SpanKind::Other => "other",
+        }
+    }
 }
 
 /// One bar on a per-rank timeline.
@@ -28,8 +46,11 @@ pub struct TraceSpan {
     pub actor: u32,
     /// Category, used for grouping/coloring.
     pub kind: SpanKind,
-    /// Human-readable label, e.g. `"MPI_Ireduce post c=2"`.
+    /// Human-readable label, e.g. `"MPI_Ireduce post"`.
     pub label: String,
+    /// Pipeline chunk index this span belongs to, if any. Structured
+    /// replacement for the old `"… c=2"` free-text convention.
+    pub chunk: Option<u32>,
     /// Span start on the virtual clock.
     pub start: SimTime,
     /// Span end on the virtual clock.
@@ -47,6 +68,7 @@ impl TraceSpan {
 #[derive(Debug, Default)]
 pub struct Trace {
     spans: Vec<TraceSpan>,
+    clamped: usize,
 }
 
 impl Trace {
@@ -55,10 +77,22 @@ impl Trace {
         Trace::default()
     }
 
-    /// Record a span.
-    pub fn push(&mut self, span: TraceSpan) {
-        debug_assert!(span.start <= span.end, "span ends before it starts");
+    /// Record a span. A span whose `end` precedes its `start` (a recording
+    /// bug, e.g. clock skew between agents) is clamped to zero length at
+    /// `start` and counted — see [`Trace::clamped`] — rather than silently
+    /// corrupting downstream timeline math in release builds.
+    pub fn push(&mut self, mut span: TraceSpan) {
+        if span.end < span.start {
+            span.end = span.start;
+            self.clamped += 1;
+        }
         self.spans.push(span);
+    }
+
+    /// Number of spans whose end preceded their start and were clamped to
+    /// zero length on insertion. Non-zero indicates an instrumentation bug.
+    pub fn clamped(&self) -> usize {
+        self.clamped
     }
 
     /// All spans, in recording order.
@@ -88,6 +122,7 @@ mod tests {
             actor: 0,
             kind: SpanKind::Post,
             label: "post".into(),
+            chunk: None,
             start: SimTime(0),
             end: SimTime(1_000),
         });
@@ -95,11 +130,31 @@ mod tests {
             actor: 1,
             kind: SpanKind::Wait,
             label: "wait".into(),
+            chunk: Some(2),
             start: SimTime(1_000),
             end: SimTime(3_000),
         });
         assert_eq!(t.spans().len(), 2);
         assert_eq!(t.for_actor(1).count(), 1);
         assert!((t.spans()[1].micros() - 2.0).abs() < 1e-12);
+        assert_eq!(t.spans()[1].chunk, Some(2));
+        assert_eq!(t.clamped(), 0);
+    }
+
+    #[test]
+    fn inverted_span_is_clamped_not_dropped() {
+        let mut t = Trace::new();
+        t.push(TraceSpan {
+            actor: 0,
+            kind: SpanKind::Other,
+            label: "inverted".into(),
+            chunk: None,
+            start: SimTime(5_000),
+            end: SimTime(1_000),
+        });
+        assert_eq!(t.clamped(), 1);
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.spans()[0].start, t.spans()[0].end);
+        assert_eq!(t.spans()[0].micros(), 0.0);
     }
 }

@@ -178,6 +178,7 @@ fn trace_spans_accumulate_across_actors() {
                 actor: i,
                 kind: ovcomm_simnet::SpanKind::Compute,
                 label: format!("span {i}"),
+                chunk: None,
                 start: SimTime(i as u64 * 100),
                 end: SimTime(i as u64 * 100 + 50),
             });

@@ -15,7 +15,7 @@ fn measure_bcast_bw(msg: usize) -> f64 {
         SimConfig::natural(4, 1, MachineProfile::stampede2_skylake()),
         move |rc: RankCtx| {
             let w = rc.world();
-            let data = (rc.rank() == 0).then(|| Payload::Phantom(msg));
+            let data = (rc.rank() == 0).then_some(Payload::Phantom(msg));
             let _ = w.bcast(0, data, msg);
         },
     )
@@ -32,7 +32,7 @@ fn overlapped_time(msg: usize, n_dup: usize) -> f64 {
         move |rc: RankCtx| {
             let w = rc.world();
             let comms = NDupComms::new(&w, n_dup);
-            let data = (rc.rank() == 0).then(|| Payload::Phantom(msg));
+            let data = (rc.rank() == 0).then_some(Payload::Phantom(msg));
             let _ = overlapped_bcast(&comms, 0, data.as_ref(), msg);
         },
     )

@@ -5,9 +5,9 @@
 //!
 //! Run with: `cargo run --release --example matvec_pipeline`
 
+use ovcomm::core::pipelined_reduce_bcast;
 use ovcomm::densemat::{BlockBuf, BlockGrid, Matrix, Partition1D};
 use ovcomm::kernels::{matvec_blocking, matvec_pipelined, MatvecInput, Mesh2D, VecBuf};
-use ovcomm::core::pipelined_reduce_bcast;
 use ovcomm::prelude::*;
 
 const P: usize = 4;
@@ -87,7 +87,10 @@ fn main() {
     println!("  Algorithm 1 (blocking)       : {t1:.6}s  (max err {err1:.2e})");
     println!("  Algorithm 2 (N_DUP=4 pipeline): {t2:.6}s  (max err {err2:.2e})");
     println!("  speedup                      : {:.2}x", t1 / t2);
-    assert!(err1 < 1e-6 && err2 < 1e-6, "results must match the reference");
+    assert!(
+        err1 < 1e-6 && err2 < 1e-6,
+        "results must match the reference"
+    );
 
     // The communication phases in the bandwidth-bound regime (big vector
     // segments, phantom data). Matvec compute grows as N²/p² while its
@@ -103,7 +106,10 @@ fn main() {
     );
     println!("  Algorithm 1 (blocking reduce+bcast)   : {tb1:.6}s");
     println!("  Algorithm 2 (N_DUP=4 ireduce->ibcast) : {tb2:.6}s");
-    println!("  speedup                               : {:.2}x", tb1 / tb2);
+    println!(
+        "  speedup                               : {:.2}x",
+        tb1 / tb2
+    );
 }
 
 /// Time just the reduce+broadcast phase of the two algorithms with phantom

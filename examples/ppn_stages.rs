@@ -35,12 +35,18 @@ fn main() {
             // join one issued from inside the stage.
             let one_per_node = StagePlan::first_n(NODES);
             let quartet = world.split(
-                if one_per_node.is_active(rc.rank()) { 0 } else { -1 },
+                if one_per_node.is_active(rc.rank()) {
+                    0
+                } else {
+                    -1
+                },
                 rc.rank() as u64,
             );
             let (result, polls) = run_stage(&rc, &world, &one_per_node, || {
                 // The active quartet exchanges 4 MB all-around and computes.
-                let sub = quartet.as_ref().expect("active ranks have the quartet comm");
+                let sub = quartet
+                    .as_ref()
+                    .expect("active ranks have the quartet comm");
                 let _ = sub.allreduce(Payload::Phantom(4 << 20));
                 rc.advance(SimDur::from_millis(35));
                 "worked"

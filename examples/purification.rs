@@ -7,8 +7,8 @@
 //! Run with: `cargo run --release --example purification`
 
 use ovcomm::densemat::{exact_density, fock_like_spectrum, gemm, BlockGrid, Matrix};
-use ovcomm::purify::{purify_rank, KernelChoice, PurifyConfig};
 use ovcomm::prelude::*;
+use ovcomm::purify::{purify_rank, KernelChoice, PurifyConfig};
 
 const N: usize = 60;
 const NOCC: usize = 20;

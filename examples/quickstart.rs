@@ -17,7 +17,7 @@ fn main() {
         SimConfig::natural(4, 1, MachineProfile::stampede2_skylake()),
         move |rc: RankCtx| {
             let world = rc.world();
-            let data = (rc.rank() == 0).then(|| Payload::Phantom(n));
+            let data = (rc.rank() == 0).then_some(Payload::Phantom(n));
             let _ = world.bcast(0, data, n);
         },
     )
@@ -33,7 +33,7 @@ fn main() {
         move |rc: RankCtx| {
             let world = rc.world();
             let comms = NDupComms::new(&world, 4);
-            let data = (rc.rank() == 0).then(|| Payload::Phantom(n));
+            let data = (rc.rank() == 0).then_some(Payload::Phantom(n));
             let _ = overlapped_bcast(&comms, 0, data.as_ref(), n);
         },
     )

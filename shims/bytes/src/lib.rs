@@ -45,7 +45,11 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len(),
         };
-        assert!(lo <= hi && hi <= self.len(), "slice {lo}..{hi} out of bounds (len {})", self.len());
+        assert!(
+            lo <= hi && hi <= self.len(),
+            "slice {lo}..{hi} out of bounds (len {})",
+            self.len()
+        );
         Bytes {
             data: self.data.clone(),
             start: self.start + lo,
@@ -53,7 +57,8 @@ impl Bytes {
         }
     }
 
-    /// View as a byte slice.
+    /// View as a byte slice (also available through the `AsRef` impl).
+    #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }

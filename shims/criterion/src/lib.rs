@@ -22,6 +22,16 @@ impl Criterion {
         self
     }
 
+    /// Set the warm-up time (no-op: the shim runs one pass).
+    pub fn warm_up_time(self, _dur: Duration) -> Self {
+        self
+    }
+
+    /// Set the measurement time (no-op: the shim runs one pass).
+    pub fn measurement_time(self, _dur: Duration) -> Self {
+        self
+    }
+
     /// Start a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("benchmark group: {name}");
@@ -45,7 +55,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run a benchmark over an explicit input value.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         F: FnMut(&mut Bencher, &I),
     {

@@ -34,7 +34,9 @@ impl<T> Mutex<T> {
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -105,10 +107,7 @@ impl Condvar {
     /// Block on the condvar, releasing the guarded mutex while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let g = guard.guard.take().expect("guard taken during wait");
-        let g = self
-            .inner
-            .wait(g)
-            .unwrap_or_else(PoisonError::into_inner);
+        let g = self.inner.wait(g).unwrap_or_else(PoisonError::into_inner);
         guard.guard = Some(g);
     }
 

@@ -26,7 +26,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
              }}\n\
          }}"
     );
-    code.parse().expect("serde_derive shim: generated code must parse")
+    code.parse()
+        .expect("serde_derive shim: generated code must parse")
 }
 
 /// Extract `(struct_name, field_names)` from the derive input.

@@ -54,19 +54,23 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::UInt(u) => out.push_str(&u.to_string()),
         Value::Float(f) => write_f64(out, *f),
         Value::Str(s) => write_string(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), indent, depth, '[', ']', |o, it, ind, d| {
-            write_value(o, it, ind, d)
-        }),
-        Value::Object(fields) => {
-            write_seq(out, fields.iter(), indent, depth, '{', '}', |o, (k, val), ind, d| {
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, '[', ']', write_value),
+        Value::Object(fields) => write_seq(
+            out,
+            fields.iter(),
+            indent,
+            depth,
+            '{',
+            '}',
+            |o, (k, val), ind, d| {
                 write_string(o, k);
                 o.push(':');
                 if ind.is_some() {
                     o.push(' ');
                 }
                 write_value(o, val, ind, d);
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -91,7 +95,7 @@ fn write_seq<I, F>(
     for (i, item) in items.enumerate() {
         if let Some(w) = indent {
             out.push('\n');
-            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
         }
         write_item(out, item, indent, depth + 1);
         if i + 1 < n {
@@ -100,7 +104,7 @@ fn write_seq<I, F>(
     }
     if let Some(w) = indent {
         out.push('\n');
-        out.extend(std::iter::repeat(' ').take(w * depth));
+        out.extend(std::iter::repeat_n(' ', w * depth));
     }
     out.push(close);
 }
@@ -358,7 +362,10 @@ mod tests {
             ("n".into(), Value::UInt(3)),
             ("t".into(), Value::Float(1.5)),
             ("s".into(), Value::Str("a\"b\n".into())),
-            ("a".into(), Value::Array(vec![Value::Null, Value::Bool(true)])),
+            (
+                "a".into(),
+                Value::Array(vec![Value::Null, Value::Bool(true)]),
+            ),
         ]);
         let text = to_string(&v).unwrap();
         assert_eq!(from_str(&text).unwrap(), v);

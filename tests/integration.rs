@@ -2,9 +2,9 @@
 //! overlap library → kernels → purification) exercised end to end through
 //! the `ovcomm` facade.
 
+use ovcomm::densemat::BlockBuf;
 use ovcomm::densemat::{exact_density, fock_like_spectrum, gemm, BlockGrid, Matrix};
 use ovcomm::kernels::{symm_square_cube_baseline, symm_square_cube_optimized, Mesh3D, SymmInput};
-use ovcomm::densemat::BlockBuf;
 use ovcomm::prelude::*;
 use ovcomm::purify::{purify_rank, KernelChoice, PurifyConfig};
 
@@ -84,7 +84,11 @@ fn whole_runs_are_deterministic_across_repetitions() {
             SimConfig::natural(8, 4, MachineProfile::stampede2_skylake()),
             move |rc: RankCtx| {
                 let res = purify_rank(&rc, &cfg, KernelChoice::Optimized { n_dup: 4 });
-                (res.iterations, res.kernel_time.as_nanos(), rc.now().as_nanos())
+                (
+                    res.iterations,
+                    res.kernel_time.as_nanos(),
+                    rc.now().as_nanos(),
+                )
             },
         )
         .unwrap()
@@ -145,7 +149,9 @@ fn chunked_overlap_preserves_data_through_the_whole_stack() {
         SimConfig::natural(9, 3, MachineProfile::test_profile()),
         |rc: RankCtx| {
             let w = rc.world();
-            let row = w.split((rc.rank() / 3) as i64, (rc.rank() % 3) as u64).unwrap();
+            let row = w
+                .split((rc.rank() / 3) as i64, (rc.rank() % 3) as u64)
+                .unwrap();
             let comms = NDupComms::new(&row, 3);
             let data: Vec<f64> = (0..100).map(|i| (rc.rank() * 100 + i) as f64).collect();
             let payload = Payload::from_f64s(&data);
@@ -177,7 +183,9 @@ fn gemm_reference_agrees_with_distributed_square() {
         move |rc: RankCtx| {
             let mesh = Mesh3D::new(&rc, 2);
             let grid = BlockGrid::new(n, 2);
-            let full = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0 + if i == j { 1.0 } else { 0.0 });
+            let full = Matrix::from_fn(n, n, |i, j| {
+                ((i * 7 + j * 3) % 5) as f64 - 2.0 + if i == j { 1.0 } else { 0.0 }
+            });
             // Symmetrize.
             let mut h = Matrix::zeros(n, n);
             for i in 0..n {
@@ -194,7 +202,9 @@ fn gemm_reference_agrees_with_distributed_square() {
     )
     .unwrap();
     let mut h = Matrix::zeros(n, n);
-    let full = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0 + if i == j { 1.0 } else { 0.0 });
+    let full = Matrix::from_fn(n, n, |i, j| {
+        ((i * 7 + j * 3) % 5) as f64 - 2.0 + if i == j { 1.0 } else { 0.0 }
+    });
     for i in 0..n {
         for j in 0..n {
             h[(i, j)] = 0.5 * (full[(i, j)] + full[(j, i)]);
