@@ -22,6 +22,7 @@
 //! (`iter_custom`).
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chart;
 pub mod metrics;

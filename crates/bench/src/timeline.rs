@@ -24,7 +24,12 @@ pub fn render(bars: &[Bar], width: usize) -> String {
         .map(|b| b.start_us + b.dur_us)
         .fold(0.0f64, f64::max)
         .max(1e-9);
-    let label_w = bars.iter().map(|b| b.label.len()).max().unwrap().min(48);
+    let label_w = bars
+        .iter()
+        .map(|b| b.label.len())
+        .max()
+        .unwrap_or(0)
+        .min(48);
     let scale = width as f64 / t_end;
     let mut out = String::new();
     for b in bars {

@@ -36,6 +36,8 @@ impl MeasuredCurve {
     /// The message size above which the curve stays within `frac` of its
     /// maximum — the paper's threshold `n_t` ("where f_BW(n_t) is close to
     /// the achievable network bandwidth").
+    // `samples` is non-empty by construction (asserted in `new`).
+    #[allow(clippy::unwrap_used)]
     pub fn threshold(&self, frac: f64) -> usize {
         let peak = self
             .samples
@@ -52,6 +54,8 @@ impl MeasuredCurve {
 }
 
 impl BandwidthCurve for MeasuredCurve {
+    // `samples` is non-empty by construction (asserted in `new`).
+    #[allow(clippy::unwrap_used)]
     fn bw(&self, n: usize) -> f64 {
         let n = n.max(1);
         // Below/above the sampled range: clamp.

@@ -41,7 +41,10 @@ impl ChunkPlan {
             off += (base + usize::from(i < extra)) * quantum;
             bounds.push(off);
         }
-        *bounds.last_mut().unwrap() += rem;
+        if let Some(last) = bounds.last_mut() {
+            *last += rem;
+        }
+        debug_assert_eq!(bounds.last().copied(), Some(n));
         ChunkPlan { bounds }
     }
 
@@ -52,7 +55,7 @@ impl ChunkPlan {
 
     /// Total bytes.
     pub fn total(&self) -> usize {
-        *self.bounds.last().unwrap()
+        self.bounds.last().copied().unwrap_or(0)
     }
 
     /// (start, end) byte offsets of chunk `c`.

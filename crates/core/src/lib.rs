@@ -16,6 +16,7 @@
 //! * [`model`] — the α–β cost models of §V-A.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod autotune;
 pub mod chunk;

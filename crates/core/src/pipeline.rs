@@ -42,12 +42,13 @@ pub fn overlapped_bcast(
 ) -> Payload {
     let plan = ChunkPlan::new(len, comms.n_dup());
     let parts = plan.split_opt(data);
-    let reqs: Vec<(usize, Request<Payload>)> = comms
+    let reqs: Vec<Request<Payload>> = comms
         .iter()
         .zip(parts)
-        .map(|((c, comm), part)| (c, comm.ibcast(root, part, plan.len(c))))
+        .map(|((c, comm), part)| comm.ibcast(root, part, plan.len(c)))
         .collect();
-    let chunks: Vec<Payload> = reqs.iter().map(|(c, r)| comms.comm(*c).wait(r)).collect();
+    // All dup comms share the rank agent, so one handle can drain the batch.
+    let chunks = comms.comm(0).wait_all_payloads(&reqs);
     plan.concat(&chunks)
 }
 
@@ -90,6 +91,9 @@ pub fn overlapped_reduce(comms: &NDupComms, root: usize, contrib: &Payload) -> O
 /// The reduce group and the bcast group may be different communicators over
 /// different axes of a process mesh (column vs. row), which is exactly how
 /// the kernels use it. The caller must be a member of both bundles.
+// The `expect` asserts a protocol invariant: the reduce root always
+// receives the reduced chunk from its own ireduce.
+#[allow(clippy::expect_used)]
 pub fn pipelined_reduce_bcast(
     reduce_comms: &NDupComms,
     reduce_root: usize,
@@ -171,11 +175,7 @@ pub fn overlapped_allreduce(comms: &NDupComms, contrib: &Payload) -> Payload {
         .iter()
         .map(|(c, comm)| comm.iallreduce(plan.slice(contrib, c)))
         .collect();
-    let chunks: Vec<Payload> = reqs
-        .iter()
-        .enumerate()
-        .map(|(c, r)| comms.comm(c).wait(r))
-        .collect();
+    let chunks = comms.comm(0).wait_all_payloads(&reqs);
     plan.concat(&chunks)
 }
 
@@ -200,11 +200,7 @@ pub fn overlapped_isend(
 pub fn overlapped_recv(comms: &NDupComms, src: usize, tag: u32, len: usize) -> Payload {
     let plan = ChunkPlan::new(len, comms.n_dup());
     let reqs: Vec<Request<Payload>> = comms.iter().map(|(_, comm)| comm.irecv(src, tag)).collect();
-    let chunks: Vec<Payload> = reqs
-        .iter()
-        .enumerate()
-        .map(|(c, r)| comms.comm(c).wait(r))
-        .collect();
+    let chunks = comms.comm(0).wait_all_payloads(&reqs);
     for (c, chunk) in chunks.iter().enumerate() {
         assert_eq!(
             chunk.len(),

@@ -109,7 +109,8 @@ impl BlockBuf {
                 assert_eq!(b.len(), rows * cols * 8, "payload size mismatch");
                 let data = b
                     .chunks_exact(8)
-                    .map(|c| f64::from_ne_bytes(c.try_into().unwrap()))
+                    // chunks_exact(8) yields exactly 8-byte slices.
+                    .map(|c| f64::from_ne_bytes(c.try_into().unwrap_or([0; 8])))
                     .collect();
                 BlockBuf::Real(Matrix::from_vec(rows, cols, data))
             }

@@ -8,6 +8,7 @@
 //! purification).
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod blockbuf;
 pub mod gemm;

@@ -103,7 +103,7 @@ pub fn exact_density(eigs: &[f64], nocc: usize, seed: u64) -> Matrix {
     let n = eigs.len();
     // Occupation numbers ordered like `eigs`: the nocc smallest get 1.
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| eigs[a].partial_cmp(&eigs[b]).unwrap());
+    idx.sort_by(|&a, &b| eigs[a].total_cmp(&eigs[b]));
     let mut occ = vec![0.0; n];
     for &i in idx.iter().take(nocc) {
         occ[i] = 1.0;

@@ -14,6 +14,10 @@
 //! overlapped with communication, exactly the paper's idea applied to a
 //! solver.
 
+// Kernel algorithms are invariant-dense: `expect`/`unwrap` here assert
+// root-only payload delivery and mesh/split bookkeeping guaranteed by the
+// surrounding collective protocol, not recoverable error paths.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use ovcomm_densemat::{gemm_flops, solve, BlockBuf, BlockGrid, Matrix, Partition1D};
 use ovcomm_simmpi::{Payload, RankCtx, Request};
 

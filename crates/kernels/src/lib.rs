@@ -17,6 +17,7 @@
 //! virtual timing.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod blockcg;
 pub mod convert;

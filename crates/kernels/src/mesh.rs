@@ -5,6 +5,10 @@
 //! row in one plane and then plane by plane", with consecutive ranks on a
 //! node. Concretely `rank = k·p² + i·p + j` for coordinates (i, j, k).
 
+// Kernel algorithms are invariant-dense: `expect`/`unwrap` here assert
+// root-only payload delivery and mesh/split bookkeeping guaranteed by the
+// surrounding collective protocol, not recoverable error paths.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use ovcomm_simmpi::{Comm, RankCtx};
 
 use ovcomm_core::NDupComms;

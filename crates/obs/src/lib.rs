@@ -13,6 +13,7 @@
 //! it and the kernel/bench layers consume the reports.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analyze;
 pub mod perfetto;

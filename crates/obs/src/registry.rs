@@ -151,10 +151,19 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
+    /// Lock the instrument table, recovering from poisoning: metrics are
+    /// monotone counters, so state left by a panicking writer is still
+    /// valid to read and extend.
+    fn table(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Instrument>> {
+        self.metrics
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Get or create the counter `name{labels}`.
     pub fn counter(&self, name: &str, labels: &[(&str, String)]) -> Counter {
         let key = metric_key(name, labels);
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = self.table();
         match m.entry(key.clone()).or_insert_with(|| {
             Instrument::Counter(Counter {
                 cell: Arc::new(AtomicU64::new(0)),
@@ -168,7 +177,7 @@ impl MetricsRegistry {
     /// Get or create the gauge `name{labels}`.
     pub fn gauge(&self, name: &str, labels: &[(&str, String)]) -> Gauge {
         let key = metric_key(name, labels);
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = self.table();
         match m.entry(key.clone()).or_insert_with(|| {
             Instrument::Gauge(Gauge {
                 value: Arc::new(AtomicU64::new(0)),
@@ -183,7 +192,7 @@ impl MetricsRegistry {
     /// Get or create the histogram `name{labels}`.
     pub fn histogram(&self, name: &str, labels: &[(&str, String)]) -> Histogram {
         let key = metric_key(name, labels);
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = self.table();
         match m.entry(key.clone()).or_insert_with(|| {
             Instrument::Histogram(Histogram {
                 inner: Arc::new(HistogramInner {
@@ -202,7 +211,7 @@ impl MetricsRegistry {
 
     /// Snapshot every instrument into a plain, ordered, serializable value.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let m = self.metrics.lock().unwrap();
+        let m = self.table();
         let mut snap = MetricsSnapshot::default();
         for (key, inst) in m.iter() {
             match inst {

@@ -7,6 +7,7 @@
 //! dimensions.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod canonical;
 pub mod mcweeny;

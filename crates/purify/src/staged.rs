@@ -6,6 +6,10 @@
 //! then only the chosen subset runs purification while the rest sleep-poll
 //! an `MPI_Ibarrier`. This module is that mechanism, end to end.
 
+// Purification drivers are invariant-dense: `expect`/`unwrap` here assert
+// plane/root-only payload delivery and staged-communicator membership
+// guaranteed by the surrounding protocol, not recoverable error paths.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use ovcomm_core::{run_stage, StagePlan};
 use ovcomm_simmpi::RankCtx;
 use ovcomm_simnet::{SimDur, SimTime};

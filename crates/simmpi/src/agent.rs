@@ -110,7 +110,18 @@ impl Agent {
     /// Block until `req` completes; returns its value and advances the
     /// clock to `max(local clock, completion time)` — `MPI_Wait`.
     pub fn wait<T>(&self, req: &Request<T>) -> T {
-        loop {
+        // Tell the verifier what we are blocked on: if the run deadlocks
+        // while we are parked below, this entry becomes our line of the
+        // wait-for diagnosis; on success it records the wait edge.
+        let vid = if self.uni.verify.is_some() {
+            req.verify_id()
+        } else {
+            None
+        };
+        if let (Some(v), Some(id)) = (self.uni.verify.as_ref(), vid) {
+            v.wait_begin(self.id, id);
+        }
+        let out = loop {
             if let Some((v, t)) = req.try_take() {
                 // A wake may still be pending if the completion raced with
                 // our check; consume it so the engine's runnable count stays
@@ -119,13 +130,21 @@ impl Agent {
                     self.advance_to(tw);
                 }
                 self.advance_to(t);
-                return v;
+                break v;
             }
             if req.add_waiter(&self.cell) {
                 let tw = self.uni.engine.park(&self.cell);
                 self.advance_to(tw);
             }
+        };
+        if let (Some(v), Some(id)) = (self.uni.verify.as_ref(), vid) {
+            v.wait_end(self.id);
+            v.record(ovcomm_verify::Event::WaitDone {
+                agent: self.id,
+                req: id,
+            });
         }
+        out
     }
 
     /// Nonblocking completion probe — `MPI_Test`. True only once the

@@ -1,6 +1,11 @@
 //! Allreduce (sum): recursive doubling (short) and reduce-scatter +
 //! allgather (long), both with the standard non-power-of-two pre/post fold.
 
+// Collective algorithms are invariant-dense: `expect`s here assert
+// tree/ring bookkeeping that cannot fail unless the algorithm itself
+// is wrong, and root-data contracts whose violation must crash.
+#![allow(clippy::expect_used)]
+
 use crate::coll::{chunk_bounds, reduce, CollCtx, COLL_LARGE};
 use crate::payload::Payload;
 

@@ -1,6 +1,11 @@
 //! Broadcast: binomial tree (short) and van de Geijn scatter + ring
 //! allgather (long messages).
 
+// Collective algorithms are invariant-dense: `expect`s here assert
+// tree/ring bookkeeping that cannot fail unless the algorithm itself
+// is wrong, and root-data contracts whose violation must crash.
+#![allow(clippy::expect_used)]
+
 use crate::coll::{chunk_bounds, CollCtx, COLL_LARGE};
 use crate::payload::Payload;
 

@@ -4,6 +4,11 @@
 //! ring. Chunking follows [`crate::coll::chunk_bounds`]: rank `i` (in
 //! root-relative virtual order) owns byte range `bounds[i]..bounds[i+1]`.
 
+// Collective algorithms are invariant-dense: `expect`s here assert
+// tree/ring bookkeeping that cannot fail unless the algorithm itself
+// is wrong, and root-data contracts whose violation must crash.
+#![allow(clippy::expect_used)]
+
 use crate::coll::bcast::{allgather_ring, scatter_tree};
 use crate::coll::{chunk_bounds, CollCtx};
 use crate::payload::Payload;

@@ -147,8 +147,10 @@ pub(crate) fn chunk_bounds(n: usize, parts: usize) -> Vec<usize> {
         off += e * quantum;
         bounds.push(off);
     }
-    *bounds.last_mut().unwrap() += rem;
-    debug_assert_eq!(*bounds.last().unwrap(), n);
+    if let Some(last) = bounds.last_mut() {
+        *last += rem;
+    }
+    debug_assert_eq!(bounds.last().copied(), Some(n));
     bounds
 }
 

@@ -11,13 +11,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ovcomm_simnet::{ParkCell, SimTime, SpanKind};
+use ovcomm_verify::{CollKind, Event as VEvent, ReqId, Site};
 
 use crate::agent::Agent;
 use crate::coll::{allreduce, barrier, bcast, gather, reduce, CollCtx};
 use crate::metrics::OpKind;
 use crate::p2p::{irecv_raw, isend_raw};
 use crate::payload::Payload;
-use crate::request::Request;
+use crate::request::{ReqMeta, Request};
 use crate::state::SplitGather;
 use crate::universe::op_actor_id;
 
@@ -44,12 +45,46 @@ pub struct Comm {
 
 impl Comm {
     pub(crate) fn new(info: CommInfo, agent: Agent) -> Comm {
+        if let Some(v) = agent.uni.verify.as_ref() {
+            // Every rank records the (identical) declaration; the analyzer
+            // keys on the context id, so duplicates are harmless.
+            v.record(VEvent::CommDecl {
+                ctx: info.ctx,
+                members: info.ranks.clone(),
+            });
+        }
         Comm {
             info,
             agent,
             dup_seq: Arc::new(AtomicU64::new(0)),
             split_seq: Arc::new(AtomicU64::new(0)),
             coll_seq: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Log a collective call on this communicator into the verifier's
+    /// per-agent event stream (no-op when verification is off).
+    fn record_coll(
+        &self,
+        kind: CollKind,
+        root: Option<u32>,
+        len: usize,
+        blocking: bool,
+        site: Site,
+    ) {
+        if let Some(v) = self.agent.uni.verify.as_ref() {
+            v.record(VEvent::Coll {
+                agent: self.agent.id,
+                rank: self.agent.rank,
+                ctx: self.info.ctx,
+                kind,
+                root,
+                len,
+                blocking,
+                req: None,
+                op_agent: None,
+                site: Some(site),
+            });
         }
     }
 
@@ -87,7 +122,15 @@ impl Comm {
     /// Duplicate: a new context over the same group. All ranks must call in
     /// the same order (as in MPI). Used to create the `N_DUP` communicator
     /// copies of the nonblocking-overlap technique.
+    #[track_caller]
     pub fn dup(&self) -> Comm {
+        self.record_coll(
+            CollKind::Dup,
+            None,
+            0,
+            false,
+            std::panic::Location::caller(),
+        );
         let seq = self.dup_seq.fetch_add(1, Ordering::Relaxed);
         self.agent
             .uni
@@ -105,13 +148,25 @@ impl Comm {
     }
 
     /// `n` duplicates (convenience for building N_DUP bundles).
+    #[track_caller]
     pub fn dup_n(&self, n: usize) -> Vec<Comm> {
         (0..n).map(|_| self.dup()).collect()
     }
 
     /// Split by color/key (like `MPI_Comm_split`). Ranks passing a negative
     /// color get `None`. Synchronizes all members of this communicator.
+    // The `expect`s below assert split-rendezvous bookkeeping shared by all
+    // members; `position` must succeed because this rank deposited itself.
+    #[allow(clippy::expect_used, clippy::unwrap_used)]
+    #[track_caller]
     pub fn split(&self, color: i64, key: u64) -> Option<Comm> {
+        self.record_coll(
+            CollKind::Split,
+            None,
+            0,
+            true,
+            std::panic::Location::caller(),
+        );
         let seq = self.split_seq.fetch_add(1, Ordering::Relaxed);
         let uni = self.agent.uni.clone();
         let gather_key = (self.info.ctx, seq);
@@ -157,7 +212,12 @@ impl Comm {
             }
         }
 
-        // Wait until the result is available.
+        // Wait until the result is available. Register the block with the
+        // verifier so a rank missing from the split shows up in a deadlock
+        // diagnosis as "blocked in MPI_Comm_split".
+        if let Some(v) = uni.verify.as_ref() {
+            v.wait_begin_split(self.agent.id, self.info.ctx);
+        }
         let result = loop {
             {
                 let mut st = uni.state.lock();
@@ -177,6 +237,9 @@ impl Comm {
             let t = uni.engine.park(&self.agent.cell);
             self.agent.advance_to(t);
         };
+        if let Some(v) = uni.verify.as_ref() {
+            v.wait_end(self.agent.id);
+        }
         if let Some(t) = uni.engine.consume_pending(&self.agent.cell) {
             self.agent.advance_to(t);
         }
@@ -205,6 +268,7 @@ impl Comm {
     // ---------------------------------------------------------------
 
     /// Nonblocking send to communicator rank `dst` with a user tag.
+    #[track_caller]
     pub fn isend(&self, dst: usize, tag: u32, payload: Payload) -> Request<()> {
         self.agent
             .uni
@@ -220,12 +284,14 @@ impl Comm {
     }
 
     /// Nonblocking receive from communicator rank `src`.
+    #[track_caller]
     pub fn irecv(&self, src: usize, tag: u32) -> Request<Payload> {
         self.agent.uni.metrics.op(self.agent.rank, OpKind::Irecv, 0);
         irecv_raw(&self.agent, self.info.ctx, self.info.ranks[src], tag as u64)
     }
 
     /// Blocking send.
+    #[track_caller]
     pub fn send(&self, dst: usize, tag: u32, payload: Payload) {
         let t0 = self.agent.now();
         let n = payload.len();
@@ -240,6 +306,7 @@ impl Comm {
     }
 
     /// Blocking receive; returns the payload.
+    #[track_caller]
     pub fn recv(&self, src: usize, tag: u32) -> Payload {
         let t0 = self.agent.now();
         let r = self.irecv(src, tag);
@@ -266,6 +333,7 @@ impl Comm {
     }
 
     /// Blocking concurrent send+receive (`MPI_Sendrecv`).
+    #[track_caller]
     pub fn sendrecv(&self, dst: usize, src: usize, tag: u32, payload: Payload) -> Payload {
         let rr = self.irecv(src, tag);
         let sr = self.isend(dst, tag, payload);
@@ -309,14 +377,30 @@ impl Comm {
     /// Nonblocking completion probe (`MPI_Test`).
     pub fn test<T>(&self, req: &Request<T>) -> bool {
         self.agent.uni.metrics.test_probe(self.agent.rank);
-        self.agent.test(req)
+        let done = self.agent.test(req);
+        if done {
+            // Only successful probes are logged: they prove the rank
+            // observed completion (a request retired via `test` is not a
+            // leak), and recording failed polls would flood the log.
+            if let (Some(v), Some(id)) = (self.agent.uni.verify.as_ref(), req.verify_id()) {
+                v.record(VEvent::TestObserved {
+                    agent: self.agent.id,
+                    req: id,
+                });
+            }
+        }
+        done
     }
 
     /// Wait for all requests in order (`MPI_Waitall` for sends).
     pub fn wait_all(&self, reqs: &[Request<()>]) {
-        for r in reqs {
-            self.wait(r);
-        }
+        self.wait_all_payloads(reqs);
+    }
+
+    /// Wait for all requests in order and return their values
+    /// (`MPI_Waitall` for receives and collectives).
+    pub fn wait_all_payloads<T>(&self, reqs: &[Request<T>]) -> Vec<T> {
+        reqs.iter().map(|r| self.wait(r)).collect()
     }
 
     // ---------------------------------------------------------------
@@ -325,7 +409,15 @@ impl Comm {
 
     /// Blocking broadcast from `root`. `data` must be `Some` at the root;
     /// `len` is the payload size every rank expects.
+    #[track_caller]
     pub fn bcast(&self, root: usize, data: Option<Payload>, len: usize) -> Payload {
+        self.record_coll(
+            CollKind::Bcast,
+            Some(root as u32),
+            len,
+            true,
+            std::panic::Location::caller(),
+        );
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
         self.agent
@@ -342,7 +434,15 @@ impl Comm {
     }
 
     /// Blocking sum-reduction to `root`; returns `Some` at the root.
+    #[track_caller]
     pub fn reduce(&self, root: usize, contrib: Payload) -> Option<Payload> {
+        self.record_coll(
+            CollKind::Reduce,
+            Some(root as u32),
+            contrib.len(),
+            true,
+            std::panic::Location::caller(),
+        );
         let seq = self.coll_seq_next();
         let n = contrib.len();
         let t0 = self.agent.now();
@@ -360,7 +460,15 @@ impl Comm {
     }
 
     /// Blocking sum-allreduce.
+    #[track_caller]
     pub fn allreduce(&self, contrib: Payload) -> Payload {
+        self.record_coll(
+            CollKind::Allreduce,
+            None,
+            contrib.len(),
+            true,
+            std::panic::Location::caller(),
+        );
         let seq = self.coll_seq_next();
         let n = contrib.len();
         let t0 = self.agent.now();
@@ -378,7 +486,15 @@ impl Comm {
     }
 
     /// Blocking barrier.
+    #[track_caller]
     pub fn barrier(&self) {
+        self.record_coll(
+            CollKind::Barrier,
+            None,
+            0,
+            true,
+            std::panic::Location::caller(),
+        );
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
         self.agent
@@ -395,7 +511,15 @@ impl Comm {
 
     /// Blocking scatter of `len` bytes from `root`; returns this rank's
     /// chunk (`chunk_bounds` partitioning in root-relative order).
+    #[track_caller]
     pub fn scatter(&self, root: usize, data: Option<Payload>, len: usize) -> Payload {
+        self.record_coll(
+            CollKind::Scatter,
+            Some(root as u32),
+            len,
+            true,
+            std::panic::Location::caller(),
+        );
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
         self.agent
@@ -408,7 +532,15 @@ impl Comm {
     }
 
     /// Blocking gather (inverse of scatter); returns `Some` at the root.
+    #[track_caller]
     pub fn gather(&self, root: usize, chunk: Payload, len: usize) -> Option<Payload> {
+        self.record_coll(
+            CollKind::Gather,
+            Some(root as u32),
+            len,
+            true,
+            std::panic::Location::caller(),
+        );
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
         self.agent
@@ -421,7 +553,15 @@ impl Comm {
     }
 
     /// Blocking allgather; `len` is the assembled size.
+    #[track_caller]
     pub fn allgather(&self, chunk: Payload, len: usize) -> Payload {
+        self.record_coll(
+            CollKind::Allgather,
+            None,
+            len,
+            true,
+            std::panic::Location::caller(),
+        );
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
         self.agent
@@ -441,7 +581,9 @@ impl Comm {
     /// the paper's Fig. 6 shows Ibcast posts take "very little time" (the
     /// payload is handed to the progress engine zero-copy), in contrast to
     /// `MPI_Ireduce`, whose posts cost a full buffer copy.
+    #[track_caller]
     pub fn ibcast(&self, root: usize, data: Option<Payload>, len: usize) -> Request<Payload> {
+        let site = std::panic::Location::caller();
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
         let cost = self.agent.uni.profile.post_base;
@@ -452,19 +594,27 @@ impl Comm {
                 format!("MPI_Ibcast post {len}B root={root}")
             });
         let info = self.info.clone();
-        self.dispatch(move |agent| {
-            let cctx = CollCtx {
-                agent,
-                info: &info,
-                seq,
-            };
-            bcast::run(&cctx, root, data, len)
-        })
+        self.dispatch(
+            CollKind::Bcast,
+            Some(root as u32),
+            len,
+            site,
+            move |agent| {
+                let cctx = CollCtx {
+                    agent,
+                    info: &info,
+                    seq,
+                };
+                bcast::run(&cctx, root, data, len)
+            },
+        )
     }
 
     /// Nonblocking reduction (`MPI_Ireduce`); every rank pays the buffer
     /// copy at post time. Root's request yields `Some(result)`.
+    #[track_caller]
     pub fn ireduce(&self, root: usize, contrib: Payload) -> Request<Option<Payload>> {
+        let site = std::panic::Location::caller();
         let seq = self.coll_seq_next();
         let n = contrib.len();
         let t0 = self.agent.now();
@@ -476,7 +626,7 @@ impl Comm {
                 format!("MPI_Ireduce post {n}B root={root}")
             });
         let info = self.info.clone();
-        self.dispatch(move |agent| {
+        self.dispatch(CollKind::Reduce, Some(root as u32), n, site, move |agent| {
             let cctx = CollCtx {
                 agent,
                 info: &info,
@@ -487,7 +637,9 @@ impl Comm {
     }
 
     /// Nonblocking allreduce (`MPI_Iallreduce`).
+    #[track_caller]
     pub fn iallreduce(&self, contrib: Payload) -> Request<Payload> {
+        let site = std::panic::Location::caller();
         let seq = self.coll_seq_next();
         let n = contrib.len();
         let t0 = self.agent.now();
@@ -499,7 +651,7 @@ impl Comm {
                 format!("MPI_Iallreduce post {n}B")
             });
         let info = self.info.clone();
-        self.dispatch(move |agent| {
+        self.dispatch(CollKind::Allreduce, None, n, site, move |agent| {
             let cctx = CollCtx {
                 agent,
                 info: &info,
@@ -511,13 +663,15 @@ impl Comm {
 
     /// Nonblocking barrier (`MPI_Ibarrier`) — the wake-up signal of the
     /// multiple-PPN sleep mechanism.
+    #[track_caller]
     pub fn ibarrier(&self) -> Request<()> {
+        let site = std::panic::Location::caller();
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
         self.agent.advance(self.agent.uni.profile.post_base);
         self.post_done(t0, OpKind::Ibarrier, 0);
         let info = self.info.clone();
-        self.dispatch(move |agent| {
+        self.dispatch(CollKind::Barrier, None, 0, site, move |agent| {
             let cctx = CollCtx {
                 agent,
                 info: &info,
@@ -540,8 +694,16 @@ impl Comm {
 
     /// Run `f` on a fresh progress actor whose clock starts at this rank's
     /// current time; the returned request completes with `f`'s value at the
-    /// actor's final time.
-    fn dispatch<T, F>(&self, f: F) -> Request<T>
+    /// actor's final time. `kind`/`root`/`len`/`site` describe the
+    /// collective for the verifier's event log.
+    fn dispatch<T, F>(
+        &self,
+        kind: CollKind,
+        root: Option<u32>,
+        len: usize,
+        site: Site,
+        f: F,
+    ) -> Request<T>
     where
         T: Send + 'static,
         F: FnOnce(&Agent) -> T + Send + 'static,
@@ -555,7 +717,31 @@ impl Comm {
         // post time before the worker thread picks the job up.
         uni.engine.register_actor(id, cell.clone());
         let start = self.agent.now();
-        let req: Request<T> = Request::new();
+        let (req, vid): (Request<T>, Option<ReqId>) = match uni.verify.as_ref() {
+            Some(v) => {
+                let rid = v.next_req_id();
+                v.record(VEvent::Coll {
+                    agent: self.agent.id,
+                    rank,
+                    ctx: self.info.ctx,
+                    kind,
+                    root,
+                    len,
+                    blocking: false,
+                    req: Some(rid),
+                    op_agent: Some(id),
+                    site: Some(site),
+                });
+                (
+                    Request::new_tracked(ReqMeta {
+                        verifier: v.clone(),
+                        id: rid,
+                    }),
+                    Some(rid),
+                )
+            }
+            None => (Request::new(), None),
+        };
         let req2 = req.clone();
         let uni2 = uni.clone();
         uni.metrics.pool_occupancy.inc();
@@ -583,7 +769,18 @@ impl Comm {
             let agent = Agent::new_op(id, rank, start, cell, uni2.clone());
             let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&agent)));
             match out {
-                Ok(v) => uni2.complete(&req2, v, agent.now()),
+                Ok(v) => {
+                    // Log completion before completing the request, so an
+                    // analysis scanning forward from a matched wait always
+                    // finds the collective's completion snapshot.
+                    if let (Some(vf), Some(rid)) = (uni2.verify.as_ref(), vid) {
+                        vf.record(VEvent::CollDone {
+                            req: rid,
+                            op_agent: id,
+                        });
+                    }
+                    uni2.complete(&req2, v, agent.now())
+                }
                 Err(e) => {
                     // Deadlock unwinds land here; record others for the
                     // universe to surface.

@@ -29,6 +29,7 @@
 //! return owned payloads instead of writing into caller buffers.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod agent;
 mod coll;
@@ -43,6 +44,7 @@ pub mod request;
 pub mod universe;
 
 pub use comm::Comm;
+pub use ovcomm_verify::{DeadlockReport, Finding, Severity, VerifyMode, VerifyReport};
 pub use payload::Payload;
 pub use request::Request;
 pub use universe::{actor_name, run, RankCtx, SimConfig, SimError, SimOutput};

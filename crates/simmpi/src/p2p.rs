@@ -26,12 +26,21 @@
 use std::sync::Arc;
 
 use ovcomm_simnet::{SimDur, SimTime};
+use ovcomm_verify::{Event, ReqId, INTERNAL_TAG_BIT};
 
 use crate::agent::{Agent, CLASS_P2P};
 use crate::payload::Payload;
-use crate::request::Request;
+use crate::request::{ReqMeta, Request};
 use crate::state::{MatchKey, MsgId, SendSlot, SlotState};
 use crate::universe::UniShared;
+
+/// Record a send/recv pairing decided by the matching layer. Always called
+/// before either request completes, so analyses can rely on log order.
+fn record_match(uni: &UniShared, send: Option<ReqId>, recv: Option<ReqId>) {
+    if let (Some(v), Some(s), Some(r)) = (uni.verify.as_ref(), send, recv) {
+        v.record(Event::Match { send: s, recv: r });
+    }
+}
 
 /// Transfer path parameters: resources, per-stream cap, latency, rendezvous
 /// handshake extra.
@@ -64,6 +73,7 @@ pub(crate) fn path_params(uni: &UniShared, src: u32, dst: u32, n: usize) -> Path
 }
 
 /// Post a nonblocking send from `agent`'s rank to world rank `dst`.
+#[track_caller]
 pub(crate) fn isend_raw(
     agent: &Agent,
     ctx: u32,
@@ -71,6 +81,7 @@ pub(crate) fn isend_raw(
     tag: u64,
     payload: Payload,
 ) -> Request<()> {
+    let site = std::panic::Location::caller();
     let uni = agent.uni.clone();
     let n = payload.len();
     let eager = n < uni.profile.eager_limit;
@@ -79,7 +90,27 @@ pub(crate) fn isend_raw(
         cost += uni.profile.copy_time(n);
     }
     agent.advance(cost);
-    let req = Request::<()>::new();
+    let req = match uni.verify.as_ref() {
+        Some(v) => {
+            let id = v.next_req_id();
+            v.record(Event::SendPost {
+                agent: agent.id,
+                rank: agent.rank,
+                ctx,
+                dst,
+                tag,
+                bytes: n,
+                internal: tag & INTERNAL_TAG_BIT != 0,
+                req: id,
+                site: Some(site),
+            });
+            Request::<()>::new_tracked(ReqMeta {
+                verifier: v.clone(),
+                id,
+            })
+        }
+        None => Request::<()>::new(),
+    };
     if eager {
         // Buffered: the sender may reuse its buffer immediately.
         let none = req.complete((), agent.now());
@@ -104,10 +135,31 @@ pub(crate) fn isend_raw(
 }
 
 /// Post a nonblocking receive at `agent`'s rank from world rank `src`.
+#[track_caller]
 pub(crate) fn irecv_raw(agent: &Agent, ctx: u32, src: u32, tag: u64) -> Request<Payload> {
+    let site = std::panic::Location::caller();
     let uni = agent.uni.clone();
     agent.advance(uni.profile.small_post);
-    let req = Request::<Payload>::new();
+    let req = match uni.verify.as_ref() {
+        Some(v) => {
+            let id = v.next_req_id();
+            v.record(Event::RecvPost {
+                agent: agent.id,
+                rank: agent.rank,
+                ctx,
+                src,
+                tag,
+                internal: tag & INTERNAL_TAG_BIT != 0,
+                req: id,
+                site: Some(site),
+            });
+            Request::<Payload>::new_tracked(ReqMeta {
+                verifier: v.clone(),
+                id,
+            })
+        }
+        None => Request::<Payload>::new(),
+    };
     let key = MatchKey {
         ctx,
         src,
@@ -136,6 +188,7 @@ fn inject_send(
     ts: SimTime,
 ) {
     let n = payload.len();
+    let sender_vid = sender_req.verify_id();
     let msg_id;
     let matched_recv;
     {
@@ -165,6 +218,9 @@ fn inject_send(
             st.send_q.entry(key).or_default().push_back(msg_id);
         }
     }
+    if let Some(recv) = &matched_recv {
+        record_match(uni, sender_vid, recv.verify_id());
+    }
     if eager {
         launch_eager_flow(uni, key, msg_id, n, ts);
     } else if let Some(recv) = matched_recv {
@@ -173,12 +229,15 @@ fn inject_send(
 }
 
 /// Engine callback: a receive reaches the matching layer at time `tr`.
+// Slot-table `expect`s assert matcher bookkeeping: a queued message id
+// always has a live slot.
+#[allow(clippy::expect_used, clippy::unwrap_used)]
 fn inject_recv(uni: &Arc<UniShared>, key: MatchKey, req: Request<Payload>, tr: SimTime) {
     enum Outcome {
         Queued,
-        Bound,
-        DeliverNow(Payload, usize),
-        Rendezvous(MsgId, usize),
+        Bound(Option<ReqId>),
+        DeliverNow(Payload, usize, Option<ReqId>),
+        Rendezvous(MsgId, usize, Option<ReqId>),
     }
     let outcome = {
         let mut st = uni.state.lock();
@@ -192,31 +251,37 @@ fn inject_recv(uni: &Arc<UniShared>, key: MatchKey, req: Request<Payload>, tr: S
                 let slot = st.slots.get_mut(&id).expect("send slot missing");
                 match slot.state {
                     SlotState::EagerInFlight => {
+                        let svid = slot.sender_req.verify_id();
                         slot.bound_recv = Some(req.clone());
-                        Outcome::Bound
+                        Outcome::Bound(svid)
                     }
                     SlotState::EagerArrived => {
                         let slot = st.slots.remove(&id).unwrap();
                         let n = slot.payload.len();
-                        Outcome::DeliverNow(slot.payload, n)
+                        Outcome::DeliverNow(slot.payload, n, slot.sender_req.verify_id())
                     }
                     SlotState::Rendezvous => {
                         let n = slot.payload.len();
-                        Outcome::Rendezvous(id, n)
+                        Outcome::Rendezvous(id, n, slot.sender_req.verify_id())
                     }
                 }
             }
         }
     };
     match outcome {
-        Outcome::Queued | Outcome::Bound => {}
-        Outcome::DeliverNow(payload, n) => {
+        Outcome::Queued => {}
+        Outcome::Bound(svid) => {
+            record_match(uni, svid, req.verify_id());
+        }
+        Outcome::DeliverNow(payload, n, svid) => {
+            record_match(uni, svid, req.verify_id());
             // Data already sits in the receiver's internal buffer: one
             // unpack copy from now.
             let done = tr + uni.profile.copy_time(n);
             uni.complete(&req, payload, done);
         }
-        Outcome::Rendezvous(id, n) => {
+        Outcome::Rendezvous(id, n, svid) => {
+            record_match(uni, svid, req.verify_id());
             start_rendezvous(uni, key, id, n, req, tr);
         }
     }
@@ -225,6 +290,7 @@ fn inject_recv(uni: &Arc<UniShared>, key: MatchKey, req: Request<Payload>, tr: S
 /// Launch the network flow of an eager message at `ts` (post-injection
 /// time); on arrival, deliver to the bound/waiting receive or park the data
 /// as "unexpected".
+#[allow(clippy::expect_used, clippy::unwrap_used)]
 fn launch_eager_flow(uni: &Arc<UniShared>, key: MatchKey, msg_id: MsgId, n: usize, ts: SimTime) {
     let path = path_params(uni, key.src, key.dst, n);
     let uni2 = uni.clone();
@@ -266,6 +332,7 @@ fn launch_eager_flow(uni: &Arc<UniShared>, key: MatchKey, msg_id: MsgId, n: usiz
 
 /// Both sides of a rendezvous message are present at `tp`: run the
 /// handshake, then the flow; complete both requests when it lands.
+#[allow(clippy::expect_used)]
 fn start_rendezvous(
     uni: &Arc<UniShared>,
     key: MatchKey,

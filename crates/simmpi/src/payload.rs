@@ -36,6 +36,9 @@ impl Payload {
 
     /// Interpret a real payload as `f64` values. Panics on phantom payloads
     /// or lengths that are not a multiple of 8.
+    // `chunks_exact(8)` yields exactly-8-byte slices; the conversion
+    // cannot fail.
+    #[allow(clippy::unwrap_used)]
     pub fn to_f64s(&self) -> Vec<f64> {
         match self {
             Payload::Real(b) => {
@@ -120,6 +123,9 @@ impl Payload {
     /// Element-wise `f64` sum of two payloads of equal length (the reduction
     /// operator used throughout the paper's kernels). Phantom + phantom is
     /// free; mixing representations panics.
+    // `chunks_exact(8)` yields exactly-8-byte slices; the conversions
+    // cannot fail.
+    #[allow(clippy::unwrap_used)]
     pub fn reduce_sum_f64(&self, other: &Payload) -> Payload {
         assert_eq!(
             self.len(),

@@ -62,6 +62,8 @@ impl Pool {
     }
 
     /// Run `job` on an idle worker, spawning one if none is idle.
+    // The only `expect` asserts the documented capacity-1 handshake.
+    #[allow(clippy::expect_used)]
     pub fn submit(&self, job: Job) {
         let tx = {
             let mut inner = self.inner.lock();
@@ -84,6 +86,8 @@ impl Pool {
         tx.send(env).expect("progress worker vanished");
     }
 
+    // Failing to spawn an OS thread is unrecoverable for the pool.
+    #[allow(clippy::expect_used)]
     fn spawn_worker(&self) -> Sender<Envelope> {
         let (tx, rx) = bounded::<Envelope>(1);
         let inner = self.inner.clone();

@@ -5,12 +5,35 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use ovcomm_simnet::{ParkCell, SimTime};
+use ovcomm_verify::{ReqId, Verifier};
+
+/// Verification bookkeeping attached to a tracked request: the shared
+/// recorder and this request's log id. Present only when the run's
+/// `VerifyMode` is not `Off`.
+pub(crate) struct ReqMeta {
+    pub verifier: Arc<Verifier>,
+    pub id: ReqId,
+}
 
 struct ReqInner<T> {
     result: Option<T>,
     completed_at: Option<SimTime>,
     taken: bool,
     waiters: Vec<Arc<ParkCell>>,
+    meta: Option<ReqMeta>,
+}
+
+impl<T> Drop for ReqInner<T> {
+    fn drop(&mut self) {
+        // Drop-time leak check: the last handle to this request is gone.
+        // Feed the verifier's counters (and the event log) so requests
+        // that were never completed, or completed but never taken, don't
+        // silently vanish.
+        if let Some(m) = &self.meta {
+            m.verifier
+                .req_dropped(m.id, self.completed_at.is_some(), self.taken);
+        }
+    }
 }
 
 /// A handle to an in-flight nonblocking operation producing a `T`
@@ -46,6 +69,20 @@ impl<T> Request<T> {
                 completed_at: None,
                 taken: false,
                 waiters: Vec::new(),
+                meta: None,
+            })),
+        }
+    }
+
+    /// A fresh, incomplete request tracked by the verifier.
+    pub(crate) fn new_tracked(meta: ReqMeta) -> Request<T> {
+        Request {
+            inner: Arc::new(Mutex::new(ReqInner {
+                result: None,
+                completed_at: None,
+                taken: false,
+                waiters: Vec::new(),
+                meta: Some(meta),
             })),
         }
     }
@@ -59,8 +96,14 @@ impl<T> Request<T> {
                 completed_at: Some(at),
                 taken: false,
                 waiters: Vec::new(),
+                meta: None,
             })),
         }
+    }
+
+    /// The verifier log id, if this request is tracked.
+    pub(crate) fn verify_id(&self) -> Option<ReqId> {
+        self.inner.lock().meta.as_ref().map(|m| m.id)
     }
 
     /// Mark complete with `value` at virtual time `at`, returning the park
@@ -165,5 +208,38 @@ mod tests {
     fn ready_request_is_immediately_takeable() {
         let r = Request::ready(42u8, SimTime(3));
         assert_eq!(r.try_take().unwrap(), (42, SimTime(3)));
+    }
+
+    #[test]
+    fn dropping_tracked_request_feeds_leak_counters() {
+        let v = Arc::new(Verifier::new());
+
+        // Never completed.
+        let r: Request<()> = Request::new_tracked(ReqMeta {
+            verifier: v.clone(),
+            id: v.next_req_id(),
+        });
+        assert!(r.verify_id().is_some());
+        drop(r);
+        assert_eq!(v.drop_counters(), (1, 0));
+
+        // Completed but never taken.
+        let r: Request<u8> = Request::new_tracked(ReqMeta {
+            verifier: v.clone(),
+            id: v.next_req_id(),
+        });
+        r.complete(9, SimTime(1));
+        drop(r);
+        assert_eq!(v.drop_counters(), (1, 1));
+
+        // Completed and taken: clean.
+        let r: Request<u8> = Request::new_tracked(ReqMeta {
+            verifier: v.clone(),
+            id: v.next_req_id(),
+        });
+        r.complete(9, SimTime(1));
+        r.try_take();
+        drop(r);
+        assert_eq!(v.drop_counters(), (1, 1));
     }
 }

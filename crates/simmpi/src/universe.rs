@@ -11,6 +11,7 @@ use ovcomm_simnet::{
     ClusterResources, ClusterSpec, Engine, MachineProfile, NetStats, NodeMap, ParkCell,
     ResourceKind, SimDur, SimTime, Trace,
 };
+use ovcomm_verify::{DeadlockReport, Finding, Severity, Verifier, VerifyMode, VerifyReport};
 
 use crate::agent::Agent;
 use crate::comm::{Comm, CommInfo};
@@ -33,6 +34,10 @@ pub struct SimConfig {
     /// Write the recorded trace as Perfetto/Chrome trace-event JSON to this
     /// path after the run (implies `trace`). Load it in `ui.perfetto.dev`.
     pub trace_out: Option<PathBuf>,
+    /// Communication-correctness verification level. Defaults to
+    /// [`VerifyMode::Strict`], so every run doubles as a correctness check;
+    /// use [`SimConfig::with_verify`] to relax it.
+    pub verify: VerifyMode,
 }
 
 impl SimConfig {
@@ -46,6 +51,7 @@ impl SimConfig {
             nodemap,
             trace: false,
             trace_out: None,
+            verify: VerifyMode::Strict,
         }
     }
 
@@ -57,7 +63,14 @@ impl SimConfig {
             nodemap,
             trace: false,
             trace_out: None,
+            verify: VerifyMode::Strict,
         }
+    }
+
+    /// Set the verification level.
+    pub fn with_verify(mut self, mode: VerifyMode) -> SimConfig {
+        self.verify = mode;
+        self
     }
 
     /// Enable span tracing.
@@ -79,7 +92,12 @@ impl SimConfig {
 #[derive(Debug)]
 pub enum SimError {
     /// All ranks blocked with no event pending (mismatched communication).
-    Deadlock,
+    /// The report names each blocked rank's pending operation and, when one
+    /// exists, the wait-for cycle among ranks.
+    Deadlock {
+        /// The structured diagnosis.
+        report: DeadlockReport,
+    },
     /// A rank thread (or progress actor) panicked.
     RankPanic {
         /// World rank of the first panicking thread.
@@ -87,14 +105,34 @@ pub enum SimError {
         /// Panic payload rendered as a string.
         message: String,
     },
+    /// The run completed but `VerifyMode::Strict` analysis found
+    /// error-severity communication-correctness violations.
+    Verification {
+        /// All findings (errors first).
+        findings: Vec<Finding>,
+    },
 }
 
 impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SimError::Deadlock => write!(f, "simulation deadlocked"),
+            SimError::Deadlock { report } => write!(f, "{report}"),
             SimError::RankPanic { rank, message } => {
                 write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::Verification { findings } => {
+                let errors = findings
+                    .iter()
+                    .filter(|x| x.severity == Severity::Error)
+                    .count();
+                write!(f, "verification failed: {errors} error(s)")?;
+                for x in findings.iter().take(8) {
+                    write!(f, "\n  {x}")?;
+                }
+                if findings.len() > 8 {
+                    write!(f, "\n  ... and {} more finding(s)", findings.len() - 8)?;
+                }
+                Ok(())
             }
         }
     }
@@ -126,6 +164,10 @@ pub struct SimOutput<T> {
     /// Trace spans that arrived with `end < start` and were clamped —
     /// non-zero indicates an instrumentation bug upstream.
     pub clamped_spans: usize,
+    /// Communication-correctness findings and leak counters (empty when
+    /// verification was off). Under `Strict`, error findings abort the run
+    /// instead, so this carries warnings only.
+    pub verify: VerifyReport,
 }
 
 /// Everything shared between rank threads, progress workers and engine
@@ -145,6 +187,9 @@ pub(crate) struct UniShared {
     pub tracing: bool,
     pub metrics: SimMetrics,
     pub op_panics: Mutex<Vec<(u32, String)>>,
+    /// Event recorder for communication-correctness verification (`None`
+    /// when `VerifyMode::Off`).
+    pub verify: Option<Arc<Verifier>>,
 }
 
 impl UniShared {
@@ -179,6 +224,16 @@ pub(crate) fn op_actor_id(rank: u32, op_idx: u64) -> u32 {
         "rank {rank} posted more than 16384 nonblocking operations in one run"
     );
     0x8000_0000 | (rank << 14) | (op_idx as u32)
+}
+
+/// World rank an actor id acts for (inverse of [`op_actor_id`] for
+/// operation actors; identity for rank actors).
+pub(crate) fn rank_of_actor(id: u32) -> u32 {
+    if id & 0x8000_0000 != 0 {
+        (id & 0x7FFF_FFFF) >> 14
+    } else {
+        id
+    }
 }
 
 /// Human-readable track name for an actor id (inverse of [`op_actor_id`]
@@ -353,6 +408,9 @@ impl RankCtx {
 /// assert_eq!(out.results[1], 42.0);
 /// assert!(out.makespan.as_nanos() > 0); // virtual time elapsed
 /// ```
+// The `expect`s here are launch-time (thread spawn) and join-time (a rank
+// that did not panic must have produced a result) invariants.
+#[allow(clippy::expect_used)]
 pub fn run<T, F>(cfg: SimConfig, f: F) -> Result<SimOutput<T>, SimError>
 where
     T: Send + 'static,
@@ -404,6 +462,10 @@ where
         tracing: cfg.trace,
         metrics: SimMetrics::new(nranks),
         op_panics: Mutex::new(Vec::new()),
+        verify: match cfg.verify {
+            VerifyMode::Off => None,
+            VerifyMode::Warn | VerifyMode::Strict => Some(Arc::new(Verifier::new())),
+        },
     });
 
     // Register all rank actors before any thread starts so the engine
@@ -494,11 +556,50 @@ where
         return Err(SimError::RankPanic { rank, message });
     }
     if uni.engine.deadlocked() {
-        return Err(SimError::Deadlock);
+        let blocked: Vec<(u32, u32)> = uni
+            .engine
+            .deadlocked_actors()
+            .into_iter()
+            .map(|id| (id, rank_of_actor(id)))
+            .collect();
+        let report = match uni.verify.as_ref() {
+            Some(v) => v.deadlock_report(&blocked),
+            None => DeadlockReport::unknown(&blocked),
+        };
+        return Err(SimError::Deadlock { report });
     }
     if let Some((rank, message)) = panics.into_iter().next() {
         return Err(SimError::RankPanic { rank, message });
     }
+
+    // Analyze the communication log. Under Strict, error-severity findings
+    // fail the run; under Warn they are printed; warnings always travel in
+    // the output.
+    let verify_report = match uni.verify.as_ref() {
+        Some(v) => {
+            let findings = v.analyze();
+            match cfg.verify {
+                VerifyMode::Warn => {
+                    for x in &findings {
+                        eprintln!("ovcomm-verify: {x}");
+                    }
+                }
+                VerifyMode::Strict => {
+                    if findings.iter().any(|x| x.severity == Severity::Error) {
+                        return Err(SimError::Verification { findings });
+                    }
+                }
+                VerifyMode::Off => {}
+            }
+            let (dropped_incomplete, dropped_untaken) = v.drop_counters();
+            VerifyReport {
+                findings,
+                dropped_incomplete,
+                dropped_untaken,
+            }
+        }
+        None => VerifyReport::default(),
+    };
 
     let (inter, intra, messages, end_times) = {
         let st = uni.state.lock();
@@ -533,5 +634,6 @@ where
         metrics: uni.metrics.snapshot(),
         net: uni.engine.net_stats(),
         clamped_spans,
+        verify: verify_report,
     })
 }

@@ -537,7 +537,7 @@ fn mismatched_recv_deadlocks_cleanly() {
         }
     });
     match result {
-        Err(SimError::Deadlock) => {}
+        Err(SimError::Deadlock { .. }) => {}
         other => panic!(
             "expected deadlock, got {:?}",
             other.map(|o| o.makespan).map_err(|e| e.to_string())

@@ -94,6 +94,49 @@ proptest! {
 }
 
 proptest! {
+    // Verifier soundness: any *legal* schedule — same collective order on
+    // every rank, every request waited, tags paired — must produce zero
+    // verifier errors in Strict mode (which is `cfg()`'s default, so the
+    // `unwrap` itself is the assertion; a false positive would surface as
+    // `SimError::Verification`).
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn legal_random_schedules_are_verifier_clean(
+        p in 2usize..7,
+        ops in prop::collection::vec(0u8..7, 1..8),
+        n in prop::sample::select(vec![64usize, 4096, 40000]),
+    ) {
+        let out = run(cfg(p), move |rc: RankCtx| {
+            let w = rc.world();
+            let d = w.dup();
+            let me = rc.rank();
+            let right = (me + 1) % p;
+            let left = (me + p - 1) % p;
+            for (i, &op) in ops.iter().enumerate() {
+                let tag = i as u32;
+                let root = i % p;
+                match op {
+                    0 => { let data = (me == root).then_some(Payload::Phantom(n)); let _ = w.bcast(root, data, n); }
+                    1 => { let _ = w.allreduce(Payload::Phantom(n)); }
+                    2 => w.barrier(),
+                    3 => { let data = (me == root).then_some(Payload::Phantom(n)); let r = d.ibcast(root, data, n); let _ = d.wait(&r); }
+                    4 => { let r = d.iallreduce(Payload::Phantom(n)); let _ = d.wait(&r); }
+                    5 => { let _ = w.sendrecv(right, left, tag, Payload::Phantom(n)); }
+                    _ => {
+                        let s = w.isend(right, tag, Payload::Phantom(n));
+                        let r = w.irecv(left, tag);
+                        let _ = w.wait(&r);
+                        w.wait(&s);
+                    }
+                }
+            }
+        }).unwrap();
+        prop_assert_eq!(out.verify.errors(), 0);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]

@@ -91,7 +91,7 @@ fn mismatched_bcast_roots_deadlock_cleanly() {
         let data = Some(Payload::Phantom(1 << 20));
         let _ = w.bcast(root, data, 1 << 20);
     });
-    assert!(matches!(result, Err(SimError::Deadlock)));
+    assert!(matches!(result, Err(SimError::Deadlock { .. })));
 }
 
 #[test]
@@ -103,7 +103,7 @@ fn missing_collective_participant_deadlocks_cleanly() {
             w.barrier();
         }
     });
-    assert!(matches!(result, Err(SimError::Deadlock)));
+    assert!(matches!(result, Err(SimError::Deadlock { .. })));
 }
 
 #[test]
@@ -120,12 +120,13 @@ fn rank_panic_is_reported_with_rank_and_message() {
             assert_eq!(rank, 2);
             assert!(message.contains("synthetic failure"), "message: {message}");
         }
-        Err(SimError::Deadlock) => {
+        Err(SimError::Deadlock { .. }) => {
             // Acceptable alternative: the deadlock can be detected first,
             // but the panic should normally win because it is collected
             // before the deadlock scan of join results.
             panic!("panic should be reported in preference to the induced deadlock");
         }
+        Err(other) => panic!("unexpected error kind: {other}"),
         Ok(_) => panic!("run must not succeed"),
     }
 }

@@ -1,0 +1,241 @@
+//! Mutation suite for the communication-correctness verifier: each test
+//! seeds one MPI-usage bug into an otherwise-legal program and asserts the
+//! verifier catches it in `Strict` mode with a diagnostic that names the
+//! offending rank, communicator, and operation.
+
+use ovcomm_simmpi::{run, Finding, Payload, RankCtx, SimConfig, SimError, SimOutput, VerifyMode};
+use ovcomm_simnet::{MachineProfile, SimDur};
+
+fn cfg(nranks: usize, ppn: usize) -> SimConfig {
+    SimConfig::natural(nranks, ppn, MachineProfile::test_profile())
+}
+
+/// The run must fail verification; returns the rendered findings.
+fn expect_findings<T>(result: Result<SimOutput<T>, SimError>) -> String {
+    match result {
+        Err(SimError::Verification { findings }) => render(&findings),
+        Ok(_) => panic!("run passed verification; expected findings"),
+        Err(other) => panic!("expected a verification failure, got: {other}"),
+    }
+}
+
+fn render(findings: &[Finding]) -> String {
+    findings
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// ---------------------------------------------------------------------
+// Bug class 1: collective root mismatch
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_root_mismatch_is_flagged() {
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        // Mutation: every rank believes it is the broadcast root. The
+        // payload is small enough to complete eagerly, so the run itself
+        // succeeds — only the verifier sees the divergence.
+        let root = rc.rank();
+        let _ = w.bcast(root, Some(Payload::Phantom(64)), 64);
+    });
+    let msg = expect_findings(result);
+    assert!(msg.contains("coll-mismatch"), "{msg}");
+    assert!(msg.contains("root=0") && msg.contains("root=1"), "{msg}");
+    assert!(msg.contains("rank 0") && msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains("comm 0"), "{msg}");
+}
+
+// ---------------------------------------------------------------------
+// Bug class 2: receive request dropped without wait
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_leaked_recv_request_is_flagged() {
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        if rc.rank() == 0 {
+            let r = w.isend(1, 5, Payload::Phantom(64));
+            w.wait(&r);
+        } else {
+            // Mutation: the receive is posted and matched but the request
+            // handle is dropped without MPI_Wait/MPI_Test — the payload is
+            // lost.
+            let _dropped = w.irecv(0, 5);
+        }
+        w.barrier();
+    });
+    let msg = expect_findings(result);
+    assert!(msg.contains("request-leak"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(
+        msg.contains("MPI_Irecv(from rank 0, tag=5) on comm 0"),
+        "{msg}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Bug class 3: reordered collectives on duplicated communicators
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_reordered_collectives_on_dup_comms() {
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        let a = w.dup();
+        let b = w.dup();
+        let data = |rank: usize| (rank == 0).then_some(Payload::Phantom(64));
+        if rc.rank() == 0 {
+            let _ = a.bcast(0, data(0), 64);
+            let _ = b.bcast(0, data(0), 64);
+        } else {
+            // Mutation: rank 1 issues the same collectives in the opposite
+            // communicator order. Both payloads are eager, so the run
+            // completes — on a rendezvous path this interleave deadlocks.
+            let _ = b.bcast(0, data(1), 64);
+            let _ = a.bcast(0, data(1), 64);
+        }
+    });
+    let msg = expect_findings(result);
+    assert!(msg.contains("cross-comm-order"), "{msg}");
+    assert!(msg.contains("rank 0") && msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains("MPI_Bcast"), "{msg}");
+}
+
+// ---------------------------------------------------------------------
+// Bug class 4: point-to-point tag mismatch (deadlock diagnosis)
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_tag_mismatch_yields_deadlock_report() {
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        if rc.rank() == 0 {
+            let r = w.isend(1, 7, Payload::Phantom(64));
+            w.wait(&r);
+        } else {
+            // Mutation: expects tag 8, but the sender used tag 7.
+            let _ = w.recv(0, 8);
+        }
+    });
+    match result {
+        Err(SimError::Deadlock { report }) => {
+            let msg = report.to_string();
+            assert!(msg.contains("rank 1"), "{msg}");
+            assert!(msg.contains("tag=8"), "{msg}");
+            assert!(msg.contains("comm 0"), "{msg}");
+        }
+        Ok(_) => panic!("tag mismatch must deadlock"),
+        Err(other) => panic!("expected a deadlock report, got: {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bug class 5: send request dropped (buffer reused without wait)
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_dropped_send_request_is_flagged() {
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        if rc.rank() == 0 {
+            // Mutation: the send buffer is handed back to the application
+            // without waiting for the request — legal-looking because the
+            // eager protocol buffers it, still an MPI usage error.
+            let _dropped = w.isend(1, 3, Payload::Phantom(64));
+        } else {
+            let _ = w.recv(0, 3);
+        }
+        w.barrier();
+    });
+    let msg = expect_findings(result);
+    assert!(msg.contains("request-leak"), "{msg}");
+    assert!(msg.contains("rank 0"), "{msg}");
+    assert!(
+        msg.contains("MPI_Isend(64B to rank 1, tag=3) on comm 0"),
+        "{msg}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Bug class 6: a rank skips a collective (multiple-PPN sleep bug)
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_rank_skipping_collective_is_flagged() {
+    let result = run(cfg(3, 3), |rc: RankCtx| {
+        let w = rc.world();
+        if rc.rank() == 2 {
+            // Mutation: this rank "sleeps" through the broadcast — the
+            // failure mode of the paper's multiple-PPN sleep mechanism when
+            // a sleeping rank is left out of a collective.
+            rc.advance(SimDur::from_micros(50));
+        } else {
+            let data = (rc.rank() == 0).then_some(Payload::Phantom(64));
+            let _ = w.bcast(0, data, 64);
+        }
+    });
+    let msg = expect_findings(result);
+    assert!(msg.contains("coll-count"), "{msg}");
+    assert!(msg.contains("rank 2"), "{msg}");
+    assert!(msg.contains("comm 0"), "{msg}");
+}
+
+// ---------------------------------------------------------------------
+// Deadlock cycle extraction
+// ---------------------------------------------------------------------
+
+#[test]
+fn forced_deadlock_reports_wait_for_cycle() {
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        // Classic head-to-head: each rank receives first.
+        let other = 1 - rc.rank();
+        let _ = w.recv(other, 0);
+    });
+    match result {
+        Err(SimError::Deadlock { report }) => {
+            let msg = report.to_string();
+            assert!(msg.contains("wait-for cycle"), "{msg}");
+            assert!(
+                msg.contains("rank 0 -> rank 1 -> rank 0")
+                    || msg.contains("rank 1 -> rank 0 -> rank 1"),
+                "{msg}"
+            );
+            assert!(msg.contains("MPI_Irecv"), "{msg}");
+        }
+        Ok(_) => panic!("mutual receives must deadlock"),
+        Err(other) => panic!("expected a deadlock report, got: {other}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mode semantics
+// ---------------------------------------------------------------------
+
+#[test]
+fn warn_mode_reports_but_does_not_fail() {
+    let result = run(cfg(2, 1).with_verify(VerifyMode::Warn), |rc: RankCtx| {
+        let w = rc.world();
+        let root = rc.rank();
+        let _ = w.bcast(root, Some(Payload::Phantom(64)), 64);
+    });
+    let out = result.expect("Warn mode must not fail the run");
+    assert!(
+        out.verify.errors() > 0,
+        "the root mismatch must still be reported in the output"
+    );
+}
+
+#[test]
+fn off_mode_records_nothing() {
+    let result = run(cfg(2, 1).with_verify(VerifyMode::Off), |rc: RankCtx| {
+        let w = rc.world();
+        let root = rc.rank();
+        let _ = w.bcast(root, Some(Payload::Phantom(64)), 64);
+    });
+    let out = result.expect("Off mode must not fail the run");
+    assert!(out.verify.findings.is_empty());
+}

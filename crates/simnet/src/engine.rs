@@ -167,6 +167,8 @@ struct Core {
     total_queue_delay_secs: f64,
     max_queue_delay_secs: f64,
     deadlocked: bool,
+    /// Actor ids that were parked when deadlock was declared.
+    deadlock_actors: Vec<u32>,
     stopped: bool,
 }
 
@@ -196,6 +198,7 @@ impl Engine {
                 total_queue_delay_secs: 0.0,
                 max_queue_delay_secs: 0.0,
                 deadlocked: false,
+                deadlock_actors: Vec::new(),
                 stopped: false,
             }),
             cv: Condvar::new(),
@@ -270,6 +273,13 @@ impl Engine {
         self.core.lock().deadlocked
     }
 
+    /// Actor ids that were parked when deadlock was declared (empty if the
+    /// run did not deadlock). Higher layers use this to build wait-for
+    /// diagnoses.
+    pub fn deadlocked_actors(&self) -> Vec<u32> {
+        self.core.lock().deadlock_actors.clone()
+    }
+
     /// Register an actor and its park cell. The actor starts runnable.
     pub fn register_actor(&self, id: u32, cell: Arc<ParkCell>) {
         let mut core = self.core.lock();
@@ -283,6 +293,8 @@ impl Engine {
 
     /// Mark an actor finished (called from the actor thread, including on
     /// unwind). The actor must currently be runnable.
+    // An unknown id here is engine-state corruption; crashing is correct.
+    #[allow(clippy::expect_used)]
     pub fn actor_finished(&self, id: u32) {
         let mut core = self.core.lock();
         core.actors.remove(&id).expect("finishing unknown actor");
@@ -435,6 +447,9 @@ impl Engine {
 
     /// Run the event loop until all actors have finished (or deadlock).
     /// Typically run on the caller's thread while actor threads execute.
+    // The `expect`s below assert queue/flow-table agreement — invariants
+    // whose violation means the engine itself is broken, not user error.
+    #[allow(clippy::expect_used)]
     pub fn run_loop(&self) {
         loop {
             let work: Action = {
@@ -454,6 +469,7 @@ impl Engine {
                     if core.queue.is_empty() {
                         // Deadlock: release everyone with a diagnostic.
                         core.deadlocked = true;
+                        core.deadlock_actors = core.actors.keys().copied().collect();
                         core.stopped = true;
                         let cells: Vec<Arc<ParkCell>> = core.actors.values().cloned().collect();
                         drop(core);
@@ -512,6 +528,9 @@ impl Core {
     }
 
     /// Recompute completion events after any change to the flow set.
+    // Every active flow has a meta entry and a queued completion event by
+    // construction; a miss is engine-state corruption.
+    #[allow(clippy::expect_used)]
     fn reschedule_flows(&mut self) {
         let now = self.flows_settled_at;
         let ids: Vec<FlowId> = self.flows.flow_ids().collect();

@@ -24,6 +24,7 @@
 //! primitives; `ovcomm-kernels` implements the paper's algorithms on that.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod engine;
 pub mod flow;

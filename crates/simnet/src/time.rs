@@ -101,6 +101,9 @@ impl SimDur {
 impl Add<SimDur> for SimTime {
     type Output = SimTime;
     #[inline]
+    // Overflowing u64 nanoseconds (~585 years of virtual time) is a bug
+    // worth crashing on, not saturating through.
+    #[allow(clippy::expect_used)]
     fn add(self, rhs: SimDur) -> SimTime {
         SimTime(self.0.checked_add(rhs.0).expect("virtual clock overflow"))
     }
@@ -116,6 +119,7 @@ impl AddAssign<SimDur> for SimTime {
 impl Add for SimDur {
     type Output = SimDur;
     #[inline]
+    #[allow(clippy::expect_used)]
     fn add(self, rhs: SimDur) -> SimDur {
         SimDur(
             self.0
@@ -135,6 +139,8 @@ impl AddAssign for SimDur {
 impl Sub for SimTime {
     type Output = SimDur;
     #[inline]
+    // Subtracting a later time from an earlier one is a causality bug.
+    #[allow(clippy::expect_used)]
     fn sub(self, rhs: SimTime) -> SimDur {
         SimDur(
             self.0

@@ -121,7 +121,7 @@ impl NodeMap {
     /// Explicit placement.
     pub fn custom(node_of: Vec<usize>) -> NodeMap {
         assert!(!node_of.is_empty());
-        let nodes = node_of.iter().copied().max().unwrap() + 1;
+        let nodes = node_of.iter().copied().max().unwrap_or(0) + 1;
         NodeMap { node_of, nodes }
     }
 

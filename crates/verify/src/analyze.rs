@@ -1,0 +1,631 @@
+//! Offline analyses over the event log.
+//!
+//! Three families:
+//!
+//! 1. **Collective matching** — every member of a communicator must issue
+//!    the same sequence of collective kinds with consistent roots, and
+//!    blocking collectives on communicators with identical member sets must
+//!    be interleaved identically on every rank.
+//! 2. **Resource checks** — user requests must be waited on or tested to
+//!    completion; every send must match a receive and vice versa.
+//! 3. **Race detection** — a vector-clock pass finds same-envelope
+//!    operations whose matching depends on arrival order.
+//!
+//! All passes are deterministic given per-agent program order: per-agent
+//! event subsequences are program-ordered by construction (each agent
+//! appends its own events), and the final finding list is sorted.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use crate::event::{AgentId, CollKind, Event, ReqId, Site};
+use crate::finding::{CollCallDesc, Finding, FindingKind, LeakKind, SeqEntry, Severity};
+
+#[derive(Clone)]
+struct CollRec {
+    kind: CollKind,
+    blocking: bool,
+    root: Option<u32>,
+    len: usize,
+    site: Option<Site>,
+}
+
+enum Post {
+    Send {
+        rank: u32,
+        ctx: u32,
+        dst: u32,
+        tag: u64,
+        bytes: usize,
+        internal: bool,
+        site: Option<Site>,
+    },
+    Recv {
+        rank: u32,
+        ctx: u32,
+        src: u32,
+        tag: u64,
+        internal: bool,
+        site: Option<Site>,
+    },
+    Coll {
+        rank: u32,
+        ctx: u32,
+        kind: CollKind,
+        site: Option<Site>,
+    },
+}
+
+impl Post {
+    /// Human-readable operation description for leak reports.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Post::Send {
+                ctx,
+                dst,
+                tag,
+                bytes,
+                ..
+            } => {
+                format!("MPI_Isend({bytes}B to rank {dst}, tag={tag}) on comm {ctx}")
+            }
+            Post::Recv { ctx, src, tag, .. } => {
+                format!("MPI_Irecv(from rank {src}, tag={tag}) on comm {ctx}")
+            }
+            Post::Coll { ctx, kind, .. } => {
+                format!("{} on comm {ctx}", kind.name(false))
+            }
+        }
+    }
+
+    fn rank(&self) -> u32 {
+        match self {
+            Post::Send { rank, .. } | Post::Recv { rank, .. } | Post::Coll { rank, .. } => *rank,
+        }
+    }
+
+    fn site(&self) -> Option<Site> {
+        match self {
+            Post::Send { site, .. } | Post::Recv { site, .. } | Post::Coll { site, .. } => *site,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ReqState {
+    waited: bool,
+    tested: bool,
+    matched: Option<ReqId>,
+    dropped_incomplete: bool,
+}
+
+type Vc = HashMap<AgentId, u64>;
+
+fn vc_join(into: &mut Vc, other: &Vc) {
+    for (&a, &t) in other {
+        let e = into.entry(a).or_insert(0);
+        *e = (*e).max(t);
+    }
+}
+
+/// Run every analysis over the log; findings are sorted errors-first, then
+/// by rendered text, so output is stable across thread schedules.
+pub fn analyze(events: &[Event]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // ---- pass 1: index the log -------------------------------------
+    let mut ctx_members: BTreeMap<u32, Arc<Vec<u32>>> = BTreeMap::new();
+    // ctx -> rank -> per-rank collective sequence (program order).
+    let mut coll_seqs: BTreeMap<u32, BTreeMap<u32, Vec<CollRec>>> = BTreeMap::new();
+    // rank -> merged order of its blocking collectives across all comms.
+    let mut rank_blocking: BTreeMap<u32, Vec<SeqEntry>> = BTreeMap::new();
+    let mut posts: HashMap<ReqId, Post> = HashMap::new();
+    let mut post_order: Vec<ReqId> = Vec::new();
+    let mut states: HashMap<ReqId, ReqState> = HashMap::new();
+    // (ctx, src, dst, tag) -> user send/recv reqs in post order (all from
+    // one rank thread, so this order is program order).
+    let mut send_envelopes: BTreeMap<(u32, u32, u32, u64), Vec<ReqId>> = BTreeMap::new();
+    let mut recv_envelopes: BTreeMap<(u32, u32, u32, u64), Vec<ReqId>> = BTreeMap::new();
+
+    for ev in events {
+        match ev {
+            Event::CommDecl { ctx, members } => {
+                ctx_members.entry(*ctx).or_insert_with(|| members.clone());
+            }
+            Event::Coll {
+                rank,
+                ctx,
+                kind,
+                root,
+                len,
+                blocking,
+                req,
+                site,
+                ..
+            } => {
+                coll_seqs
+                    .entry(*ctx)
+                    .or_default()
+                    .entry(*rank)
+                    .or_default()
+                    .push(CollRec {
+                        kind: *kind,
+                        blocking: *blocking,
+                        root: *root,
+                        len: *len,
+                        site: *site,
+                    });
+                if *blocking && *kind != CollKind::Dup {
+                    rank_blocking.entry(*rank).or_default().push(SeqEntry {
+                        ctx: *ctx,
+                        kind: *kind,
+                        site: *site,
+                    });
+                }
+                if let Some(r) = req {
+                    posts.insert(
+                        *r,
+                        Post::Coll {
+                            rank: *rank,
+                            ctx: *ctx,
+                            kind: *kind,
+                            site: *site,
+                        },
+                    );
+                    post_order.push(*r);
+                    states.entry(*r).or_default();
+                }
+            }
+            Event::SendPost {
+                rank,
+                ctx,
+                dst,
+                tag,
+                bytes,
+                internal,
+                req,
+                site,
+                ..
+            } => {
+                posts.insert(
+                    *req,
+                    Post::Send {
+                        rank: *rank,
+                        ctx: *ctx,
+                        dst: *dst,
+                        tag: *tag,
+                        bytes: *bytes,
+                        internal: *internal,
+                        site: *site,
+                    },
+                );
+                post_order.push(*req);
+                states.entry(*req).or_default();
+                if !internal {
+                    send_envelopes
+                        .entry((*ctx, *rank, *dst, *tag))
+                        .or_default()
+                        .push(*req);
+                }
+            }
+            Event::RecvPost {
+                rank,
+                ctx,
+                src,
+                tag,
+                internal,
+                req,
+                site,
+                ..
+            } => {
+                posts.insert(
+                    *req,
+                    Post::Recv {
+                        rank: *rank,
+                        ctx: *ctx,
+                        src: *src,
+                        tag: *tag,
+                        internal: *internal,
+                        site: *site,
+                    },
+                );
+                post_order.push(*req);
+                states.entry(*req).or_default();
+                if !internal {
+                    recv_envelopes
+                        .entry((*ctx, *src, *rank, *tag))
+                        .or_default()
+                        .push(*req);
+                }
+            }
+            Event::Match { send, recv } => {
+                states.entry(*send).or_default().matched = Some(*recv);
+                states.entry(*recv).or_default().matched = Some(*send);
+            }
+            Event::WaitDone { req, .. } => {
+                states.entry(*req).or_default().waited = true;
+            }
+            Event::TestObserved { req, .. } => {
+                states.entry(*req).or_default().tested = true;
+            }
+            Event::CollDone { .. } => {}
+            Event::ReqDropped { req, completed, .. } => {
+                if !completed {
+                    states.entry(*req).or_default().dropped_incomplete = true;
+                }
+            }
+        }
+    }
+
+    // ---- analysis 1a: per-communicator collective matching ---------
+    let empty: Vec<CollRec> = Vec::new();
+    for (ctx, per_rank) in &coll_seqs {
+        let members: Vec<u32> = match ctx_members.get(ctx) {
+            Some(m) => (**m).clone(),
+            None => per_rank.keys().copied().collect(),
+        };
+        if members.is_empty() {
+            continue;
+        }
+        let seq_of = |r: u32| per_rank.get(&r).unwrap_or(&empty);
+        let r0 = members[0];
+        let s0 = seq_of(r0);
+        'content: for &r in &members[1..] {
+            let s = seq_of(r);
+            for i in 0..s0.len().min(s.len()) {
+                let (a, b) = (&s0[i], &s[i]);
+                let desc = |rank: u32, c: &CollRec| CollCallDesc {
+                    rank,
+                    kind: c.kind,
+                    blocking: c.blocking,
+                    root: c.root,
+                    len: c.len,
+                    site: c.site,
+                };
+                if a.kind != b.kind || a.root != b.root || a.blocking != b.blocking {
+                    findings.push(Finding {
+                        severity: Severity::Error,
+                        kind: FindingKind::CollectiveMismatch {
+                            ctx: *ctx,
+                            index: i,
+                            a: desc(r0, a),
+                            b: desc(r, b),
+                        },
+                    });
+                    break 'content;
+                }
+                if a.len != b.len {
+                    findings.push(Finding {
+                        severity: Severity::Warning,
+                        kind: FindingKind::CollectiveLengthMismatch {
+                            ctx: *ctx,
+                            index: i,
+                            a: desc(r0, a),
+                            b: desc(r, b),
+                        },
+                    });
+                    break 'content;
+                }
+            }
+        }
+        let (mut min_rank, mut min_count) = (r0, s0.len());
+        let (mut max_rank, mut max_count) = (r0, s0.len());
+        for &r in &members {
+            let c = seq_of(r).len();
+            if c < min_count {
+                min_rank = r;
+                min_count = c;
+            }
+            if c > max_count {
+                max_rank = r;
+                max_count = c;
+            }
+        }
+        if min_count != max_count {
+            findings.push(Finding {
+                severity: Severity::Error,
+                kind: FindingKind::CollectiveCountDivergence {
+                    ctx: *ctx,
+                    min_rank,
+                    min_count,
+                    max_rank,
+                    max_count,
+                },
+            });
+        }
+    }
+
+    // ---- analysis 1b: cross-communicator interleaving --------------
+    let mut groups: BTreeMap<Vec<u32>, Vec<u32>> = BTreeMap::new();
+    for (ctx, members) in &ctx_members {
+        groups.entry((**members).clone()).or_default().push(*ctx);
+    }
+    for (members, ctxs) in &groups {
+        if ctxs.len() < 2 || members.len() < 2 {
+            continue;
+        }
+        let ctxset: BTreeSet<u32> = ctxs.iter().copied().collect();
+        let proj = |r: u32| -> Vec<SeqEntry> {
+            rank_blocking
+                .get(&r)
+                .map(|v| {
+                    v.iter()
+                        .filter(|e| ctxset.contains(&e.ctx))
+                        .cloned()
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let r0 = members[0];
+        let p0 = proj(r0);
+        'group: for &r in &members[1..] {
+            let p = proj(r);
+            for i in 0..p0.len().min(p.len()) {
+                // A kind divergence on the same ctx is already reported by
+                // the per-communicator pass; only flag interleave changes.
+                if p0[i].ctx != p[i].ctx {
+                    findings.push(Finding {
+                        severity: Severity::Error,
+                        kind: FindingKind::CrossCommReorder {
+                            ctxs: ctxs.clone(),
+                            rank_a: r0,
+                            rank_b: r,
+                            index: i,
+                            a: Some(p0[i].clone()),
+                            b: Some(p[i].clone()),
+                        },
+                    });
+                    break 'group;
+                }
+            }
+        }
+    }
+
+    // ---- analysis 2: request leaks and unmatched messages ----------
+    for req in &post_order {
+        let (Some(post), Some(st)) = (posts.get(req), states.get(req)) else {
+            continue;
+        };
+        let internal = match post {
+            Post::Send { internal, .. } | Post::Recv { internal, .. } => *internal,
+            Post::Coll { .. } => false,
+        };
+        if !internal && !st.waited && !st.tested {
+            findings.push(Finding {
+                severity: Severity::Error,
+                kind: FindingKind::RequestLeak {
+                    rank: post.rank(),
+                    op: post.describe(),
+                    site: post.site(),
+                    leak: if st.dropped_incomplete {
+                        LeakKind::DroppedIncomplete
+                    } else {
+                        LeakKind::NeverWaited
+                    },
+                },
+            });
+        }
+        if st.matched.is_none() {
+            match post {
+                Post::Send {
+                    ctx,
+                    rank,
+                    dst,
+                    tag,
+                    bytes,
+                    internal,
+                    site,
+                } => findings.push(Finding {
+                    severity: if *internal {
+                        Severity::Warning
+                    } else {
+                        Severity::Error
+                    },
+                    kind: FindingKind::UnmatchedSend {
+                        ctx: *ctx,
+                        src: *rank,
+                        dst: *dst,
+                        tag: *tag,
+                        bytes: *bytes,
+                        internal: *internal,
+                        site: *site,
+                    },
+                }),
+                Post::Recv {
+                    ctx,
+                    rank,
+                    src,
+                    tag,
+                    internal,
+                    site,
+                } => findings.push(Finding {
+                    severity: if *internal {
+                        Severity::Warning
+                    } else {
+                        Severity::Error
+                    },
+                    kind: FindingKind::UnmatchedRecv {
+                        ctx: *ctx,
+                        src: *src,
+                        dst: *rank,
+                        tag: *tag,
+                        internal: *internal,
+                        site: *site,
+                    },
+                }),
+                Post::Coll { .. } => {}
+            }
+        }
+    }
+
+    // ---- analysis 3: vector-clock order-dependence -----------------
+    // Each agent's component ticks on each of its own events; cross-agent
+    // edges are: rank -> op-agent at dispatch, matched-peer post -> wait
+    // completion, and op-agent finish -> waiter.
+    let mut clocks: HashMap<AgentId, Vc> = HashMap::new();
+    let mut post_snap: HashMap<ReqId, Vc> = HashMap::new();
+    let mut completion_snap: HashMap<ReqId, Vc> = HashMap::new();
+    // First completion observation of a request: (observer, observer tick).
+    let mut comp_mark: HashMap<ReqId, (AgentId, u64)> = HashMap::new();
+
+    fn tick(clocks: &mut HashMap<AgentId, Vc>, a: AgentId) -> Vc {
+        let vc = clocks.entry(a).or_default();
+        *vc.entry(a).or_insert(0) += 1;
+        vc.clone()
+    }
+
+    for ev in events {
+        match ev {
+            Event::Coll {
+                agent, op_agent, ..
+            } => {
+                let vc = tick(&mut clocks, *agent);
+                if let Some(o) = op_agent {
+                    vc_join(clocks.entry(*o).or_default(), &vc);
+                }
+            }
+            Event::SendPost { agent, req, .. } | Event::RecvPost { agent, req, .. } => {
+                let vc = tick(&mut clocks, *agent);
+                post_snap.insert(*req, vc);
+            }
+            Event::Match { send, recv } => {
+                // Completing a recv implies the matched send was posted;
+                // completing a rendezvous send implies the recv was posted.
+                if let Some(vs) = post_snap.get(send).cloned() {
+                    vc_join(completion_snap.entry(*recv).or_default(), &vs);
+                }
+                if let Some(vr) = post_snap.get(recv).cloned() {
+                    vc_join(completion_snap.entry(*send).or_default(), &vr);
+                }
+            }
+            Event::CollDone { req, op_agent } => {
+                let vc = tick(&mut clocks, *op_agent);
+                completion_snap.insert(*req, vc);
+            }
+            Event::WaitDone { agent, req } | Event::TestObserved { agent, req } => {
+                if let Some(cs) = completion_snap.get(req).cloned() {
+                    vc_join(clocks.entry(*agent).or_default(), &cs);
+                }
+                let vc = tick(&mut clocks, *agent);
+                comp_mark
+                    .entry(*req)
+                    .or_insert_with(|| (*agent, vc.get(agent).copied().unwrap_or(0)));
+            }
+            _ => {}
+        }
+    }
+
+    let mut race_check = |envelopes: &BTreeMap<(u32, u32, u32, u64), Vec<ReqId>>,
+                          what: &'static str| {
+        for ((ctx, src, dst, tag), reqs) in envelopes {
+            for pair in reqs.windows(2) {
+                let (prev, cur) = (pair[0], pair[1]);
+                let both_matched = states.get(&prev).is_some_and(|s| s.matched.is_some())
+                    && states.get(&cur).is_some_and(|s| s.matched.is_some());
+                if !both_matched {
+                    continue; // pure leaks are reported above
+                }
+                let ordered = match comp_mark.get(&prev) {
+                    Some((w, t)) => post_snap
+                        .get(&cur)
+                        .and_then(|vc| vc.get(w))
+                        .is_some_and(|seen| seen >= t),
+                    None => false,
+                };
+                if !ordered {
+                    findings.push(Finding {
+                        severity: Severity::Warning,
+                        kind: FindingKind::OrderDependentMatch {
+                            ctx: *ctx,
+                            src: *src,
+                            dst: *dst,
+                            tag: *tag,
+                            what,
+                            site: posts.get(&cur).and_then(Post::site),
+                        },
+                    });
+                    break; // one finding per envelope
+                }
+            }
+        }
+    };
+    race_check(&send_envelopes, "sends");
+    race_check(&recv_envelopes, "receives");
+
+    findings.sort_by_key(|x| (x.severity, x.to_string()));
+    findings
+}
+
+/// Look up the post descriptor of a request, for deadlock reporting.
+pub(crate) fn describe_req(events: &[Event], req: ReqId) -> Option<(String, Option<Site>)> {
+    for ev in events {
+        match ev {
+            Event::SendPost {
+                req: r,
+                ctx,
+                dst,
+                tag,
+                bytes,
+                internal,
+                site,
+                ..
+            } if *r == req => {
+                let op = if *internal {
+                    format!(
+                        "internal collective send ({bytes}B to rank {dst}, tag {tag:#x}) on comm {ctx}"
+                    )
+                } else {
+                    format!("MPI_Isend({bytes}B to rank {dst}, tag={tag}) on comm {ctx}")
+                };
+                return Some((op, *site));
+            }
+            Event::RecvPost {
+                req: r,
+                ctx,
+                src,
+                tag,
+                internal,
+                site,
+                ..
+            } if *r == req => {
+                let op = if *internal {
+                    format!(
+                        "internal collective receive (from rank {src}, tag {tag:#x}) on comm {ctx}"
+                    )
+                } else {
+                    format!("MPI_Irecv(from rank {src}, tag={tag}) on comm {ctx}")
+                };
+                return Some((op, *site));
+            }
+            Event::Coll {
+                req: Some(r),
+                ctx,
+                kind,
+                root,
+                site,
+                ..
+            } if *r == req => {
+                let root_s = root.map_or(String::new(), |x| format!("root={x}, "));
+                return Some((
+                    format!("{}({root_s}on comm {ctx})", kind.name(false)),
+                    *site,
+                ));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Peer world ranks whose action is needed to complete `req` (for the
+/// deadlock wait-for graph).
+pub(crate) fn req_peers(events: &[Event], req: ReqId) -> Vec<u32> {
+    for ev in events {
+        match ev {
+            Event::SendPost { req: r, dst, .. } if *r == req => return vec![*dst],
+            Event::RecvPost { req: r, src, .. } if *r == req => return vec![*src],
+            _ => {}
+        }
+    }
+    Vec::new()
+}

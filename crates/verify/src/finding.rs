@@ -1,0 +1,358 @@
+//! The lint catalogue: everything the analyzer can report.
+
+use std::fmt;
+
+use crate::event::{CollKind, Site};
+
+/// How serious a finding is.
+///
+/// `Error` findings fail the run under `VerifyMode::Strict`; `Warning`
+/// findings are surfaced (stderr under `Warn`, and always in the run
+/// output) but never fail a run — they mark patterns that are legal under
+/// MPI's non-overtaking rule or benign in the simulator but worth a look.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Definite misuse of the MPI-like API.
+    Error,
+    /// Suspicious but not provably wrong.
+    Warning,
+}
+
+/// How a request was leaked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeakKind {
+    /// Posted but never waited on and never observed complete via test.
+    NeverWaited,
+    /// Every handle was dropped before the operation completed.
+    DroppedIncomplete,
+}
+
+/// One rank's collective call, for mismatch diagnostics.
+#[derive(Debug, Clone)]
+pub struct CollCallDesc {
+    /// World rank that issued the call.
+    pub rank: u32,
+    /// Which collective.
+    pub kind: CollKind,
+    /// Blocking form?
+    pub blocking: bool,
+    /// Communicator-relative root, where applicable.
+    pub root: Option<u32>,
+    /// Payload length.
+    pub len: usize,
+    /// Call site.
+    pub site: Option<Site>,
+}
+
+impl fmt::Display for CollCallDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} called {}(",
+            self.rank,
+            self.kind.name(self.blocking)
+        )?;
+        let mut sep = "";
+        if let Some(r) = self.root {
+            write!(f, "root={r}")?;
+            sep = ", ";
+        }
+        write!(f, "{sep}len={})", self.len)?;
+        if let Some(s) = self.site {
+            write!(f, " at {}:{}", s.file(), s.line())?;
+        }
+        Ok(())
+    }
+}
+
+/// A blocking collective in a rank's cross-communicator call order.
+#[derive(Debug, Clone)]
+pub struct SeqEntry {
+    /// Context it ran on.
+    pub ctx: u32,
+    /// Which collective.
+    pub kind: CollKind,
+    /// Call site.
+    pub site: Option<Site>,
+}
+
+impl fmt::Display for SeqEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} on comm {}", self.kind.name(true), self.ctx)?;
+        if let Some(s) = self.site {
+            write!(f, " at {}:{}", s.file(), s.line())?;
+        }
+        Ok(())
+    }
+}
+
+/// What the analyzer found.
+#[derive(Debug, Clone)]
+pub enum FindingKind {
+    /// Two ranks issued different collectives (kind/root/blocking-form) at
+    /// the same position of a communicator's call sequence.
+    CollectiveMismatch {
+        /// Context id.
+        ctx: u32,
+        /// Position in the per-communicator sequence.
+        index: usize,
+        /// The reference rank's call.
+        a: CollCallDesc,
+        /// The diverging rank's call.
+        b: CollCallDesc,
+    },
+    /// Same kind and root, but different payload lengths (suspicious;
+    /// tolerated because some kernels pass per-rank local sizes).
+    CollectiveLengthMismatch {
+        /// Context id.
+        ctx: u32,
+        /// Position in the per-communicator sequence.
+        index: usize,
+        /// The reference rank's call.
+        a: CollCallDesc,
+        /// The diverging rank's call.
+        b: CollCallDesc,
+    },
+    /// Members of a communicator issued different *numbers* of collectives
+    /// (e.g. a sleeping surplus rank skipped one).
+    CollectiveCountDivergence {
+        /// Context id.
+        ctx: u32,
+        /// Rank with the fewest calls.
+        min_rank: u32,
+        /// Its call count.
+        min_count: usize,
+        /// Rank with the most calls.
+        max_rank: u32,
+        /// Its call count.
+        max_count: usize,
+    },
+    /// Two communicators over the same member ranks saw their blocking
+    /// collectives interleaved differently on different ranks — the classic
+    /// reordered-collectives-on-dup'd-comms deadlock recipe.
+    CrossCommReorder {
+        /// The contexts sharing a member set.
+        ctxs: Vec<u32>,
+        /// Reference rank.
+        rank_a: u32,
+        /// Diverging rank.
+        rank_b: u32,
+        /// Position in the merged blocking-collective order.
+        index: usize,
+        /// Reference rank's call at that position (if any).
+        a: Option<SeqEntry>,
+        /// Diverging rank's call at that position (if any).
+        b: Option<SeqEntry>,
+    },
+    /// A user request was leaked.
+    RequestLeak {
+        /// World rank that posted it.
+        rank: u32,
+        /// Human-readable operation, e.g. `MPI_Irecv(src=0, tag=3) on comm 1`.
+        op: String,
+        /// Post site.
+        site: Option<Site>,
+        /// How it leaked.
+        leak: LeakKind,
+    },
+    /// A send was never matched by any receive.
+    UnmatchedSend {
+        /// Context id.
+        ctx: u32,
+        /// Sender world rank.
+        src: u32,
+        /// Destination world rank.
+        dst: u32,
+        /// Matching tag.
+        tag: u64,
+        /// Message size.
+        bytes: usize,
+        /// Collective-internal?
+        internal: bool,
+        /// Post site.
+        site: Option<Site>,
+    },
+    /// A receive was never matched by any send.
+    UnmatchedRecv {
+        /// Context id.
+        ctx: u32,
+        /// Expected source world rank.
+        src: u32,
+        /// Receiver world rank.
+        dst: u32,
+        /// Matching tag.
+        tag: u64,
+        /// Collective-internal?
+        internal: bool,
+        /// Post site.
+        site: Option<Site>,
+    },
+    /// Two same-envelope operations were in flight concurrently, so which
+    /// message matches which receive depends on arrival order. Legal under
+    /// MPI's non-overtaking rule, but a frequent source of surprising
+    /// matches — reported as a warning.
+    OrderDependentMatch {
+        /// Context id.
+        ctx: u32,
+        /// Sender world rank.
+        src: u32,
+        /// Receiver world rank.
+        dst: u32,
+        /// Matching tag.
+        tag: u64,
+        /// `"sends"` or `"receives"`.
+        what: &'static str,
+        /// Post site of the second, unordered operation.
+        site: Option<Site>,
+    },
+}
+
+/// One verified observation about the run.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Error or warning.
+    pub severity: Severity,
+    /// What was found.
+    pub kind: FindingKind,
+}
+
+impl Finding {
+    /// Short stable code identifying the lint (used in rendered output and
+    /// the DESIGN.md catalogue).
+    pub fn code(&self) -> &'static str {
+        match &self.kind {
+            FindingKind::CollectiveMismatch { .. } => "coll-mismatch",
+            FindingKind::CollectiveLengthMismatch { .. } => "coll-len-mismatch",
+            FindingKind::CollectiveCountDivergence { .. } => "coll-count",
+            FindingKind::CrossCommReorder { .. } => "cross-comm-order",
+            FindingKind::RequestLeak { .. } => "request-leak",
+            FindingKind::UnmatchedSend { .. } => "unmatched-send",
+            FindingKind::UnmatchedRecv { .. } => "unmatched-recv",
+            FindingKind::OrderDependentMatch { .. } => "order-dependent-match",
+        }
+    }
+}
+
+fn site_suffix(site: &Option<Site>) -> String {
+    match site {
+        Some(s) => format!(", posted at {}:{}", s.file(), s.line()),
+        None => String::new(),
+    }
+}
+
+fn tag_str(tag: u64, internal: bool) -> String {
+    if internal {
+        format!("internal tag {tag:#x}")
+    } else {
+        format!("tag={tag}")
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}[{}]: ", self.code())?;
+        match &self.kind {
+            FindingKind::CollectiveMismatch { ctx, index, a, b } => write!(
+                f,
+                "mismatched collective #{index} on comm {ctx}: {a}, but {b}"
+            ),
+            FindingKind::CollectiveLengthMismatch { ctx, index, a, b } => write!(
+                f,
+                "length differs at collective #{index} on comm {ctx}: {a}, but {b}"
+            ),
+            FindingKind::CollectiveCountDivergence {
+                ctx,
+                min_rank,
+                min_count,
+                max_rank,
+                max_count,
+            } => write!(
+                f,
+                "comm {ctx}: rank {min_rank} issued {min_count} collective(s) but rank \
+                 {max_rank} issued {max_count} — some member skipped a collective"
+            ),
+            FindingKind::CrossCommReorder {
+                ctxs,
+                rank_a,
+                rank_b,
+                index,
+                a,
+                b,
+            } => {
+                write!(
+                    f,
+                    "blocking collectives on comms {ctxs:?} (same member set) are \
+                     interleaved differently: at position {index}, rank {rank_a} ran "
+                )?;
+                match a {
+                    Some(e) => write!(f, "{e}")?,
+                    None => write!(f, "nothing")?,
+                }
+                write!(f, " but rank {rank_b} ran ")?;
+                match b {
+                    Some(e) => write!(f, "{e}")?,
+                    None => write!(f, "nothing")?,
+                }
+                Ok(())
+            }
+            FindingKind::RequestLeak {
+                rank,
+                op,
+                site,
+                leak,
+            } => {
+                let how = match leak {
+                    LeakKind::NeverWaited => "never waited on or tested to completion",
+                    LeakKind::DroppedIncomplete => "dropped before the operation completed",
+                };
+                write!(f, "rank {rank} leaked {op}: {how}{}", site_suffix(site))
+            }
+            FindingKind::UnmatchedSend {
+                ctx,
+                src,
+                dst,
+                tag,
+                bytes,
+                internal,
+                site,
+            } => write!(
+                f,
+                "send of {bytes}B from rank {src} to rank {dst} ({}) on comm {ctx} was \
+                 never matched by a receive{}",
+                tag_str(*tag, *internal),
+                site_suffix(site)
+            ),
+            FindingKind::UnmatchedRecv {
+                ctx,
+                src,
+                dst,
+                tag,
+                internal,
+                site,
+            } => write!(
+                f,
+                "receive at rank {dst} from rank {src} ({}) on comm {ctx} was never \
+                 matched by a send{}",
+                tag_str(*tag, *internal),
+                site_suffix(site)
+            ),
+            FindingKind::OrderDependentMatch {
+                ctx,
+                src,
+                dst,
+                tag,
+                what,
+                site,
+            } => write!(
+                f,
+                "concurrent same-envelope {what} (comm {ctx}, rank {src} -> rank {dst}, \
+                 tag={tag}): matching depends on arrival order{}",
+                site_suffix(site)
+            ),
+        }
+    }
+}

@@ -1,0 +1,410 @@
+//! # ovcomm-verify
+//!
+//! MPI communication-correctness analyzer for the ovcomm simulator.
+//!
+//! The simulator records an [`Event`] log through a shared [`Verifier`]
+//! while a run executes; after a successful run the log is analyzed for
+//! collective-matching violations, leaked requests, unmatched messages and
+//! order-dependent receive matching, and on deadlock the verifier's
+//! blocked-agent table turns the engine's bare "deadlock" verdict into a
+//! [`DeadlockReport`] with per-rank pending operations and the wait-for
+//! cycle.
+//!
+//! Recording is wall-clock-only bookkeeping: it never advances virtual
+//! clocks or schedules events, so enabling verification cannot change the
+//! simulated timings or results.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod analyze;
+mod deadlock;
+mod event;
+mod finding;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+pub use deadlock::{BlockedAgent, DeadlockReport, PendingOp};
+pub use event::{AgentId, CollKind, Event, ReqId, Site, INTERNAL_TAG_BIT};
+pub use finding::{CollCallDesc, Finding, FindingKind, LeakKind, SeqEntry, Severity};
+
+/// How much verification a run performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyMode {
+    /// No event recording, no analysis; deadlocks report blocked ranks only.
+    Off,
+    /// Record and analyze; print findings to stderr but never fail the run.
+    Warn,
+    /// Record and analyze; error-severity findings fail the run. The
+    /// default, so every test and bench doubles as a correctness check.
+    #[default]
+    Strict,
+}
+
+/// What one agent is currently blocked on (for deadlock diagnosis).
+#[derive(Debug, Clone, Copy)]
+enum Waiting {
+    /// Blocked in a wait on a tracked request.
+    Req(ReqId),
+    /// Blocked in the `MPI_Comm_split` gather on a parent context.
+    Split { ctx: u32 },
+}
+
+/// Verification output attached to a successful run.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// All findings, errors first (empty when verification was off).
+    pub findings: Vec<Finding>,
+    /// Tracked requests whose last handle was dropped before completion.
+    pub dropped_incomplete: u64,
+    /// Tracked requests that completed but whose result was never taken.
+    pub dropped_untaken: u64,
+}
+
+impl VerifyReport {
+    /// Number of error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings.len() - self.errors()
+    }
+}
+
+/// The event recorder shared by every agent of one simulated run.
+///
+/// All methods are callable from any thread; per-agent event order is
+/// program order because each agent appends its own events.
+#[derive(Default)]
+pub struct Verifier {
+    events: Mutex<Vec<Event>>,
+    next_req: AtomicU64,
+    waiting: Mutex<BTreeMap<AgentId, Waiting>>,
+    dropped_incomplete: AtomicU64,
+    dropped_untaken: AtomicU64,
+}
+
+impl Verifier {
+    /// Fresh verifier.
+    pub fn new() -> Verifier {
+        Verifier::default()
+    }
+
+    /// Mint a unique request id.
+    pub fn next_req_id(&self) -> ReqId {
+        self.next_req.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Append an event to the log.
+    pub fn record(&self, ev: Event) {
+        self.events.lock().push(ev);
+    }
+
+    /// Mark `agent` as blocked waiting on `req` (cleared by
+    /// [`Verifier::wait_end`]). Entries that are never cleared — because a
+    /// deadlock unwound the agent — are exactly the deadlock diagnosis.
+    pub fn wait_begin(&self, agent: AgentId, req: ReqId) {
+        self.waiting.lock().insert(agent, Waiting::Req(req));
+    }
+
+    /// Mark `agent` as blocked in a split on parent context `ctx`.
+    pub fn wait_begin_split(&self, agent: AgentId, ctx: u32) {
+        self.waiting.lock().insert(agent, Waiting::Split { ctx });
+    }
+
+    /// Clear `agent`'s blocked marker.
+    pub fn wait_end(&self, agent: AgentId) {
+        self.waiting.lock().remove(&agent);
+    }
+
+    /// Record the drop of a tracked request's last handle and bump the
+    /// leak counters.
+    pub fn req_dropped(&self, req: ReqId, completed: bool, taken: bool) {
+        if !completed {
+            self.dropped_incomplete.fetch_add(1, Ordering::Relaxed);
+        } else if !taken {
+            self.dropped_untaken.fetch_add(1, Ordering::Relaxed);
+        }
+        self.record(Event::ReqDropped {
+            req,
+            completed,
+            taken,
+        });
+    }
+
+    /// Current leak counters `(dropped_incomplete, dropped_untaken)`.
+    pub fn drop_counters(&self) -> (u64, u64) {
+        (
+            self.dropped_incomplete.load(Ordering::Relaxed),
+            self.dropped_untaken.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Run all analyses over the log.
+    pub fn analyze(&self) -> Vec<Finding> {
+        analyze::analyze(&self.events.lock())
+    }
+
+    /// Build the deadlock diagnosis from the blocked-agent table.
+    /// `blocked` is the engine's `(actor id, world rank)` list of agents
+    /// that were parked when deadlock was declared.
+    pub fn deadlock_report(&self, blocked: &[(AgentId, u32)]) -> DeadlockReport {
+        let events = self.events.lock();
+        let waiting = self.waiting.lock();
+        let mut entries: Vec<BlockedAgent> = blocked
+            .iter()
+            .map(|&(agent, rank)| {
+                let pending = waiting.get(&agent).map(|w| match w {
+                    Waiting::Req(req) => {
+                        let (op, site) = analyze::describe_req(&events, *req)
+                            .unwrap_or_else(|| ("an untracked operation".to_string(), None));
+                        PendingOp {
+                            op,
+                            peers: analyze::req_peers(&events, *req),
+                            site,
+                        }
+                    }
+                    Waiting::Split { ctx } => PendingOp {
+                        op: format!("MPI_Comm_split on comm {ctx} (some member never called it)"),
+                        peers: Vec::new(),
+                        site: None,
+                    },
+                });
+                BlockedAgent {
+                    agent,
+                    rank,
+                    is_op_agent: agent & 0x8000_0000 != 0,
+                    pending,
+                }
+            })
+            .collect();
+        entries.sort_by_key(|b| (b.rank, b.agent));
+        let mut report = DeadlockReport {
+            blocked: entries,
+            cycle: Vec::new(),
+        };
+        report.find_cycle();
+        report
+    }
+
+    /// Number of recorded events (diagnostics).
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn send(agent: AgentId, ctx: u32, dst: u32, tag: u64, req: ReqId) -> Event {
+        Event::SendPost {
+            agent,
+            rank: agent,
+            ctx,
+            dst,
+            tag,
+            bytes: 64,
+            internal: false,
+            req,
+            site: None,
+        }
+    }
+
+    fn recv(agent: AgentId, ctx: u32, src: u32, tag: u64, req: ReqId) -> Event {
+        Event::RecvPost {
+            agent,
+            rank: agent,
+            ctx,
+            src,
+            tag,
+            internal: false,
+            req,
+            site: None,
+        }
+    }
+
+    fn coll(rank: u32, ctx: u32, kind: CollKind, root: Option<u32>, len: usize) -> Event {
+        Event::Coll {
+            agent: rank,
+            rank,
+            ctx,
+            kind,
+            root,
+            len,
+            blocking: true,
+            req: None,
+            op_agent: None,
+            site: None,
+        }
+    }
+
+    fn decl(ctx: u32, members: &[u32]) -> Event {
+        Event::CommDecl {
+            ctx,
+            members: Arc::new(members.to_vec()),
+        }
+    }
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(Finding::code).collect()
+    }
+
+    #[test]
+    fn root_mismatch_is_flagged_with_both_ranks() {
+        let v = Verifier::new();
+        v.record(decl(0, &[0, 1]));
+        v.record(coll(0, 0, CollKind::Bcast, Some(0), 64));
+        v.record(coll(1, 0, CollKind::Bcast, Some(1), 64));
+        let f = v.analyze();
+        assert!(codes(&f).contains(&"coll-mismatch"), "{f:?}");
+        let text = f[0].to_string();
+        assert!(text.contains("rank 0") && text.contains("rank 1"), "{text}");
+        assert!(text.contains("root=0") && text.contains("root=1"), "{text}");
+        assert_eq!(f[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn skipped_collective_is_count_divergence() {
+        let v = Verifier::new();
+        v.record(decl(0, &[0, 1, 2]));
+        v.record(coll(0, 0, CollKind::Barrier, None, 0));
+        v.record(coll(1, 0, CollKind::Barrier, None, 0));
+        // rank 2 never calls.
+        let f = v.analyze();
+        assert!(codes(&f).contains(&"coll-count"), "{f:?}");
+        assert!(f[0].to_string().contains("rank 2"), "{}", f[0]);
+    }
+
+    #[test]
+    fn len_mismatch_is_only_a_warning() {
+        let v = Verifier::new();
+        v.record(decl(0, &[0, 1]));
+        v.record(coll(0, 0, CollKind::Bcast, Some(0), 64));
+        v.record(coll(1, 0, CollKind::Bcast, Some(0), 128));
+        let f = v.analyze();
+        assert_eq!(codes(&f), vec!["coll-len-mismatch"]);
+        assert_eq!(f[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn reordered_collectives_on_same_group_comms() {
+        let v = Verifier::new();
+        v.record(decl(1, &[0, 1]));
+        v.record(decl(2, &[0, 1]));
+        v.record(coll(0, 1, CollKind::Bcast, Some(0), 8));
+        v.record(coll(0, 2, CollKind::Bcast, Some(0), 8));
+        v.record(coll(1, 2, CollKind::Bcast, Some(0), 8));
+        v.record(coll(1, 1, CollKind::Bcast, Some(0), 8));
+        let f = v.analyze();
+        assert!(codes(&f).contains(&"cross-comm-order"), "{f:?}");
+        assert_eq!(f[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn leaked_recv_and_unmatched_messages() {
+        let v = Verifier::new();
+        let r = v.next_req_id();
+        v.record(recv(1, 0, 0, 7, r));
+        // Never matched, never waited.
+        let f = v.analyze();
+        let c = codes(&f);
+        assert!(c.contains(&"request-leak"), "{f:?}");
+        assert!(c.contains(&"unmatched-recv"), "{f:?}");
+    }
+
+    #[test]
+    fn waited_and_matched_pair_is_clean() {
+        let v = Verifier::new();
+        let s = v.next_req_id();
+        let r = v.next_req_id();
+        v.record(send(0, 0, 1, 7, s));
+        v.record(recv(1, 0, 0, 7, r));
+        v.record(Event::Match { send: s, recv: r });
+        v.record(Event::WaitDone { agent: 0, req: s });
+        v.record(Event::WaitDone { agent: 1, req: r });
+        assert!(v.analyze().is_empty());
+    }
+
+    #[test]
+    fn back_to_back_same_envelope_sends_warn() {
+        let v = Verifier::new();
+        let (s1, s2) = (v.next_req_id(), v.next_req_id());
+        let (r1, r2) = (v.next_req_id(), v.next_req_id());
+        v.record(send(0, 0, 1, 7, s1));
+        v.record(send(0, 0, 1, 7, s2)); // posted before s1 was waited
+        v.record(recv(1, 0, 0, 7, r1));
+        v.record(recv(1, 0, 0, 7, r2));
+        v.record(Event::Match { send: s1, recv: r1 });
+        v.record(Event::Match { send: s2, recv: r2 });
+        for (a, q) in [(0, s1), (0, s2), (1, r1), (1, r2)] {
+            v.record(Event::WaitDone { agent: a, req: q });
+        }
+        let f = v.analyze();
+        assert!(codes(&f).contains(&"order-dependent-match"), "{f:?}");
+        assert!(f.iter().all(|x| x.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn sequential_same_envelope_sends_are_ordered_and_clean() {
+        let v = Verifier::new();
+        let (s1, s2) = (v.next_req_id(), v.next_req_id());
+        let (r1, r2) = (v.next_req_id(), v.next_req_id());
+        v.record(send(0, 0, 1, 7, s1));
+        v.record(Event::WaitDone { agent: 0, req: s1 });
+        v.record(send(0, 0, 1, 7, s2)); // posted after s1 completed
+        v.record(recv(1, 0, 0, 7, r1));
+        v.record(Event::Match { send: s1, recv: r1 });
+        v.record(Event::WaitDone { agent: 1, req: r1 });
+        v.record(recv(1, 0, 0, 7, r2));
+        v.record(Event::Match { send: s2, recv: r2 });
+        v.record(Event::WaitDone { agent: 0, req: s2 });
+        v.record(Event::WaitDone { agent: 1, req: r2 });
+        let f = v.analyze();
+        assert!(
+            !codes(&f).contains(&"order-dependent-match"),
+            "sequential sends must not warn: {f:?}"
+        );
+    }
+
+    #[test]
+    fn deadlock_report_extracts_cycle() {
+        let v = Verifier::new();
+        let (ra, rb) = (v.next_req_id(), v.next_req_id());
+        v.record(recv(0, 0, 1, 3, ra));
+        v.record(recv(1, 0, 0, 3, rb));
+        v.wait_begin(0, ra);
+        v.wait_begin(1, rb);
+        let report = v.deadlock_report(&[(0, 0), (1, 1)]);
+        assert_eq!(report.blocked.len(), 2);
+        assert!(!report.cycle.is_empty(), "{report}");
+        let text = report.to_string();
+        assert!(text.contains("wait-for cycle"), "{text}");
+        assert!(text.contains("MPI_Irecv"), "{text}");
+        assert!(text.contains("tag=3"), "{text}");
+    }
+
+    #[test]
+    fn drop_counters_track_leaks() {
+        let v = Verifier::new();
+        let a = v.next_req_id();
+        let b = v.next_req_id();
+        v.req_dropped(a, false, false);
+        v.req_dropped(b, true, false);
+        assert_eq!(v.drop_counters(), (1, 1));
+    }
+}
