@@ -1,0 +1,104 @@
+//! Collective algorithm sweep over the `CollPlan` builders.
+//!
+//! Forces every algorithm of every collective through the shared plan
+//! executor across a grid of communicator/message sizes, statically
+//! linting each compiled plan shape and running each cell under Strict
+//! dynamic verification. Prints the timing table, fits a
+//! [`CollSelector`](ovcomm_simmpi::CollSelector) from the measurements,
+//! and writes `results/algo_sweep.json`.
+//!
+//! Flags:
+//! * `--smoke` — small grid for CI (seconds, not minutes);
+//! * `--fail-on-lint` — exit nonzero if any static plan-lint finding
+//!   (or Strict-mode dynamic finding, which aborts the run) appears;
+//! * `--coll-select <spec>` — accepted for uniformity with the other
+//!   binaries but ignored here: the sweep forces each algorithm itself.
+
+use ovcomm_bench::{algo_sweep, sweep_samples, write_json, Table};
+use ovcomm_core::fit_selector;
+use ovcomm_simnet::MachineProfile;
+
+fn fmt_size(n: usize) -> String {
+    if n == 0 {
+        "0".into()
+    } else if n >= 1 << 20 && n.is_multiple_of(1 << 20) {
+        format!("{}M", n >> 20)
+    } else if n >= 1024 && n.is_multiple_of(1024) {
+        format!("{}K", n >> 10)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn fmt_threshold(n: usize) -> String {
+    if n == usize::MAX {
+        "always-short".into()
+    } else if n == 0 {
+        "always-long".into()
+    } else {
+        fmt_size(n)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let fail_on_lint = args.iter().any(|a| a == "--fail-on-lint");
+    let profile = MachineProfile::stampede2_skylake();
+    let (ps, sizes): (Vec<usize>, Vec<usize>) = if smoke {
+        (vec![4, 5], vec![8 * 1024, 1 << 20])
+    } else {
+        (
+            vec![4, 5, 8, 16],
+            vec![1024, 16 * 1024, 256 * 1024, 4 << 20],
+        )
+    };
+
+    let records = algo_sweep(&profile, &ps, &sizes);
+
+    let mut table = Table::new(&[
+        "collective",
+        "algorithm",
+        "p",
+        "size",
+        "time (us)",
+        "msgs",
+        "lint",
+    ]);
+    for r in &records {
+        table.row(vec![
+            r.coll.clone(),
+            r.algo.clone(),
+            r.p.to_string(),
+            fmt_size(r.n),
+            format!("{:.1}", r.seconds * 1e6),
+            r.messages.to_string(),
+            r.lint_findings.len().to_string(),
+        ]);
+    }
+    table.print();
+
+    let fitted = fit_selector(&sweep_samples(&records));
+    println!("\nfitted selector thresholds (short-algorithm cutoffs):");
+    println!("  bcast     <= {}", fmt_threshold(fitted.bcast_large));
+    println!("  reduce    <= {}", fmt_threshold(fitted.reduce_large));
+    println!("  allreduce <= {}", fmt_threshold(fitted.allreduce_large));
+    println!("  gather    <= {}", fmt_threshold(fitted.gather_large));
+
+    write_json("algo_sweep", &records);
+
+    let lint_total: usize = records.iter().map(|r| r.lint_findings.len()).sum();
+    if lint_total > 0 {
+        eprintln!("algo_sweep: {lint_total} static plan-lint finding(s):");
+        for r in &records {
+            for f in &r.lint_findings {
+                eprintln!("  [{}.{} p={} n={}] {f}", r.coll, r.algo, r.p, r.n);
+            }
+        }
+        if fail_on_lint {
+            std::process::exit(1);
+        }
+    } else {
+        println!("\nstatic plan lint: clean ({} cells)", records.len());
+    }
+}

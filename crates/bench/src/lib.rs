@@ -15,6 +15,7 @@
 //! | Table III (PPN sweep) | `table3_ppn_sweep` |
 //! | Table IV (volume/bandwidth/time) | `table4_comm_volume` |
 //! | Table V (2.5D sweep) | `table5_25d` |
+//! | Collective algorithm sweep (CollPlan) | `algo_sweep` |
 //!
 //! Each binary prints the paper-style table and writes a JSON record under
 //! `results/` for EXPERIMENTS.md. Criterion benches under `benches/` wrap
@@ -28,15 +29,17 @@ pub mod chart;
 pub mod metrics;
 pub mod micro;
 pub mod report;
+pub mod sweep;
 pub mod symm;
 pub mod timeline;
 
 pub use chart::{plot_loglog, Series};
-pub use metrics::{metrics_block, trace_out_arg, MetricsBlock};
+pub use metrics::{apply_coll_select, coll_select_arg, metrics_block, trace_out_arg, MetricsBlock};
 pub use micro::{
     coll_bandwidth, coll_bandwidth_metrics, p2p_bandwidth, p2p_bandwidth_metrics, CollCase,
     CollKind,
 };
 pub use report::{write_json, Table};
+pub use sweep::{algo_sweep, measure_cell, sweep_samples, SweepRecord, SWEEP_KINDS};
 pub use symm::{symm_run, MeshSpec, SymmStats};
 pub use timeline::{render, Bar};

@@ -58,6 +58,37 @@ pub fn metrics_block<T>(out: &SimOutput<T>) -> MetricsBlock {
     }
 }
 
+/// `--coll-select <spec>` from the process arguments, if present — the
+/// collective-algorithm selection knob shared by all bench binaries.
+/// The spec is parsed by [`ovcomm_simmpi::CollSelector::parse`]
+/// (`<coll>=<bytes>` thresholds and `<coll>:<algo>` forcings, comma
+/// separated); a malformed spec aborts the bench loudly.
+pub fn coll_select_arg() -> Option<ovcomm_simmpi::CollSelector> {
+    let mut spec = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--coll-select" {
+            spec = args.next();
+        } else if let Some(s) = a.strip_prefix("--coll-select=") {
+            spec = Some(s.to_string());
+        }
+    }
+    spec.map(|s| match ovcomm_simmpi::CollSelector::parse(&s) {
+        Ok(sel) => sel,
+        Err(e) => panic!("bad --coll-select spec `{s}`: {e}"),
+    })
+}
+
+/// Apply the `--coll-select` CLI knob (when present) to a run config —
+/// every simulated run the harness launches goes through this, so the
+/// knob uniformly reaches micro-benchmarks and kernel runs alike.
+pub fn apply_coll_select(cfg: ovcomm_simmpi::SimConfig) -> ovcomm_simmpi::SimConfig {
+    match coll_select_arg() {
+        Some(sel) => cfg.with_coll_select(sel),
+        None => cfg,
+    }
+}
+
 /// `--trace-out <path>` from the process arguments, if present — bench
 /// binaries pass it through to [`ovcomm_simmpi::SimConfig::with_trace_out`]
 /// so any table/figure run can be opened in ui.perfetto.dev.

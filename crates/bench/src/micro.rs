@@ -9,7 +9,7 @@ use ovcomm_core::{overlapped_bcast, overlapped_reduce, NDupComms};
 use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig};
 use ovcomm_simnet::{MachineProfile, NodeMap};
 
-use crate::metrics::{metrics_block, MetricsBlock};
+use crate::metrics::{apply_coll_select, metrics_block, MetricsBlock};
 
 /// Unidirectional point-to-point bandwidth between two nodes with `ppn`
 /// sender/receiver pairs, each moving `msg` bytes. All sources live on node
@@ -27,7 +27,10 @@ pub fn p2p_bandwidth_metrics(
 ) -> (f64, MetricsBlock) {
     let nranks = 2 * ppn;
     let node_of: Vec<usize> = (0..nranks).map(|r| usize::from(r >= ppn)).collect();
-    let cfg = SimConfig::with_map(NodeMap::custom(node_of), profile.clone());
+    let cfg = apply_coll_select(SimConfig::with_map(
+        NodeMap::custom(node_of),
+        profile.clone(),
+    ));
     let out = run(cfg, move |rc: RankCtx| {
         let w = rc.world();
         let me = rc.rank();
@@ -112,7 +115,7 @@ fn coll_run(
 ) -> (f64, MetricsBlock) {
     let out = match case {
         CollCase::Blocking => {
-            let cfg = SimConfig::natural(nodes, 1, profile.clone());
+            let cfg = apply_coll_select(SimConfig::natural(nodes, 1, profile.clone()));
             run(cfg, move |rc: RankCtx| {
                 let w = rc.world();
                 match kind {
@@ -128,7 +131,7 @@ fn coll_run(
             .expect("blocking collective micro-benchmark")
         }
         CollCase::NonblockingOverlap(n_dup) => {
-            let cfg = SimConfig::natural(nodes, 1, profile.clone());
+            let cfg = apply_coll_select(SimConfig::natural(nodes, 1, profile.clone()));
             run(cfg, move |rc: RankCtx| {
                 let w = rc.world();
                 let comms = NDupComms::new(&w, n_dup);
@@ -152,7 +155,7 @@ fn coll_run(
             // as the other cases (Fig. 4).
             let nranks = nodes * ppn;
             let part = msg / ppn;
-            let cfg = SimConfig::natural(nranks, ppn, profile.clone());
+            let cfg = apply_coll_select(SimConfig::natural(nranks, ppn, profile.clone()));
             run(cfg, move |rc: RankCtx| {
                 let w = rc.world();
                 let local = rc.rank() % ppn;

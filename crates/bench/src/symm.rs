@@ -16,7 +16,7 @@ use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
 use serde::Serialize;
 
-use crate::metrics::{metrics_block, MetricsBlock};
+use crate::metrics::{apply_coll_select, metrics_block, MetricsBlock};
 
 /// The process-mesh geometry of one run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,7 +92,7 @@ pub fn symm_run(
 ) -> SymmStats {
     assert!(iters >= 1);
     let nranks = mesh.nranks();
-    let cfg = SimConfig::natural(nranks, ppn, profile.clone());
+    let cfg = apply_coll_select(SimConfig::natural(nranks, ppn, profile.clone()));
     let nodes = nranks.div_ceil(ppn);
     let out = run(cfg, move |rc: RankCtx| match mesh {
         MeshSpec::Cube { p } => {

@@ -1,0 +1,179 @@
+//! Fitting a collective-algorithm selector from sweep measurements.
+//!
+//! The paper's auto-tuning story (§III-A) picks N_DUP from a measured
+//! bandwidth curve; the same empirical approach extends to the collective
+//! algorithm choice itself. An algorithm sweep (the bench harness's
+//! `algo_sweep` binary) measures every [`CollAlgo`] of each collective at
+//! several message sizes, and [`fit_selector`] turns those samples into a
+//! [`CollSelector`]: per-collective short/long thresholds at the measured
+//! crossover point between the short-message algorithm and the best
+//! long-message one.
+
+use ovcomm_simmpi::{CollAlgo, CollKind, CollSelector};
+
+/// One measured point of an algorithm sweep.
+#[derive(Debug, Clone)]
+pub struct AlgoSample {
+    /// Which algorithm was forced.
+    pub algo: CollAlgo,
+    /// Communicator size.
+    pub p: usize,
+    /// Logical payload bytes.
+    pub n: usize,
+    /// Measured (virtual) completion time in seconds.
+    pub seconds: f64,
+}
+
+/// The short-message algorithm of a collective, whose crossover against
+/// the long-message alternatives defines the fitted threshold.
+fn short_algo(kind: CollKind) -> Option<CollAlgo> {
+    match kind {
+        CollKind::Bcast => Some(CollAlgo::BcastBinomial),
+        CollKind::Reduce => Some(CollAlgo::ReduceBinomial),
+        CollKind::Allreduce => Some(CollAlgo::AllreduceRecursiveDoubling),
+        CollKind::Gather => Some(CollAlgo::GatherBinomial),
+        _ => None,
+    }
+}
+
+/// Fit per-collective short/long thresholds from sweep samples: for each
+/// collective with a threshold, the fitted value is the largest sampled
+/// size at which the short-message algorithm is still the fastest
+/// (averaged over sampled communicator sizes). Collectives with no
+/// samples, or where the short algorithm always wins, keep a threshold of
+/// `usize::MAX`; where it never wins, the threshold is 0 (always long).
+/// The pow2-vs-ring arbitration among long algorithms stays with the
+/// selector's built-in rules.
+pub fn fit_selector(samples: &[AlgoSample]) -> CollSelector {
+    let mut sel = CollSelector::default();
+    for kind in [
+        CollKind::Bcast,
+        CollKind::Reduce,
+        CollKind::Allreduce,
+        CollKind::Gather,
+    ] {
+        let Some(short) = short_algo(kind) else {
+            continue;
+        };
+        let of_kind: Vec<&AlgoSample> = samples
+            .iter()
+            .filter(|s| s.algo.kind() == kind && s.seconds.is_finite() && s.seconds > 0.0)
+            .collect();
+        if of_kind.is_empty() {
+            continue;
+        }
+        // Mean time per (algo, n) across communicator sizes.
+        let mut sizes: Vec<usize> = of_kind.iter().map(|s| s.n).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        let mean = |algo: CollAlgo, n: usize| -> Option<f64> {
+            let ts: Vec<f64> = of_kind
+                .iter()
+                .filter(|s| s.algo == algo && s.n == n)
+                .map(|s| s.seconds)
+                .collect();
+            if ts.is_empty() {
+                None
+            } else {
+                Some(ts.iter().sum::<f64>() / ts.len() as f64)
+            }
+        };
+        let short_wins = |n: usize| -> Option<bool> {
+            let t_short = mean(short, n)?;
+            let best_long = CollAlgo::for_kind(kind)
+                .into_iter()
+                .filter(|&a| a != short)
+                .filter_map(|a| mean(a, n))
+                .fold(f64::INFINITY, f64::min);
+            if best_long.is_finite() {
+                Some(t_short <= best_long)
+            } else {
+                None
+            }
+        };
+        // Largest size where the short algorithm still wins; `usize::MAX`
+        // if it wins everywhere sampled, 0 if nowhere.
+        let mut threshold: Option<usize> = None;
+        let mut decided = false;
+        for &n in sizes.iter().rev() {
+            match short_wins(n) {
+                Some(true) => {
+                    // Everything at or below the first winning size (from
+                    // the top) is treated as short.
+                    threshold = Some(if decided { n } else { usize::MAX });
+                    break;
+                }
+                Some(false) => decided = true,
+                None => {}
+            }
+        }
+        let fitted = match threshold {
+            Some(t) => t,
+            None if decided => 0,
+            None => continue, // no comparable samples: keep the default
+        };
+        match kind {
+            CollKind::Bcast => sel.bcast_large = fitted,
+            CollKind::Reduce => sel.reduce_large = fitted,
+            CollKind::Allreduce => sel.allreduce_large = fitted,
+            CollKind::Gather => sel.gather_large = fitted,
+            _ => {}
+        }
+    }
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(algo: CollAlgo, n: usize, seconds: f64) -> AlgoSample {
+        AlgoSample {
+            algo,
+            p: 8,
+            n,
+            seconds,
+        }
+    }
+
+    #[test]
+    fn crossover_is_found() {
+        // Binomial wins at 1 KiB and 16 KiB, loses at 256 KiB and 4 MiB.
+        let samples = vec![
+            s(CollAlgo::BcastBinomial, 1024, 1.0),
+            s(CollAlgo::BcastScatterAllgather, 1024, 3.0),
+            s(CollAlgo::BcastBinomial, 16 << 10, 2.0),
+            s(CollAlgo::BcastScatterAllgather, 16 << 10, 2.5),
+            s(CollAlgo::BcastBinomial, 256 << 10, 9.0),
+            s(CollAlgo::BcastScatterAllgather, 256 << 10, 5.0),
+            s(CollAlgo::BcastBinomial, 4 << 20, 40.0),
+            s(CollAlgo::BcastScatterAllgather, 4 << 20, 12.0),
+        ];
+        let sel = fit_selector(&samples);
+        assert_eq!(sel.bcast_large, 16 << 10);
+        // Unsampled collectives keep their defaults.
+        assert_eq!(sel.allreduce_large, ovcomm_simmpi::collsel::DEFAULT_LARGE);
+    }
+
+    #[test]
+    fn short_always_winning_means_no_long_switch() {
+        let samples = vec![
+            s(CollAlgo::GatherBinomial, 1024, 1.0),
+            s(CollAlgo::GatherLinear, 1024, 2.0),
+            s(CollAlgo::GatherBinomial, 4 << 20, 3.0),
+            s(CollAlgo::GatherLinear, 4 << 20, 4.0),
+        ];
+        let sel = fit_selector(&samples);
+        assert_eq!(sel.gather_large, usize::MAX);
+    }
+
+    #[test]
+    fn long_always_winning_means_threshold_zero() {
+        let samples = vec![
+            s(CollAlgo::ReduceBinomial, 1024, 5.0),
+            s(CollAlgo::ReduceRing, 1024, 1.0),
+        ];
+        let sel = fit_selector(&samples);
+        assert_eq!(sel.reduce_large, 0);
+    }
+}

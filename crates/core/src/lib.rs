@@ -13,6 +13,9 @@
 //!   Ibarrier + test + usleep sleep/poll mechanism of §III-B;
 //! * [`tuning`] — the `N_DUP · f_BW(n/N_DUP) ≥ f_BW(n)` condition and the
 //!   `n/N_DUP ≥ n_t` threshold rule for choosing N_DUP;
+//! * [`collsel`] — fitting a collective-algorithm selector from
+//!   algorithm-sweep measurements (the same empirical tuning applied to
+//!   the collective algorithm choice itself);
 //! * [`model`] — the α–β cost models of §V-A.
 
 #![warn(missing_docs)]
@@ -20,6 +23,7 @@
 
 pub mod autotune;
 pub mod chunk;
+pub mod collsel;
 pub mod model;
 pub mod ndup;
 pub mod pipeline;
@@ -28,6 +32,7 @@ pub mod tuning;
 
 pub use autotune::{AutoTuner, MeasuredCurve};
 pub use chunk::ChunkPlan;
+pub use collsel::{fit_selector, AlgoSample};
 pub use model::{block_bytes, AlphaBeta};
 pub use ndup::NDupComms;
 pub use pipeline::{

@@ -183,7 +183,10 @@ fn rank_breakdowns(spans: &[TraceSpan], makespan_us: f64) -> Vec<RankBreakdown> 
             SpanKind::Compute => slot.0 += d,
             SpanKind::Post => slot.1 += d,
             SpanKind::Wait | SpanKind::BlockingCall => slot.2 += d,
-            SpanKind::Phase | SpanKind::Other => {}
+            // Per-step collective spans nest inside the blocking-call /
+            // op-agent spans that already account for the time — counting
+            // them again would double-bill the busy split.
+            SpanKind::Phase | SpanKind::CollStep | SpanKind::Other => {}
         }
     }
     per_rank
@@ -218,7 +221,12 @@ fn critical_path(spans: &[TraceSpan], makespan: SimTime) -> Vec<CriticalSegment>
         // determinism.
         let best = spans
             .iter()
-            .filter(|s| s.kind != SpanKind::Phase && s.start < cursor && s.end >= cursor)
+            .filter(|s| {
+                s.kind != SpanKind::Phase
+                    && s.kind != SpanKind::CollStep
+                    && s.start < cursor
+                    && s.end >= cursor
+            })
             .min_by_key(|s| (s.start, s.actor));
         match best {
             Some(s) => {
@@ -236,7 +244,9 @@ fn critical_path(spans: &[TraceSpan], makespan: SimTime) -> Vec<CriticalSegment>
                 // at or before it, attributing the gap to idle time.
                 let prev_end = spans
                     .iter()
-                    .filter(|s| s.kind != SpanKind::Phase && s.end < cursor)
+                    .filter(|s| {
+                        s.kind != SpanKind::Phase && s.kind != SpanKind::CollStep && s.end < cursor
+                    })
                     .map(|s| s.end)
                     .max();
                 match prev_end {

@@ -1,31 +1,22 @@
-//! Collective algorithms, written once in blocking style.
+//! Collective execution: compiled schedules run by one shared executor.
 //!
-//! Blocking collectives run these functions inline on the rank thread;
-//! nonblocking collectives run the *same* functions on a progress actor
-//! whose clock starts at the post time — this is how the simulation gives
-//! MPI-3 nonblocking collectives genuine asynchronous progress, and it is
-//! what makes the paper's "nonblocking overlap" technique (N_DUP pipelined
-//! collectives on duplicated communicators) actually overlap.
-//!
-//! Algorithms match what production MPIs choose for each regime:
-//!
-//! * broadcast — binomial tree (short), van de Geijn scatter + ring
-//!   allgather (long; volume `2(p−1)n/p`, the paper's §V-A model);
-//! * reduce — binomial tree (short), Rabenseifner recursive-halving
-//!   reduce-scatter + binomial gather (long; volume `2(p−1)n/p`);
-//! * allreduce — recursive doubling (short), reduce-scatter + ring
-//!   allgather (long);
-//! * barrier — dissemination.
+//! Collectives are no longer hand-written blocking functions — each
+//! instance is compiled (and cached) as a per-rank [`CollPlan`]
+//! (`ovcomm_verify::plan`) by a pure algorithm builder chosen by the
+//! run's [`CollSelector`](crate::collsel::CollSelector), statically
+//! linted, then interpreted by the [plan executor](exec). Blocking
+//! collectives run the executor inline on the rank thread; nonblocking
+//! collectives run it on a progress actor whose clock starts at the post
+//! time — this is how the simulation gives MPI-3 nonblocking collectives
+//! genuine asynchronous progress, and it is what makes the paper's
+//! "nonblocking overlap" technique (N_DUP pipelined collectives on
+//! duplicated communicators) actually overlap.
 //!
 //! Every communication round charges `coll_round_slack` of software
-//! overhead and local reductions charge `n / gamma_reduce_bw`; those are the
-//! NIC-idle gaps that overlapped collectives fill in the paper.
+//! overhead and local reductions charge `n / gamma_reduce_bw`; those are
+//! the NIC-idle gaps that overlapped collectives fill in the paper.
 
-pub(crate) mod allreduce;
-pub(crate) mod barrier;
-pub(crate) mod bcast;
-pub(crate) mod gather;
-pub(crate) mod reduce;
+pub(crate) mod exec;
 
 use crate::agent::Agent;
 use crate::comm::CommInfo;
@@ -33,10 +24,8 @@ use crate::p2p::{irecv_raw, isend_raw};
 use crate::payload::Payload;
 use crate::request::Request;
 
-/// Message-size threshold between short- and long-message algorithms.
-pub(crate) const COLL_LARGE: usize = 32 * 1024;
-
-/// Per-instance context handed to collective algorithms.
+/// Per-instance context handed to the plan executor: the executing agent
+/// plus the communicator and instance identity that scope its tags.
 pub(crate) struct CollCtx<'a> {
     pub agent: &'a Agent,
     pub info: &'a CommInfo,
@@ -86,106 +75,16 @@ impl CollCtx<'_> {
         irecv_raw(self.agent, self.info.ctx, self.world(src), self.tag(step))
     }
 
-    /// Blocking internal send.
-    pub fn send(&self, dst: usize, step: u32, payload: Payload) {
-        let r = self.isend(dst, step, payload);
-        self.agent.wait(&r);
-    }
-
-    /// Blocking internal receive.
-    pub fn recv(&self, src: usize, step: u32) -> Payload {
-        let r = self.irecv(src, step);
-        self.agent.wait(&r)
-    }
-
-    /// Concurrent send-to/receive-from (possibly different peers) — the
-    /// pairwise-exchange building block of recursive halving/doubling and
-    /// rings.
-    pub fn exchange(
-        &self,
-        send_to: usize,
-        recv_from: usize,
-        step: u32,
-        payload: Payload,
-    ) -> Payload {
-        let rr = self.irecv(recv_from, step);
-        let sr = self.isend(send_to, step, payload);
-        self.agent.wait(&sr);
-        self.agent.wait(&rr)
-    }
-
     /// Per-round software slack.
     pub fn slack(&self) {
         self.agent.advance(self.agent.uni.profile.coll_round_slack);
     }
 
-    /// Charge the local reduction of an `n`-byte operand (and the caller
+    /// Charge the local reduction of an `n`-byte operand (the executor
     /// performs the actual arithmetic via `Payload::reduce_sum_f64`). The
     /// time is paid through the rank's shared reduction-CPU resource, so
     /// concurrent collectives on one rank contend for it.
     pub fn reduce_charge(&self, n: usize) {
         self.agent.reduce_compute(n);
-    }
-}
-
-/// Contiguous, 8-byte-aligned partition of `n` bytes into `parts` chunks:
-/// returns `parts + 1` offsets (monotone, first 0, last `n`). All chunks are
-/// multiples of 8 except possibly the last, so `f64` data never splits
-/// mid-element.
-pub(crate) fn chunk_bounds(n: usize, parts: usize) -> Vec<usize> {
-    assert!(parts >= 1);
-    let quantum = 8usize;
-    let elems = n / quantum; // full 8-byte elements
-    let rem = n - elems * quantum; // trailing ragged bytes go to the last chunk
-    let base = elems / parts;
-    let extra = elems % parts;
-    let mut bounds = Vec::with_capacity(parts + 1);
-    bounds.push(0);
-    let mut off = 0;
-    for i in 0..parts {
-        let e = base + usize::from(i < extra);
-        off += e * quantum;
-        bounds.push(off);
-    }
-    if let Some(last) = bounds.last_mut() {
-        *last += rem;
-    }
-    debug_assert_eq!(bounds.last().copied(), Some(n));
-    bounds
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn chunk_bounds_partitions_exactly() {
-        let b = chunk_bounds(100, 4);
-        assert_eq!(b.first(), Some(&0));
-        assert_eq!(b.last(), Some(&100));
-        assert_eq!(b.len(), 5);
-        for w in b.windows(2) {
-            assert!(w[0] <= w[1]);
-        }
-        // All but the last boundary 8-aligned.
-        for &x in &b[..b.len() - 1] {
-            assert_eq!(x % 8, 0);
-        }
-    }
-
-    #[test]
-    fn chunk_bounds_more_parts_than_elements() {
-        let b = chunk_bounds(16, 5);
-        assert_eq!(b, vec![0, 8, 16, 16, 16, 16]);
-    }
-
-    #[test]
-    fn chunk_bounds_zero_bytes() {
-        assert_eq!(chunk_bounds(0, 3), vec![0, 0, 0, 0]);
-    }
-
-    #[test]
-    fn chunk_bounds_single_part() {
-        assert_eq!(chunk_bounds(24, 1), vec![0, 24]);
     }
 }

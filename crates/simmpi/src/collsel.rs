@@ -1,0 +1,260 @@
+//! Tunable collective-algorithm selection.
+//!
+//! Replaces the old hardcoded `COLL_LARGE = 32 KiB` constant: a
+//! [`CollSelector`] is a per-(collective, message size, communicator size)
+//! decision table carried by `SimConfig`, sweepable by the bench harness
+//! (`--coll-select`) and fittable by the auto-tuner alongside N_DUP. The
+//! default reproduces the legacy behavior exactly — 32 KiB short/long
+//! thresholds, power-of-two gating for the recursive-halving long
+//! algorithms, binomial-only gather.
+
+use ovcomm_verify::plan::{kind_short, parse_kind, CollAlgo};
+use ovcomm_verify::CollKind;
+
+/// Message-size threshold between short- and long-message algorithms
+/// (the legacy `COLL_LARGE`).
+pub const DEFAULT_LARGE: usize = 32 * 1024;
+
+/// Algorithm-selection policy for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollSelector {
+    /// Force one algorithm for a collective, bypassing its threshold.
+    /// Later entries win, so sweeps can layer a forcing over a base policy.
+    pub forced: Vec<(CollKind, CollAlgo)>,
+    /// Bcast switches from binomial to scatter+allgather above this size.
+    pub bcast_large: usize,
+    /// Reduce switches from binomial to Rabenseifner (power-of-two `p`) or
+    /// ring above this size.
+    pub reduce_large: usize,
+    /// Allreduce switches from recursive doubling to reduce-scatter +
+    /// allgather (power-of-two `p`) or ring above this size.
+    pub allreduce_large: usize,
+    /// Gather switches from binomial to linear above this size
+    /// (`usize::MAX` by default: the legacy build was binomial-only).
+    pub gather_large: usize,
+}
+
+impl Default for CollSelector {
+    fn default() -> CollSelector {
+        CollSelector {
+            forced: Vec::new(),
+            bcast_large: DEFAULT_LARGE,
+            reduce_large: DEFAULT_LARGE,
+            allreduce_large: DEFAULT_LARGE,
+            gather_large: usize::MAX,
+        }
+    }
+}
+
+impl CollSelector {
+    /// Pick the algorithm for a `kind` collective moving `n` logical bytes
+    /// on a `p`-rank communicator.
+    pub fn select(&self, kind: CollKind, n: usize, p: usize) -> CollAlgo {
+        if let Some(&(_, algo)) = self
+            .forced
+            .iter()
+            .rev()
+            .find(|(k, a)| *k == kind && a.supports(p))
+        {
+            return algo;
+        }
+        match kind {
+            CollKind::Bcast => {
+                if n <= self.bcast_large {
+                    CollAlgo::BcastBinomial
+                } else {
+                    CollAlgo::BcastScatterAllgather
+                }
+            }
+            CollKind::Reduce => {
+                if n <= self.reduce_large {
+                    CollAlgo::ReduceBinomial
+                } else if p.is_power_of_two() {
+                    CollAlgo::ReduceRabenseifner
+                } else {
+                    // Rabenseifner's pre-fold puts an extra half-vector
+                    // transfer on the critical path for non-power-of-two
+                    // sizes; production MPIs switch to a ring here.
+                    CollAlgo::ReduceRing
+                }
+            }
+            CollKind::Allreduce => {
+                if n <= self.allreduce_large {
+                    CollAlgo::AllreduceRecursiveDoubling
+                } else if p.is_power_of_two() {
+                    CollAlgo::AllreduceRsag
+                } else {
+                    CollAlgo::AllreduceRing
+                }
+            }
+            CollKind::Gather => {
+                if n <= self.gather_large {
+                    CollAlgo::GatherBinomial
+                } else {
+                    CollAlgo::GatherLinear
+                }
+            }
+            CollKind::Scatter => CollAlgo::ScatterTree,
+            CollKind::Allgather => CollAlgo::AllgatherRing,
+            CollKind::Barrier => CollAlgo::BarrierDissemination,
+            CollKind::Dup | CollKind::Split => {
+                panic!("{kind:?} is not an algorithmic collective")
+            }
+        }
+    }
+
+    /// Force `algo` for its collective (appended, so it wins over earlier
+    /// forcings of the same collective).
+    pub fn force(mut self, algo: CollAlgo) -> CollSelector {
+        self.forced.push((algo.kind(), algo));
+        self
+    }
+
+    /// Parse a selector spec: comma-separated clauses, each either
+    /// `<coll>=<bytes>` (short/long threshold; `k`/`m` suffixes accepted)
+    /// or `<coll>:<algo>` (force an algorithm). Examples:
+    /// `allreduce=64k`, `bcast:scatter-allgather,gather=1m`, `reduce:ring`.
+    /// An empty spec yields the default policy.
+    pub fn parse(spec: &str) -> Result<CollSelector, String> {
+        let mut sel = CollSelector::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            if let Some((coll, algo_name)) = clause.split_once(':') {
+                let kind = parse_kind(coll.trim())
+                    .ok_or_else(|| format!("unknown collective `{}`", coll.trim()))?;
+                let algo = CollAlgo::parse_for(kind, algo_name.trim()).ok_or_else(|| {
+                    let known: Vec<&str> = CollAlgo::for_kind(kind)
+                        .into_iter()
+                        .map(|a| a.short())
+                        .collect();
+                    format!(
+                        "unknown algorithm `{}` for {} (known: {})",
+                        algo_name.trim(),
+                        kind_short(kind),
+                        known.join(", ")
+                    )
+                })?;
+                sel = sel.force(algo);
+            } else if let Some((coll, bytes)) = clause.split_once('=') {
+                let kind = parse_kind(coll.trim())
+                    .ok_or_else(|| format!("unknown collective `{}`", coll.trim()))?;
+                let threshold = parse_bytes(bytes.trim())?;
+                match kind {
+                    CollKind::Bcast => sel.bcast_large = threshold,
+                    CollKind::Reduce => sel.reduce_large = threshold,
+                    CollKind::Allreduce => sel.allreduce_large = threshold,
+                    CollKind::Gather => sel.gather_large = threshold,
+                    _ => {
+                        return Err(format!(
+                            "{} has a single algorithm; no threshold to set",
+                            kind_short(kind)
+                        ))
+                    }
+                }
+            } else {
+                return Err(format!(
+                    "bad clause `{clause}` (want <coll>=<bytes> or <coll>:<algo>)"
+                ));
+            }
+        }
+        Ok(sel)
+    }
+}
+
+/// Parse a byte count with optional `k`/`m` (KiB/MiB) suffix.
+fn parse_bytes(s: &str) -> Result<usize, String> {
+    let lower = s.to_ascii_lowercase();
+    let (digits, mult) = match lower.strip_suffix(['k', 'm']) {
+        Some(d) if lower.ends_with('k') => (d, 1024usize),
+        Some(d) => (d, 1024 * 1024),
+        None => (lower.as_str(), 1),
+    };
+    digits
+        .parse::<usize>()
+        .map(|v| v * mult)
+        .map_err(|_| format!("bad byte count `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reproduces_legacy_coll_large() {
+        let sel = CollSelector::default();
+        // 32 KiB inclusive boundary, pow2 gating, binomial-only gather.
+        assert_eq!(
+            sel.select(CollKind::Allreduce, DEFAULT_LARGE, 8),
+            CollAlgo::AllreduceRecursiveDoubling
+        );
+        assert_eq!(
+            sel.select(CollKind::Allreduce, DEFAULT_LARGE + 1, 8),
+            CollAlgo::AllreduceRsag
+        );
+        assert_eq!(
+            sel.select(CollKind::Allreduce, DEFAULT_LARGE + 1, 6),
+            CollAlgo::AllreduceRing
+        );
+        assert_eq!(
+            sel.select(CollKind::Reduce, DEFAULT_LARGE + 1, 4),
+            CollAlgo::ReduceRabenseifner
+        );
+        assert_eq!(
+            sel.select(CollKind::Reduce, DEFAULT_LARGE + 1, 5),
+            CollAlgo::ReduceRing
+        );
+        assert_eq!(
+            sel.select(CollKind::Bcast, DEFAULT_LARGE + 1, 5),
+            CollAlgo::BcastScatterAllgather
+        );
+        assert_eq!(
+            sel.select(CollKind::Gather, 1 << 30, 5),
+            CollAlgo::GatherBinomial
+        );
+        assert_eq!(sel.select(CollKind::Scatter, 1, 5), CollAlgo::ScatterTree);
+        assert_eq!(
+            sel.select(CollKind::Allgather, 1, 5),
+            CollAlgo::AllgatherRing
+        );
+        assert_eq!(
+            sel.select(CollKind::Barrier, 0, 5),
+            CollAlgo::BarrierDissemination
+        );
+    }
+
+    #[test]
+    fn parse_thresholds_and_forcings() {
+        let sel = match CollSelector::parse("allreduce=64k, bcast:vdg, gather=1m") {
+            Ok(s) => s,
+            Err(e) => panic!("parse failed: {e}"),
+        };
+        assert_eq!(sel.allreduce_large, 64 * 1024);
+        assert_eq!(sel.gather_large, 1024 * 1024);
+        assert_eq!(
+            sel.select(CollKind::Bcast, 1, 4),
+            CollAlgo::BcastScatterAllgather
+        );
+        assert_eq!(
+            sel.select(CollKind::Gather, 2 << 20, 4),
+            CollAlgo::GatherLinear
+        );
+        // Later forcing wins.
+        let sel = match CollSelector::parse("reduce:ring,reduce:binomial") {
+            Ok(s) => s,
+            Err(e) => panic!("parse failed: {e}"),
+        };
+        assert_eq!(
+            sel.select(CollKind::Reduce, 1 << 20, 4),
+            CollAlgo::ReduceBinomial
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(CollSelector::parse("frobnicate=1").is_err());
+        assert!(CollSelector::parse("bcast:warp-speed").is_err());
+        assert!(CollSelector::parse("barrier=12").is_err());
+        assert!(CollSelector::parse("allreduce=12q").is_err());
+        assert!(CollSelector::parse("nonsense").is_err());
+        assert!(CollSelector::parse("").is_ok());
+    }
+}

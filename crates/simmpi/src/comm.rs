@@ -11,16 +11,68 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ovcomm_simnet::{ParkCell, SimTime, SpanKind};
-use ovcomm_verify::{CollKind, Event as VEvent, ReqId, Site};
+use ovcomm_verify::plan::{self, CollPlan};
+use ovcomm_verify::{CollKind, Event as VEvent, ReqId, Site, VerifyMode};
 
 use crate::agent::Agent;
-use crate::coll::{allreduce, barrier, bcast, gather, reduce, CollCtx};
+use crate::coll::{exec, CollCtx};
 use crate::metrics::OpKind;
 use crate::p2p::{irecv_raw, isend_raw};
 use crate::payload::Payload;
 use crate::request::{ReqMeta, Request};
 use crate::state::SplitGather;
-use crate::universe::op_actor_id;
+use crate::universe::{op_actor_id, UniShared};
+
+/// Compile (or fetch from the run's cache) the per-rank plans for one
+/// collective shape, selecting the algorithm via the run's `CollSelector`
+/// and statically linting fresh plans per the run's verification level.
+fn plans_for(
+    uni: &UniShared,
+    p: usize,
+    kind: CollKind,
+    n: usize,
+    root: usize,
+) -> Arc<Vec<CollPlan>> {
+    let algo = uni.coll_select.select(kind, n, p);
+    let key = (kind, algo, p, n, root);
+    let mut cache = uni.plan_cache.lock();
+    if let Some(plans) = cache.get(&key) {
+        return plans.clone();
+    }
+    let plans = plan::build_all(kind, algo, p, n, root);
+    if uni.verify_mode != VerifyMode::Off {
+        let findings = plan::lint_plans(&plans);
+        if !findings.is_empty() {
+            if uni.verify_mode == VerifyMode::Warn {
+                for f in &findings {
+                    eprintln!("ovcomm-verify(plan): {f}");
+                }
+            } else {
+                use std::fmt::Write as _;
+                let mut msg =
+                    format!("static plan lint failed for {algo} p={p} n={n} root={root}:");
+                for f in findings.iter().take(8) {
+                    let _ = write!(msg, "\n  {f}");
+                }
+                if findings.len() > 8 {
+                    let _ = write!(msg, "\n  ... and {} more finding(s)", findings.len() - 8);
+                }
+                panic!("{msg}");
+            }
+        }
+    }
+    let plans = Arc::new(plans);
+    cache.insert(key, plans.clone());
+    plans
+}
+
+/// Unwrap a collective result that the plan contract guarantees exists.
+fn expect_out(out: Option<Payload>, what: &str) -> Payload {
+    match out {
+        Some(v) => v,
+        None => panic!("{what} plan produced no output"),
+    }
+}
 
 /// Group/topology info shared by all clones of a communicator handle.
 #[derive(Clone)]
@@ -113,6 +165,11 @@ impl Comm {
             info: &self.info,
             seq,
         }
+    }
+
+    /// This communicator's compiled plans for one collective shape.
+    fn plans(&self, kind: CollKind, n: usize, root: usize) -> Arc<Vec<CollPlan>> {
+        plans_for(&self.agent.uni, self.size(), kind, n, root)
     }
 
     // ---------------------------------------------------------------
@@ -418,13 +475,26 @@ impl Comm {
             true,
             std::panic::Location::caller(),
         );
+        let p = self.size();
+        assert!(root < p, "bcast root {root} out of range (p={p})");
+        if self.info.me == root {
+            match data.as_ref() {
+                Some(d) => assert_eq!(d.len(), len, "bcast root data length mismatch"),
+                None => panic!("bcast root must supply data"),
+            }
+        }
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
         self.agent
             .uni
             .metrics
             .op(self.agent.rank, OpKind::Bcast, len);
-        let out = bcast::run(&self.cctx(seq), root, data, len);
+        let plans = self.plans(CollKind::Bcast, len, root);
+        let input = if self.info.me == root { data } else { None };
+        let out = expect_out(
+            exec::execute(&self.cctx(seq), &plans[self.info.me], input),
+            "bcast",
+        );
         self.blocking_done(t0);
         self.agent
             .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
@@ -443,6 +513,8 @@ impl Comm {
             true,
             std::panic::Location::caller(),
         );
+        let p = self.size();
+        assert!(root < p, "reduce root {root} out of range (p={p})");
         let seq = self.coll_seq_next();
         let n = contrib.len();
         let t0 = self.agent.now();
@@ -450,7 +522,8 @@ impl Comm {
             .uni
             .metrics
             .op(self.agent.rank, OpKind::Reduce, n);
-        let out = reduce::run(&self.cctx(seq), root, contrib);
+        let plans = self.plans(CollKind::Reduce, n, root);
+        let out = exec::execute(&self.cctx(seq), &plans[self.info.me], Some(contrib));
         self.blocking_done(t0);
         self.agent
             .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
@@ -476,7 +549,11 @@ impl Comm {
             .uni
             .metrics
             .op(self.agent.rank, OpKind::Allreduce, n);
-        let out = allreduce::run(&self.cctx(seq), contrib);
+        let plans = self.plans(CollKind::Allreduce, n, 0);
+        let out = expect_out(
+            exec::execute(&self.cctx(seq), &plans[self.info.me], Some(contrib)),
+            "allreduce",
+        );
         self.blocking_done(t0);
         self.agent
             .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
@@ -501,7 +578,8 @@ impl Comm {
             .uni
             .metrics
             .op(self.agent.rank, OpKind::Barrier, 0);
-        barrier::run(&self.cctx(seq));
+        let plans = self.plans(CollKind::Barrier, 0, 0);
+        exec::execute(&self.cctx(seq), &plans[self.info.me], None);
         self.blocking_done(t0);
         self.agent
             .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
@@ -520,13 +598,26 @@ impl Comm {
             true,
             std::panic::Location::caller(),
         );
+        let p = self.size();
+        assert!(root < p, "scatter root {root} out of range (p={p})");
+        if self.info.me == root {
+            match data.as_ref() {
+                Some(d) => assert_eq!(d.len(), len, "scatter root data length mismatch"),
+                None => panic!("scatter root must supply data"),
+            }
+        }
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
         self.agent
             .uni
             .metrics
             .op(self.agent.rank, OpKind::Scatter, len);
-        let out = gather::scatter(&self.cctx(seq), root, data, len);
+        let plans = self.plans(CollKind::Scatter, len, root);
+        let input = if self.info.me == root { data } else { None };
+        let out = expect_out(
+            exec::execute(&self.cctx(seq), &plans[self.info.me], input),
+            "scatter",
+        );
         self.blocking_done(t0);
         out
     }
@@ -541,13 +632,16 @@ impl Comm {
             true,
             std::panic::Location::caller(),
         );
+        let p = self.size();
+        assert!(root < p, "gather root {root} out of range (p={p})");
         let seq = self.coll_seq_next();
         let t0 = self.agent.now();
         self.agent
             .uni
             .metrics
             .op(self.agent.rank, OpKind::Gather, len);
-        let out = gather::gather(&self.cctx(seq), root, chunk, len);
+        let plans = self.plans(CollKind::Gather, len, root);
+        let out = exec::execute(&self.cctx(seq), &plans[self.info.me], Some(chunk));
         self.blocking_done(t0);
         out
     }
@@ -568,7 +662,11 @@ impl Comm {
             .uni
             .metrics
             .op(self.agent.rank, OpKind::Allgather, len);
-        let out = gather::allgather(&self.cctx(seq), chunk, len);
+        let plans = self.plans(CollKind::Allgather, len, 0);
+        let out = expect_out(
+            exec::execute(&self.cctx(seq), &plans[self.info.me], Some(chunk)),
+            "allgather",
+        );
         self.blocking_done(t0);
         out
     }
@@ -593,6 +691,16 @@ impl Comm {
             .trace_span(SpanKind::Post, t0, self.agent.now(), || {
                 format!("MPI_Ibcast post {len}B root={root}")
             });
+        let p = self.size();
+        assert!(root < p, "bcast root {root} out of range (p={p})");
+        if self.info.me == root {
+            match data.as_ref() {
+                Some(d) => assert_eq!(d.len(), len, "bcast root data length mismatch"),
+                None => panic!("bcast root must supply data"),
+            }
+        }
+        let plans = self.plans(CollKind::Bcast, len, root);
+        let input = if self.info.me == root { data } else { None };
         let info = self.info.clone();
         self.dispatch(
             CollKind::Bcast,
@@ -605,7 +713,7 @@ impl Comm {
                     info: &info,
                     seq,
                 };
-                bcast::run(&cctx, root, data, len)
+                expect_out(exec::execute(&cctx, &plans[info.me], input), "bcast")
             },
         )
     }
@@ -625,6 +733,9 @@ impl Comm {
             .trace_span(SpanKind::Post, t0, self.agent.now(), || {
                 format!("MPI_Ireduce post {n}B root={root}")
             });
+        let p = self.size();
+        assert!(root < p, "reduce root {root} out of range (p={p})");
+        let plans = self.plans(CollKind::Reduce, n, root);
         let info = self.info.clone();
         self.dispatch(CollKind::Reduce, Some(root as u32), n, site, move |agent| {
             let cctx = CollCtx {
@@ -632,7 +743,7 @@ impl Comm {
                 info: &info,
                 seq,
             };
-            reduce::run(&cctx, root, contrib)
+            exec::execute(&cctx, &plans[info.me], Some(contrib))
         })
     }
 
@@ -650,6 +761,7 @@ impl Comm {
             .trace_span(SpanKind::Post, t0, self.agent.now(), || {
                 format!("MPI_Iallreduce post {n}B")
             });
+        let plans = self.plans(CollKind::Allreduce, n, 0);
         let info = self.info.clone();
         self.dispatch(CollKind::Allreduce, None, n, site, move |agent| {
             let cctx = CollCtx {
@@ -657,7 +769,10 @@ impl Comm {
                 info: &info,
                 seq,
             };
-            allreduce::run(&cctx, contrib)
+            expect_out(
+                exec::execute(&cctx, &plans[info.me], Some(contrib)),
+                "allreduce",
+            )
         })
     }
 
@@ -670,6 +785,7 @@ impl Comm {
         let t0 = self.agent.now();
         self.agent.advance(self.agent.uni.profile.post_base);
         self.post_done(t0, OpKind::Ibarrier, 0);
+        let plans = self.plans(CollKind::Barrier, 0, 0);
         let info = self.info.clone();
         self.dispatch(CollKind::Barrier, None, 0, site, move |agent| {
             let cctx = CollCtx {
@@ -677,7 +793,7 @@ impl Comm {
                 info: &info,
                 seq,
             };
-            barrier::run(&cctx);
+            exec::execute(&cctx, &plans[info.me], None);
         })
     }
 

@@ -13,9 +13,11 @@
 //! * point-to-point: `send`/`recv`/`isend`/`irecv`/`sendrecv` with eager and
 //!   rendezvous protocols;
 //! * blocking collectives: `bcast`, `reduce`, `allreduce`, `barrier`,
-//!   `scatter`, `gather`, `allgather` — implemented as their literal
-//!   point-to-point round structures (binomial, recursive doubling/halving,
-//!   Rabenseifner, ring);
+//!   `scatter`, `gather`, `allgather` — each compiled to a per-rank
+//!   [`CollPlan`](plan::CollPlan) schedule (binomial, recursive
+//!   doubling/halving, Rabenseifner, ring, …) chosen by a tunable
+//!   [`CollSelector`](collsel::CollSelector), statically linted, and run
+//!   by one shared plan executor;
 //! * MPI-3 nonblocking collectives: `ibcast`, `ireduce`, `iallreduce`,
 //!   `ibarrier` — each runs on its own progress actor, so posted operations
 //!   make *asynchronous* progress and genuinely overlap;
@@ -38,13 +40,17 @@ mod p2p;
 mod progress;
 mod state;
 
+pub mod collsel;
 pub mod comm;
 pub mod payload;
 pub mod request;
 pub mod universe;
 
+pub use collsel::CollSelector;
 pub use comm::Comm;
-pub use ovcomm_verify::{DeadlockReport, Finding, Severity, VerifyMode, VerifyReport};
+pub use ovcomm_verify::plan;
+pub use ovcomm_verify::plan::CollAlgo;
+pub use ovcomm_verify::{CollKind, DeadlockReport, Finding, Severity, VerifyMode, VerifyReport};
 pub use payload::Payload;
 pub use request::Request;
 pub use universe::{actor_name, run, RankCtx, SimConfig, SimError, SimOutput};

@@ -11,9 +11,11 @@ use ovcomm_simnet::{
     ClusterResources, ClusterSpec, Engine, MachineProfile, NetStats, NodeMap, ParkCell,
     ResourceKind, SimDur, SimTime, Trace,
 };
+use ovcomm_verify::plan::{CollAlgo, CollPlan};
 use ovcomm_verify::{DeadlockReport, Finding, Severity, Verifier, VerifyMode, VerifyReport};
 
 use crate::agent::Agent;
+use crate::collsel::CollSelector;
 use crate::comm::{Comm, CommInfo};
 use crate::metrics::SimMetrics;
 use crate::progress::Pool;
@@ -38,6 +40,9 @@ pub struct SimConfig {
     /// [`VerifyMode::Strict`], so every run doubles as a correctness check;
     /// use [`SimConfig::with_verify`] to relax it.
     pub verify: VerifyMode,
+    /// Collective-algorithm selection policy. The default reproduces the
+    /// legacy hardcoded 32 KiB short/long thresholds exactly.
+    pub coll_select: CollSelector,
 }
 
 impl SimConfig {
@@ -52,6 +57,7 @@ impl SimConfig {
             trace: false,
             trace_out: None,
             verify: VerifyMode::Strict,
+            coll_select: CollSelector::default(),
         }
     }
 
@@ -64,12 +70,19 @@ impl SimConfig {
             trace: false,
             trace_out: None,
             verify: VerifyMode::Strict,
+            coll_select: CollSelector::default(),
         }
     }
 
     /// Set the verification level.
     pub fn with_verify(mut self, mode: VerifyMode) -> SimConfig {
         self.verify = mode;
+        self
+    }
+
+    /// Set the collective-algorithm selection policy.
+    pub fn with_coll_select(mut self, sel: CollSelector) -> SimConfig {
+        self.coll_select = sel;
         self
     }
 
@@ -190,7 +203,22 @@ pub(crate) struct UniShared {
     /// Event recorder for communication-correctness verification (`None`
     /// when `VerifyMode::Off`).
     pub verify: Option<Arc<Verifier>>,
+    /// Verification level, consulted by the static plan linter at plan
+    /// compile time (the dynamic recorder above covers execution).
+    pub verify_mode: VerifyMode,
+    /// Collective-algorithm selection policy for this run.
+    pub coll_select: CollSelector,
+    /// Compiled collective schedules, keyed by
+    /// `(kind, algo, p, n, root)` — plans depend on nothing else, so one
+    /// compile (plus static lint) serves every instance of a shape.
+    pub plan_cache: Mutex<PlanCache>,
 }
+
+/// Cache of compiled per-rank collective schedules, keyed by plan shape.
+pub type PlanCache = std::collections::BTreeMap<
+    (ovcomm_verify::CollKind, CollAlgo, usize, usize, usize),
+    Arc<Vec<CollPlan>>,
+>;
 
 impl UniShared {
     /// Complete a request at virtual time `at` and wake its waiters.
@@ -466,6 +494,9 @@ where
             VerifyMode::Off => None,
             VerifyMode::Warn | VerifyMode::Strict => Some(Arc::new(Verifier::new())),
         },
+        verify_mode: cfg.verify,
+        coll_select: cfg.coll_select.clone(),
+        plan_cache: Mutex::new(std::collections::BTreeMap::new()),
     });
 
     // Register all rank actors before any thread starts so the engine

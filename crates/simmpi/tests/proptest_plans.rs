@@ -1,0 +1,214 @@
+//! Cross-algorithm equivalence property tests for the compiled collective
+//! plans: every `CollPlan` builder, forced through the selector, must
+//! produce exactly the reference result for random communicator sizes
+//! (including non-powers-of-two), roots and real payloads — and every
+//! compiled plan shape must be statically lint-clean. The runs use the
+//! default Strict dynamic verification, so a dynamic finding fails the
+//! `run(...)` itself.
+
+use proptest::prelude::*;
+
+use ovcomm_simmpi::plan::{self, chunk_bounds, CollAlgo};
+use ovcomm_simmpi::{run, CollKind, CollSelector, Payload, RankCtx, SimConfig};
+use ovcomm_simnet::MachineProfile;
+
+fn cfg(p: usize, algo: CollAlgo) -> SimConfig {
+    SimConfig::natural(p, 2, MachineProfile::test_profile())
+        .with_coll_select(CollSelector::default().force(algo))
+}
+
+/// Compile the plans for one shape and require zero static-lint findings.
+fn assert_lint_clean(kind: CollKind, algo: CollAlgo, p: usize, n: usize, root: usize) {
+    let plans = plan::build_all(kind, algo, p, n, root);
+    let findings = plan::lint_plans(&plans);
+    assert!(
+        findings.is_empty(),
+        "{algo} p={p} n={n} root={root}: {findings:?}"
+    );
+}
+
+/// Deterministic pseudo-random byte payload.
+fn test_bytes(n: usize, seed: u64) -> Vec<u8> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 251) as u8)
+        .collect()
+}
+
+proptest! {
+    // Each case runs one simulation per algorithm of the collective;
+    // keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn bcast_all_algorithms_deliver_exact_data(
+        p in 1usize..9,
+        root_pick in 0usize..64,
+        n in prop::sample::select(vec![1usize, 7, 600, 4097, 9000]),
+        seed in 0u64..1000,
+    ) {
+        let root = root_pick % p;
+        for algo in CollAlgo::for_kind(CollKind::Bcast) {
+            assert_lint_clean(CollKind::Bcast, algo, p, n, root);
+            let data = test_bytes(n, seed);
+            let expect = Payload::from_vec(data.clone());
+            let out = run(cfg(p, algo), move |rc: RankCtx| {
+                let w = rc.world();
+                let payload = (rc.rank() == root).then(|| Payload::from_vec(data.clone()));
+                w.bcast(root, payload, n) == expect
+            }).unwrap();
+            prop_assert!(out.results.iter().all(|&ok| ok), "{algo} p={p} n={n} root={root}");
+        }
+    }
+
+    #[test]
+    fn reduce_all_algorithms_sum_exactly(
+        p in 1usize..9,
+        root_pick in 0usize..64,
+        n_elems in prop::sample::select(vec![1usize, 65, 513, 1200]),
+    ) {
+        let root = root_pick % p;
+        for algo in CollAlgo::for_kind(CollKind::Reduce) {
+            assert_lint_clean(CollKind::Reduce, algo, p, n_elems * 8, root);
+            let out = run(cfg(p, algo), move |rc: RankCtx| {
+                let w = rc.world();
+                let mine: Vec<f64> = (0..n_elems)
+                    .map(|i| (rc.rank() + 1) as f64 * 0.5 + i as f64)
+                    .collect();
+                w.reduce(root, Payload::from_f64s(&mine)).map(|r| r.to_f64s())
+            }).unwrap();
+            for (r, res) in out.results.iter().enumerate() {
+                if r == root {
+                    let res = res.as_ref().unwrap();
+                    prop_assert_eq!(res.len(), n_elems);
+                    for (i, &x) in res.iter().enumerate() {
+                        let want: f64 = (1..=p).map(|k| k as f64 * 0.5 + i as f64).sum();
+                        prop_assert!(
+                            (x - want).abs() < 1e-9,
+                            "{} p={} root={} elem {}: {} vs {}", algo, p, root, i, x, want
+                        );
+                    }
+                } else {
+                    prop_assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_all_algorithms_sum_exactly(
+        p in 1usize..9,
+        n_elems in prop::sample::select(vec![1usize, 63, 800, 1111]),
+    ) {
+        for algo in CollAlgo::for_kind(CollKind::Allreduce) {
+            assert_lint_clean(CollKind::Allreduce, algo, p, n_elems * 8, 0);
+            let out = run(cfg(p, algo), move |rc: RankCtx| {
+                let w = rc.world();
+                let mine: Vec<f64> = (0..n_elems)
+                    .map(|i| rc.rank() as f64 - i as f64 * 0.25)
+                    .collect();
+                w.allreduce(Payload::from_f64s(&mine)).to_f64s()
+            }).unwrap();
+            for res in &out.results {
+                prop_assert_eq!(res.len(), n_elems);
+                for (i, &x) in res.iter().enumerate() {
+                    let want: f64 = (0..p).map(|k| k as f64 - i as f64 * 0.25).sum();
+                    prop_assert!(
+                        (x - want).abs() < 1e-9,
+                        "{} p={} elem {}: {} vs {}", algo, p, i, x, want
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_all_algorithms_collect_in_rank_order(
+        p in 1usize..9,
+        root_pick in 0usize..64,
+        n in prop::sample::select(vec![1usize, 9, 1000, 4097]),
+        seed in 0u64..1000,
+    ) {
+        let root = root_pick % p;
+        for algo in CollAlgo::for_kind(CollKind::Gather) {
+            assert_lint_clean(CollKind::Gather, algo, p, n, root);
+            let data = test_bytes(n, seed);
+            let expect = Payload::from_vec(data.clone());
+            let out = run(cfg(p, algo), move |rc: RankCtx| {
+                let w = rc.world();
+                let b = chunk_bounds(n, p);
+                // Chunks are owned in root-relative virtual-rank order.
+                let v = (rc.rank() + p - root) % p;
+                let mine = Payload::from_vec(data[b[v]..b[v + 1]].to_vec());
+                w.gather(root, mine, n)
+            }).unwrap();
+            for (r, res) in out.results.iter().enumerate() {
+                if r == root {
+                    prop_assert_eq!(res.as_ref(), Some(&expect), "{} p={} n={} root={}", algo, p, n, root);
+                } else {
+                    prop_assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_rank_chunks(
+        p in 1usize..9,
+        root_pick in 0usize..64,
+        n in prop::sample::select(vec![1usize, 9, 1000, 4097]),
+        seed in 0u64..1000,
+    ) {
+        let root = root_pick % p;
+        for algo in CollAlgo::for_kind(CollKind::Scatter) {
+            assert_lint_clean(CollKind::Scatter, algo, p, n, root);
+            let data = test_bytes(n, seed);
+            let reference = data.clone();
+            let out = run(cfg(p, algo), move |rc: RankCtx| {
+                let w = rc.world();
+                let payload = (rc.rank() == root).then(|| Payload::from_vec(data.clone()));
+                w.scatter(root, payload, n)
+            }).unwrap();
+            let b = chunk_bounds(n, p);
+            for (r, res) in out.results.iter().enumerate() {
+                // Rank r receives the chunk of its root-relative virtual rank.
+                let v = (r + p - root) % p;
+                let want = Payload::from_vec(reference[b[v]..b[v + 1]].to_vec());
+                prop_assert_eq!(res, &want, "{} p={} n={} root={} rank {}", algo, p, n, root, r);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_delivers_full_data_everywhere(
+        p in 1usize..9,
+        n in prop::sample::select(vec![1usize, 9, 1000, 4097]),
+        seed in 0u64..1000,
+    ) {
+        for algo in CollAlgo::for_kind(CollKind::Allgather) {
+            assert_lint_clean(CollKind::Allgather, algo, p, n, 0);
+            let data = test_bytes(n, seed);
+            let expect = Payload::from_vec(data.clone());
+            let out = run(cfg(p, algo), move |rc: RankCtx| {
+                let w = rc.world();
+                let b = chunk_bounds(n, p);
+                let me = rc.rank();
+                let mine = Payload::from_vec(data[b[me]..b[me + 1]].to_vec());
+                w.allgather(mine, n)
+            }).unwrap();
+            for (r, res) in out.results.iter().enumerate() {
+                prop_assert_eq!(res, &expect, "{} p={} n={} rank {}", algo, p, n, r);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_is_lint_clean_and_verifier_clean(p in 1usize..9) {
+        for algo in CollAlgo::for_kind(CollKind::Barrier) {
+            assert_lint_clean(CollKind::Barrier, algo, p, 0, 0);
+            let out = run(cfg(p, algo), |rc: RankCtx| {
+                rc.world().barrier();
+            }).unwrap();
+            prop_assert_eq!(out.verify.errors(), 0);
+        }
+    }
+}

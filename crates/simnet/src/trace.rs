@@ -20,6 +20,9 @@ pub enum SpanKind {
     /// A coarse algorithm phase (e.g. one SUMMA step or a purification
     /// iteration) that groups finer spans beneath it on a timeline.
     Phase,
+    /// One primitive step of a collective schedule (`CollPlan`), emitted
+    /// uniformly by the plan executor — send, recv, local reduce, slack.
+    CollStep,
     /// Anything else worth showing on a timeline.
     Other,
 }
@@ -34,6 +37,7 @@ impl SpanKind {
             SpanKind::Wait => "wait",
             SpanKind::Compute => "compute",
             SpanKind::Phase => "phase",
+            SpanKind::CollStep => "collstep",
             SpanKind::Other => "other",
         }
     }

@@ -1,0 +1,22 @@
+//! Dump the compiled per-rank schedules of one collective instance —
+//! the worked example behind `docs/coll-plans.md`.
+//!
+//! ```sh
+//! cargo run -p ovcomm-verify --example plan_dump
+//! ```
+
+use ovcomm_verify::plan::{build_all, lint_plans, CollAlgo};
+use ovcomm_verify::CollKind;
+
+fn main() {
+    let (p, n, root) = (4, 1024, 0);
+    let plans = build_all(CollKind::Bcast, CollAlgo::BcastBinomial, p, n, root);
+    for plan in &plans {
+        print!("{}", plan.dump());
+    }
+    let findings = lint_plans(&plans);
+    println!("lint findings: {}", findings.len());
+    for f in &findings {
+        println!("  {f}");
+    }
+}

@@ -21,6 +21,7 @@ mod analyze;
 mod deadlock;
 mod event;
 mod finding;
+pub mod plan;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
