@@ -16,6 +16,13 @@
 //! | Table IV (volume/bandwidth/time) | `table4_comm_volume` |
 //! | Table V (2.5D sweep) | `table5_25d` |
 //! | Collective algorithm sweep (CollPlan) | `algo_sweep` |
+//! | Sim-vs-rt validation report | `sim_vs_rt` |
+//!
+//! Binaries that run kernels accept `--backend {sim,rt}` where noted:
+//! `sim` (default) reports modeled virtual time from the flow simulator,
+//! `rt` reports measured wall-clock time from the shared-memory runtime.
+//! `sim_vs_rt` runs both and writes the divergence report
+//! (`results/sim_vs_rt.json`).
 //!
 //! Each binary prints the paper-style table and writes a JSON record under
 //! `results/` for EXPERIMENTS.md. Criterion benches under `benches/` wrap
@@ -34,7 +41,10 @@ pub mod symm;
 pub mod timeline;
 
 pub use chart::{plot_loglog, Series};
-pub use metrics::{apply_coll_select, coll_select_arg, metrics_block, trace_out_arg, MetricsBlock};
+pub use metrics::{
+    apply_coll_select, backend_arg, coll_select_arg, metrics_block, metrics_block_rt,
+    trace_out_arg, Backend, MetricsBlock,
+};
 pub use micro::{
     coll_bandwidth, coll_bandwidth_metrics, p2p_bandwidth, p2p_bandwidth_metrics, CollCase,
     CollKind,

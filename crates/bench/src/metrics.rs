@@ -1,17 +1,24 @@
 //! The structured metrics block attached to every JSON record the harness
 //! emits: overlap efficiency, NIC utilization and wait-time share of the
-//! simulated run each record was measured from.
+//! run each record was measured from — tagged with the backend (simulated
+//! virtual time vs. rt wall clock) that produced it.
 
 use ovcomm_obs::analyze;
+use ovcomm_rt::RtOutput;
 use ovcomm_simmpi::SimOutput;
-use ovcomm_simnet::TraceSpan;
+use ovcomm_simnet::{SimTime, SpanKind, TraceSpan};
 use serde::Serialize;
 
-/// Headline observability figures of one simulated run.
+/// Headline observability figures of one run (simulated or real).
 #[derive(Debug, Clone, Serialize)]
 pub struct MetricsBlock {
-    /// Fraction of NIC-busy time carrying ≥ 2 concurrent flows — how much
-    /// of the communication was overlapped with other communication.
+    /// Which backend produced this record: `"sim"` (virtual time, flow
+    /// model) or `"rt"` (OS threads, wall clock).
+    pub backend: &'static str,
+    /// Fraction of communication-busy time carrying ≥ 2 concurrent
+    /// transfers — how much of the communication was overlapped with other
+    /// communication. On sim this is NIC-flow concurrency; on rt it is
+    /// span concurrency across ranks (no flow model exists for real runs).
     pub overlap_efficiency: f64,
     /// Mean NIC busy fraction over the run.
     pub nic_busy_frac: f64,
@@ -49,12 +56,124 @@ pub fn metrics_block<T>(out: &SimOutput<T>) -> MetricsBlock {
         0.0
     };
     MetricsBlock {
+        backend: "sim",
         overlap_efficiency: report.nic_overlap2_frac,
         nic_busy_frac: report.nic_busy_frac,
         wait_time_share,
         completed_flows: report.completed_flows,
         mean_queue_delay_us: report.mean_queue_delay_us,
         clamped_spans: out.clamped_spans as u64,
+    }
+}
+
+/// Sweep-line concurrency over communication spans: returns
+/// (busy fraction, overlapped-given-busy fraction) of the makespan during
+/// which ≥ 1 / ≥ 2 communication spans were active across all ranks.
+fn span_concurrency(spans: &[TraceSpan], makespan: SimTime) -> (f64, f64) {
+    let mut edges: Vec<(u64, i64)> = Vec::new();
+    for s in spans {
+        let comm = matches!(
+            s.kind,
+            SpanKind::BlockingCall | SpanKind::Wait | SpanKind::CollStep
+        );
+        if comm && s.end > s.start {
+            edges.push((s.start.as_nanos(), 1));
+            edges.push((s.end.as_nanos(), -1));
+        }
+    }
+    edges.sort_unstable();
+    let (mut depth, mut last, mut busy, mut over2) = (0i64, 0u64, 0u64, 0u64);
+    for (t, d) in edges {
+        if depth >= 1 {
+            busy += t - last;
+        }
+        if depth >= 2 {
+            over2 += t - last;
+        }
+        depth += d;
+        last = t;
+    }
+    let total = makespan.as_nanos().max(1) as f64;
+    let busy_frac = busy as f64 / total;
+    let over2_frac = if busy > 0 {
+        over2 as f64 / busy as f64
+    } else {
+        0.0
+    };
+    (busy_frac, over2_frac)
+}
+
+/// Build the metrics block from a finished **rt** (wall-clock) run. The
+/// real backend has no flow network, so the NIC figures are replaced by
+/// their span-based analogues: busy = some rank inside a communication
+/// call, overlapped = ≥ 2 ranks concurrently communicating. The wait-time
+/// share comes from the same `simmpi.wait_ns`/`simmpi.blocking_ns`
+/// histograms both backends record.
+pub fn metrics_block_rt<T>(out: &RtOutput<T>) -> MetricsBlock {
+    let empty: &[TraceSpan] = &[];
+    let spans = out.trace.as_ref().map_or(empty, |t| t.spans());
+    let (busy_frac, over2_frac) = span_concurrency(spans, out.makespan);
+    let blocked_ns: u64 = out
+        .metrics
+        .histograms
+        .iter()
+        .filter(|(k, _)| k.starts_with("simmpi.wait_ns") || k.starts_with("simmpi.blocking_ns"))
+        .map(|(_, h)| h.sum)
+        .sum();
+    let nranks = out.results.len().max(1) as f64;
+    let total_ns = out.makespan.as_nanos() as f64 * nranks;
+    let wait_time_share = if total_ns > 0.0 {
+        (blocked_ns as f64 / total_ns).min(1.0)
+    } else {
+        0.0
+    };
+    MetricsBlock {
+        backend: "rt",
+        overlap_efficiency: over2_frac,
+        nic_busy_frac: busy_frac,
+        wait_time_share,
+        // No flow model on real threads: count delivered messages instead.
+        completed_flows: out.messages,
+        mean_queue_delay_us: 0.0,
+        clamped_spans: out.clamped_spans as u64,
+    }
+}
+
+/// Which runtime a bench binary should execute on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Virtual-time simulator (the default; modeled times).
+    Sim,
+    /// Real shared-memory runtime (OS threads; measured wall-clock times).
+    Rt,
+}
+
+impl Backend {
+    /// Stable name, matching [`MetricsBlock::backend`].
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Rt => "rt",
+        }
+    }
+}
+
+/// `--backend {sim,rt}` from the process arguments; defaults to `sim`.
+/// A malformed value aborts the bench loudly.
+pub fn backend_arg() -> Backend {
+    let mut spec = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            spec = args.next();
+        } else if let Some(s) = a.strip_prefix("--backend=") {
+            spec = Some(s.to_string());
+        }
+    }
+    match spec.as_deref() {
+        None | Some("sim") => Backend::Sim,
+        Some("rt") => Backend::Rt,
+        Some(other) => panic!("bad --backend `{other}`: expected sim or rt"),
     }
 }
 
@@ -123,10 +242,29 @@ mod tests {
         )
         .unwrap();
         let m = metrics_block(&out);
+        assert_eq!(m.backend, "sim");
         assert!(m.nic_busy_frac > 0.0, "bcast must use the NICs");
         assert!(m.wait_time_share > 0.0, "non-roots block in bcast");
         assert!(m.wait_time_share <= 1.0);
         assert!(m.completed_flows > 0);
+        assert_eq!(m.clamped_spans, 0);
+    }
+
+    #[test]
+    fn metrics_block_rt_reflects_real_communication() {
+        let out = ovcomm_rt::run(
+            ovcomm_rt::RtConfig::natural(4, 1, MachineProfile::test_profile()).with_trace(),
+            |rc: ovcomm_rt::RtRankCtx| {
+                let w = rc.world();
+                let data = (rc.rank() == 0).then_some(Payload::Phantom(1 << 16));
+                let _ = w.bcast(0, data, 1 << 16);
+            },
+        )
+        .unwrap();
+        let m = metrics_block_rt(&out);
+        assert_eq!(m.backend, "rt");
+        assert!(m.nic_busy_frac > 0.0, "bcast spans must register as busy");
+        assert!(m.completed_flows > 0, "bcast moves messages");
         assert_eq!(m.clamped_spans, 0);
     }
 }

@@ -16,12 +16,16 @@
 //! * [`collsel`] — fitting a collective-algorithm selector from
 //!   algorithm-sweep measurements (the same empirical tuning applied to
 //!   the collective algorithm choice itself);
-//! * [`model`] — the α–β cost models of §V-A.
+//! * [`model`] — the α–β cost models of §V-A;
+//! * [`backend`] — the [`Communicator`]/[`RankHandle`] traits that make
+//!   all of the above generic over the runtime backend (virtual-time
+//!   simulator or the `ovcomm-rt` wall-clock runtime).
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod autotune;
+pub mod backend;
 pub mod chunk;
 pub mod collsel;
 pub mod model;
@@ -31,6 +35,7 @@ pub mod ppn;
 pub mod tuning;
 
 pub use autotune::{AutoTuner, MeasuredCurve};
+pub use backend::{Communicator, RankHandle};
 pub use chunk::ChunkPlan;
 pub use collsel::{fit_selector, AlgoSample};
 pub use model::{block_bytes, AlphaBeta};

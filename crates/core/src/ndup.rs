@@ -6,16 +6,19 @@
 
 use ovcomm_simmpi::Comm;
 
-/// `N_DUP` duplicated communicators over one group.
+use crate::backend::Communicator;
+
+/// `N_DUP` duplicated communicators over one group. Generic over the
+/// runtime backend; defaults to the simulator's [`Comm`].
 #[derive(Clone)]
-pub struct NDupComms {
-    comms: Vec<Comm>,
+pub struct NDupComms<C: Communicator = Comm> {
+    comms: Vec<C>,
 }
 
-impl NDupComms {
+impl<C: Communicator> NDupComms<C> {
     /// Duplicate `base` `n_dup` times. All member ranks must call this in
     /// the same order (it performs collective `dup`s).
-    pub fn new(base: &Comm, n_dup: usize) -> NDupComms {
+    pub fn new(base: &C, n_dup: usize) -> NDupComms<C> {
         assert!(n_dup >= 1, "N_DUP must be at least 1");
         NDupComms {
             comms: base.dup_n(n_dup),
@@ -28,12 +31,12 @@ impl NDupComms {
     }
 
     /// The communicator for chunk `c`.
-    pub fn comm(&self, c: usize) -> &Comm {
+    pub fn comm(&self, c: usize) -> &C {
         &self.comms[c]
     }
 
     /// Iterate over (chunk index, communicator).
-    pub fn iter(&self) -> impl Iterator<Item = (usize, &Comm)> {
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &C)> {
         self.comms.iter().enumerate()
     }
 

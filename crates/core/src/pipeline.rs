@@ -9,6 +9,7 @@
 
 use ovcomm_simmpi::{Payload, Request};
 
+use crate::backend::Communicator;
 use crate::chunk::ChunkPlan;
 use crate::ndup::NDupComms;
 
@@ -34,8 +35,8 @@ use crate::ndup::NDupComms;
 ///     assert_eq!(out.results[r], vec![1.0, 2.0, 3.0]);
 /// }
 /// ```
-pub fn overlapped_bcast(
-    comms: &NDupComms,
+pub fn overlapped_bcast<C: Communicator>(
+    comms: &NDupComms<C>,
     root: usize,
     data: Option<&Payload>,
     len: usize,
@@ -54,7 +55,11 @@ pub fn overlapped_bcast(
 
 /// Sum-reduce `contrib` to `root`, overlapped with itself: N_DUP chunked
 /// `ireduce`s. Returns the assembled result on the root.
-pub fn overlapped_reduce(comms: &NDupComms, root: usize, contrib: &Payload) -> Option<Payload> {
+pub fn overlapped_reduce<C: Communicator>(
+    comms: &NDupComms<C>,
+    root: usize,
+    contrib: &Payload,
+) -> Option<Payload> {
     let plan = ChunkPlan::new(contrib.len(), comms.n_dup());
     let reqs: Vec<(usize, Request<Option<Payload>>)> = comms
         .iter()
@@ -94,10 +99,10 @@ pub fn overlapped_reduce(comms: &NDupComms, root: usize, contrib: &Payload) -> O
 // The `expect` asserts a protocol invariant: the reduce root always
 // receives the reduced chunk from its own ireduce.
 #[allow(clippy::expect_used)]
-pub fn pipelined_reduce_bcast(
-    reduce_comms: &NDupComms,
+pub fn pipelined_reduce_bcast<C: Communicator>(
+    reduce_comms: &NDupComms<C>,
     reduce_root: usize,
-    bcast_comms: &NDupComms,
+    bcast_comms: &NDupComms<C>,
     bcast_root: usize,
     contrib: &Payload,
     bcast_len: usize,
@@ -169,7 +174,7 @@ pub fn pipelined_reduce_bcast(
 
 /// Sum-allreduce overlapped with itself: N_DUP chunked `iallreduce`s (used
 /// by the 2.5D SymmSquareCube, Algorithm 6 step 3).
-pub fn overlapped_allreduce(comms: &NDupComms, contrib: &Payload) -> Payload {
+pub fn overlapped_allreduce<C: Communicator>(comms: &NDupComms<C>, contrib: &Payload) -> Payload {
     let plan = ChunkPlan::new(contrib.len(), comms.n_dup());
     let reqs: Vec<Request<Payload>> = comms
         .iter()
@@ -182,8 +187,8 @@ pub fn overlapped_allreduce(comms: &NDupComms, contrib: &Payload) -> Payload {
 /// Overlapped point-to-point: send `payload` to `dst` as N_DUP chunked
 /// `isend`s on the duplicated communicators (Algorithm 5, lines 22–26 use
 /// this for the D² and D³ hand-backs).
-pub fn overlapped_isend(
-    comms: &NDupComms,
+pub fn overlapped_isend<C: Communicator>(
+    comms: &NDupComms<C>,
     dst: usize,
     tag: u32,
     payload: &Payload,
@@ -197,7 +202,12 @@ pub fn overlapped_isend(
 
 /// Matching chunked receive: post all N_DUP `irecv`s, wait in order,
 /// reassemble.
-pub fn overlapped_recv(comms: &NDupComms, src: usize, tag: u32, len: usize) -> Payload {
+pub fn overlapped_recv<C: Communicator>(
+    comms: &NDupComms<C>,
+    src: usize,
+    tag: u32,
+    len: usize,
+) -> Payload {
     let plan = ChunkPlan::new(len, comms.n_dup());
     let reqs: Vec<Request<Payload>> = comms.iter().map(|(_, comm)| comm.irecv(src, tag)).collect();
     let chunks = comms.comm(0).wait_all_payloads(&reqs);

@@ -8,8 +8,9 @@
 //! active perform the work ... and then call `MPI_Ibarrier` when they are
 //! finished, in order to release the inactive processes."
 
-use ovcomm_simmpi::{Comm, RankCtx};
 use ovcomm_simnet::SimDur;
+
+use crate::backend::{Communicator, RankHandle};
 
 /// Which ranks participate in a kernel stage.
 #[derive(Debug, Clone)]
@@ -72,9 +73,9 @@ impl StagePlan {
 /// inactive ranks sleep-poll an `MPI_Ibarrier` with the profile's poll
 /// period until the active ranks finish. Returns `Some(f's result)` on
 /// active ranks, `None` on sleepers, plus the number of polls performed.
-pub fn run_stage<T>(
-    rc: &RankCtx,
-    world: &Comm,
+pub fn run_stage<R: RankHandle, T>(
+    rc: &R,
+    world: &R::Comm,
     plan: &StagePlan,
     f: impl FnOnce() -> T,
 ) -> (Option<T>, usize) {

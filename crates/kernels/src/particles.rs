@@ -25,8 +25,8 @@
 // root-only payload delivery and mesh/split bookkeeping guaranteed by the
 // surrounding collective protocol, not recoverable error paths.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use ovcomm_core::{pipelined_reduce_bcast, NDupComms};
-use ovcomm_simmpi::{Payload, RankCtx};
+use ovcomm_core::{pipelined_reduce_bcast, Communicator, NDupComms, RankHandle};
+use ovcomm_simmpi::Payload;
 
 use crate::matvec::VecBuf;
 use crate::mesh::Mesh2D;
@@ -70,7 +70,12 @@ fn pair_force(a: f64, b: f64) -> f64 {
 }
 
 /// Initialize the distributed system: rank (i, j) gets group j's positions.
-pub fn md_init(rc: &RankCtx, mesh: &Mesh2D, cfg: &MdConfig, phantom: bool) -> MdState {
+pub fn md_init<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh2D<R::Comm>,
+    cfg: &MdConfig,
+    phantom: bool,
+) -> MdState {
     let part = Partition1D::new(cfg.n_particles, mesh.p);
     let (s, l) = part.range(mesh.j);
     if phantom {
@@ -89,7 +94,12 @@ pub fn md_init(rc: &RankCtx, mesh: &Mesh2D, cfg: &MdConfig, phantom: bool) -> Md
 }
 
 /// Run `cfg.steps` force-decomposition steps; returns the final state.
-pub fn md_run(rc: &RankCtx, mesh: &Mesh2D, cfg: &MdConfig, mut state: MdState) -> MdState {
+pub fn md_run<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh2D<R::Comm>,
+    cfg: &MdConfig,
+    mut state: MdState,
+) -> MdState {
     let part = Partition1D::new(cfg.n_particles, mesh.p);
     let (i, j) = (mesh.i, mesh.j);
     let li = part.len(i);
@@ -184,11 +194,11 @@ fn integrate(state: &mut MdState, force: &VecBuf, dt: f64) -> VecBuf {
 /// force chunks as they land and immediately broadcasts the corresponding
 /// position chunk. Non-diagonal ranks run the plain pipelined pattern.
 #[allow(clippy::too_many_arguments)]
-fn pipelined_reduce_bcast_with_integrate(
-    rc: &RankCtx,
-    mesh: &Mesh2D,
-    row_ndup: &NDupComms,
-    col_ndup: &NDupComms,
+fn pipelined_reduce_bcast_with_integrate<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh2D<R::Comm>,
+    row_ndup: &NDupComms<R::Comm>,
+    col_ndup: &NDupComms<R::Comm>,
     partial: &VecBuf,
     state: &mut MdState,
     dt: f64,

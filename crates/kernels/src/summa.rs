@@ -16,25 +16,25 @@
 // root-only payload delivery and mesh/split bookkeeping guaranteed by the
 // surrounding collective protocol, not recoverable error paths.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use ovcomm_core::{overlapped_bcast, NDupComms};
+use ovcomm_core::{overlapped_bcast, Communicator, NDupComms, RankHandle};
 use ovcomm_densemat::{gemm_flops, BlockBuf, BlockGrid};
-use ovcomm_simmpi::RankCtx;
+use ovcomm_simmpi::Comm;
 
 use crate::convert::{block_to_payload, payload_to_block};
 use crate::mesh::Mesh2D;
 use crate::symm3d::{SymmInput, SymmOutput};
 
 /// N_DUP bundles for SUMMA's row and column panel broadcasts.
-pub struct SummaBundles {
+pub struct SummaBundles<C: Communicator = Comm> {
     /// Duplicates of the row communicator.
-    pub row: NDupComms,
+    pub row: NDupComms<C>,
     /// Duplicates of the column communicator.
-    pub col: NDupComms,
+    pub col: NDupComms<C>,
 }
 
-impl SummaBundles {
+impl<C: Communicator> SummaBundles<C> {
     /// Build from a mesh with the given N_DUP.
-    pub fn new(mesh: &Mesh2D, n_dup: usize) -> SummaBundles {
+    pub fn new(mesh: &Mesh2D<C>, n_dup: usize) -> SummaBundles<C> {
         SummaBundles {
             row: NDupComms::new(&mesh.row, n_dup),
             col: NDupComms::new(&mesh.col, n_dup),
@@ -42,7 +42,7 @@ impl SummaBundles {
     }
 }
 
-fn local_multiply(rc: &RankCtx, c: &mut BlockBuf, a: &BlockBuf, b: &BlockBuf, rate: f64) {
+fn local_multiply<R: RankHandle>(rc: &R, c: &mut BlockBuf, a: &BlockBuf, b: &BlockBuf, rate: f64) {
     c.gemm_acc(a, b);
     let (m, kk) = a.dims();
     let (_, n2) = b.dims();
@@ -52,11 +52,11 @@ fn local_multiply(rc: &RankCtx, c: &mut BlockBuf, a: &BlockBuf, b: &BlockBuf, ra
 /// Distributed `C = A·B` with SUMMA. `a` and `b` are this rank's blocks
 /// (the (i,j) blocks of the operands); returns this rank's block of C.
 /// Panel broadcasts are overlapped with themselves via the bundles.
-pub fn summa_multiply(
-    rc: &RankCtx,
-    mesh: &Mesh2D,
+pub fn summa_multiply<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh2D<R::Comm>,
     grid: &BlockGrid,
-    bundles: &SummaBundles,
+    bundles: &SummaBundles<R::Comm>,
     a: &BlockBuf,
     b: &BlockBuf,
     rate: f64,
@@ -96,11 +96,11 @@ pub fn summa_multiply(
 /// Communication-wise each panel uses a single ibcast per communicator of
 /// the bundle round-robin, so successive panels travel on different
 /// contexts and genuinely overlap.
-pub fn summa_multiply_pipelined(
-    rc: &RankCtx,
-    mesh: &Mesh2D,
+pub fn summa_multiply_pipelined<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh2D<R::Comm>,
     grid: &BlockGrid,
-    bundles: &SummaBundles,
+    bundles: &SummaBundles<R::Comm>,
     a: &BlockBuf,
     b: &BlockBuf,
     rate: f64,
@@ -153,10 +153,10 @@ pub fn summa_multiply_pipelined(
 
 /// SymmSquareCube over SUMMA: two multiplications on a p×p mesh (p² ranks —
 /// the 2-D point of the mesh-dimensionality ablation).
-pub fn symm_square_cube_summa(
-    rc: &RankCtx,
-    mesh: &Mesh2D,
-    bundles: &SummaBundles,
+pub fn symm_square_cube_summa<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh2D<R::Comm>,
+    bundles: &SummaBundles<R::Comm>,
     input: &SymmInput,
 ) -> SymmOutput {
     let grid = BlockGrid::new(input.n, mesh.p);

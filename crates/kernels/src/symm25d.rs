@@ -16,15 +16,17 @@
 // root-only payload delivery and mesh/split bookkeeping guaranteed by the
 // surrounding collective protocol, not recoverable error paths.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use ovcomm_core::{overlapped_allreduce, overlapped_bcast, overlapped_reduce, NDupComms};
+use ovcomm_core::{
+    overlapped_allreduce, overlapped_bcast, overlapped_reduce, Communicator, NDupComms, RankHandle,
+};
 use ovcomm_densemat::{gemm_flops, BlockBuf, BlockGrid};
-use ovcomm_simmpi::{Comm, Payload, RankCtx};
+use ovcomm_simmpi::{Comm, Payload};
 
 use crate::convert::{block_to_payload, payload_to_block};
 use crate::symm3d::{SymmInput, SymmOutput};
 
 /// A q×q×c process grid with row/column/grid-fibre communicators.
-pub struct Mesh25D {
+pub struct Mesh25D<C: Communicator = Comm> {
     /// Square grid dimension q.
     pub q: usize,
     /// Replication factor c (must divide q).
@@ -36,25 +38,25 @@ pub struct Mesh25D {
     /// Plane coordinate.
     pub k: usize,
     /// Over `P(i, :, k)` (A travels along rows) — my index is `j`.
-    pub row: Comm,
+    pub row: C,
     /// Over `P(:, j, k)` (B travels along columns) — my index is `i`.
-    pub col: Comm,
+    pub col: C,
     /// Over `P(i, j, :)` — my index is `k`.
-    pub grd: Comm,
+    pub grd: C,
     /// All ranks.
-    pub world: Comm,
+    pub world: C,
 }
 
-impl Mesh25D {
+impl<C: Communicator> Mesh25D<C> {
     /// Build from the world communicator; requires `nranks == q²·c` and
     /// `c | q`.
-    pub fn new(rc: &RankCtx, q: usize, c: usize) -> Mesh25D {
+    pub fn new<R: RankHandle<Comm = C>>(rc: &R, q: usize, c: usize) -> Mesh25D<C> {
         Mesh25D::new_on(rc.world(), q, c)
     }
 
     /// Build over an arbitrary base communicator (e.g. the active subset of
     /// a per-kernel-PPN stage).
-    pub fn new_on(world: Comm, q: usize, c: usize) -> Mesh25D {
+    pub fn new_on(world: C, q: usize, c: usize) -> Mesh25D<C> {
         assert_eq!(world.size(), q * q * c, "need exactly q^2*c ranks");
         assert!(
             c >= 1 && q.is_multiple_of(c),
@@ -93,7 +95,7 @@ impl Mesh25D {
 /// Circular shift within `comm`: send my payload `dist` positions forward
 /// (negative = backward), receive from the opposite neighbour. Returns the
 /// incoming payload. A zero-distance (mod p) shift is the identity.
-fn roll(comm: &Comm, dist: isize, tag: u32, payload: Payload) -> Payload {
+fn roll<C: Communicator>(comm: &C, dist: isize, tag: u32, payload: Payload) -> Payload {
     let p = comm.size() as isize;
     let me = comm.rank() as isize;
     let dst = (me + dist).rem_euclid(p) as usize;
@@ -104,7 +106,7 @@ fn roll(comm: &Comm, dist: isize, tag: u32, payload: Payload) -> Payload {
     comm.sendrecv(dst, src, tag, payload)
 }
 
-fn local_multiply(rc: &RankCtx, c: &mut BlockBuf, a: &BlockBuf, b: &BlockBuf, rate: f64) {
+fn local_multiply<R: RankHandle>(rc: &R, c: &mut BlockBuf, a: &BlockBuf, b: &BlockBuf, rate: f64) {
     c.gemm_acc(a, b);
     let (m, kk) = a.dims();
     let (_, n2) = b.dims();
@@ -116,9 +118,9 @@ fn local_multiply(rc: &RankCtx, c: &mut BlockBuf, a: &BlockBuf, b: &BlockBuf, ra
 /// blocks A(i,j)/B(i,j); alignment and step shifts are circular
 /// sendrecv-style exchanges in the row/column communicators.
 #[allow(clippy::too_many_arguments)]
-fn cannon_phase(
-    rc: &RankCtx,
-    mesh: &Mesh25D,
+fn cannon_phase<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh25D<R::Comm>,
     grid: &BlockGrid,
     a0: &BlockBuf,
     b0: &BlockBuf,
@@ -181,10 +183,10 @@ fn cannon_phase(
 /// carries the N_DUP duplicated grid-fibre communicators used to overlap
 /// the three collectives with themselves (pass `N_DUP = 1` for the
 /// non-overlapped variant).
-pub fn symm_square_cube_25d(
-    rc: &RankCtx,
-    mesh: &Mesh25D,
-    grd_ndup: &NDupComms,
+pub fn symm_square_cube_25d<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh25D<R::Comm>,
+    grd_ndup: &NDupComms<R::Comm>,
     input: &SymmInput,
 ) -> SymmOutput {
     let grid = BlockGrid::new(input.n, mesh.q);

@@ -12,12 +12,12 @@
 // root-only payload delivery and mesh/split bookkeeping guaranteed by the
 // surrounding collective protocol, not recoverable error paths.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
-use ovcomm_core::{pipelined_reduce_bcast, ChunkPlan};
+use ovcomm_core::{pipelined_reduce_bcast, ChunkPlan, Communicator, RankHandle};
 use ovcomm_densemat::{gemm_flops, BlockBuf, BlockGrid};
-use ovcomm_simmpi::{Payload, RankCtx, Request};
+use ovcomm_simmpi::{Payload, Request};
 
 use crate::convert::{block_to_payload, payload_to_block};
-use crate::mesh::{Mesh3D, Mesh3DBundles};
+use crate::mesh::{mesh3d_rank_of, Mesh3D, Mesh3DBundles};
 
 /// User tag for the D² hand-back sends.
 const TAG_D2: u32 = 101;
@@ -46,7 +46,7 @@ pub fn symm_square_cube_flops(n: usize) -> f64 {
     2.0 * 2.0 * (n as f64).powi(3)
 }
 
-fn check_input(mesh: &Mesh3D, grid: &BlockGrid, input: &SymmInput) {
+fn check_input<C: Communicator>(mesh: &Mesh3D<C>, grid: &BlockGrid, input: &SymmInput) {
     if mesh.k == 0 {
         let d = input
             .d_block
@@ -63,7 +63,7 @@ fn check_input(mesh: &Mesh3D, grid: &BlockGrid, input: &SymmInput) {
 }
 
 /// Local GEMM: real arithmetic when blocks are real, modeled time always.
-fn local_multiply(rc: &RankCtx, c: &mut BlockBuf, a: &BlockBuf, b: &BlockBuf, rate: f64) {
+fn local_multiply<R: RankHandle>(rc: &R, c: &mut BlockBuf, a: &BlockBuf, b: &BlockBuf, rate: f64) {
     c.gemm_acc(a, b);
     let (m, kk) = a.dims();
     let (_, n2) = b.dims();
@@ -72,7 +72,7 @@ fn local_multiply(rc: &RankCtx, c: &mut BlockBuf, a: &BlockBuf, b: &BlockBuf, ra
 
 /// GEMM rate for this run: the node's rate divided among its processes,
 /// with the local block dimension's efficiency factor.
-fn gemm_rate(rc: &RankCtx, grid: &BlockGrid) -> f64 {
+fn gemm_rate<R: RankHandle>(rc: &R, grid: &BlockGrid) -> f64 {
     let block_dim = grid.n().div_ceil(grid.p()).max(1);
     rc.profile().process_flops(rc.compute_ppn(), block_dim)
 }
@@ -80,8 +80,8 @@ fn gemm_rate(rc: &RankCtx, grid: &BlockGrid) -> f64 {
 /// Hand a block from `src_rank` to `dst_rank` on `comm` (blocking), keeping
 /// it local when they coincide (a blocking self-send would deadlock in the
 /// rendezvous protocol, exactly as in MPI).
-fn hand_back(
-    comm: &ovcomm_simmpi::Comm,
+fn hand_back<C: Communicator>(
+    comm: &C,
     my_index: usize,
     src: usize,
     dst: usize,
@@ -103,7 +103,11 @@ fn hand_back(
 
 /// **Algorithm 3** — the original SymmSquareCube from GTFock, including the
 /// explicit D² transpose (line 6).
-pub fn symm_square_cube_original(rc: &RankCtx, mesh: &Mesh3D, input: &SymmInput) -> SymmOutput {
+pub fn symm_square_cube_original<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh3D<R::Comm>,
+    input: &SymmInput,
+) -> SymmOutput {
     let grid = BlockGrid::new(input.n, mesh.p);
     check_input(mesh, &grid, input);
     let rate = gemm_rate(rc, &grid);
@@ -150,7 +154,7 @@ pub fn symm_square_cube_original(rc: &RankCtx, mesh: &Mesh3D, input: &SymmInput)
     let mut d2_for_bcast: Option<Payload> = None;
     if j == k {
         // I am P(i,k,k) holding D²(i,k); it belongs at P(k,i,k).
-        let dst = Mesh3D::rank_of(k, i, k, p);
+        let dst = mesh3d_rank_of(k, i, k, p);
         if dst == my {
             d2_for_bcast = d2_red.clone();
         } else {
@@ -161,7 +165,7 @@ pub fn symm_square_cube_original(rc: &RankCtx, mesh: &Mesh3D, input: &SymmInput)
     if i == k && d2_for_bcast.is_none() {
         // I am P(k,j,k), the row-broadcast root, expecting D²(j,k) from
         // P(j,k,k).
-        let src = Mesh3D::rank_of(j, k, k, p);
+        let src = mesh3d_rank_of(j, k, k, p);
         debug_assert_ne!(src, my, "diagonal handled by the sender branch");
         d2_for_bcast = Some(mesh.world.recv(src, TAG_D2));
     }
@@ -192,7 +196,11 @@ pub fn symm_square_cube_original(rc: &RankCtx, mesh: &Mesh3D, input: &SymmInput)
 /// **Algorithm 4** — the baseline: the D² transpose is eliminated by
 /// reducing D² to P(i,i,k) instead (new distribution scheme), and the
 /// hand-backs move to the end.
-pub fn symm_square_cube_baseline(rc: &RankCtx, mesh: &Mesh3D, input: &SymmInput) -> SymmOutput {
+pub fn symm_square_cube_baseline<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh3D<R::Comm>,
+    input: &SymmInput,
+) -> SymmOutput {
     let grid = BlockGrid::new(input.n, mesh.p);
     check_input(mesh, &grid, input);
     let rate = gemm_rate(rc, &grid);
@@ -236,7 +244,7 @@ pub fn symm_square_cube_baseline(rc: &RankCtx, mesh: &Mesh3D, input: &SymmInput)
     let my = mesh.world.rank();
     let mut d2_home: Option<Payload> = None;
     if i == j {
-        let dst = Mesh3D::rank_of(i, k, 0, p);
+        let dst = mesh3d_rank_of(i, k, 0, p);
         let payload = d2_red.expect("P(i,i,k) holds D²(i,k)");
         if dst == my {
             d2_home = Some(payload);
@@ -247,7 +255,7 @@ pub fn symm_square_cube_baseline(rc: &RankCtx, mesh: &Mesh3D, input: &SymmInput)
     if k == 0 && d2_home.is_none() {
         // D²(i,j) comes from P(i,i,j); the self case is exactly rank
         // (0,0,0), which the sender branch already kept local.
-        let src = Mesh3D::rank_of(i, i, j, p);
+        let src = mesh3d_rank_of(i, i, j, p);
         debug_assert_ne!(src, my);
         d2_home = Some(mesh.world.recv(src, TAG_D2));
     }
@@ -269,10 +277,10 @@ pub fn symm_square_cube_baseline(rc: &RankCtx, mesh: &Mesh3D, input: &SymmInput)
 /// technique over N_DUP duplicated communicators. With `N_DUP = 1` it
 /// performs the same communication schedule as the baseline (through the
 /// nonblocking path).
-pub fn symm_square_cube_optimized(
-    rc: &RankCtx,
-    mesh: &Mesh3D,
-    bundles: &Mesh3DBundles,
+pub fn symm_square_cube_optimized<R: RankHandle>(
+    rc: &R,
+    mesh: &Mesh3D<R::Comm>,
+    bundles: &Mesh3DBundles<R::Comm>,
     input: &SymmInput,
 ) -> SymmOutput {
     let grid = BlockGrid::new(input.n, mesh.p);
@@ -385,7 +393,7 @@ pub fn symm_square_cube_optimized(
     let my = mesh.world.rank();
     let mut d2_send_reqs: Vec<Request<()>> = Vec::new();
     if let Some(d2) = &d2_mine {
-        let dst = Mesh3D::rank_of(i, k, 0, p);
+        let dst = mesh3d_rank_of(i, k, 0, p);
         if dst != my {
             let plan = ChunkPlan::new(d2.len(), n_dup);
             for (c, comm) in bundles.world.iter() {
@@ -395,7 +403,7 @@ pub fn symm_square_cube_optimized(
     }
     // Receivers of D² (plane 0) post their chunked irecvs. D²(i,j) comes
     // from P(i,i,j); the only self case is rank (0,0,0).
-    let d2_src = Mesh3D::rank_of(i, i, j, p);
+    let d2_src = mesh3d_rank_of(i, i, j, p);
     let d2_self = k == 0 && d2_src == my;
     let mut d2_recv_reqs: Vec<Request<Payload>> = Vec::new();
     if k == 0 && !d2_self {
@@ -494,8 +502,8 @@ pub fn symm_square_cube_optimized(
 }
 
 /// Convert the homed payloads into output blocks on plane 0.
-fn finish(
-    mesh: &Mesh3D,
+fn finish<C: Communicator>(
+    mesh: &Mesh3D<C>,
     grid: &BlockGrid,
     d2_home: Option<Payload>,
     d3_home: Option<Payload>,

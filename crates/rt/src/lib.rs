@@ -1,0 +1,510 @@
+//! # ovcomm-rt
+//!
+//! A real shared-memory runtime backend for the ovcomm stack: every rank
+//! is an OS thread, payloads move through in-process shared memory, and
+//! time is the wall clock. It executes the **same** `Comm` API surface and
+//! the **same** compiled `CollPlan` collective schedules as the
+//! virtual-time simulator (`ovcomm-simmpi`), through the backend traits of
+//! `ovcomm-core` — so any kernel written against
+//! [`Communicator`](ovcomm_core::Communicator)/[`RankHandle`](ovcomm_core::RankHandle)
+//! runs bit-identically on either backend, and wall-clock measurements
+//! from this crate validate the simulator's modeled timings.
+//!
+//! What is shared with the simulator (by construction, not by parallel
+//! implementation):
+//!
+//! * the [`Request`](ovcomm_simmpi::Request) type and wait/test semantics;
+//! * collective compilation — `compile_plans` (selector + static lint
+//!   wall) and the `execute_plan` interpreter; only the I/O surface
+//!   differs;
+//! * eager/rendezvous point-to-point protocols and FIFO envelope matching;
+//! * the verification event model (`ovcomm-verify`) — the runtime records
+//!   the same per-rank event log, so the same analyzer checks both
+//!   backends;
+//! * metric names and the trace span model, so sim-vs-rt comparisons join
+//!   records directly.
+//!
+//! What necessarily differs: completion times are wall-clock nanoseconds
+//! since the run's epoch; deadlock detection is a watchdog (all live
+//! threads blocked with no completions for
+//! [`RtConfig::deadlock_timeout`]) instead of the simulator's exact
+//! quiescence test; and message matching order is genuinely
+//! nondeterministic under races, so the analyzer's *order-dependent-match*
+//! warning — which flags exactly this — is filtered from runtime reports.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+mod comm;
+mod shared;
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use ovcomm_obs::MetricsSnapshot;
+use ovcomm_simmpi::{actor_name, CollSelector, Pool, SimMetrics};
+use ovcomm_simnet::{MachineProfile, NodeMap, ParkCell, SimTime, Trace};
+use ovcomm_verify::{DeadlockReport, Finding, Severity, Verifier, VerifyMode, VerifyReport};
+
+pub use comm::{RtComm, RtRankCtx};
+
+use crate::comm::RtAgent;
+use crate::shared::{RtShared, RtState};
+
+/// Context id of the world communicator (same as the simulator's).
+pub(crate) const WORLD_CTX: u32 = 0;
+
+/// How the runtime treats *modeled* compute charges
+/// (`RankHandle::advance`/`compute_flops`) and sleeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComputeMode {
+    /// Modeled compute costs nothing in wall time (sleeps are capped at
+    /// 1 ms so poll loops stay live). The default: communication paths run
+    /// at full speed and tests finish fast.
+    #[default]
+    Skip,
+    /// Really sleep for every modeled duration — wall timelines then
+    /// resemble the simulator's virtual ones, at the cost of real seconds.
+    Emulate,
+}
+
+/// Configuration of a runtime run — the analogue of the simulator's
+/// `SimConfig`.
+#[derive(Clone)]
+pub struct RtConfig {
+    /// Rank→(logical) node placement. Everything is physically one
+    /// process; the map scopes PPN logic and inter/intra traffic
+    /// accounting so outputs compare against simulator runs.
+    pub nodemap: NodeMap,
+    /// Machine profile: the runtime reads `eager_limit` (protocol switch),
+    /// `coll_round_slack` (under [`ComputeMode::Emulate`]), and compute
+    /// rates consulted by kernels.
+    pub profile: MachineProfile,
+    /// Verification level (default [`VerifyMode::Strict`], like the
+    /// simulator — every test doubles as a correctness check).
+    pub verify: VerifyMode,
+    /// Collective-algorithm selection policy.
+    pub coll_select: CollSelector,
+    /// Modeled-compute treatment.
+    pub compute: ComputeMode,
+    /// Record trace spans.
+    pub trace: bool,
+    /// Write a Perfetto trace to this path after the run.
+    pub trace_out: Option<PathBuf>,
+    /// How long every live thread must stay blocked, with no request
+    /// completing, before the watchdog declares deadlock.
+    pub deadlock_timeout: Duration,
+}
+
+impl RtConfig {
+    /// `nranks` ranks packed `ppn`-per-logical-node.
+    pub fn natural(nranks: usize, ppn: usize, profile: MachineProfile) -> RtConfig {
+        RtConfig::with_map(NodeMap::natural(nranks, ppn), profile)
+    }
+
+    /// Explicit rank→node map.
+    pub fn with_map(nodemap: NodeMap, profile: MachineProfile) -> RtConfig {
+        RtConfig {
+            nodemap,
+            profile,
+            verify: VerifyMode::default(),
+            coll_select: CollSelector::default(),
+            compute: ComputeMode::default(),
+            trace: false,
+            trace_out: None,
+            deadlock_timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// Set the verification level.
+    pub fn with_verify(mut self, mode: VerifyMode) -> RtConfig {
+        self.verify = mode;
+        self
+    }
+
+    /// Set the collective-algorithm selector.
+    pub fn with_coll_select(mut self, sel: CollSelector) -> RtConfig {
+        self.coll_select = sel;
+        self
+    }
+
+    /// Set the modeled-compute treatment.
+    pub fn with_compute(mut self, mode: ComputeMode) -> RtConfig {
+        self.compute = mode;
+        self
+    }
+
+    /// Enable span tracing.
+    pub fn with_trace(mut self) -> RtConfig {
+        self.trace = true;
+        self
+    }
+
+    /// Enable tracing and write a Perfetto trace to `path` after the run.
+    pub fn with_trace_out(mut self, path: impl Into<PathBuf>) -> RtConfig {
+        self.trace = true;
+        self.trace_out = Some(path.into());
+        self
+    }
+
+    /// Set the watchdog's deadlock timeout.
+    pub fn with_deadlock_timeout(mut self, d: Duration) -> RtConfig {
+        self.deadlock_timeout = d;
+        self
+    }
+}
+
+/// Why a runtime run failed — mirrors the simulator's `SimError`.
+#[derive(Debug)]
+pub enum RtError {
+    /// Every live thread blocked with no request completing for the
+    /// configured timeout (mismatched communication).
+    Deadlock {
+        /// The structured diagnosis (from the shared verifier).
+        report: DeadlockReport,
+    },
+    /// A rank thread (or progress worker) panicked.
+    RankPanic {
+        /// World rank of the first panicking thread.
+        rank: usize,
+        /// Panic payload rendered as a string.
+        message: String,
+    },
+    /// The run completed but `VerifyMode::Strict` analysis found
+    /// error-severity communication-correctness violations.
+    Verification {
+        /// All findings (errors first).
+        findings: Vec<Finding>,
+    },
+}
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RtError::Deadlock { report } => write!(f, "{report}"),
+            RtError::RankPanic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            RtError::Verification { findings } => {
+                let errors = findings
+                    .iter()
+                    .filter(|x| x.severity == Severity::Error)
+                    .count();
+                write!(f, "verification failed: {errors} error(s)")?;
+                for x in findings.iter().take(8) {
+                    write!(f, "\n  {x}")?;
+                }
+                if findings.len() > 8 {
+                    write!(f, "\n  ... and {} more finding(s)", findings.len() - 8)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// Results of a successful runtime run — the wall-clock analogue of the
+/// simulator's `SimOutput` (minus network-resource statistics, which only
+/// the flow model can produce).
+pub struct RtOutput<T> {
+    /// Per-rank return values of the rank closure.
+    pub results: Vec<T>,
+    /// Wall clock of each rank as its closure returned (ns since epoch).
+    pub end_times: Vec<SimTime>,
+    /// Latest end time — the measured makespan.
+    pub makespan: SimTime,
+    /// Bytes between ranks on different logical nodes.
+    pub inter_node_bytes: u64,
+    /// Bytes between ranks on the same logical node.
+    pub intra_node_bytes: u64,
+    /// Total messages.
+    pub messages: u64,
+    /// Recorded spans (wall-clock timestamps), if tracing was enabled.
+    pub trace: Option<Trace>,
+    /// Snapshot of every metric the run recorded — same metric names as
+    /// the simulator, so sim-vs-rt reports join per-rank records directly.
+    pub metrics: MetricsSnapshot,
+    /// Trace spans that arrived with `end < start` and were clamped.
+    pub clamped_spans: usize,
+    /// Communication-correctness findings and leak counters.
+    /// *Order-dependent-match* warnings are filtered out: under real
+    /// nondeterministic matching they are expected, not a defect.
+    pub verify: VerifyReport,
+}
+
+/// True for findings the runtime expects by construction: receive-matching
+/// order genuinely races here, so the analyzer's determinism warning about
+/// it carries no signal.
+fn expected_on_rt(f: &Finding) -> bool {
+    f.code() == "order-dependent-match"
+}
+
+/// Run `f` on every rank as a real OS thread; returns when all ranks
+/// finish (or the watchdog declares deadlock).
+///
+/// ```
+/// use ovcomm_rt::{run, RtConfig, RtRankCtx};
+/// use ovcomm_simmpi::Payload;
+/// use ovcomm_simnet::MachineProfile;
+///
+/// // Two ranks: rank 0 sends a value, rank 1 doubles it — the same
+/// // program text runs under `ovcomm_simmpi::run` with a `SimConfig`.
+/// let out = run(
+///     RtConfig::natural(2, 1, MachineProfile::test_profile()),
+///     |rc: RtRankCtx| {
+///         let world = rc.world();
+///         if rc.rank() == 0 {
+///             world.send(1, 0, Payload::from_f64s(&[21.0]));
+///             0.0
+///         } else {
+///             2.0 * world.recv(0, 0).to_f64s()[0]
+///         }
+///     },
+/// )
+/// .unwrap();
+/// assert_eq!(out.results[1], 42.0);
+/// ```
+// The `expect`s here are launch-time (thread spawn) and join-time (a rank
+// that did not panic must have produced a result) invariants.
+#[allow(clippy::expect_used)]
+pub fn run<T, F>(cfg: RtConfig, f: F) -> Result<RtOutput<T>, RtError>
+where
+    T: Send + 'static,
+    F: Fn(RtRankCtx) -> T + Send + Sync + 'static,
+{
+    let nranks = cfg.nodemap.nranks();
+    let shared = Arc::new(RtShared {
+        epoch: Instant::now(),
+        profile: cfg.profile.clone(),
+        nodemap: cfg.nodemap.clone(),
+        state: Mutex::new(RtState {
+            next_ctx: WORLD_CTX + 1,
+            rank_end_times: vec![SimTime::ZERO; nranks],
+            ..RtState::default()
+        }),
+        pool: Pool::new(),
+        metrics: SimMetrics::new(nranks),
+        compute: cfg.compute,
+        tracing: cfg.trace,
+        trace: Mutex::new(Trace::new()),
+        verify: match cfg.verify {
+            VerifyMode::Off => None,
+            VerifyMode::Warn | VerifyMode::Strict => Some(Arc::new(Verifier::new())),
+        },
+        verify_mode: cfg.verify,
+        coll_select: cfg.coll_select.clone(),
+        plan_cache: Mutex::new(std::collections::BTreeMap::new()),
+        op_panics: Mutex::new(Vec::new()),
+        live: AtomicUsize::new(nranks),
+        blocked: AtomicUsize::new(0),
+        progress_epoch: AtomicU64::new(0),
+        aborted: AtomicBool::new(false),
+        blocked_agents: Mutex::new(HashMap::new()),
+        deadlock_blocked: Mutex::new(Vec::new()),
+    });
+
+    // The watchdog: declare deadlock only when every live thread has been
+    // blocked, with the completion counter frozen, continuously for the
+    // configured timeout.
+    let done = Arc::new(AtomicBool::new(false));
+    let watchdog = {
+        let shared = shared.clone();
+        let done = done.clone();
+        let timeout = cfg.deadlock_timeout;
+        std::thread::Builder::new()
+            .name("rt-watchdog".into())
+            .spawn(move || {
+                let mut stuck_since: Option<(u64, Instant)> = None;
+                while !done.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(20));
+                    let live = shared.live.load(Ordering::SeqCst);
+                    let blocked = shared.blocked.load(Ordering::SeqCst);
+                    let epoch = shared.progress_epoch.load(Ordering::SeqCst);
+                    let all_blocked = live > 0 && blocked >= live;
+                    match (&stuck_since, all_blocked) {
+                        (Some((e, since)), true) if *e == epoch => {
+                            if since.elapsed() >= timeout {
+                                // Snapshot who is blocked on what before
+                                // releasing anyone, then abort: parked
+                                // threads panic on their next park slice.
+                                let snapshot: Vec<(u32, u32)> = shared
+                                    .blocked_agents
+                                    .lock()
+                                    .iter()
+                                    .map(|(&a, &r)| (a, r))
+                                    .collect();
+                                *shared.deadlock_blocked.lock() = snapshot;
+                                shared.aborted.store(true, Ordering::SeqCst);
+                                return;
+                            }
+                        }
+                        (_, true) => stuck_since = Some((epoch, Instant::now())),
+                        (_, false) => stuck_since = None,
+                    }
+                }
+            })
+            .expect("failed to spawn watchdog thread")
+    };
+
+    let f = Arc::new(f);
+    let world_ranks: Arc<Vec<u32>> = Arc::new((0..nranks as u32).collect());
+    let mut handles = Vec::with_capacity(nranks);
+    for r in 0..nranks {
+        let shared2 = shared.clone();
+        let f2 = f.clone();
+        let world_ranks2 = world_ranks.clone();
+        let h = std::thread::Builder::new()
+            .name(format!("rt-rank-{r}"))
+            .stack_size(4 << 20)
+            .spawn(move || {
+                struct Finish(Arc<RtShared>);
+                impl Drop for Finish {
+                    fn drop(&mut self) {
+                        self.0.live.fetch_sub(1, Ordering::SeqCst);
+                        // A rank exiting (or unwinding) is progress as far
+                        // as the watchdog is concerned.
+                        self.0.progress_epoch.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                let _guard = Finish(shared2.clone());
+                let agent = RtAgent {
+                    id: r as u32,
+                    rank: r as u32,
+                    cell: Arc::new(ParkCell::new()),
+                    op_counter: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+                    shared: shared2.clone(),
+                };
+                let world = RtComm::new_world(agent.clone(), world_ranks2, r);
+                let rc = RtRankCtx::new(agent, world);
+                let out = f2(rc);
+                shared2.state.lock().rank_end_times[r] = shared2.now();
+                out
+            })
+            .expect("failed to spawn rank thread");
+        handles.push(h);
+    }
+
+    let mut results = Vec::with_capacity(nranks);
+    let mut panics: Vec<(usize, String)> = Vec::new();
+    for (r, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(v) => results.push(Some(v)),
+            Err(p) => {
+                results.push(None);
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                panics.push((r, msg));
+            }
+        }
+    }
+    done.store(true, Ordering::SeqCst);
+    let _ = watchdog.join();
+    shared.pool.shutdown();
+
+    // A real bug often *causes* the deadlock that aborts everyone else;
+    // report the root cause, not the induced deadlock panics.
+    let is_deadlock_msg = |m: &str| m.contains("rt deadlock");
+    let mut op_panics = std::mem::take(&mut *shared.op_panics.lock());
+    op_panics.retain(|(_, m)| !is_deadlock_msg(m));
+    if let Some((rank, message)) = panics
+        .iter()
+        .find(|(_, m)| !is_deadlock_msg(m))
+        .cloned()
+        .or_else(|| op_panics.first().map(|(r, m)| (*r as usize, m.clone())))
+    {
+        return Err(RtError::RankPanic { rank, message });
+    }
+    if shared.aborted.load(Ordering::SeqCst) {
+        let blocked = shared.deadlock_blocked.lock().clone();
+        let report = match shared.verify.as_ref() {
+            Some(v) => v.deadlock_report(&blocked),
+            None => DeadlockReport::unknown(&blocked),
+        };
+        return Err(RtError::Deadlock { report });
+    }
+    if let Some((rank, message)) = panics.into_iter().next() {
+        return Err(RtError::RankPanic { rank, message });
+    }
+
+    // Analyze the communication log with the same analyzer as the
+    // simulator, minus the findings real nondeterminism legitimately
+    // produces.
+    let verify_report = match shared.verify.as_ref() {
+        Some(v) => {
+            let mut findings = v.analyze();
+            findings.retain(|x| !expected_on_rt(x));
+            match cfg.verify {
+                VerifyMode::Warn => {
+                    for x in &findings {
+                        eprintln!("ovcomm-verify: {x}");
+                    }
+                }
+                VerifyMode::Strict => {
+                    if findings.iter().any(|x| x.severity == Severity::Error) {
+                        return Err(RtError::Verification { findings });
+                    }
+                }
+                VerifyMode::Off => {}
+            }
+            let (dropped_incomplete, dropped_untaken) = v.drop_counters();
+            VerifyReport {
+                findings,
+                dropped_incomplete,
+                dropped_untaken,
+            }
+        }
+        None => VerifyReport::default(),
+    };
+
+    let (inter, intra, messages, end_times) = {
+        let st = shared.state.lock();
+        (
+            st.inter_bytes,
+            st.intra_bytes,
+            st.messages,
+            st.rank_end_times.clone(),
+        )
+    };
+    let makespan = end_times.iter().copied().max().unwrap_or(SimTime::ZERO);
+    shared
+        .metrics
+        .pool_spawned
+        .set(shared.pool.spawned() as u64);
+    let trace = if cfg.trace {
+        Some(std::mem::replace(&mut *shared.trace.lock(), Trace::new()))
+    } else {
+        None
+    };
+    let clamped_spans = trace.as_ref().map_or(0, |t| t.clamped());
+    if let Some(path) = &cfg.trace_out {
+        let spans: &[ovcomm_simnet::TraceSpan] = trace.as_ref().map_or(&[], |t| t.spans());
+        if let Err(e) = ovcomm_obs::write_trace(path, spans, actor_name) {
+            eprintln!("warning: failed to write trace to {}: {e}", path.display());
+        }
+    }
+    Ok(RtOutput {
+        results: results
+            .into_iter()
+            .map(|o| o.expect("non-panicked rank must produce a result"))
+            .collect(),
+        end_times,
+        makespan,
+        inter_node_bytes: inter,
+        intra_node_bytes: intra,
+        messages,
+        trace,
+        metrics: shared.metrics.snapshot(),
+        clamped_spans,
+        verify: verify_report,
+    })
+}

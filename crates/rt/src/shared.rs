@@ -1,0 +1,377 @@
+//! Shared runtime state: the wall clock, the mailbox matching layer, and
+//! the blocking-wait protocol.
+//!
+//! Unlike the simulator — where a virtual-time engine owns the clock and
+//! message transport is modeled by network flows — here everything is
+//! real: the clock is `Instant::elapsed` since the run's epoch, payloads
+//! move by reference through a mutex-protected mailbox table, and a
+//! blocked rank parks its thread on a condvar until a completion wakes it.
+//! The *protocols* mirror simmpi's exactly:
+//!
+//! * **Eager** (`n < eager_limit`): the sender's request completes at post
+//!   time (the payload handle is "buffered" in the mailbox); the receive
+//!   completes as soon as it matches.
+//! * **Rendezvous** (`n ≥ eager_limit`): the sender's request completes
+//!   only when the matching receive arrives — so code that deadlocks under
+//!   MPI's synchronizing large-message semantics deadlocks here too.
+//!
+//! Matching follows MPI's non-overtaking rule per `(context, source,
+//! destination, tag)` envelope: FIFO queues, no wildcards.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use ovcomm_simmpi::payload::Payload;
+use ovcomm_simmpi::request::{ReqMeta, Request};
+use ovcomm_simmpi::universe::PlanCache;
+use ovcomm_simmpi::{CollSelector, Pool, SimMetrics, SplitResult};
+use ovcomm_simnet::{MachineProfile, NodeMap, ParkCell, SimTime, SpanKind, Trace, TraceSpan};
+use ovcomm_verify::{Event, ReqId, Verifier, VerifyMode, INTERNAL_TAG_BIT};
+
+use crate::ComputeMode;
+
+/// How long a parked thread waits before re-checking the abort flag. Also
+/// bounds how quickly a deadlock abort propagates to blocked threads.
+pub(crate) const PARK_SLICE: Duration = Duration::from_millis(25);
+
+/// Envelope key used for matching sends with receives (same shape as the
+/// simulator's matcher).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct RtKey {
+    pub ctx: u32,
+    pub src: u32,
+    pub dst: u32,
+    pub tag: u64,
+}
+
+/// Unique id of a mailbox slot (send side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct SlotId(pub u64);
+
+/// One posted send parked in the mailbox awaiting its receive.
+pub(crate) struct Slot {
+    pub payload: Payload,
+    /// Sender's request — already complete for eager sends (buffered),
+    /// completed at match time for rendezvous.
+    pub sender_req: Request<()>,
+    /// Eager protocol? (Decides whether matching must also complete the
+    /// sender.)
+    pub eager: bool,
+}
+
+/// Accumulates `split` participants until the whole communicator called.
+pub(crate) struct RtSplitGather {
+    pub entries: Vec<(usize, i64, u64)>,
+    pub expected: usize,
+    pub waiters: Vec<Arc<ParkCell>>,
+    pub result: Option<Arc<SplitResult>>,
+}
+
+/// The mutex-protected mutable state of one runtime instance.
+#[derive(Default)]
+pub(crate) struct RtState {
+    /// FIFO of unmatched send slots per envelope.
+    pub send_q: HashMap<RtKey, VecDeque<SlotId>>,
+    /// FIFO of unmatched receives per envelope.
+    pub recv_q: HashMap<RtKey, VecDeque<Request<Payload>>>,
+    /// All live send slots.
+    pub slots: HashMap<SlotId, Slot>,
+    pub next_slot_id: u64,
+    /// (parent ctx, per-rank dup/split sequence) → child ctx. All ranks
+    /// call dup/split in the same order, so the key is rank-independent.
+    pub ctx_registry: HashMap<(u32, u64), u32>,
+    pub next_ctx: u32,
+    /// In-progress `split` rendezvous, keyed by (parent ctx, split seq).
+    pub splits: HashMap<(u32, u64), RtSplitGather>,
+    /// Bytes whose src/dst ranks live on different nodes of the (logical)
+    /// node map. Everything is physically shared memory; the split is kept
+    /// so traffic accounting matches the simulator's.
+    pub inter_bytes: u64,
+    /// Bytes between ranks mapped to the same logical node.
+    pub intra_bytes: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Final wall clock of each rank, recorded as rank closures return.
+    pub rank_end_times: Vec<SimTime>,
+}
+
+impl RtState {
+    pub fn alloc_slot_id(&mut self) -> SlotId {
+        let id = SlotId(self.next_slot_id);
+        self.next_slot_id += 1;
+        id
+    }
+
+    /// Allocate (or look up) a child context for `(parent, seq)`.
+    pub fn child_ctx(&mut self, parent: u32, seq: u64) -> u32 {
+        if let Some(&c) = self.ctx_registry.get(&(parent, seq)) {
+            return c;
+        }
+        let c = self.next_ctx;
+        self.next_ctx += 1;
+        self.ctx_registry.insert((parent, seq), c);
+        c
+    }
+}
+
+/// Everything shared between rank threads, progress workers, and the
+/// watchdog.
+pub(crate) struct RtShared {
+    /// Wall-clock epoch; `now()` is nanoseconds since this instant.
+    pub epoch: Instant,
+    pub profile: MachineProfile,
+    pub nodemap: NodeMap,
+    pub state: Mutex<RtState>,
+    pub pool: Pool,
+    pub metrics: SimMetrics,
+    pub compute: ComputeMode,
+    pub tracing: bool,
+    pub trace: Mutex<Trace>,
+    pub verify: Option<Arc<Verifier>>,
+    pub verify_mode: VerifyMode,
+    pub coll_select: CollSelector,
+    pub plan_cache: Mutex<PlanCache>,
+    pub op_panics: Mutex<Vec<(u32, String)>>,
+    /// Threads currently executing user or collective code: rank threads
+    /// plus outstanding nonblocking-collective jobs.
+    pub live: AtomicUsize,
+    /// Of those, how many are parked inside a wait right now.
+    pub blocked: AtomicUsize,
+    /// Bumped on every request completion; the watchdog declares deadlock
+    /// only when this stops moving while everyone is blocked.
+    pub progress_epoch: AtomicU64,
+    /// Set by the watchdog on deadlock; parked threads panic when they see
+    /// it on their next park timeout.
+    pub aborted: AtomicBool,
+    /// `(agent id, world rank)` of threads currently parked in a wait, for
+    /// the deadlock diagnosis.
+    pub blocked_agents: Mutex<HashMap<u32, u32>>,
+    /// Snapshot of `blocked_agents` taken by the watchdog at abort time.
+    pub deadlock_blocked: Mutex<Vec<(u32, u32)>>,
+}
+
+impl RtShared {
+    /// Nanoseconds since the run's epoch, as the backend's `SimTime`.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    /// Complete `req` with `value` at the current wall time and wake every
+    /// parked waiter.
+    pub fn complete<T>(&self, req: &Request<T>, value: T) {
+        let at = self.now();
+        for cell in req.complete(value, at) {
+            cell.wake_direct(at);
+        }
+        self.progress_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a trace span (no-op unless tracing).
+    pub fn span(
+        &self,
+        actor: u32,
+        kind: SpanKind,
+        chunk: Option<u32>,
+        start: SimTime,
+        end: SimTime,
+        label: impl FnOnce() -> String,
+    ) {
+        if !self.tracing {
+            return;
+        }
+        self.trace.lock().push(TraceSpan {
+            actor,
+            kind,
+            label: label(),
+            chunk,
+            start,
+            end,
+        });
+    }
+
+    /// Record a panic that unwound a progress job.
+    pub fn record_op_panic(&self, rank: u32, msg: String) {
+        self.op_panics.lock().push((rank, msg));
+    }
+
+    /// Charge modeled time per the run's [`ComputeMode`]: skipped entirely,
+    /// or emulated by really sleeping for the modeled duration.
+    pub fn charge(&self, d: ovcomm_simnet::SimDur) {
+        match self.compute {
+            ComputeMode::Skip => {}
+            ComputeMode::Emulate => {
+                if d.as_nanos() > 0 {
+                    std::thread::sleep(Duration::from_nanos(d.as_nanos()));
+                }
+            }
+        }
+    }
+
+    /// A fresh request, tracked when verification is on. `record` builds
+    /// the post event for the minted request id.
+    pub fn new_req<T>(&self, record: impl FnOnce(ReqId) -> Event) -> Request<T> {
+        match self.verify.as_ref() {
+            Some(v) => {
+                let id = v.next_req_id();
+                v.record(record(id));
+                Request::new_tracked(ReqMeta {
+                    verifier: v.clone(),
+                    id,
+                })
+            }
+            None => Request::new(),
+        }
+    }
+
+    /// Block `agent` (parked on `cell`) until `req` completes; returns the
+    /// value. This is the runtime's `MPI_Wait`: register as a waiter, park
+    /// the OS thread in bounded slices, re-check, and panic out if the
+    /// watchdog declared the run deadlocked.
+    pub fn wait_req<T>(&self, agent: u32, rank: u32, cell: &Arc<ParkCell>, req: &Request<T>) -> T {
+        if let (Some(v), Some(id)) = (self.verify.as_ref(), req.verify_id()) {
+            v.wait_begin(agent, id);
+        }
+        let out = loop {
+            if let Some((v, _at)) = req.try_take() {
+                // Drop any wake raced in after the value was taken; a stale
+                // pending would only cause one spurious (harmless) loop in
+                // the next wait, but keep the cell clean anyway.
+                cell.take_pending_direct();
+                break v;
+            }
+            if req.add_waiter(cell) {
+                self.blocked.fetch_add(1, Ordering::SeqCst);
+                self.blocked_agents.lock().insert(agent, rank);
+                let woke = cell.park_timeout_direct(PARK_SLICE);
+                self.blocked_agents.lock().remove(&agent);
+                self.blocked.fetch_sub(1, Ordering::SeqCst);
+                if woke.is_none() && self.aborted.load(Ordering::SeqCst) {
+                    panic!(
+                        "rt deadlock: every thread is blocked and no request completed \
+                         (mismatched send/recv or collective call order?)"
+                    );
+                }
+            }
+        };
+        if let (Some(v), Some(id)) = (self.verify.as_ref(), req.verify_id()) {
+            v.record(Event::WaitDone { agent, req: id });
+            v.wait_end(agent);
+        }
+        out
+    }
+
+    /// Post a nonblocking send: match against queued receives or park the
+    /// payload in the mailbox. Runs inline on the caller — there is no
+    /// modeled post cost; the real cost *is* the code.
+    pub fn isend_raw(
+        &self,
+        agent: u32,
+        rank: u32,
+        site: ovcomm_verify::Site,
+        key: RtKey,
+        payload: Payload,
+    ) -> Request<()> {
+        let n = payload.len();
+        let eager = n < self.profile.eager_limit;
+        let req = self.new_req::<()>(|id| Event::SendPost {
+            agent,
+            rank,
+            ctx: key.ctx,
+            dst: key.dst,
+            tag: key.tag,
+            bytes: n,
+            internal: key.tag & INTERNAL_TAG_BIT != 0,
+            req: id,
+            site: Some(site),
+        });
+        if eager {
+            // Buffered: the sender may proceed immediately.
+            self.complete(&req, ());
+        }
+        let matched = {
+            let mut st = self.state.lock();
+            st.messages += 1;
+            if self.nodemap.node_of(key.src as usize) == self.nodemap.node_of(key.dst as usize) {
+                st.intra_bytes += n as u64;
+            } else {
+                st.inter_bytes += n as u64;
+            }
+            match st.recv_q.get_mut(&key).and_then(|q| q.pop_front()) {
+                Some(recv) => Some((recv, payload)),
+                None => {
+                    let id = st.alloc_slot_id();
+                    st.slots.insert(
+                        id,
+                        Slot {
+                            payload,
+                            sender_req: req.clone(),
+                            eager,
+                        },
+                    );
+                    st.send_q.entry(key).or_default().push_back(id);
+                    None
+                }
+            }
+        };
+        if let Some((recv, payload)) = matched {
+            self.record_match(req.verify_id(), recv.verify_id());
+            // Rendezvous senders complete at match time (the receiver has
+            // arrived); eager senders completed at post above.
+            if !eager {
+                self.complete(&req, ());
+            }
+            self.complete(&recv, payload);
+        }
+        req
+    }
+
+    /// Post a nonblocking receive: match against the mailbox or queue.
+    pub fn irecv_raw(
+        &self,
+        agent: u32,
+        rank: u32,
+        site: ovcomm_verify::Site,
+        key: RtKey,
+    ) -> Request<Payload> {
+        let req = self.new_req::<Payload>(|id| Event::RecvPost {
+            agent,
+            rank,
+            ctx: key.ctx,
+            src: key.src,
+            tag: key.tag,
+            internal: key.tag & INTERNAL_TAG_BIT != 0,
+            req: id,
+            site: Some(site),
+        });
+        let matched = {
+            let mut st = self.state.lock();
+            match st.send_q.get_mut(&key).and_then(|q| q.pop_front()) {
+                Some(id) => st.slots.remove(&id),
+                None => {
+                    st.recv_q.entry(key).or_default().push_back(req.clone());
+                    None
+                }
+            }
+        };
+        if let Some(slot) = matched {
+            self.record_match(slot.sender_req.verify_id(), req.verify_id());
+            if !slot.eager {
+                self.complete(&slot.sender_req, ());
+            }
+            self.complete(&req, slot.payload);
+        }
+        req
+    }
+
+    /// Record a send/recv pairing (before either completion, mirroring the
+    /// simulator's log ordering guarantee).
+    fn record_match(&self, send: Option<ReqId>, recv: Option<ReqId>) {
+        if let (Some(v), Some(s), Some(r)) = (self.verify.as_ref(), send, recv) {
+            v.record(Event::Match { send: s, recv: r });
+        }
+    }
+}

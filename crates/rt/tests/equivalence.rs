@@ -1,0 +1,242 @@
+//! Cross-backend collective equivalence: every `CollPlan` algorithm,
+//! forced through the selector, executed by the **rt** interpreter on real
+//! OS threads, must deliver exactly the reference data — the same property
+//! `proptest_plans.rs` establishes for the simulator's interpreter. A
+//! final set of tests runs the same forced plan on both backends and
+//! requires bit-identical floating-point reductions: identical plan ⇒
+//! identical reduction tree ⇒ identical rounding.
+//!
+//! Case counts are lower than the sim-side suite because every rt case
+//! spawns `p` OS threads per algorithm.
+
+use proptest::prelude::*;
+
+use ovcomm_rt::{run, RtConfig, RtRankCtx};
+use ovcomm_simmpi::plan::{chunk_bounds, CollAlgo};
+use ovcomm_simmpi::{CollKind, CollSelector, Payload, RankCtx, SimConfig};
+use ovcomm_simnet::MachineProfile;
+
+fn cfg(p: usize, algo: CollAlgo) -> RtConfig {
+    RtConfig::natural(p, 2, MachineProfile::test_profile())
+        .with_coll_select(CollSelector::default().force(algo))
+}
+
+fn test_bytes(n: usize, seed: u64) -> Vec<u8> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 251) as u8)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn bcast_all_algorithms_exact_on_rt(
+        p in 1usize..7,
+        root_pick in 0usize..64,
+        n in prop::sample::select(vec![1usize, 7, 600, 4097]),
+        seed in 0u64..1000,
+    ) {
+        let root = root_pick % p;
+        for algo in CollAlgo::for_kind(CollKind::Bcast) {
+            let data = test_bytes(n, seed);
+            let expect = Payload::from_vec(data.clone());
+            let out = run(cfg(p, algo), move |rc: RtRankCtx| {
+                let w = rc.world();
+                let payload = (rc.rank() == root).then(|| Payload::from_vec(data.clone()));
+                w.bcast(root, payload, n) == expect
+            }).unwrap();
+            prop_assert!(out.results.iter().all(|&ok| ok), "{algo} p={p} n={n} root={root}");
+        }
+    }
+
+    #[test]
+    fn reduce_all_algorithms_sum_exactly_on_rt(
+        p in 1usize..7,
+        root_pick in 0usize..64,
+        n_elems in prop::sample::select(vec![1usize, 65, 513]),
+    ) {
+        let root = root_pick % p;
+        for algo in CollAlgo::for_kind(CollKind::Reduce) {
+            let out = run(cfg(p, algo), move |rc: RtRankCtx| {
+                let w = rc.world();
+                let mine: Vec<f64> = (0..n_elems)
+                    .map(|i| (rc.rank() + 1) as f64 * 0.5 + i as f64)
+                    .collect();
+                w.reduce(root, Payload::from_f64s(&mine)).map(|r| r.to_f64s())
+            }).unwrap();
+            for (r, res) in out.results.iter().enumerate() {
+                if r == root {
+                    let res = res.as_ref().unwrap();
+                    prop_assert_eq!(res.len(), n_elems);
+                    for (i, &x) in res.iter().enumerate() {
+                        let want: f64 = (1..=p).map(|k| k as f64 * 0.5 + i as f64).sum();
+                        prop_assert!(
+                            (x - want).abs() < 1e-9,
+                            "{} p={} root={} elem {}: {} vs {}", algo, p, root, i, x, want
+                        );
+                    }
+                } else {
+                    prop_assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_all_algorithms_sum_exactly_on_rt(
+        p in 1usize..7,
+        n_elems in prop::sample::select(vec![1usize, 63, 800]),
+    ) {
+        for algo in CollAlgo::for_kind(CollKind::Allreduce) {
+            let out = run(cfg(p, algo), move |rc: RtRankCtx| {
+                let w = rc.world();
+                let mine: Vec<f64> = (0..n_elems)
+                    .map(|i| rc.rank() as f64 - i as f64 * 0.25)
+                    .collect();
+                w.allreduce(Payload::from_f64s(&mine)).to_f64s()
+            }).unwrap();
+            for res in &out.results {
+                prop_assert_eq!(res.len(), n_elems);
+                for (i, &x) in res.iter().enumerate() {
+                    let want: f64 = (0..p).map(|k| k as f64 - i as f64 * 0.25).sum();
+                    prop_assert!(
+                        (x - want).abs() < 1e-9,
+                        "{} p={} elem {}: {} vs {}", algo, p, i, x, want
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_all_algorithms_collect_in_rank_order_on_rt(
+        p in 1usize..7,
+        root_pick in 0usize..64,
+        n in prop::sample::select(vec![1usize, 9, 1000]),
+        seed in 0u64..1000,
+    ) {
+        let root = root_pick % p;
+        for algo in CollAlgo::for_kind(CollKind::Gather) {
+            let data = test_bytes(n, seed);
+            let expect = Payload::from_vec(data.clone());
+            let out = run(cfg(p, algo), move |rc: RtRankCtx| {
+                let w = rc.world();
+                let b = chunk_bounds(n, p);
+                // Chunks are owned in root-relative virtual-rank order.
+                let v = (rc.rank() + p - root) % p;
+                let mine = Payload::from_vec(data[b[v]..b[v + 1]].to_vec());
+                w.gather(root, mine, n)
+            }).unwrap();
+            for (r, res) in out.results.iter().enumerate() {
+                if r == root {
+                    prop_assert_eq!(res.as_ref(), Some(&expect), "{} p={} n={} root={}", algo, p, n, root);
+                } else {
+                    prop_assert!(res.is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_rank_chunks_on_rt(
+        p in 1usize..7,
+        root_pick in 0usize..64,
+        n in prop::sample::select(vec![1usize, 9, 1000]),
+        seed in 0u64..1000,
+    ) {
+        let root = root_pick % p;
+        for algo in CollAlgo::for_kind(CollKind::Scatter) {
+            let data = test_bytes(n, seed);
+            let reference = data.clone();
+            let out = run(cfg(p, algo), move |rc: RtRankCtx| {
+                let w = rc.world();
+                let payload = (rc.rank() == root).then(|| Payload::from_vec(data.clone()));
+                w.scatter(root, payload, n)
+            }).unwrap();
+            let b = chunk_bounds(n, p);
+            for (r, res) in out.results.iter().enumerate() {
+                let v = (r + p - root) % p;
+                let want = Payload::from_vec(reference[b[v]..b[v + 1]].to_vec());
+                prop_assert_eq!(res, &want, "{} p={} n={} root={} rank {}", algo, p, n, root, r);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_delivers_full_data_everywhere_on_rt(
+        p in 1usize..7,
+        n in prop::sample::select(vec![1usize, 9, 1000]),
+        seed in 0u64..1000,
+    ) {
+        for algo in CollAlgo::for_kind(CollKind::Allgather) {
+            let data = test_bytes(n, seed);
+            let expect = Payload::from_vec(data.clone());
+            let out = run(cfg(p, algo), move |rc: RtRankCtx| {
+                let w = rc.world();
+                let b = chunk_bounds(n, p);
+                let me = rc.rank();
+                let mine = Payload::from_vec(data[b[me]..b[me + 1]].to_vec());
+                w.allgather(mine, n)
+            }).unwrap();
+            for (r, res) in out.results.iter().enumerate() {
+                prop_assert_eq!(res, &expect, "{} p={} n={} rank {}", algo, p, n, r);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_completes_verifier_clean_on_rt(p in 1usize..7) {
+        for algo in CollAlgo::for_kind(CollKind::Barrier) {
+            let out = run(cfg(p, algo), |rc: RtRankCtx| {
+                rc.world().barrier();
+            }).unwrap();
+            prop_assert_eq!(out.verify.errors(), 0);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Sim vs rt, same forced plan: reductions must be BIT-identical.
+    // The two interpreters walk the same CollPlan steps, so the pairwise
+    // f64 additions happen in the same tree order; any divergence is an
+    // interpreter bug, not floating-point noise.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn reduction_bits_identical_across_backends(
+        p in 2usize..7,
+        n_elems in prop::sample::select(vec![33usize, 257]),
+        seed in 0u64..1000,
+    ) {
+        for algo in CollAlgo::for_kind(CollKind::Allreduce) {
+            let mk = move |rank: usize| -> Vec<f64> {
+                (0..n_elems)
+                    // Deliberately ill-conditioned values so any change in
+                    // summation order flips low-order bits.
+                    .map(|i| {
+                        let x = ((i as u64 + seed).wrapping_mul(2654435761) % 104729) as f64;
+                        (x - 52364.0) * 1e-7 + rank as f64 * 1e3 + 1.0 / (1.0 + i as f64)
+                    })
+                    .collect()
+            };
+            let sim = ovcomm_simmpi::run(
+                SimConfig::natural(p, 2, MachineProfile::test_profile())
+                    .with_coll_select(CollSelector::default().force(algo)),
+                move |rc: RankCtx| {
+                    rc.world().allreduce(Payload::from_f64s(&mk(rc.rank()))).to_f64s()
+                },
+            ).unwrap();
+            let rt = run(cfg(p, algo), move |rc: RtRankCtx| {
+                rc.world().allreduce(Payload::from_f64s(&mk(rc.rank()))).to_f64s()
+            }).unwrap();
+            for (r, (s, t)) in sim.results.iter().zip(&rt.results).enumerate() {
+                for (i, (a, b)) in s.iter().zip(t).enumerate() {
+                    prop_assert_eq!(
+                        a.to_bits(), b.to_bits(),
+                        "{} p={} rank {} elem {}: sim {} vs rt {}", algo, p, r, i, a, b
+                    );
+                }
+            }
+        }
+    }
+}

@@ -4,7 +4,8 @@
 //! instance is compiled (and cached) as a per-rank [`CollPlan`]
 //! (`ovcomm_verify::plan`) by a pure algorithm builder chosen by the
 //! run's [`CollSelector`](crate::collsel::CollSelector), statically
-//! linted, then interpreted by the [plan executor](exec). Blocking
+//! linted, then interpreted by the backend-neutral
+//! [plan executor](crate::planexec). Blocking
 //! collectives run the executor inline on the rank thread; nonblocking
 //! collectives run it on a progress actor whose clock starts at the post
 //! time — this is how the simulation gives MPI-3 nonblocking collectives
@@ -16,12 +17,13 @@
 //! overhead and local reductions charge `n / gamma_reduce_bw`; those are
 //! the NIC-idle gaps that overlapped collectives fill in the paper.
 
-pub(crate) mod exec;
+use ovcomm_simnet::{SimTime, SpanKind};
 
 use crate::agent::Agent;
 use crate::comm::CommInfo;
 use crate::p2p::{irecv_raw, isend_raw};
 use crate::payload::Payload;
+use crate::planexec::PlanIo;
 use crate::request::Request;
 
 /// Per-instance context handed to the plan executor: the executing agent
@@ -35,16 +37,6 @@ pub(crate) struct CollCtx<'a> {
 }
 
 impl CollCtx<'_> {
-    /// Communicator size.
-    pub fn p(&self) -> usize {
-        self.info.ranks.len()
-    }
-
-    /// My index within the communicator.
-    pub fn me(&self) -> usize {
-        self.info.me
-    }
-
     /// Internal tag for communication step `step` of this instance.
     fn tag(&self, step: u32) -> u64 {
         assert!(
@@ -58,33 +50,57 @@ impl CollCtx<'_> {
     fn world(&self, idx: usize) -> u32 {
         self.info.ranks[idx]
     }
+}
 
-    /// Nonblocking internal send to communicator index `dst`.
-    pub fn isend(&self, dst: usize, step: u32, payload: Payload) -> Request<()> {
+/// The simulator's side of the executor's I/O surface: internal p2p over
+/// the flow network, virtual-time slack, and γ-reduce charging through the
+/// rank's shared reduction-CPU resource (so concurrent collectives on one
+/// rank contend for it).
+impl PlanIo for CollCtx<'_> {
+    fn p(&self) -> usize {
+        self.info.ranks.len()
+    }
+
+    fn me(&self) -> usize {
+        self.info.me
+    }
+
+    fn isend(&self, dst: usize, tag: u32, payload: Payload) -> Request<()> {
         isend_raw(
             self.agent,
             self.info.ctx,
             self.world(dst),
-            self.tag(step),
+            self.tag(tag),
             payload,
         )
     }
 
-    /// Nonblocking internal receive from communicator index `src`.
-    pub fn irecv(&self, src: usize, step: u32) -> Request<Payload> {
-        irecv_raw(self.agent, self.info.ctx, self.world(src), self.tag(step))
+    fn irecv(&self, src: usize, tag: u32) -> Request<Payload> {
+        irecv_raw(self.agent, self.info.ctx, self.world(src), self.tag(tag))
     }
 
-    /// Per-round software slack.
-    pub fn slack(&self) {
+    fn wait_unit(&self, r: &Request<()>) {
+        self.agent.wait(r);
+    }
+
+    fn wait_payload(&self, r: &Request<Payload>) -> Payload {
+        self.agent.wait(r)
+    }
+
+    fn slack(&self) {
         self.agent.advance(self.agent.uni.profile.coll_round_slack);
     }
 
-    /// Charge the local reduction of an `n`-byte operand (the executor
-    /// performs the actual arithmetic via `Payload::reduce_sum_f64`). The
-    /// time is paid through the rank's shared reduction-CPU resource, so
-    /// concurrent collectives on one rank contend for it.
-    pub fn reduce_charge(&self, n: usize) {
+    fn reduce_charge(&self, n: usize) {
         self.agent.reduce_compute(n);
+    }
+
+    fn now(&self) -> SimTime {
+        self.agent.now()
+    }
+
+    fn step_span(&self, t0: SimTime, label: impl FnOnce() -> String) {
+        self.agent
+            .trace_span(SpanKind::CollStep, t0, self.agent.now(), label);
     }
 }

@@ -15,35 +15,42 @@ use ovcomm_verify::plan::{self, CollPlan};
 use ovcomm_verify::{CollKind, Event as VEvent, ReqId, Site, VerifyMode};
 
 use crate::agent::Agent;
-use crate::coll::{exec, CollCtx};
+use crate::coll::CollCtx;
+use crate::collsel::CollSelector;
 use crate::metrics::OpKind;
 use crate::p2p::{irecv_raw, isend_raw};
 use crate::payload::Payload;
+use crate::planexec::execute_plan;
 use crate::request::{ReqMeta, Request};
 use crate::state::SplitGather;
-use crate::universe::{op_actor_id, UniShared};
+use crate::universe::{op_actor_id, PlanCache, UniShared};
 
-/// Compile (or fetch from the run's cache) the per-rank plans for one
-/// collective shape, selecting the algorithm via the run's `CollSelector`
-/// and statically linting fresh plans per the run's verification level.
-fn plans_for(
-    uni: &UniShared,
+/// Compile (or fetch from `cache`) the per-rank plans for one collective
+/// shape, selecting the algorithm via `sel` and statically linting fresh
+/// plans per verification level `mode` (`Warn` prints findings, `Strict`
+/// panics). Backend-neutral: both the simulator and the `ovcomm-rt`
+/// wall-clock backend compile collectives through this exact path, so the
+/// `CollSelector` and the lint wall behave identically on either.
+pub fn compile_plans(
+    cache: &parking_lot::Mutex<PlanCache>,
+    sel: &CollSelector,
+    mode: VerifyMode,
     p: usize,
     kind: CollKind,
     n: usize,
     root: usize,
 ) -> Arc<Vec<CollPlan>> {
-    let algo = uni.coll_select.select(kind, n, p);
+    let algo = sel.select(kind, n, p);
     let key = (kind, algo, p, n, root);
-    let mut cache = uni.plan_cache.lock();
+    let mut cache = cache.lock();
     if let Some(plans) = cache.get(&key) {
         return plans.clone();
     }
     let plans = plan::build_all(kind, algo, p, n, root);
-    if uni.verify_mode != VerifyMode::Off {
+    if mode != VerifyMode::Off {
         let findings = plan::lint_plans(&plans);
         if !findings.is_empty() {
-            if uni.verify_mode == VerifyMode::Warn {
+            if mode == VerifyMode::Warn {
                 for f in &findings {
                     eprintln!("ovcomm-verify(plan): {f}");
                 }
@@ -64,6 +71,25 @@ fn plans_for(
     let plans = Arc::new(plans);
     cache.insert(key, plans.clone());
     plans
+}
+
+/// `compile_plans` against the simulator universe's cache and selector.
+fn plans_for(
+    uni: &UniShared,
+    p: usize,
+    kind: CollKind,
+    n: usize,
+    root: usize,
+) -> Arc<Vec<CollPlan>> {
+    compile_plans(
+        &uni.plan_cache,
+        &uni.coll_select,
+        uni.verify_mode,
+        p,
+        kind,
+        n,
+        root,
+    )
 }
 
 /// Unwrap a collective result that the plan contract guarantees exists.
@@ -492,7 +518,7 @@ impl Comm {
         let plans = self.plans(CollKind::Bcast, len, root);
         let input = if self.info.me == root { data } else { None };
         let out = expect_out(
-            exec::execute(&self.cctx(seq), &plans[self.info.me], input),
+            execute_plan(&self.cctx(seq), &plans[self.info.me], input),
             "bcast",
         );
         self.blocking_done(t0);
@@ -523,7 +549,7 @@ impl Comm {
             .metrics
             .op(self.agent.rank, OpKind::Reduce, n);
         let plans = self.plans(CollKind::Reduce, n, root);
-        let out = exec::execute(&self.cctx(seq), &plans[self.info.me], Some(contrib));
+        let out = execute_plan(&self.cctx(seq), &plans[self.info.me], Some(contrib));
         self.blocking_done(t0);
         self.agent
             .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
@@ -551,7 +577,7 @@ impl Comm {
             .op(self.agent.rank, OpKind::Allreduce, n);
         let plans = self.plans(CollKind::Allreduce, n, 0);
         let out = expect_out(
-            exec::execute(&self.cctx(seq), &plans[self.info.me], Some(contrib)),
+            execute_plan(&self.cctx(seq), &plans[self.info.me], Some(contrib)),
             "allreduce",
         );
         self.blocking_done(t0);
@@ -579,7 +605,7 @@ impl Comm {
             .metrics
             .op(self.agent.rank, OpKind::Barrier, 0);
         let plans = self.plans(CollKind::Barrier, 0, 0);
-        exec::execute(&self.cctx(seq), &plans[self.info.me], None);
+        execute_plan(&self.cctx(seq), &plans[self.info.me], None);
         self.blocking_done(t0);
         self.agent
             .trace_span(SpanKind::BlockingCall, t0, self.agent.now(), || {
@@ -615,7 +641,7 @@ impl Comm {
         let plans = self.plans(CollKind::Scatter, len, root);
         let input = if self.info.me == root { data } else { None };
         let out = expect_out(
-            exec::execute(&self.cctx(seq), &plans[self.info.me], input),
+            execute_plan(&self.cctx(seq), &plans[self.info.me], input),
             "scatter",
         );
         self.blocking_done(t0);
@@ -641,7 +667,7 @@ impl Comm {
             .metrics
             .op(self.agent.rank, OpKind::Gather, len);
         let plans = self.plans(CollKind::Gather, len, root);
-        let out = exec::execute(&self.cctx(seq), &plans[self.info.me], Some(chunk));
+        let out = execute_plan(&self.cctx(seq), &plans[self.info.me], Some(chunk));
         self.blocking_done(t0);
         out
     }
@@ -664,7 +690,7 @@ impl Comm {
             .op(self.agent.rank, OpKind::Allgather, len);
         let plans = self.plans(CollKind::Allgather, len, 0);
         let out = expect_out(
-            exec::execute(&self.cctx(seq), &plans[self.info.me], Some(chunk)),
+            execute_plan(&self.cctx(seq), &plans[self.info.me], Some(chunk)),
             "allgather",
         );
         self.blocking_done(t0);
@@ -713,7 +739,7 @@ impl Comm {
                     info: &info,
                     seq,
                 };
-                expect_out(exec::execute(&cctx, &plans[info.me], input), "bcast")
+                expect_out(execute_plan(&cctx, &plans[info.me], input), "bcast")
             },
         )
     }
@@ -743,7 +769,7 @@ impl Comm {
                 info: &info,
                 seq,
             };
-            exec::execute(&cctx, &plans[info.me], Some(contrib))
+            execute_plan(&cctx, &plans[info.me], Some(contrib))
         })
     }
 
@@ -770,7 +796,7 @@ impl Comm {
                 seq,
             };
             expect_out(
-                exec::execute(&cctx, &plans[info.me], Some(contrib)),
+                execute_plan(&cctx, &plans[info.me], Some(contrib)),
                 "allreduce",
             )
         })
@@ -793,7 +819,7 @@ impl Comm {
                 info: &info,
                 seq,
             };
-            exec::execute(&cctx, &plans[info.me], None);
+            execute_plan(&cctx, &plans[info.me], None);
         })
     }
 

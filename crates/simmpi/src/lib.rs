@@ -43,14 +43,28 @@ mod state;
 pub mod collsel;
 pub mod comm;
 pub mod payload;
+pub mod planexec;
 pub mod request;
 pub mod universe;
 
 pub use collsel::CollSelector;
 pub use comm::Comm;
+pub use planexec::{execute_plan, PlanIo};
+
+// Hidden exports for the `ovcomm-rt` wall-clock backend, which shares the
+// simulator's request type, plan compilation, split grouping, progress
+// pool, and metric shapes so both backends present one surface.
+#[doc(hidden)]
+pub use comm::compile_plans;
+#[doc(hidden)]
+pub use metrics::{OpKind, SimMetrics};
 pub use ovcomm_verify::plan;
 pub use ovcomm_verify::plan::CollAlgo;
 pub use ovcomm_verify::{CollKind, DeadlockReport, Finding, Severity, VerifyMode, VerifyReport};
 pub use payload::Payload;
+#[doc(hidden)]
+pub use progress::Pool;
 pub use request::Request;
+#[doc(hidden)]
+pub use state::SplitResult;
 pub use universe::{actor_name, run, RankCtx, SimConfig, SimError, SimOutput};

@@ -11,9 +11,15 @@
 
 use ovcomm_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 
-/// Operation kinds metrics are labeled with.
+/// Operation kinds metrics are labeled with. Variant names mirror the MPI
+/// calls they count.
+///
+/// Exposed (hidden) for the `ovcomm-rt` wall-clock backend, which labels
+/// its metrics identically so sim-vs-rt comparisons join on the same keys.
+#[doc(hidden)]
+#[allow(missing_docs)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum OpKind {
+pub enum OpKind {
     Isend,
     Irecv,
     Send,
@@ -86,8 +92,13 @@ struct RankMetrics {
     tests: Counter,
 }
 
-/// All metric handles for one simulated run.
-pub(crate) struct SimMetrics {
+/// All metric handles for one run.
+///
+/// Exposed (hidden) for the `ovcomm-rt` wall-clock backend: both backends
+/// feed the same registry shape (`simmpi.*` metric names), so downstream
+/// analysis joins records without backend-specific cases.
+#[doc(hidden)]
+pub struct SimMetrics {
     registry: MetricsRegistry,
     ranks: Vec<RankMetrics>,
     /// Jobs currently running on progress workers (≈ busy workers).
@@ -97,6 +108,7 @@ pub(crate) struct SimMetrics {
 }
 
 impl SimMetrics {
+    /// Pre-register all per-rank handles for an `nranks`-rank run.
     pub fn new(nranks: usize) -> SimMetrics {
         let registry = MetricsRegistry::new();
         let ranks = (0..nranks)

@@ -1,22 +1,58 @@
-//! The shared collective plan executor.
+//! The backend-neutral collective plan executor.
 //!
 //! Interprets a [`CollPlan`] on behalf of one rank: posts the plan's
-//! sends and receives through the internal p2p layer, charges per-round
-//! slack and γ-reduce compute, materializes buffers (zero-copy slices of
+//! sends and receives through the backend's p2p layer, charges per-round
+//! slack and reduction compute, materializes buffers (zero-copy slices of
 //! the rank's input or received payloads), and drains completions in the
-//! order the builder recorded — reproducing the virtual-time behavior of
-//! the hand-written blocking algorithms this replaced. Local payload
-//! manipulation (slice / concat / reduce arithmetic) costs no virtual
-//! time; only `Slack`, `Reduce` charging, and message transport do. When
-//! tracing is on, every step emits one `CollStep` span, so timelines show
-//! the same per-round structure for every algorithm uniformly.
+//! order the builder recorded — reproducing the blocking-wait behavior of
+//! the hand-written algorithms this replaced. Local payload manipulation
+//! (slice / concat / reduce arithmetic) costs no modeled time; only
+//! `Slack`, `Reduce` charging, and message transport do.
+//!
+//! The executor is generic over [`PlanIo`], the narrow I/O surface a
+//! backend must provide. The virtual-time simulator implements it on its
+//! internal `CollCtx` (progress-actor clocks, flow-network transport); the
+//! `ovcomm-rt` wall-clock backend implements it on real shared-memory
+//! mailboxes. Both run this exact code, so all 13 plan builders, the
+//! static linter, and the `CollSelector` behave identically on either
+//! backend.
 
-use ovcomm_simnet::SpanKind;
+use ovcomm_simnet::SimTime;
 use ovcomm_verify::plan::{BufId, CollPlan, StepOp};
 
-use crate::coll::CollCtx;
 use crate::payload::Payload;
 use crate::request::Request;
+
+/// The per-instance I/O surface a backend hands the plan executor: tagged
+/// internal p2p, request waiting, per-round slack, reduction-compute
+/// charging, and (optional) per-step span tracing.
+pub trait PlanIo {
+    /// Communicator size (must equal the plan's `p`).
+    fn p(&self) -> usize;
+    /// This rank's index within the communicator (must equal the plan's
+    /// `me`).
+    fn me(&self) -> usize;
+    /// Nonblocking internal send of `payload` to communicator index `dst`
+    /// with plan-assigned step tag `tag`.
+    fn isend(&self, dst: usize, tag: u32, payload: Payload) -> Request<()>;
+    /// Nonblocking internal receive from communicator index `src` with
+    /// plan-assigned step tag `tag`.
+    fn irecv(&self, src: usize, tag: u32) -> Request<Payload>;
+    /// Block until a send request completes.
+    fn wait_unit(&self, r: &Request<()>);
+    /// Block until a receive request completes; returns its payload.
+    fn wait_payload(&self, r: &Request<Payload>) -> Payload;
+    /// Charge one communication round of software slack.
+    fn slack(&self);
+    /// Charge the local reduction of an `n`-byte operand (the executor
+    /// performs the actual arithmetic via `Payload::reduce_sum_f64`).
+    fn reduce_charge(&self, n: usize);
+    /// Current time on this backend's clock (virtual or wall).
+    fn now(&self) -> SimTime;
+    /// Record a `CollStep` span from `t0` to now (label built lazily; no-op
+    /// when tracing is off).
+    fn step_span(&self, t0: SimTime, label: impl FnOnce() -> String);
+}
 
 /// An outstanding nonblocking step posted by the executor.
 enum Pending {
@@ -26,11 +62,16 @@ enum Pending {
 
 /// Wait for step `idx` if it is still outstanding, storing a receive's
 /// payload into its destination buffer.
-fn drain(ctx: &CollCtx, pending: &mut [Option<Pending>], vals: &mut [Option<Payload>], idx: usize) {
+fn drain<C: PlanIo>(
+    ctx: &C,
+    pending: &mut [Option<Pending>],
+    vals: &mut [Option<Payload>],
+    idx: usize,
+) {
     match pending[idx].take() {
-        Some(Pending::Send(r)) => ctx.agent.wait(&r),
+        Some(Pending::Send(r)) => ctx.wait_unit(&r),
         Some(Pending::Recv(r, into)) => {
-            let v = ctx.agent.wait(&r);
+            let v = ctx.wait_payload(&r);
             vals[into.0 as usize] = Some(v);
         }
         None => {}
@@ -41,8 +82,8 @@ fn drain(ctx: &CollCtx, pending: &mut [Option<Pending>], vals: &mut [Option<Payl
 /// receive (drained here — only reachable when the builder fenced it for
 /// an earlier reader, so no extra wait is introduced), a slice of the
 /// rank's input contribution, or the zero-length literal.
-fn ensure(
-    ctx: &CollCtx,
+fn ensure<C: PlanIo>(
+    ctx: &C,
     plan: &CollPlan,
     vals: &mut [Option<Payload>],
     pending: &mut [Option<Pending>],
@@ -90,10 +131,14 @@ fn step_label(plan: &CollPlan, i: usize) -> String {
     }
 }
 
-/// Execute `plan` for this rank. `input` is the rank's local contribution
-/// (present iff `plan.input` is) and the return value is the rank's result
-/// (present iff `plan.output` is).
-pub(crate) fn execute(ctx: &CollCtx, plan: &CollPlan, input: Option<Payload>) -> Option<Payload> {
+/// Execute `plan` for this rank on backend `ctx`. `input` is the rank's
+/// local contribution (present iff `plan.input` is) and the return value is
+/// the rank's result (present iff `plan.output` is).
+pub fn execute_plan<C: PlanIo>(
+    ctx: &C,
+    plan: &CollPlan,
+    input: Option<Payload>,
+) -> Option<Payload> {
     debug_assert_eq!(plan.p, ctx.p());
     debug_assert_eq!(plan.me, ctx.me());
     if let (Some((_, len)), Some(p)) = (plan.input, input.as_ref()) {
@@ -115,7 +160,7 @@ pub(crate) fn execute(ctx: &CollCtx, plan: &CollPlan, input: Option<Payload>) ->
     }
 
     for (i, step) in plan.steps.iter().enumerate() {
-        let t0 = ctx.agent.now();
+        let t0 = ctx.now();
         // Complete dependencies in the order the builder recorded them —
         // the blocking-wait order of the original algorithm.
         for d in &step.deps {
@@ -183,10 +228,7 @@ pub(crate) fn execute(ctx: &CollCtx, plan: &CollPlan, input: Option<Payload>) ->
                 vals[into.0 as usize] = Some(out);
             }
         }
-        ctx.agent
-            .trace_span(SpanKind::CollStep, t0, ctx.agent.now(), || {
-                step_label(plan, i)
-            });
+        ctx.step_span(t0, || step_label(plan, i));
     }
 
     // Drain everything still outstanding, in post order — the builder's

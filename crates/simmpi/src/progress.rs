@@ -25,7 +25,9 @@ use std::thread;
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// A unit of work handed to one progress worker.
+#[doc(hidden)]
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
 struct Envelope {
     job: Job,
@@ -40,11 +42,17 @@ struct PoolInner {
 }
 
 /// Grow-on-demand pool of progress workers.
-pub(crate) struct Pool {
+///
+/// Exposed (hidden) for the `ovcomm-rt` wall-clock backend, whose
+/// nonblocking collectives run as jobs on the same pool design — there the
+/// workers *are* the asynchronous progress threads.
+#[doc(hidden)]
+pub struct Pool {
     inner: Arc<Mutex<PoolInner>>,
 }
 
 impl Pool {
+    /// An empty pool; workers are spawned on demand.
     pub fn new() -> Pool {
         Pool {
             inner: Arc::new(Mutex::new(PoolInner {
@@ -114,6 +122,12 @@ impl Pool {
         let mut inner = self.inner.lock();
         inner.closed = true;
         inner.free.clear();
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
     }
 }
 

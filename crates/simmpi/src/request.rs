@@ -10,8 +10,14 @@ use ovcomm_verify::{ReqId, Verifier};
 /// Verification bookkeeping attached to a tracked request: the shared
 /// recorder and this request's log id. Present only when the run's
 /// `VerifyMode` is not `Off`.
-pub(crate) struct ReqMeta {
+///
+/// Exposed (hidden) for the `ovcomm-rt` wall-clock backend, which shares
+/// the request type so kernels produce identical handles on both backends.
+#[doc(hidden)]
+pub struct ReqMeta {
+    /// The run's shared event recorder.
     pub verifier: Arc<Verifier>,
+    /// This request's log id.
     pub id: ReqId,
 }
 
@@ -75,7 +81,8 @@ impl<T> Request<T> {
     }
 
     /// A fresh, incomplete request tracked by the verifier.
-    pub(crate) fn new_tracked(meta: ReqMeta) -> Request<T> {
+    #[doc(hidden)]
+    pub fn new_tracked(meta: ReqMeta) -> Request<T> {
         Request {
             inner: Arc::new(Mutex::new(ReqInner {
                 result: None,
@@ -102,14 +109,16 @@ impl<T> Request<T> {
     }
 
     /// The verifier log id, if this request is tracked.
-    pub(crate) fn verify_id(&self) -> Option<ReqId> {
+    #[doc(hidden)]
+    pub fn verify_id(&self) -> Option<ReqId> {
         self.inner.lock().meta.as_ref().map(|m| m.id)
     }
 
     /// Mark complete with `value` at virtual time `at`, returning the park
     /// cells of any waiters (the caller must wake them via the engine).
     /// Panics if completed twice.
-    pub(crate) fn complete(&self, value: T, at: SimTime) -> Vec<Arc<ParkCell>> {
+    #[doc(hidden)]
+    pub fn complete(&self, value: T, at: SimTime) -> Vec<Arc<ParkCell>> {
         let mut inner = self.inner.lock();
         assert!(inner.completed_at.is_none(), "request completed twice");
         inner.result = Some(value);
@@ -126,7 +135,8 @@ impl<T> Request<T> {
     }
 
     /// If complete and not yet consumed, take `(value, completion_time)`.
-    pub(crate) fn try_take(&self) -> Option<(T, SimTime)> {
+    #[doc(hidden)]
+    pub fn try_take(&self) -> Option<(T, SimTime)> {
         let mut inner = self.inner.lock();
         if inner.taken {
             panic!("request waited on twice");
@@ -147,7 +157,8 @@ impl<T> Request<T> {
 
     /// Register a waiter cell to be woken on completion. Returns `false`
     /// (and does not register) if the request is already complete.
-    pub(crate) fn add_waiter(&self, cell: &Arc<ParkCell>) -> bool {
+    #[doc(hidden)]
+    pub fn add_waiter(&self, cell: &Arc<ParkCell>) -> bool {
         let mut inner = self.inner.lock();
         if inner.completed_at.is_some() {
             return false;

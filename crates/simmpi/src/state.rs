@@ -99,7 +99,12 @@ pub(crate) struct SplitGather {
 }
 
 /// Outcome of a completed split, shared by all participants.
-pub(crate) struct SplitResult {
+///
+/// Exposed (hidden) for the `ovcomm-rt` wall-clock backend, whose split
+/// rendezvous reuses this grouping logic so both backends agree on group
+/// ordering and membership.
+#[doc(hidden)]
+pub struct SplitResult {
     /// For each color (in ascending order): assigned child ctx id and the
     /// parent-comm ranks that belong to it, ordered by (key, parent rank).
     pub groups: Vec<(i64, u32, Vec<usize>)>,

@@ -150,6 +150,51 @@ impl ParkCell {
             self.cv.wait(&mut st);
         }
     }
+
+    /// Engine-free wake: deposit a pending wake at `t` (repeated wakes merge
+    /// to the latest time) and notify any parked thread. For wall-clock
+    /// runtimes that reuse the cell as a plain parking spot without the
+    /// virtual-time engine's runnable bookkeeping. Never mix the `_direct`
+    /// methods with [`Engine::park`]/[`Engine::wake`] on the same cell.
+    pub fn wake_direct(&self, t: SimTime) {
+        let mut st = self.state.lock();
+        st.pending = Some(st.pending.map_or(t, |p| p.max(t)));
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Engine-free park: block until a pending wake is deposited, returning
+    /// the wake time.
+    pub fn park_direct(&self) -> SimTime {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(t) = st.pending.take() {
+                return t;
+            }
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Engine-free park with a timeout: block until a pending wake arrives
+    /// or `timeout` elapses. Returns the wake time, or `None` on timeout —
+    /// wall-clock runtimes use the timeout to poll an abort flag so a real
+    /// deadlock does not hang the process forever.
+    pub fn park_timeout_direct(&self, timeout: std::time::Duration) -> Option<SimTime> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(t) = st.pending.take() {
+                return Some(t);
+            }
+            if self.cv.wait_for(&mut st, timeout).timed_out() {
+                return st.pending.take();
+            }
+        }
+    }
+
+    /// Engine-free: consume a pending wake without sleeping, if one exists.
+    pub fn take_pending_direct(&self) -> Option<SimTime> {
+        self.state.lock().pending.take()
+    }
 }
 
 struct Core {

@@ -111,6 +111,25 @@ impl Condvar {
         guard.guard = Some(g);
     }
 
+    /// Block on the condvar for at most `timeout`. Returns a result whose
+    /// [`WaitTimeoutResult::timed_out`] tells whether the wait expired
+    /// without a notification (parking_lot's `wait_for` API).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.guard.take().expect("guard taken during wait");
+        let (g, res) = self
+            .inner
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.guard = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     /// Wake a single waiter.
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
@@ -121,6 +140,19 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.inner.notify_all();
         0
+    }
+}
+
+/// Outcome of a timed condvar wait (parking_lot-compatible subset).
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait expired without a notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 
