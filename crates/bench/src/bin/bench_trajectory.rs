@@ -1,0 +1,392 @@
+//! PR-over-PR bench trajectory: a pinned suite of representative runs
+//! (the Figs. 1–2 matvec phase, Table I/II-style collectives, the
+//! sim-vs-rt symm kernel) executed on **both** backends, appended as one
+//! schema-versioned record to the root `BENCH_ovcomm.json`. Each case
+//! carries its `MetricsBlock` and critical-path `ProfileBlock`, so the
+//! file is a longitudinal record of both *performance* and *where the
+//! time went*.
+//!
+//! Modes:
+//!
+//! - default: run the suite and append a record to `BENCH_ovcomm.json`.
+//! - `--smoke`: smaller pinned sizes (the CI configuration).
+//! - `--check`: compare against the most recent committed record with the
+//!   same smoke flag and **exit nonzero** on regression; the file is not
+//!   rewritten. Sim times are virtual and deterministic, so the gate is
+//!   tight (`--threshold`, default 15%); rt times are wall clock on a
+//!   shared CI box, so their gate is deliberately loose (`--rt-threshold`,
+//!   default 100% — it catches order-of-magnitude breakage, not noise).
+//! - `--label <s>`: tag the appended record.
+//!
+//! The run also writes annotated Perfetto traces (with the critical-path
+//! track) for the matvec case to `results/bench_trajectory_<backend>.json`
+//! and asserts the profiling acceptance property: every rt blame tree's
+//! leaves sum to the measured makespan, and the rt runs name at least one
+//! runtime-specific cause (spin / park / rendezvous-stall /
+//! progress-delay).
+
+// Bench drivers fail loudly by design.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::path::Path;
+
+use ovcomm_bench::{
+    canonical_json, metrics_block, metrics_block_rt, profile_block, profile_block_rt, Backend,
+    MetricsBlock, Table,
+};
+use ovcomm_core::{
+    overlapped_bcast, overlapped_reduce, pipelined_reduce_bcast, Communicator, NDupComms,
+    RankHandle,
+};
+use ovcomm_densemat::{BlockBuf, BlockGrid, Partition1D};
+use ovcomm_kernels::{symm_square_cube_optimized, Mesh2D, Mesh3D, SymmInput};
+use ovcomm_obs::ProfileBlock;
+use ovcomm_rt::{RtConfig, RtRankCtx};
+use ovcomm_simmpi::{Payload, RankCtx, SimConfig};
+use ovcomm_simnet::MachineProfile;
+use serde::Serialize;
+use serde_json::Value;
+
+/// Schema of one trajectory record (bump on shape changes).
+const TRAJ_SCHEMA: u32 = 1;
+
+/// The pinned suite: `(case name, nranks)`.
+const SUITE: &[(&str, usize)] = &[
+    ("matvec_ndup4", 16),
+    ("bcast_blocking", 4),
+    ("bcast_ndup4", 4),
+    ("reduce_blocking", 4),
+    ("reduce_ndup4", 4),
+    ("symm3d_opt", 8),
+];
+
+/// Pinned problem size for a case: element count for matvec, message
+/// bytes for collectives, matrix dimension for symm.
+fn case_size(case: &str, backend: Backend, smoke: bool) -> usize {
+    match (case, backend, smoke) {
+        ("matvec_ndup4", Backend::Sim, false) => 1 << 21,
+        ("matvec_ndup4", Backend::Sim, true) => 1 << 18,
+        ("matvec_ndup4", Backend::Rt, false) => 1 << 18,
+        ("matvec_ndup4", Backend::Rt, true) => 1 << 16,
+        ("symm3d_opt", Backend::Sim, false) => 256,
+        ("symm3d_opt", Backend::Sim, true) => 128,
+        ("symm3d_opt", Backend::Rt, false) => 128,
+        ("symm3d_opt", Backend::Rt, true) => 64,
+        (_, Backend::Sim, false) => 8 << 20,
+        (_, Backend::Sim, true) => 1 << 20,
+        (_, Backend::Rt, false) => 1 << 18,
+        (_, Backend::Rt, true) => 1 << 16,
+    }
+}
+
+/// One suite case, generic over the backend's rank handle. Returns the
+/// barrier-to-barrier phase time in (virtual or wall-clock) seconds.
+fn workload<R: RankHandle>(rc: &R, case: &str, size: usize) -> f64 {
+    let w = rc.world();
+    w.barrier();
+    let t0 = rc.now();
+    match case {
+        "matvec_ndup4" => {
+            let mesh = Mesh2D::new(rc, 4);
+            let part = Partition1D::new(size, 4);
+            let contrib = Payload::Phantom(part.len(mesh.i) * 8);
+            let bcast_len = part.len(mesh.j) * 8;
+            let row = NDupComms::new(&mesh.row, 4);
+            let col = NDupComms::new(&mesh.col, 4);
+            let _ = pipelined_reduce_bcast(&row, mesh.i, &col, mesh.j, &contrib, bcast_len);
+        }
+        "bcast_blocking" => {
+            let data = (rc.rank() == 0).then_some(Payload::Phantom(size));
+            let _ = w.bcast(0, data, size);
+        }
+        "bcast_ndup4" => {
+            let comms = NDupComms::new(&w, 4);
+            let data = (rc.rank() == 0).then_some(Payload::Phantom(size));
+            let _ = overlapped_bcast(&comms, 0, data.as_ref(), size);
+        }
+        "reduce_blocking" => {
+            let _ = w.reduce(0, Payload::Phantom(size));
+        }
+        "reduce_ndup4" => {
+            let comms = NDupComms::new(&w, 4);
+            let _ = overlapped_reduce(&comms, 0, &Payload::Phantom(size));
+        }
+        "symm3d_opt" => {
+            let mesh = Mesh3D::new(rc, 2);
+            let grid = BlockGrid::new(size, 2);
+            let (r, c) = grid.block_dims(mesh.i, mesh.j);
+            let d_block = (mesh.k == 0).then_some(BlockBuf::Phantom(r, c));
+            let bundles = mesh.dup_bundles(2);
+            let input = SymmInput { n: size, d_block };
+            let _ = symm_square_cube_optimized(rc, &mesh, &bundles, &input);
+        }
+        other => panic!("unknown suite case {other}"),
+    }
+    w.barrier();
+    (rc.now() - t0).as_secs_f64()
+}
+
+#[derive(Serialize)]
+struct CaseRecord {
+    case: String,
+    backend: String,
+    seconds: f64,
+    metrics: MetricsBlock,
+    profile: Option<ProfileBlock>,
+}
+
+#[derive(Serialize)]
+struct TrajRecord {
+    schema: u32,
+    label: String,
+    smoke: bool,
+    cases: Vec<CaseRecord>,
+}
+
+/// Run one case on one backend; the matvec case also writes the annotated
+/// Perfetto trace (critical-path track) for the CI artifact.
+fn run_case(backend: Backend, case: &'static str, nranks: usize, smoke: bool) -> CaseRecord {
+    let size = case_size(case, backend, smoke);
+    let (seconds, metrics, profile, trace_and_makespan) = match backend {
+        Backend::Sim => {
+            let out = ovcomm_simmpi::run(
+                SimConfig::natural(nranks, 1, MachineProfile::stampede2_skylake()).with_trace(),
+                move |rc: RankCtx| workload(&rc, case, size),
+            )
+            .unwrap_or_else(|e| panic!("sim {case}: {e}"));
+            let t = out.results.iter().cloned().fold(0.0, f64::max);
+            let (m, p) = (metrics_block(&out), profile_block(&out));
+            (t, m, p, out.trace.map(|tr| (tr, out.makespan)))
+        }
+        Backend::Rt => {
+            let out = ovcomm_rt::run(
+                RtConfig::natural(nranks, 1, MachineProfile::test_profile()).with_trace(),
+                move |rc: RtRankCtx| workload(&rc, case, size),
+            )
+            .unwrap_or_else(|e| panic!("rt {case}: {e}"));
+            let t = out.results.iter().cloned().fold(0.0, f64::max);
+            let (m, p) = (metrics_block_rt(&out), profile_block_rt(&out));
+            (t, m, p, out.trace.map(|tr| (tr, out.makespan)))
+        }
+    };
+    if case == "matvec_ndup4" {
+        if let Some((trace, makespan)) = trace_and_makespan {
+            if std::fs::create_dir_all("results").is_ok() {
+                let segs = ovcomm_obs::critical_path_dag(trace.spans(), trace.edges(), makespan);
+                let path = format!("results/bench_trajectory_{}.json", backend.name());
+                match ovcomm_obs::write_trace_annotated(
+                    Path::new(&path),
+                    trace.spans(),
+                    ovcomm_obs::perfetto::default_actor_name,
+                    &segs,
+                ) {
+                    Ok(()) => eprintln!("wrote {path} (annotated Perfetto trace)"),
+                    Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+                }
+            }
+        }
+    }
+    CaseRecord {
+        case: case.to_string(),
+        backend: backend.name().to_string(),
+        seconds,
+        metrics,
+        profile,
+    }
+}
+
+/// The profiling acceptance property: blame leaves sum to the makespan on
+/// every profiled case, and the rt side decomposes its time into at least
+/// one runtime-specific cause.
+fn assert_profiles(cases: &[CaseRecord]) {
+    let mut rt_named = false;
+    for c in cases {
+        let p = c.profile.as_ref().expect("traced suite run has a profile");
+        let sum = p.blame.leaf_sum_us();
+        let tol = 1e-6 * p.makespan_us.max(1.0);
+        assert!(
+            (sum - p.makespan_us).abs() <= tol,
+            "{} {}: blame leaves sum to {sum}us, makespan {}us",
+            c.backend,
+            c.case,
+            p.makespan_us
+        );
+        if c.backend == "rt"
+            && ["spin", "park", "rendezvous-stall", "progress-delay"]
+                .iter()
+                .any(|k| p.causes.contains_key(*k))
+        {
+            rt_named = true;
+        }
+    }
+    assert!(
+        rt_named,
+        "no rt case named a runtime-specific cause (spin/park/rendezvous-stall/progress-delay)"
+    );
+}
+
+/// `case/backend → seconds` of one stored trajectory record.
+fn record_times(rec: &Value) -> Vec<(String, f64)> {
+    let mut v = Vec::new();
+    if let Some(cases) = rec.get("cases").and_then(Value::as_array) {
+        for c in cases {
+            if let (Some(name), Some(backend), Some(s)) = (
+                c.get("case").and_then(Value::as_str),
+                c.get("backend").and_then(Value::as_str),
+                c.get("seconds").and_then(Value::as_f64),
+            ) {
+                v.push((format!("{name}/{backend}"), s));
+            }
+        }
+    }
+    v
+}
+
+/// Compare `cur` against the stored `prev` record; returns regression
+/// descriptions (empty = gate passes). Missing baselines never fail —
+/// new cases enter the trajectory on their first committed record.
+fn regressions(prev: &Value, cur: &TrajRecord, thr_sim: f64, thr_rt: f64) -> Vec<String> {
+    let base = record_times(prev);
+    let mut bad = Vec::new();
+    for c in &cur.cases {
+        let key = format!("{}/{}", c.case, c.backend);
+        let Some((_, old)) = base.iter().find(|(k, _)| *k == key) else {
+            continue;
+        };
+        let thr = if c.backend == "sim" { thr_sim } else { thr_rt };
+        let allowed = old * (1.0 + thr);
+        if c.seconds > allowed && c.seconds - old > 1e-9 {
+            bad.push(format!(
+                "{key}: {:.6}s vs baseline {:.6}s (+{:.1}% > {:.0}% allowed)",
+                c.seconds,
+                old,
+                (c.seconds / old - 1.0) * 100.0,
+                thr * 100.0
+            ));
+        }
+    }
+    bad
+}
+
+/// Parse the existing trajectory file into its record list (empty when
+/// the file is missing or malformed — the trajectory restarts).
+fn load_records(path: &Path) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    match serde_json::from_str(&text) {
+        Ok(v) => v
+            .get("records")
+            .and_then(Value::as_array)
+            .cloned()
+            .unwrap_or_default(),
+        Err(e) => {
+            eprintln!(
+                "warning: {} unreadable ({e:?}); starting fresh",
+                path.display()
+            );
+            Vec::new()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+            .or_else(|| {
+                args.iter()
+                    .find_map(|a| a.strip_prefix(&format!("{name}=")).map(str::to_string))
+            })
+    };
+    let smoke = flag("--smoke");
+    let check = flag("--check");
+    let label = opt("--label").unwrap_or_else(|| "dev".to_string());
+    let thr_sim: f64 = opt("--threshold").map_or(0.15, |s| s.parse().expect("--threshold"));
+    let thr_rt: f64 = opt("--rt-threshold").map_or(1.0, |s| s.parse().expect("--rt-threshold"));
+    let out_path = opt("--out").unwrap_or_else(|| "BENCH_ovcomm.json".to_string());
+    let out_path = Path::new(&out_path);
+
+    println!(
+        "bench trajectory: pinned suite on both backends ({} sizes)\n",
+        if smoke { "smoke" } else { "full" }
+    );
+    let mut cases = Vec::new();
+    for &(case, nranks) in SUITE {
+        for backend in [Backend::Sim, Backend::Rt] {
+            cases.push(run_case(backend, case, nranks, smoke));
+        }
+    }
+    assert_profiles(&cases);
+
+    let mut table = Table::new(&["case", "backend", "seconds", "top blame cause"]);
+    for c in &cases {
+        let top = c
+            .profile
+            .as_ref()
+            .and_then(|p| {
+                p.causes
+                    .iter()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(k, v)| format!("{k} ({:.0}us)", v))
+            })
+            .unwrap_or_else(|| "-".to_string());
+        table.row(vec![
+            c.case.clone(),
+            c.backend.clone(),
+            format!("{:.6}", c.seconds),
+            top,
+        ]);
+    }
+    table.print();
+
+    let record = TrajRecord {
+        schema: TRAJ_SCHEMA,
+        label,
+        smoke,
+        cases,
+    };
+    let mut records = load_records(out_path);
+
+    if check {
+        let prev = records
+            .iter()
+            .rev()
+            .find(|r| matches!(r.get("smoke"), Some(Value::Bool(b)) if *b == smoke));
+        match prev {
+            None => println!("\nno committed baseline with smoke={smoke}; gate passes vacuously"),
+            Some(prev) => {
+                let bad = regressions(prev, &record, thr_sim, thr_rt);
+                if bad.is_empty() {
+                    println!(
+                        "\ntrajectory gate: OK vs record `{}`",
+                        prev.get("label").and_then(Value::as_str).unwrap_or("?")
+                    );
+                } else {
+                    eprintln!("\ntrajectory gate: REGRESSION");
+                    for b in &bad {
+                        eprintln!("  {b}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    match serde_json::to_value(&record) {
+        Ok(v) => records.push(v),
+        Err(e) => panic!("cannot serialize trajectory record: {e:?}"),
+    }
+    let file = Value::Object(vec![
+        ("schema".to_string(), Value::UInt(TRAJ_SCHEMA as u64)),
+        ("records".to_string(), Value::Array(records)),
+    ]);
+    let text = canonical_json(&file).expect("canonical trajectory JSON");
+    std::fs::write(out_path, text + "\n")
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", out_path.display()));
+    println!("\nappended record to {}", out_path.display());
+}

@@ -4,9 +4,10 @@
 //! bottleneck — so the latency hidden by overlapping the two simultaneous
 //! reductions should grow with the mesh.
 
-use ovcomm_bench::{metrics_block, write_json, MetricsBlock, Table};
+use ovcomm_bench::{metrics_block, profile_block, write_json, MetricsBlock, Table};
 use ovcomm_densemat::{BlockBuf, BlockGrid, Partition1D};
 use ovcomm_kernels::{block_cg, BlockCgConfig, CgComms, Mesh2D};
+use ovcomm_obs::ProfileBlock;
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
 use serde::Serialize;
@@ -19,12 +20,18 @@ struct Row {
     t_overlap_s: f64,
     speedup: f64,
     metrics: MetricsBlock,
+    profile: Option<ProfileBlock>,
 }
 
-fn cg_time(p: usize, n: usize, s: usize, overlap: bool) -> (f64, MetricsBlock) {
+fn cg_time(
+    p: usize,
+    n: usize,
+    s: usize,
+    overlap: bool,
+) -> (f64, MetricsBlock, Option<ProfileBlock>) {
     let iters = 8;
     let out = run(
-        SimConfig::natural(p * p, 1, MachineProfile::stampede2_skylake()),
+        SimConfig::natural(p * p, 1, MachineProfile::stampede2_skylake()).with_trace(),
         move |rc: RankCtx| {
             let mesh = Mesh2D::new(&rc, p);
             let grid = BlockGrid::new(n, p);
@@ -49,7 +56,8 @@ fn cg_time(p: usize, n: usize, s: usize, overlap: bool) -> (f64, MetricsBlock) {
     )
     .expect("block CG run");
     let t = out.results.iter().cloned().fold(0.0, f64::max);
-    (t, metrics_block(&out))
+    let profile = profile_block(&out);
+    (t, metrics_block(&out), profile)
 }
 
 fn main() {
@@ -65,8 +73,8 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     for p in [2usize, 4, 8, 12, 16] {
-        let (tb, _) = cg_time(p, n, s, false);
-        let (to, metrics) = cg_time(p, n, s, true);
+        let (tb, _, _) = cg_time(p, n, s, false);
+        let (to, metrics, profile) = cg_time(p, n, s, true);
         table.row(vec![
             format!("{p}x{p}"),
             (p * p).to_string(),
@@ -81,6 +89,7 @@ fn main() {
             t_overlap_s: to,
             speedup: tb / to,
             metrics,
+            profile,
         });
     }
     table.print();

@@ -3,8 +3,11 @@
 //! and 8 MB single nonblocking calls for comparison. Reproduces the post /
 //! wait breakdown of the paper's stacked bars (times on node 0).
 
-use ovcomm_bench::{metrics_block, render, trace_out_arg, write_json, Bar, MetricsBlock, Table};
+use ovcomm_bench::{
+    metrics_block, profile_block, render, trace_out_arg, write_json, Bar, MetricsBlock, Table,
+};
 use ovcomm_core::NDupComms;
+use ovcomm_obs::ProfileBlock;
 use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
 use serde::Serialize;
@@ -26,14 +29,15 @@ enum Op {
 }
 
 /// Run one scenario with tracing and return rank-0 (node-0) spans plus the
-/// scenario's metrics block. With `--trace-out <path>` each scenario also
-/// writes a Perfetto trace to `<path minus extension>-<scenario slug>.json`.
+/// scenario's metrics and critical-path profile blocks. With
+/// `--trace-out <path>` each scenario also writes a Perfetto trace to
+/// `<path minus extension>-<scenario slug>.json`.
 fn traced(
     scenario: &str,
     nranks: usize,
     ppn: usize,
     f: impl Fn(RankCtx) + Send + Sync + 'static,
-) -> (Vec<SpanRow>, MetricsBlock) {
+) -> Scenario {
     let mut cfg = SimConfig::natural(nranks, ppn, MachineProfile::stampede2_skylake()).with_trace();
     if let Some(base) = trace_out_arg() {
         let slug: String = scenario
@@ -51,6 +55,7 @@ fn traced(
     }
     let out = run(cfg, move |rc: RankCtx| f(rc)).expect("fig6 scenario");
     let metrics = metrics_block(&out);
+    let profile = profile_block(&out);
     let trace = out.trace.expect("tracing enabled");
     let node0_actors: Vec<u32> = (0..ppn as u32).collect();
     let rows = trace
@@ -75,10 +80,13 @@ fn traced(
             dur_us: s.end.saturating_since(s.start).as_micros_f64(),
         })
         .collect();
-    (rows, metrics)
+    (rows, metrics, profile)
 }
 
-fn scenario_blocking(op: Op, msg: usize, name: &str) -> (Vec<SpanRow>, MetricsBlock) {
+/// One scenario's node-0 spans, metrics block and critical-path profile.
+type Scenario = (Vec<SpanRow>, MetricsBlock, Option<ProfileBlock>);
+
+fn scenario_blocking(op: Op, msg: usize, name: &str) -> Scenario {
     traced(name, 4, 1, move |rc| {
         let w = rc.world();
         match op {
@@ -93,7 +101,7 @@ fn scenario_blocking(op: Op, msg: usize, name: &str) -> (Vec<SpanRow>, MetricsBl
     })
 }
 
-fn scenario_nonblocking_single(op: Op, msg: usize, name: &str) -> (Vec<SpanRow>, MetricsBlock) {
+fn scenario_nonblocking_single(op: Op, msg: usize, name: &str) -> Scenario {
     traced(name, 4, 1, move |rc| {
         let w = rc.world();
         match op {
@@ -110,7 +118,7 @@ fn scenario_nonblocking_single(op: Op, msg: usize, name: &str) -> (Vec<SpanRow>,
     })
 }
 
-fn scenario_ndup(op: Op, msg: usize, n_dup: usize, name: &str) -> (Vec<SpanRow>, MetricsBlock) {
+fn scenario_ndup(op: Op, msg: usize, n_dup: usize, name: &str) -> Scenario {
     traced(name, 4, 1, move |rc| {
         let w = rc.world();
         let comms = NDupComms::new(&w, n_dup);
@@ -145,7 +153,7 @@ fn scenario_ndup(op: Op, msg: usize, n_dup: usize, name: &str) -> (Vec<SpanRow>,
     })
 }
 
-fn scenario_ppn(op: Op, msg: usize, ppn: usize, name: &str) -> (Vec<SpanRow>, MetricsBlock) {
+fn scenario_ppn(op: Op, msg: usize, ppn: usize, name: &str) -> Scenario {
     traced(name, 4 * ppn, ppn, move |rc| {
         let w = rc.world();
         let local = rc.rank() % ppn;
@@ -204,6 +212,7 @@ fn print_section(title: &str, rows: &[SpanRow]) {
 struct ScenarioMetrics {
     scenario: String,
     metrics: MetricsBlock,
+    profile: Option<ProfileBlock>,
 }
 
 #[derive(Serialize)]
@@ -226,7 +235,7 @@ fn main() {
             "Broadcast"
         };
         let mut section: Vec<SpanRow> = Vec::new();
-        let scenarios: Vec<(String, (Vec<SpanRow>, MetricsBlock))> = vec![
+        let scenarios: Vec<(String, Scenario)> = vec![
             {
                 let name = format!("{opname} blocking 8MB");
                 let r = scenario_blocking(op, m8, &name);
@@ -258,11 +267,12 @@ fn main() {
                 (name, r)
             },
         ];
-        for (name, (spans, metrics)) in scenarios {
+        for (name, (spans, metrics, profile)) in scenarios {
             section.extend(spans);
             all.scenarios.push(ScenarioMetrics {
                 scenario: name,
                 metrics,
+                profile,
             });
         }
         print_section(

@@ -8,11 +8,13 @@
 //! (modeled seconds, 16 nodes).
 
 use ovcomm_bench::{
-    backend_arg, metrics_block, metrics_block_rt, write_json, Backend, MetricsBlock, Table,
+    backend_arg, metrics_block, metrics_block_rt, profile_block, profile_block_rt, write_json,
+    Backend, MetricsBlock, Table,
 };
 use ovcomm_core::{pipelined_reduce_bcast, Communicator, NDupComms, RankHandle};
 use ovcomm_densemat::Partition1D;
 use ovcomm_kernels::Mesh2D;
+use ovcomm_obs::ProfileBlock;
 use ovcomm_rt::{RtConfig, RtRankCtx};
 use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
@@ -28,6 +30,7 @@ struct Row {
     alg2_s: f64,
     speedup: f64,
     metrics: MetricsBlock,
+    profile: Option<ProfileBlock>,
 }
 
 /// The reduce+broadcast phase (the part Figs. 1–2 illustrate), generic
@@ -56,26 +59,31 @@ fn phase<R: RankHandle>(rc: &R, n: usize, n_dup: Option<usize>) -> f64 {
     (rc.now() - t0).as_secs_f64()
 }
 
-/// Time the phase on the selected backend.
-fn comm_phase(backend: Backend, n: usize, n_dup: Option<usize>) -> (f64, MetricsBlock) {
+/// Time the phase on the selected backend. Tracing stays on so every
+/// record carries its critical-path profile next to the metrics.
+fn comm_phase(
+    backend: Backend,
+    n: usize,
+    n_dup: Option<usize>,
+) -> (f64, MetricsBlock, Option<ProfileBlock>) {
     match backend {
         Backend::Sim => {
             let out = run(
-                SimConfig::natural(P * P, 1, MachineProfile::stampede2_skylake()),
+                SimConfig::natural(P * P, 1, MachineProfile::stampede2_skylake()).with_trace(),
                 move |rc: RankCtx| phase(&rc, n, n_dup),
             )
             .expect("matvec comm phase (sim)");
             let t = out.results.iter().cloned().fold(0.0, f64::max);
-            (t, metrics_block(&out))
+            (t, metrics_block(&out), profile_block(&out))
         }
         Backend::Rt => {
             let out = ovcomm_rt::run(
-                RtConfig::natural(P * P, 1, MachineProfile::test_profile()),
+                RtConfig::natural(P * P, 1, MachineProfile::test_profile()).with_trace(),
                 move |rc: RtRankCtx| phase(&rc, n, n_dup),
             )
             .expect("matvec comm phase (rt)");
             let t = out.results.iter().cloned().fold(0.0, f64::max);
-            (t, metrics_block_rt(&out))
+            (t, metrics_block_rt(&out), profile_block_rt(&out))
         }
     }
 }
@@ -98,9 +106,9 @@ fn main() {
     let mut table = Table::new(&["vector", "N_DUP", "Alg1 (s)", "Alg2 (s)", "speedup"]);
     let mut rows = Vec::new();
     for &elems in sizes {
-        let (t1, _) = comm_phase(backend, elems, None);
+        let (t1, _, _) = comm_phase(backend, elems, None);
         for n_dup in [2usize, 4, 8] {
-            let (t2, metrics) = comm_phase(backend, elems, Some(n_dup));
+            let (t2, metrics, profile) = comm_phase(backend, elems, Some(n_dup));
             let label = if elems >= 1 << 20 {
                 format!("{}M", elems >> 20)
             } else {
@@ -120,6 +128,7 @@ fn main() {
                 alg2_s: t2,
                 speedup: t1 / t2,
                 metrics,
+                profile,
             });
         }
     }

@@ -2,8 +2,9 @@
 //! with the per-step reduce→broadcast pipelined (Algorithm 2 applied to an
 //! N-body code). Sweeps the mesh size at a fixed particle count.
 
-use ovcomm_bench::{metrics_block, write_json, MetricsBlock, Table};
+use ovcomm_bench::{metrics_block, profile_block, write_json, MetricsBlock, Table};
 use ovcomm_kernels::{md_init, md_run, MdConfig, Mesh2D};
+use ovcomm_obs::ProfileBlock;
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
 use serde::Serialize;
@@ -16,12 +17,17 @@ struct Row {
     t_overlap_s: f64,
     speedup: f64,
     metrics: MetricsBlock,
+    profile: Option<ProfileBlock>,
 }
 
-fn md_time(p: usize, n: usize, overlap: Option<usize>) -> (f64, MetricsBlock) {
+fn md_time(
+    p: usize,
+    n: usize,
+    overlap: Option<usize>,
+) -> (f64, MetricsBlock, Option<ProfileBlock>) {
     let steps = 4;
     let out = run(
-        SimConfig::natural(p * p, 1, MachineProfile::stampede2_skylake()),
+        SimConfig::natural(p * p, 1, MachineProfile::stampede2_skylake()).with_trace(),
         move |rc: RankCtx| {
             let mesh = Mesh2D::new(&rc, p);
             let cfg = MdConfig {
@@ -41,7 +47,8 @@ fn md_time(p: usize, n: usize, overlap: Option<usize>) -> (f64, MetricsBlock) {
     )
     .expect("MD run");
     let t = out.results.iter().cloned().fold(0.0, f64::max);
-    (t, metrics_block(&out))
+    let profile = profile_block(&out);
+    (t, metrics_block(&out), profile)
 }
 
 fn main() {
@@ -56,8 +63,8 @@ fn main() {
     ]);
     let mut rows = Vec::new();
     for p in [2usize, 4, 8] {
-        let (tb, _) = md_time(p, n, None);
-        let (to, metrics) = md_time(p, n, Some(4));
+        let (tb, _, _) = md_time(p, n, None);
+        let (to, metrics, profile) = md_time(p, n, Some(4));
         table.row(vec![
             format!("{p}x{p}"),
             (p * p).to_string(),
@@ -72,6 +79,7 @@ fn main() {
             t_overlap_s: to,
             speedup: tb / to,
             metrics,
+            profile,
         });
     }
     table.print();

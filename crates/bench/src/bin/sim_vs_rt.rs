@@ -11,7 +11,10 @@
 // Bench drivers fail loudly by design.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
-use ovcomm_bench::{metrics_block, metrics_block_rt, write_json, MetricsBlock, Table};
+use ovcomm_bench::{
+    metrics_block, metrics_block_rt, profile_block, profile_block_rt, write_json, MetricsBlock,
+    Table,
+};
 use ovcomm_core::{NDupComms, RankHandle};
 use ovcomm_densemat::{BlockBuf, BlockGrid, Matrix, Partition1D};
 use ovcomm_kernels::{
@@ -19,6 +22,7 @@ use ovcomm_kernels::{
     symm_square_cube_optimized, symm_square_cube_summa, MatvecInput, Mesh25D, Mesh2D, Mesh3D,
     SummaBundles, SymmInput, VecBuf,
 };
+use ovcomm_obs::ProfileBlock;
 use ovcomm_rt::{RtConfig, RtRankCtx};
 use ovcomm_simmpi::{RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
@@ -131,6 +135,11 @@ struct Row {
     bit_identical: Option<bool>,
     sim_metrics: Option<MetricsBlock>,
     rt_metrics: Option<MetricsBlock>,
+    /// Critical-path blame for the sim run (always traced).
+    sim_profile: Option<ProfileBlock>,
+    /// Critical-path blame for the rt run: the sim-vs-rt gap decomposed
+    /// into named causes (progress-delay, rendezvous-stall, spin, park).
+    rt_profile: Option<ProfileBlock>,
 }
 
 const KERNELS: &[(&str, usize, usize, usize)] = &[
@@ -196,6 +205,8 @@ fn main() {
         let measured_s = rt.as_ref().map(|o| o.makespan.as_secs_f64());
         let sim_metrics = sim.as_ref().map(metrics_block);
         let rt_metrics = rt.as_ref().map(metrics_block_rt);
+        let sim_profile = sim.as_ref().and_then(profile_block);
+        let rt_profile = rt.as_ref().and_then(profile_block_rt);
         let bit_identical = sim
             .as_ref()
             .zip(rt.as_ref())
@@ -232,6 +243,8 @@ fn main() {
             bit_identical,
             sim_metrics,
             rt_metrics,
+            sim_profile,
+            rt_profile,
         });
     }
 

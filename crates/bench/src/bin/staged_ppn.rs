@@ -4,8 +4,9 @@
 //! `MPI_Ibarrier`. Compares keeping all 512 processes active against
 //! waking only 1 or 2 per node for the purification kernel.
 
-use ovcomm_bench::{metrics_block, write_json, MetricsBlock, Table};
+use ovcomm_bench::{metrics_block, profile_block, write_json, MetricsBlock, Table};
 use ovcomm_core::StagePlan;
+use ovcomm_obs::ProfileBlock;
 use ovcomm_purify::{paper_system, scf_staged, KernelChoice, PurifyConfig, ScfConfig};
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::{MachineProfile, SimDur};
@@ -18,6 +19,7 @@ struct Row {
     scf_time_s: f64,
     kernel_tflops: f64,
     metrics: MetricsBlock,
+    profile: Option<ProfileBlock>,
 }
 
 fn staged(
@@ -25,7 +27,7 @@ fn staged(
     choice: KernelChoice,
     label: &str,
     n: usize,
-) -> (f64, f64, MetricsBlock) {
+) -> (f64, f64, MetricsBlock, Option<ProfileBlock>) {
     let cfg = ScfConfig {
         purify: PurifyConfig {
             n,
@@ -41,7 +43,7 @@ fn staged(
     };
     let label = label.to_string();
     let out = run(
-        SimConfig::natural(512, 8, MachineProfile::stampede2_skylake()),
+        SimConfig::natural(512, 8, MachineProfile::stampede2_skylake()).with_trace(),
         move |rc: RankCtx| {
             let res = scf_staged(&rc, &cfg, choice);
             (
@@ -69,7 +71,8 @@ fn staged(
     } else {
         0.0
     };
-    (total, tflops, metrics_block(&out))
+    let profile = profile_block(&out);
+    (total, tflops, metrics_block(&out), profile)
 }
 
 fn main() {
@@ -98,7 +101,7 @@ fn main() {
         ),
     ];
     for (k, mesh, plan, choice) in configs {
-        let (total, tflops, metrics) = staged(plan, choice, &mesh, n);
+        let (total, tflops, metrics, profile) = staged(plan, choice, &mesh, n);
         table.row(vec![
             format!("{k}/node"),
             mesh.clone(),
@@ -111,6 +114,7 @@ fn main() {
             scf_time_s: total,
             kernel_tflops: tflops,
             metrics,
+            profile,
         });
     }
     table.print();

@@ -35,6 +35,7 @@
 pub mod chart;
 pub mod metrics;
 pub mod micro;
+pub mod profile;
 pub mod report;
 pub mod sweep;
 pub mod symm;
@@ -49,7 +50,8 @@ pub use micro::{
     coll_bandwidth, coll_bandwidth_metrics, p2p_bandwidth, p2p_bandwidth_metrics, CollCase,
     CollKind,
 };
-pub use report::{write_json, Table};
+pub use profile::{profile_block, profile_block_rt};
+pub use report::{canonical_json, canonicalize_value, write_json, Table};
 pub use sweep::{algo_sweep, measure_cell, sweep_samples, SweepRecord, SWEEP_KINDS};
 pub use symm::{symm_run, MeshSpec, SymmStats};
 pub use timeline::{render, Bar};

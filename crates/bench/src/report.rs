@@ -1,9 +1,15 @@
 //! Table printing and JSON result records.
+//!
+//! Every JSON file the harness writes goes through [`canonical_json`]:
+//! object keys are sorted recursively and floats are rounded to nine
+//! significant digits, so regenerated records diff cleanly PR-over-PR
+//! instead of churning on field order or last-bit float noise.
 
 use std::fs;
 use std::path::Path;
 
 use serde::Serialize;
+use serde_json::Value;
 
 /// A simple fixed-width text table, printed paper-style.
 pub struct Table {
@@ -63,8 +69,43 @@ impl Table {
     }
 }
 
+/// Canonicalize a JSON value in place: sort object keys recursively and
+/// round finite floats to nine significant digits. Applied to every
+/// record the harness writes so output is byte-deterministic across runs
+/// and stable under struct-field reordering.
+pub fn canonicalize_value(v: &mut Value) {
+    match v {
+        Value::Float(f) if f.is_finite() => {
+            // 9 significant digits: enough to compare runs, few
+            // enough to absorb last-bit noise from summation order.
+            *f = format!("{f:.8e}").parse().unwrap_or(*f);
+        }
+        Value::Array(items) => {
+            for item in items {
+                canonicalize_value(item);
+            }
+        }
+        Value::Object(fields) => {
+            for (_, item) in fields.iter_mut() {
+                canonicalize_value(item);
+            }
+            fields.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        _ => {}
+    }
+}
+
+/// Serialize `value` to canonical pretty JSON (sorted keys, rounded
+/// floats — see [`canonicalize_value`]).
+pub fn canonical_json<T: Serialize>(value: &T) -> Result<String, String> {
+    let mut v = serde_json::to_value(value).map_err(|e| format!("{e:?}"))?;
+    canonicalize_value(&mut v);
+    serde_json::to_string_pretty(&v).map_err(|e| format!("{e:?}"))
+}
+
 /// Write a JSON record under `results/<name>.json` (creating the directory
-/// next to the workspace root).
+/// next to the workspace root). Output is canonical: keys sorted, floats
+/// rounded (see [`canonical_json`]).
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let dir = Path::new("results");
     if let Err(e) = fs::create_dir_all(dir) {
@@ -72,7 +113,7 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
+    match canonical_json(value) {
         Ok(s) => {
             if let Err(e) = fs::write(&path, s) {
                 eprintln!("warning: cannot write {}: {e}", path.display());
@@ -105,5 +146,47 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn canonical_sorts_keys_and_rounds_floats() {
+        let mut v = Value::Object(vec![
+            ("zeta".into(), Value::Float(0.123_456_789_123_456_78)),
+            (
+                "alpha".into(),
+                Value::Array(vec![Value::Object(vec![
+                    ("b".into(), Value::Int(2)),
+                    ("a".into(), Value::Int(1)),
+                ])]),
+            ),
+        ]);
+        canonicalize_value(&mut v);
+        let Value::Object(fields) = &v else {
+            panic!("object stays object")
+        };
+        assert_eq!(fields[0].0, "alpha");
+        assert_eq!(fields[1].0, "zeta");
+        let Value::Array(items) = &fields[0].1 else {
+            panic!("array stays array")
+        };
+        let Value::Object(inner) = &items[0] else {
+            panic!("nested object")
+        };
+        assert_eq!(inner[0].0, "a");
+        assert_eq!(fields[1].1, Value::Float(0.123_456_789));
+    }
+
+    #[test]
+    fn canonical_json_is_deterministic() {
+        #[derive(Serialize)]
+        struct R {
+            z: f64,
+            a: u32,
+        }
+        let s1 = canonical_json(&R { z: 1.0 / 3.0, a: 7 }).unwrap();
+        let s2 = canonical_json(&R { z: 1.0 / 3.0, a: 7 }).unwrap();
+        assert_eq!(s1, s2);
+        // Keys emitted in sorted order regardless of declaration order.
+        assert!(s1.find("\"a\"").unwrap() < s1.find("\"z\"").unwrap());
     }
 }

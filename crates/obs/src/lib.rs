@@ -5,9 +5,13 @@
 //! [`analyze`] pass that turns trace spans and network utilization
 //! integrals into overlap-efficiency numbers (how much NIC-busy time
 //! carried ≥ 2 concurrent flows — the paper's central quantity — plus the
-//! Fig.-6 per-rank compute/post/wait/idle split and a critical path), and
-//! a [`perfetto`] exporter that writes Chrome trace-event JSON loadable in
-//! `ui.perfetto.dev`.
+//! Fig.-6 per-rank compute/post/wait/idle split and a critical path), a
+//! [`critpath`]/[`blame`] profiling pass that rebuilds the happens-before
+//! DAG from spans plus send→recv / post→wait edges and attributes the
+//! makespan into a wait-blame tree (the `ProfileBlock` bench records
+//! embed), and a [`perfetto`] exporter that writes Chrome trace-event
+//! JSON loadable in `ui.perfetto.dev` — optionally with an annotated
+//! critical-path track.
 //!
 //! The crate depends only on `ovcomm-simnet` types; `ovcomm-simmpi` feeds
 //! it and the kernel/bench layers consume the reports.
@@ -16,11 +20,18 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analyze;
+pub mod blame;
+pub mod critpath;
 pub mod perfetto;
 pub mod registry;
 
 pub use analyze::{analyze, CriticalSegment, OverlapReport, RankBreakdown, ResourceUtilization};
-pub use perfetto::{trace_to_json, trace_to_json_with_names, validate_trace_events, write_trace};
+pub use blame::{profile, BlameNode, ProfileBlock, ProfileSegment, PROFILE_SCHEMA};
+pub use critpath::{critical_path_dag, rank_of_actor, PathSegment, GAP_ACTOR};
+pub use perfetto::{
+    trace_to_json, trace_to_json_annotated, trace_to_json_with_names, validate_trace_events,
+    write_trace, write_trace_annotated,
+};
 pub use registry::{
     Counter, Gauge, GaugeSnapshot, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
 };

@@ -1,0 +1,172 @@
+//! Critical-path extraction and blame-tree invariants.
+//!
+//! The hand-computed cases pin exact walk behavior (edge redirects, tie
+//! breaking, zero-duration spans); the property test holds the structural
+//! guarantee — segments tile `[0, makespan]` and blame leaves sum to it —
+//! over arbitrary span/edge soups, including inconsistent ones no real
+//! backend would emit.
+
+use proptest::prelude::*;
+
+use ovcomm_obs::registry::MetricsSnapshot;
+use ovcomm_obs::{critical_path_dag, profile, GAP_ACTOR};
+use ovcomm_simnet::{EdgeKind, SimTime, SpanKind, TraceEdge, TraceSpan};
+
+fn span(actor: u32, kind: SpanKind, label: &str, start: u64, end: u64) -> TraceSpan {
+    TraceSpan {
+        actor,
+        kind,
+        label: label.to_string(),
+        chunk: None,
+        start: SimTime(start),
+        end: SimTime(end),
+    }
+}
+
+/// Hand-computed DAG: rank 1 waits on a message rank 0 produced; the walk
+/// must hop the send→recv edge and land on rank 0's posting span, then
+/// its compute — and skip the zero-duration span at t=400.
+#[test]
+fn hand_computed_path_with_edge_redirect_and_zero_span() {
+    let spans = vec![
+        span(0, SpanKind::Compute, "a", 0, 300),
+        span(0, SpanKind::Post, "p", 300, 400),
+        span(0, SpanKind::Other, "z", 400, 400), // zero-duration: never active
+        span(1, SpanKind::Wait, "w", 100, 1_000),
+        span(1, SpanKind::Compute, "tail", 1_000, 1_200),
+    ];
+    let edges = vec![TraceEdge {
+        kind: EdgeKind::SendRecv,
+        from_actor: 0,
+        from_time: SimTime(400),
+        to_actor: 1,
+        to_time: SimTime(1_000),
+    }];
+    let p = critical_path_dag(&spans, &edges, SimTime(1_200));
+    let got: Vec<(&str, u64, u64)> = p
+        .iter()
+        .map(|s| (s.label.as_str(), s.start.0, s.end.0))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ("tail", 1_000, 1_200),
+            ("p", 300, 1_000), // redirect through the edge: the wait is rank 0's fault
+            ("a", 0, 300),
+        ]
+    );
+    assert!(p.iter().all(|s| s.label != "z"), "zero span stays off path");
+}
+
+/// Exact tie (same start, same end, different actors): the walk picks the
+/// lowest actor id, deterministically.
+#[test]
+fn exact_tie_breaks_to_lowest_actor() {
+    let spans = vec![
+        span(3, SpanKind::Compute, "high", 0, 500),
+        span(2, SpanKind::Compute, "low", 0, 500),
+    ];
+    let p = critical_path_dag(&spans, &[], SimTime(500));
+    assert_eq!(p.len(), 1);
+    assert_eq!(p[0].actor, 2);
+    assert_eq!(p[0].label, "low");
+}
+
+/// A makespan beyond every span end starts with an idle gap.
+#[test]
+fn trailing_idle_gap_reaches_makespan() {
+    let spans = vec![span(0, SpanKind::Compute, "c", 0, 400)];
+    let p = critical_path_dag(&spans, &[], SimTime(1_000));
+    assert_eq!(p[0].label, "idle");
+    assert_eq!(p[0].actor, GAP_ACTOR);
+    assert_eq!((p[0].start, p[0].end), (SimTime(400), SimTime(1_000)));
+    assert_eq!(p[1].label, "c");
+}
+
+/// Empty trace: the whole makespan is one idle gap; zero makespan: empty.
+#[test]
+fn degenerate_inputs() {
+    let p = critical_path_dag(&[], &[], SimTime(700));
+    assert_eq!(p.len(), 1);
+    assert_eq!((p[0].start, p[0].end), (SimTime(0), SimTime(700)));
+    assert!(critical_path_dag(&[], &[], SimTime(0)).is_empty());
+}
+
+#[derive(Debug, Clone)]
+struct Soup {
+    spans: Vec<TraceSpan>,
+    edges: Vec<TraceEdge>,
+    makespan: u64,
+}
+
+fn soup() -> impl Strategy<Value = Soup> {
+    let kinds = vec![
+        SpanKind::Compute,
+        SpanKind::Post,
+        SpanKind::Wait,
+        SpanKind::BlockingCall,
+        SpanKind::CollStep,
+        SpanKind::Phase,
+        SpanKind::Other,
+    ];
+    let one_span = (
+        0u32..4,
+        prop::sample::select(kinds),
+        0u64..5_000,
+        0u64..2_000,
+    )
+        .prop_map(|(actor, kind, start, len)| span(actor, kind, "s", start, start + len));
+    let one_edge = (0u32..4, 0u64..6_000, 0u32..4, 0u64..6_000).prop_map(
+        |(from_actor, from_time, to_actor, to_time)| TraceEdge {
+            kind: EdgeKind::SendRecv,
+            from_actor,
+            from_time: SimTime(from_time),
+            to_actor,
+            to_time: SimTime(to_time),
+        },
+    );
+    (
+        prop::collection::vec(one_span, 1..24),
+        prop::collection::vec(one_edge, 0..8),
+        0u64..1_000,
+    )
+        .prop_map(|(spans, edges, extra)| {
+            let latest = spans.iter().map(|s| s.end.0).max().unwrap_or(0);
+            Soup {
+                spans,
+                edges,
+                makespan: latest + extra,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Structural invariant: for ANY span/edge soup the path tiles
+    /// `[0, makespan]` contiguously and the blame tree's leaves sum to
+    /// the makespan.
+    #[test]
+    fn path_tiles_and_blame_conserves(s in soup()) {
+        let makespan = SimTime(s.makespan);
+        let p = critical_path_dag(&s.spans, &s.edges, makespan);
+        let mut expect_end = makespan;
+        for seg in &p {
+            prop_assert_eq!(seg.end, expect_end, "contiguous tiling");
+            prop_assert!(seg.start < seg.end, "segments have positive length");
+            expect_end = seg.start;
+        }
+        prop_assert_eq!(expect_end, SimTime(0), "path reaches the origin");
+        let total: u64 = p.iter().map(|seg| seg.end.0 - seg.start.0).sum();
+        prop_assert_eq!(total, s.makespan);
+
+        let b = profile(&s.spans, &s.edges, &MetricsSnapshot::default(), makespan, "sim");
+        let makespan_us = s.makespan as f64 / 1_000.0;
+        prop_assert!(
+            (b.blame.leaf_sum_us() - makespan_us).abs() <= 1e-9 * makespan_us.max(1.0),
+            "blame leaves sum {} != makespan {}", b.blame.leaf_sum_us(), makespan_us
+        );
+        let cause_total: f64 = b.causes.values().sum();
+        prop_assert!((cause_total - makespan_us).abs() <= 1e-9 * makespan_us.max(1.0));
+    }
+}

@@ -915,6 +915,8 @@ impl RtComm {
                             op_agent: id,
                         });
                     }
+                    let done = sh2.now();
+                    sh2.edge(ovcomm_simnet::EdgeKind::PostWait, id, done, rank, done);
                     sh2.complete(&req2, v);
                 }
                 Err(e) => {

@@ -36,6 +36,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod comm;
+mod sampler;
 mod shared;
 
 use std::collections::HashMap;
@@ -99,6 +100,10 @@ pub struct RtConfig {
     /// How long every live thread must stay blocked, with no request
     /// completing, before the watchdog declares deadlock.
     pub deadlock_timeout: Duration,
+    /// Telemetry-sampler period ([`None`] disables the sampler thread).
+    /// Defaults to 1 ms — coarse enough to stay out of the ranks' way,
+    /// fine enough to populate occupancy histograms on millisecond runs.
+    pub sample_interval: Option<Duration>,
 }
 
 impl RtConfig {
@@ -118,6 +123,7 @@ impl RtConfig {
             trace: false,
             trace_out: None,
             deadlock_timeout: Duration::from_secs(2),
+            sample_interval: Some(Duration::from_millis(1)),
         }
     }
 
@@ -155,6 +161,18 @@ impl RtConfig {
     /// Set the watchdog's deadlock timeout.
     pub fn with_deadlock_timeout(mut self, d: Duration) -> RtConfig {
         self.deadlock_timeout = d;
+        self
+    }
+
+    /// Set the telemetry-sampler period.
+    pub fn with_sample_interval(mut self, d: Duration) -> RtConfig {
+        self.sample_interval = Some(d);
+        self
+    }
+
+    /// Disable the telemetry-sampler thread.
+    pub fn without_sampler(mut self) -> RtConfig {
+        self.sample_interval = None;
         self
     }
 }
@@ -280,6 +298,8 @@ where
     F: Fn(RtRankCtx) -> T + Send + Sync + 'static,
 {
     let nranks = cfg.nodemap.nranks();
+    let metrics = SimMetrics::new(nranks);
+    let prof = crate::shared::RtProf::new(&metrics, nranks);
     let shared = Arc::new(RtShared {
         epoch: Instant::now(),
         profile: cfg.profile.clone(),
@@ -290,7 +310,8 @@ where
             ..RtState::default()
         }),
         pool: Pool::new(),
-        metrics: SimMetrics::new(nranks),
+        metrics,
+        prof,
         compute: cfg.compute,
         tracing: cfg.trace,
         trace: Mutex::new(Trace::new()),
@@ -353,6 +374,10 @@ where
             .expect("failed to spawn watchdog thread")
     };
 
+    let telemetry = cfg
+        .sample_interval
+        .and_then(|d| sampler::start(shared.clone(), d));
+
     let f = Arc::new(f);
     let world_ranks: Arc<Vec<u32>> = Arc::new((0..nranks as u32).collect());
     let mut handles = Vec::with_capacity(nranks);
@@ -409,6 +434,9 @@ where
     }
     done.store(true, Ordering::SeqCst);
     let _ = watchdog.join();
+    if let Some(s) = telemetry {
+        s.stop();
+    }
     shared.pool.shutdown();
 
     // A real bug often *causes* the deadlock that aborts everyone else;
@@ -486,6 +514,7 @@ where
         None
     };
     let clamped_spans = trace.as_ref().map_or(0, |t| t.clamped());
+    shared.metrics.spans_clamped(clamped_spans as u64);
     if let Some(path) = &cfg.trace_out {
         let spans: &[ovcomm_simnet::TraceSpan] = trace.as_ref().map_or(&[], |t| t.spans());
         if let Err(e) = ovcomm_obs::write_trace(path, spans, actor_name) {

@@ -1,0 +1,91 @@
+//! Live runtime telemetry: a low-overhead sampler thread.
+//!
+//! While a run executes, one background thread wakes every
+//! [`RtConfig::sample_interval`](crate::RtConfig) and records a snapshot
+//! of the runtime's load indicators into the shared obs registry:
+//!
+//! * `rt.sampler.pool_queue_depth` — jobs currently running on progress
+//!   workers (the [`Pool`](ovcomm_simmpi::Pool) grows on demand, so this
+//!   is busy workers ≈ outstanding nonblocking collectives);
+//! * `rt.sampler.mailbox_slots` — unmatched sends parked in the mailbox;
+//! * `rt.sampler.posted_recvs` — unmatched posted receives;
+//! * `rt.sampler.blocked_ranks` — threads parked inside a wait;
+//! * `rt.sampler.samples` — how many snapshots were taken (so downstream
+//!   analysis can spot a run too short for the histograms to mean much).
+//!
+//! All samples land in *histograms*: wall-clock sampling is inherently
+//! nondeterministic, and histograms-of-samples keep the full occupancy
+//! distribution (median queue depth vs. spikes) rather than one final
+//! value. The sampler holds the state lock only long enough to read two
+//! queue sizes, and touches nothing on the rank threads' hot paths — its
+//! overhead is bounded by the sampling frequency, which the
+//! `rt_sampler_overhead` test pins.
+
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ovcomm_obs::{Counter, Histogram};
+
+use crate::shared::RtShared;
+
+/// Handle to the running sampler thread; join via [`Sampler::stop`].
+pub(crate) struct Sampler {
+    stop_tx: mpsc::Sender<()>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+/// Spawn the sampler thread, recording into `shared`'s metrics registry
+/// every `interval` until stopped.
+pub(crate) fn start(shared: Arc<RtShared>, interval: Duration) -> Option<Sampler> {
+    struct Handles {
+        pool_queue_depth: Histogram,
+        mailbox_slots: Histogram,
+        posted_recvs: Histogram,
+        blocked_ranks: Histogram,
+        samples: Counter,
+    }
+    let reg = shared.metrics.registry();
+    let h = Handles {
+        pool_queue_depth: reg.histogram("rt.sampler.pool_queue_depth", &[]),
+        mailbox_slots: reg.histogram("rt.sampler.mailbox_slots", &[]),
+        posted_recvs: reg.histogram("rt.sampler.posted_recvs", &[]),
+        blocked_ranks: reg.histogram("rt.sampler.blocked_ranks", &[]),
+        samples: reg.counter("rt.sampler.samples", &[]),
+    };
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let handle = std::thread::Builder::new()
+        .name("rt-sampler".into())
+        .spawn(move || {
+            // recv_timeout doubles as the sampling sleep: a stop message
+            // (or the sender dropping) ends the loop without a full
+            // interval of shutdown latency.
+            while let Err(mpsc::RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
+                let (slots, recvs) = {
+                    let st = shared.state.lock();
+                    (
+                        st.slots.len() as u64,
+                        st.recv_q.values().map(|q| q.len() as u64).sum::<u64>(),
+                    )
+                };
+                h.pool_queue_depth
+                    .record(shared.metrics.pool_occupancy.get());
+                h.mailbox_slots.record(slots);
+                h.posted_recvs.record(recvs);
+                h.blocked_ranks
+                    .record(shared.blocked.load(Ordering::Relaxed) as u64);
+                h.samples.inc();
+            }
+        })
+        .ok()?;
+    Some(Sampler { stop_tx, handle })
+}
+
+impl Sampler {
+    /// Stop the sampler and wait for its thread to exit.
+    pub fn stop(self) {
+        let _ = self.stop_tx.send(());
+        let _ = self.handle.join();
+    }
+}

@@ -25,11 +25,14 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+use ovcomm_obs::Histogram;
 use ovcomm_simmpi::payload::Payload;
 use ovcomm_simmpi::request::{ReqMeta, Request};
 use ovcomm_simmpi::universe::PlanCache;
 use ovcomm_simmpi::{CollSelector, Pool, SimMetrics, SplitResult};
-use ovcomm_simnet::{MachineProfile, NodeMap, ParkCell, SimTime, SpanKind, Trace, TraceSpan};
+use ovcomm_simnet::{
+    EdgeKind, MachineProfile, NodeMap, ParkCell, SimTime, SpanKind, Trace, TraceEdge, TraceSpan,
+};
 use ovcomm_verify::{Event, ReqId, Verifier, VerifyMode, INTERNAL_TAG_BIT};
 
 use crate::ComputeMode;
@@ -37,6 +40,43 @@ use crate::ComputeMode;
 /// How long a parked thread waits before re-checking the abort flag. Also
 /// bounds how quickly a deadlock abort propagates to blocked threads.
 pub(crate) const PARK_SLICE: Duration = Duration::from_millis(25);
+
+/// How long a wait spins (checking completion without parking) before
+/// falling back to condvar parking. Short enough not to burn CPU under
+/// contention, long enough to catch the common fast completions that make
+/// park/unpark round trips the dominant rt overhead.
+pub(crate) const SPIN_BUDGET: Duration = Duration::from_micros(20);
+
+/// Pre-registered wall-clock-only profiling handles (`rt.*` metrics),
+/// feeding the same registry as the backend's `simmpi.*` handles. The
+/// blame layer (`ovcomm-obs`) reads these sums to split rt wait time into
+/// named causes — spin vs. park vs. rendezvous stall.
+pub(crate) struct RtProf {
+    /// Per rank: wait time spent spinning (not parked), ns.
+    pub wait_spin_ns: Vec<Histogram>,
+    /// Per rank: wait time spent parked on the condvar, ns.
+    pub wait_park_ns: Vec<Histogram>,
+    /// Per rank: time the first-posted side of a rendezvous pair waited
+    /// for its partner to post, ns. Attributed to the late-matched rank's
+    /// peer (the side that stalled).
+    pub rendezvous_stall_ns: Vec<Histogram>,
+}
+
+impl RtProf {
+    pub fn new(metrics: &SimMetrics, nranks: usize) -> RtProf {
+        let reg = metrics.registry();
+        let per_rank = |name: &str| -> Vec<Histogram> {
+            (0..nranks)
+                .map(|r| reg.histogram(name, &[("rank", r.to_string())]))
+                .collect()
+        };
+        RtProf {
+            wait_spin_ns: per_rank("rt.wait_spin_ns"),
+            wait_park_ns: per_rank("rt.wait_park_ns"),
+            rendezvous_stall_ns: per_rank("rt.rendezvous_stall_ns"),
+        }
+    }
+}
 
 /// Envelope key used for matching sends with receives (same shape as the
 /// simulator's matcher).
@@ -61,6 +101,8 @@ pub(crate) struct Slot {
     /// Eager protocol? (Decides whether matching must also complete the
     /// sender.)
     pub eager: bool,
+    /// Wall time the send was posted, for rendezvous-stall accounting.
+    pub posted_at: SimTime,
 }
 
 /// Accumulates `split` participants until the whole communicator called.
@@ -76,8 +118,9 @@ pub(crate) struct RtSplitGather {
 pub(crate) struct RtState {
     /// FIFO of unmatched send slots per envelope.
     pub send_q: HashMap<RtKey, VecDeque<SlotId>>,
-    /// FIFO of unmatched receives per envelope.
-    pub recv_q: HashMap<RtKey, VecDeque<Request<Payload>>>,
+    /// FIFO of unmatched receives per envelope, with post times for
+    /// rendezvous-stall accounting.
+    pub recv_q: HashMap<RtKey, VecDeque<(Request<Payload>, SimTime)>>,
     /// All live send slots.
     pub slots: HashMap<SlotId, Slot>,
     pub next_slot_id: u64,
@@ -128,6 +171,7 @@ pub(crate) struct RtShared {
     pub state: Mutex<RtState>,
     pub pool: Pool,
     pub metrics: SimMetrics,
+    pub prof: RtProf,
     pub compute: ComputeMode,
     pub tracing: bool,
     pub trace: Mutex<Trace>,
@@ -193,6 +237,29 @@ impl RtShared {
         });
     }
 
+    /// Record a happens-before edge (no-op unless tracing) — same edge
+    /// vocabulary as the simulator, so obs rebuilds either backend's DAG
+    /// with one code path.
+    pub fn edge(
+        &self,
+        kind: EdgeKind,
+        from_actor: u32,
+        from_time: SimTime,
+        to_actor: u32,
+        to_time: SimTime,
+    ) {
+        if !self.tracing {
+            return;
+        }
+        self.trace.lock().push_edge(TraceEdge {
+            kind,
+            from_actor,
+            from_time,
+            to_actor,
+            to_time,
+        });
+    }
+
     /// Record a panic that unwound a progress job.
     pub fn record_op_panic(&self, rank: u32, msg: String) {
         self.op_panics.lock().push((rank, msg));
@@ -235,6 +302,13 @@ impl RtShared {
         if let (Some(v), Some(id)) = (self.verify.as_ref(), req.verify_id()) {
             v.wait_begin(agent, id);
         }
+        // Spin-vs-park accounting: total wait time minus time spent parked
+        // on the condvar is "spin" (busy checking and bookkeeping). The
+        // blame layer uses the two per-rank sums to split rt wait time
+        // into named causes.
+        let t0 = self.now();
+        let spin_until = t0 + ovcomm_simnet::SimDur(SPIN_BUDGET.as_nanos() as u64);
+        let mut park_ns: u64 = 0;
         let out = loop {
             if let Some((v, _at)) = req.try_take() {
                 // Drop any wake raced in after the value was taken; a stale
@@ -243,10 +317,18 @@ impl RtShared {
                 cell.take_pending_direct();
                 break v;
             }
+            // Burn a short spin budget before the first park: fast
+            // completions then skip the park/unpark round trip entirely.
+            if self.now() < spin_until {
+                std::hint::spin_loop();
+                continue;
+            }
             if req.add_waiter(cell) {
                 self.blocked.fetch_add(1, Ordering::SeqCst);
                 self.blocked_agents.lock().insert(agent, rank);
+                let parked_at = self.now();
                 let woke = cell.park_timeout_direct(PARK_SLICE);
+                park_ns += self.now().saturating_since(parked_at).as_nanos();
                 self.blocked_agents.lock().remove(&agent);
                 self.blocked.fetch_sub(1, Ordering::SeqCst);
                 if woke.is_none() && self.aborted.load(Ordering::SeqCst) {
@@ -257,6 +339,12 @@ impl RtShared {
                 }
             }
         };
+        let total_ns = self.now().saturating_since(t0).as_nanos();
+        let r = rank as usize;
+        if r < self.prof.wait_spin_ns.len() {
+            self.prof.wait_spin_ns[r].record(total_ns.saturating_sub(park_ns));
+            self.prof.wait_park_ns[r].record(park_ns);
+        }
         if let (Some(v), Some(id)) = (self.verify.as_ref(), req.verify_id()) {
             v.record(Event::WaitDone { agent, req: id });
             v.wait_end(agent);
@@ -292,6 +380,7 @@ impl RtShared {
             // Buffered: the sender may proceed immediately.
             self.complete(&req, ());
         }
+        let posted_at = self.now();
         let matched = {
             let mut st = self.state.lock();
             st.messages += 1;
@@ -301,7 +390,7 @@ impl RtShared {
                 st.inter_bytes += n as u64;
             }
             match st.recv_q.get_mut(&key).and_then(|q| q.pop_front()) {
-                Some(recv) => Some((recv, payload)),
+                Some((recv, recv_posted_at)) => Some((recv, payload, recv_posted_at)),
                 None => {
                     let id = st.alloc_slot_id();
                     st.slots.insert(
@@ -310,6 +399,7 @@ impl RtShared {
                             payload,
                             sender_req: req.clone(),
                             eager,
+                            posted_at,
                         },
                     );
                     st.send_q.entry(key).or_default().push_back(id);
@@ -317,8 +407,18 @@ impl RtShared {
                 }
             }
         };
-        if let Some((recv, payload)) = matched {
+        if let Some((recv, payload, recv_posted_at)) = matched {
             self.record_match(req.verify_id(), recv.verify_id());
+            let now = self.now();
+            // The receiver posted first: a rendezvous receive stalls from
+            // its post until the sender shows up. Blame the receiving rank.
+            if !eager {
+                let stall = now.saturating_since(recv_posted_at).as_nanos();
+                if let Some(h) = self.prof.rendezvous_stall_ns.get(key.dst as usize) {
+                    h.record(stall);
+                }
+            }
+            self.edge(EdgeKind::SendRecv, key.src, now, key.dst, now);
             // Rendezvous senders complete at match time (the receiver has
             // arrived); eager senders completed at post above.
             if !eager {
@@ -352,16 +452,27 @@ impl RtShared {
             match st.send_q.get_mut(&key).and_then(|q| q.pop_front()) {
                 Some(id) => st.slots.remove(&id),
                 None => {
-                    st.recv_q.entry(key).or_default().push_back(req.clone());
+                    st.recv_q
+                        .entry(key)
+                        .or_default()
+                        .push_back((req.clone(), self.now()));
                     None
                 }
             }
         };
         if let Some(slot) = matched {
             self.record_match(slot.sender_req.verify_id(), req.verify_id());
+            let now = self.now();
+            // The sender posted first: a rendezvous send stalls from its
+            // post until this receive arrives. Blame the sending rank.
             if !slot.eager {
+                let stall = now.saturating_since(slot.posted_at).as_nanos();
+                if let Some(h) = self.prof.rendezvous_stall_ns.get(key.src as usize) {
+                    h.record(stall);
+                }
                 self.complete(&slot.sender_req, ());
             }
+            self.edge(EdgeKind::SendRecv, key.src, slot.posted_at, key.dst, now);
             self.complete(&req, slot.payload);
         }
         req

@@ -921,7 +921,9 @@ impl Comm {
                             op_agent: id,
                         });
                     }
-                    uni2.complete(&req2, v, agent.now())
+                    let done = agent.now();
+                    uni2.edge(ovcomm_simnet::EdgeKind::PostWait, id, done, rank, done);
+                    uni2.complete(&req2, v, done)
                 }
                 Err(e) => {
                     // Deadlock unwinds land here; record others for the

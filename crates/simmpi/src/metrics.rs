@@ -174,6 +174,24 @@ impl SimMetrics {
         self.ranks[rank as usize].tests.inc();
     }
 
+    /// Record the number of trace spans clamped on insertion (end before
+    /// start) in the `trace.spans_clamped` counter, so instrumentation bugs
+    /// surface in metrics output instead of staying buried in the trace.
+    /// Registers on demand — called once per run, after the trace settles.
+    pub fn spans_clamped(&self, n: u64) {
+        if n > 0 {
+            self.registry.counter("trace.spans_clamped", &[]).add(n);
+        }
+    }
+
+    /// The underlying registry. Exposed (hidden) so the `ovcomm-rt` backend
+    /// can pre-register its wall-clock-only metrics (`rt.*`) into the same
+    /// registry its `simmpi.*` handles feed.
+    #[doc(hidden)]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
     /// Count a communicator duplication, labeled by rank and parent context
     /// (registers on demand — `dup` is cold).
     pub fn comm_dup(&self, rank: u32, parent_ctx: u32) {

@@ -25,7 +25,7 @@
 
 use std::sync::Arc;
 
-use ovcomm_simnet::{SimDur, SimTime};
+use ovcomm_simnet::{EdgeKind, SimDur, SimTime};
 use ovcomm_verify::{Event, ReqId, INTERNAL_TAG_BIT};
 
 use crate::agent::{Agent, CLASS_P2P};
@@ -278,6 +278,7 @@ fn inject_recv(uni: &Arc<UniShared>, key: MatchKey, req: Request<Payload>, tr: S
             // Data already sits in the receiver's internal buffer: one
             // unpack copy from now.
             let done = tr + uni.profile.copy_time(n);
+            uni.edge(EdgeKind::SendRecv, key.src, tr, key.dst, done);
             uni.complete(&req, payload, done);
         }
         Outcome::Rendezvous(id, n, svid) => {
@@ -322,6 +323,7 @@ fn launch_eager_flow(uni: &Arc<UniShared>, key: MatchKey, msg_id: MsgId, n: usiz
                     };
                     if let Some((recv, payload)) = deliver {
                         let done = ta + uni3.profile.copy_time(n);
+                        uni3.edge(EdgeKind::SendRecv, key.src, ta, key.dst, done);
                         uni3.complete(&recv, payload, done);
                     }
                 }),
@@ -361,6 +363,7 @@ fn start_rendezvous(
                         .slots
                         .remove(&msg_id)
                         .expect("rendezvous slot vanished");
+                    uni3.edge(EdgeKind::SendRecv, key.src, ta, key.dst, ta);
                     uni3.complete(&slot.sender_req, (), ta);
                     uni3.complete(&recv, slot.payload, ta);
                 }),

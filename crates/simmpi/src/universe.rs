@@ -237,6 +237,28 @@ impl UniShared {
     pub fn record_op_panic(&self, rank: u32, msg: String) {
         self.op_panics.lock().push((rank, msg));
     }
+
+    /// Record a happens-before edge in the trace (no-op when tracing is
+    /// off). Used by the p2p layer (send→recv) and the dispatcher
+    /// (operation completion → wait) so obs can rebuild the run's DAG.
+    pub(crate) fn edge(
+        &self,
+        kind: ovcomm_simnet::EdgeKind,
+        from_actor: u32,
+        from_time: SimTime,
+        to_actor: u32,
+        to_time: SimTime,
+    ) {
+        if self.tracing {
+            self.engine.record_edge(ovcomm_simnet::TraceEdge {
+                kind,
+                from_actor,
+                from_time,
+                to_actor,
+                to_time,
+            });
+        }
+    }
 }
 
 /// Encode a deterministic actor id for the `op_idx`-th nonblocking
@@ -644,6 +666,7 @@ where
     let makespan = end_times.iter().copied().max().unwrap_or(SimTime::ZERO);
     uni.metrics.pool_spawned.set(uni.pool.spawned() as u64);
     let clamped_spans = uni.engine.clamped_spans();
+    uni.metrics.spans_clamped(clamped_spans as u64);
     let trace = uni.engine.take_trace();
     if let Some(path) = &cfg.trace_out {
         let spans: &[ovcomm_simnet::TraceSpan] = trace.as_ref().map_or(&[], |t| t.spans());

@@ -31,7 +31,7 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::flow::{FlowId, FlowNet, FlowSpec, ResourceId, ResourceKind, ResourceStats};
 use crate::time::{SimDur, SimTime};
-use crate::trace::{Trace, TraceSpan};
+use crate::trace::{Trace, TraceEdge, TraceSpan};
 
 /// Origin id used for events scheduled by the engine itself (flow
 /// completions, timer chains created inside callbacks).
@@ -259,6 +259,13 @@ impl Engine {
     pub fn record_span(&self, span: TraceSpan) {
         if let Some(t) = self.core.lock().trace.as_mut() {
             t.push(span);
+        }
+    }
+
+    /// Record a happens-before edge if tracing is enabled.
+    pub fn record_edge(&self, edge: TraceEdge) {
+        if let Some(t) = self.core.lock().trace.as_mut() {
+            t.push_edge(edge);
         }
     }
 

@@ -41,4 +41,4 @@ pub use flow::{FlowId, FlowNet, FlowSpec, ResourceId, ResourceKind, ResourceStat
 pub use profile::MachineProfile;
 pub use time::{SimDur, SimTime};
 pub use topology::{ClusterResources, ClusterSpec, NodeMap};
-pub use trace::{SpanKind, Trace, TraceSpan};
+pub use trace::{EdgeKind, SpanKind, Trace, TraceEdge, TraceSpan};

@@ -43,6 +43,47 @@ impl SpanKind {
     }
 }
 
+/// Kind of a cross-actor happens-before edge recorded alongside spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// A message delivery: the sender's injection enables the receiver's
+    /// completion. `from` is the sending rank, `to` the receiving rank.
+    SendRecv,
+    /// A nonblocking operation finishing: the operation agent's completion
+    /// enables the posting rank's wait to return. `from` is the operation
+    /// actor, `to` the rank that waits on it.
+    PostWait,
+}
+
+impl EdgeKind {
+    /// Stable lowercase name for serialization.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EdgeKind::SendRecv => "sendrecv",
+            EdgeKind::PostWait => "postwait",
+        }
+    }
+}
+
+/// A happens-before edge between two actors' timelines: an event at
+/// `from_time` on `from_actor` enabled an event at `to_time` on `to_actor`.
+/// Together with the per-actor span sequences these edges reconstruct the
+/// run's execution DAG for critical-path analysis.
+#[derive(Debug, Clone)]
+pub struct TraceEdge {
+    /// Edge category.
+    pub kind: EdgeKind,
+    /// Actor on which the enabling event occurred.
+    pub from_actor: u32,
+    /// Time of the enabling event.
+    pub from_time: SimTime,
+    /// Actor whose progress the edge enabled.
+    pub to_actor: u32,
+    /// Time at which the enabled event occurred (`>= from_time` modulo
+    /// clock skew between OS threads on the wall-clock backend).
+    pub to_time: SimTime,
+}
+
 /// One bar on a per-rank timeline.
 #[derive(Debug, Clone)]
 pub struct TraceSpan {
@@ -72,6 +113,7 @@ impl TraceSpan {
 #[derive(Debug, Default)]
 pub struct Trace {
     spans: Vec<TraceSpan>,
+    edges: Vec<TraceEdge>,
     clamped: usize,
 }
 
@@ -99,9 +141,19 @@ impl Trace {
         self.clamped
     }
 
+    /// Record a happens-before edge.
+    pub fn push_edge(&mut self, edge: TraceEdge) {
+        self.edges.push(edge);
+    }
+
     /// All spans, in recording order.
     pub fn spans(&self) -> &[TraceSpan] {
         &self.spans
+    }
+
+    /// All happens-before edges, in recording order.
+    pub fn edges(&self) -> &[TraceEdge] {
+        &self.edges
     }
 
     /// Spans of one actor, in recording order.
@@ -112,6 +164,11 @@ impl Trace {
     /// Consume the trace, returning the spans.
     pub fn into_spans(self) -> Vec<TraceSpan> {
         self.spans
+    }
+
+    /// Consume the trace, returning spans and happens-before edges.
+    pub fn into_parts(self) -> (Vec<TraceSpan>, Vec<TraceEdge>) {
+        (self.spans, self.edges)
     }
 }
 
