@@ -11,10 +11,22 @@
 //! * `--smoke` — small grid for CI (seconds, not minutes);
 //! * `--fail-on-lint` — exit nonzero if any static plan-lint finding
 //!   (or Strict-mode dynamic finding, which aborts the run) appears;
+//! * `--mc` — run the schedule model checker instead of the timing
+//!   sweep: every builder × p ∈ {2..17, 32, 64, 128} × sizes ×
+//!   protocol cutpoints, plus dup/seq compositions; writes
+//!   `results/mc_sweep.json` and (with `--fail-on-lint`) exits nonzero
+//!   on any finding or truncated exploration;
+//! * `--mc-supports` — the exhaustive `supports(p)` honesty pass:
+//!   every algorithm × p ∈ 1..=256 must build and model-check clean at
+//!   the all-rendezvous cutpoint, or report `supports(p) == false`;
+//!   writes `results/mc_supports.json`;
 //! * `--coll-select <spec>` — accepted for uniformity with the other
 //!   binaries but ignored here: the sweep forces each algorithm itself.
 
-use ovcomm_bench::{algo_sweep, sweep_samples, write_json, Table};
+use ovcomm_bench::{
+    algo_sweep, mc_sweep, supports_sweep, sweep_samples, write_json, McSweepRecord, McSweepSummary,
+    Table,
+};
 use ovcomm_core::fit_selector;
 use ovcomm_simnet::MachineProfile;
 
@@ -40,10 +52,74 @@ fn fmt_threshold(n: usize) -> String {
     }
 }
 
+fn report_mc(out: &str, records: &[McSweepRecord], summary: &McSweepSummary, fail_on_lint: bool) {
+    let mut table = Table::new(&[
+        "collective",
+        "algorithm",
+        "compose",
+        "p",
+        "size",
+        "cutpoints",
+        "states",
+        "findings",
+    ]);
+    for r in records.iter().filter(|r| !r.findings.is_empty()) {
+        table.row(vec![
+            r.coll.clone(),
+            r.algo.clone(),
+            r.compose.clone(),
+            r.p.to_string(),
+            fmt_size(r.n),
+            r.cutpoints.to_string(),
+            r.states.to_string(),
+            r.findings.len().to_string(),
+        ]);
+    }
+    let truncated = records.iter().filter(|r| r.truncated).count();
+    if summary.findings > 0 {
+        table.print();
+        eprintln!("\n{out}: {} finding(s):", summary.findings);
+        for r in records {
+            for f in &r.findings {
+                eprintln!(
+                    "  [{}.{} {} p={} n={}] {f}",
+                    r.coll, r.algo, r.compose, r.p, r.n
+                );
+            }
+        }
+    }
+
+    write_json(out, &records);
+    println!(
+        "model check: {} cells + {} composed + {} supports(p) shapes, \
+         {} states, {} finding(s), {} truncated, {:.2}s",
+        summary.cells,
+        summary.composed,
+        summary.supports_checked,
+        summary.states,
+        summary.findings,
+        truncated,
+        summary.seconds,
+    );
+    if fail_on_lint && (summary.findings > 0 || truncated > 0) {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let fail_on_lint = args.iter().any(|a| a == "--fail-on-lint");
+    if args.iter().any(|a| a == "--mc") {
+        let (records, summary) = mc_sweep(!smoke);
+        report_mc("mc_sweep", &records, &summary, fail_on_lint);
+        return;
+    }
+    if args.iter().any(|a| a == "--mc-supports") {
+        let (records, summary) = supports_sweep();
+        report_mc("mc_supports", &records, &summary, fail_on_lint);
+        return;
+    }
     let profile = MachineProfile::stampede2_skylake();
     let (ps, sizes): (Vec<usize>, Vec<usize>) = if smoke {
         (vec![4, 5], vec![8 * 1024, 1 << 20])

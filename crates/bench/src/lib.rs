@@ -33,6 +33,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod chart;
+pub mod mcsweep;
 pub mod metrics;
 pub mod micro;
 pub mod profile;
@@ -42,6 +43,7 @@ pub mod symm;
 pub mod timeline;
 
 pub use chart::{plot_loglog, Series};
+pub use mcsweep::{mc_sweep, supports_sweep, McSweepRecord, McSweepSummary};
 pub use metrics::{
     apply_coll_select, backend_arg, coll_select_arg, metrics_block, metrics_block_rt,
     trace_out_arg, Backend, MetricsBlock,

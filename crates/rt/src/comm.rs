@@ -12,8 +12,8 @@
 //! shared-memory mailbox and reductions cost real CPU instead of a
 //! γ-model charge.
 
+use crate::sync::{AtomicU64, Ordering};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ovcomm_simmpi::payload::Payload;
@@ -23,7 +23,8 @@ use ovcomm_simnet::{MachineProfile, NodeMap, ParkCell, SimDur, SimTime, SpanKind
 use ovcomm_verify::plan::CollPlan;
 use ovcomm_verify::{CollKind, Event as VEvent, ReqId, Site};
 
-use crate::shared::{RtKey, RtShared, RtSplitGather, PARK_SLICE};
+use crate::mailbox::RtKey;
+use crate::shared::{RtShared, RtSplitGather, PARK_SLICE};
 use crate::ComputeMode;
 
 /// Deterministic actor id for the `op_idx`-th nonblocking operation posted

@@ -36,16 +36,17 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod comm;
+pub mod mailbox;
 mod sampler;
 mod shared;
+pub mod sync;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
 
 use ovcomm_obs::MetricsSnapshot;
 use ovcomm_simmpi::{actor_name, CollSelector, Pool, SimMetrics};
@@ -321,7 +322,7 @@ where
         },
         verify_mode: cfg.verify,
         coll_select: cfg.coll_select.clone(),
-        plan_cache: Mutex::new(std::collections::BTreeMap::new()),
+        plan_cache: parking_lot::Mutex::new(std::collections::BTreeMap::new()),
         op_panics: Mutex::new(Vec::new()),
         live: AtomicUsize::new(nranks),
         blocked: AtomicUsize::new(0),
@@ -403,7 +404,7 @@ where
                     id: r as u32,
                     rank: r as u32,
                     cell: Arc::new(ParkCell::new()),
-                    op_counter: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+                    op_counter: Arc::new(AtomicU64::new(0)),
                     shared: shared2.clone(),
                 };
                 let world = RtComm::new_world(agent.clone(), world_ranks2, r);

@@ -21,7 +21,7 @@
 //! overhead is bounded by the sampling frequency, which the
 //! `rt_sampler_overhead` test pins.
 
-use std::sync::atomic::Ordering;
+use crate::sync::Ordering;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -65,8 +65,8 @@ pub(crate) fn start(shared: Arc<RtShared>, interval: Duration) -> Option<Sampler
                 let (slots, recvs) = {
                     let st = shared.state.lock();
                     (
-                        st.slots.len() as u64,
-                        st.recv_q.values().map(|q| q.len() as u64).sum::<u64>(),
+                        st.mailbox.unmatched_sends() as u64,
+                        st.mailbox.posted_recvs() as u64,
                     )
                 };
                 h.pool_queue_depth

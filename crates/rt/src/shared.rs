@@ -18,12 +18,12 @@
 //! Matching follows MPI's non-overtaking rule per `(context, source,
 //! destination, tag)` envelope: FIFO queues, no wildcards.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use crate::mailbox::{Mailbox, RecvPost, RtKey, SendPost};
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
 
 use ovcomm_obs::Histogram;
 use ovcomm_simmpi::payload::Payload;
@@ -78,20 +78,6 @@ impl RtProf {
     }
 }
 
-/// Envelope key used for matching sends with receives (same shape as the
-/// simulator's matcher).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct RtKey {
-    pub ctx: u32,
-    pub src: u32,
-    pub dst: u32,
-    pub tag: u64,
-}
-
-/// Unique id of a mailbox slot (send side).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub(crate) struct SlotId(pub u64);
-
 /// One posted send parked in the mailbox awaiting its receive.
 pub(crate) struct Slot {
     pub payload: Payload,
@@ -116,14 +102,11 @@ pub(crate) struct RtSplitGather {
 /// The mutex-protected mutable state of one runtime instance.
 #[derive(Default)]
 pub(crate) struct RtState {
-    /// FIFO of unmatched send slots per envelope.
-    pub send_q: HashMap<RtKey, VecDeque<SlotId>>,
-    /// FIFO of unmatched receives per envelope, with post times for
-    /// rendezvous-stall accounting.
-    pub recv_q: HashMap<RtKey, VecDeque<(Request<Payload>, SimTime)>>,
-    /// All live send slots.
-    pub slots: HashMap<SlotId, Slot>,
-    pub next_slot_id: u64,
+    /// Envelope-matching tables: parked sends (with payloads) and posted
+    /// receives (with post times for rendezvous-stall accounting). The
+    /// matching discipline itself lives in [`crate::mailbox`], where the
+    /// loom harness can model-check it.
+    pub mailbox: Mailbox<Slot, (Request<Payload>, SimTime)>,
     /// (parent ctx, per-rank dup/split sequence) → child ctx. All ranks
     /// call dup/split in the same order, so the key is rank-independent.
     pub ctx_registry: HashMap<(u32, u64), u32>,
@@ -143,12 +126,6 @@ pub(crate) struct RtState {
 }
 
 impl RtState {
-    pub fn alloc_slot_id(&mut self) -> SlotId {
-        let id = SlotId(self.next_slot_id);
-        self.next_slot_id += 1;
-        id
-    }
-
     /// Allocate (or look up) a child context for `(parent, seq)`.
     pub fn child_ctx(&mut self, parent: u32, seq: u64) -> u32 {
         if let Some(&c) = self.ctx_registry.get(&(parent, seq)) {
@@ -178,7 +155,10 @@ pub(crate) struct RtShared {
     pub verify: Option<Arc<Verifier>>,
     pub verify_mode: VerifyMode,
     pub coll_select: CollSelector,
-    pub plan_cache: Mutex<PlanCache>,
+    /// Unconditionally `parking_lot` (not [`crate::sync`]): the type is
+    /// pinned by `ovcomm_simmpi::compile_plans`, and plan compilation is
+    /// not on a loom-checked path.
+    pub plan_cache: parking_lot::Mutex<PlanCache>,
     pub op_panics: Mutex<Vec<(u32, String)>>,
     /// Threads currently executing user or collective code: rank threads
     /// plus outstanding nonblocking-collective jobs.
@@ -389,22 +369,18 @@ impl RtShared {
             } else {
                 st.inter_bytes += n as u64;
             }
-            match st.recv_q.get_mut(&key).and_then(|q| q.pop_front()) {
-                Some((recv, recv_posted_at)) => Some((recv, payload, recv_posted_at)),
-                None => {
-                    let id = st.alloc_slot_id();
-                    st.slots.insert(
-                        id,
-                        Slot {
-                            payload,
-                            sender_req: req.clone(),
-                            eager,
-                            posted_at,
-                        },
-                    );
-                    st.send_q.entry(key).or_default().push_back(id);
-                    None
-                }
+            let slot = Slot {
+                payload,
+                sender_req: req.clone(),
+                eager,
+                posted_at,
+            };
+            match st.mailbox.post_send(key, slot) {
+                SendPost::Matched {
+                    send,
+                    recv: (recv, recv_posted_at),
+                } => Some((recv, send.payload, recv_posted_at)),
+                SendPost::Parked(_) => None,
             }
         };
         if let Some((recv, payload, recv_posted_at)) = matched {
@@ -449,15 +425,9 @@ impl RtShared {
         });
         let matched = {
             let mut st = self.state.lock();
-            match st.send_q.get_mut(&key).and_then(|q| q.pop_front()) {
-                Some(id) => st.slots.remove(&id),
-                None => {
-                    st.recv_q
-                        .entry(key)
-                        .or_default()
-                        .push_back((req.clone(), self.now()));
-                    None
-                }
+            match st.mailbox.post_recv(key, (req.clone(), self.now())) {
+                RecvPost::Matched { send, .. } => Some(send),
+                RecvPost::Parked => None,
             }
         };
         if let Some(slot) = matched {

@@ -1,0 +1,245 @@
+//! Loom schedule tests for the runtime's concurrency core.
+//!
+//! Built (and the whole crate's `crate::sync` switched to loom primitives)
+//! only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p ovcomm-rt --test loom
+//! ```
+//!
+//! The harness drives the *production* [`ovcomm_rt::mailbox::Mailbox`]
+//! type from concurrent model threads, wrapped in a miniature runtime
+//! that replicates the shared-state protocol shape of `shared.rs`:
+//! matching decisions happen under one state mutex, request completion
+//! happens *after* the lock is released (the lost-wakeup-prone part), and
+//! waiters block on a mutex+condvar completion cell. The loom scheduler
+//! explores randomized interleavings of every lock acquire, condvar
+//! wait/notify, and atomic access, and its deadlock detector turns any
+//! lost wakeup or handshake hole into a test failure naming the seed.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicBool, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+
+use ovcomm_rt::mailbox::{Mailbox, RecvPost, RtKey, SendPost};
+
+const SCHEDULES: u64 = 64;
+
+fn key(tag: u64) -> RtKey {
+    RtKey {
+        ctx: 0,
+        src: 0,
+        dst: 1,
+        tag,
+    }
+}
+
+/// A completion cell: the distilled `Request` + `ParkCell` pair. `wait`
+/// parks on the condvar until `complete` delivers a value.
+struct CompletionCell<T> {
+    slot: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+impl<T> CompletionCell<T> {
+    fn new() -> CompletionCell<T> {
+        CompletionCell {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, v: T) {
+        *self.slot.lock() = Some(v);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> T {
+        let mut g = self.slot.lock();
+        loop {
+            if let Some(v) = g.take() {
+                return v;
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+/// Parked send slot in the mini runtime: the payload plus the sender's
+/// completion cell and protocol flag (mirrors `shared::Slot`).
+struct MiniSlot {
+    payload: u64,
+    sender: Arc<CompletionCell<()>>,
+    eager: bool,
+}
+
+/// The mini runtime: production mailbox under the production sync
+/// primitives, with the same lock-then-complete-outside-lock shape as
+/// `RtShared::{isend_raw, irecv_raw}`.
+struct MiniRt {
+    state: Mutex<Mailbox<MiniSlot, Arc<CompletionCell<u64>>>>,
+}
+
+impl MiniRt {
+    fn new() -> MiniRt {
+        MiniRt {
+            state: Mutex::new(Mailbox::new()),
+        }
+    }
+
+    /// Post a send; eager sends complete at post, rendezvous at match.
+    /// Returns the sender's completion cell.
+    fn isend(&self, key: RtKey, payload: u64, eager: bool) -> Arc<CompletionCell<()>> {
+        let sender = Arc::new(CompletionCell::new());
+        if eager {
+            sender.complete(());
+        }
+        let slot = MiniSlot {
+            payload,
+            sender: sender.clone(),
+            eager,
+        };
+        let matched = {
+            let mut st = self.state.lock();
+            match st.post_send(key, slot) {
+                SendPost::Matched { send, recv } => Some((send, recv)),
+                SendPost::Parked(_) => None,
+            }
+        };
+        // Completions run outside the state lock, as in the real runtime.
+        if let Some((send, recv)) = matched {
+            if !send.eager {
+                send.sender.complete(());
+            }
+            recv.complete(send.payload);
+        }
+        sender
+    }
+
+    /// Post a receive; returns the receiver's completion cell.
+    fn irecv(&self, key: RtKey) -> Arc<CompletionCell<u64>> {
+        let recv = Arc::new(CompletionCell::new());
+        let matched = {
+            let mut st = self.state.lock();
+            match st.post_recv(key, recv.clone()) {
+                RecvPost::Matched { send, .. } => Some(send),
+                RecvPost::Parked => None,
+            }
+        };
+        if let Some(send) = matched {
+            if !send.eager {
+                send.sender.complete(());
+            }
+            recv.complete(send.payload);
+        }
+        recv
+    }
+
+    fn drained(&self) -> bool {
+        self.state.lock().is_drained()
+    }
+}
+
+/// One eager send racing one receive: under every schedule the payload is
+/// delivered, both requests complete, and the mailbox drains.
+#[test]
+fn eager_match_commutes_with_post_order() {
+    loom::model_with(SCHEDULES, 0xA11CE, || {
+        let rt = Arc::new(MiniRt::new());
+        let rts = rt.clone();
+        let sender = thread::spawn(move || rts.isend(key(1), 42, true).wait());
+        let rtr = rt.clone();
+        let receiver = thread::spawn(move || rtr.irecv(key(1)).wait());
+        sender.join().unwrap();
+        assert_eq!(receiver.join().unwrap(), 42);
+        assert!(rt.drained());
+    });
+}
+
+/// Two same-envelope sends against two receives posted from another
+/// thread: MPI's non-overtaking rule must hold under every interleaving —
+/// the first-posted receive gets the first-posted payload.
+#[test]
+fn fifo_matching_never_overtakes() {
+    loom::model_with(SCHEDULES, 0xF1F0, || {
+        let rt = Arc::new(MiniRt::new());
+        let rts = rt.clone();
+        let sender = thread::spawn(move || {
+            let s1 = rts.isend(key(9), 100, true);
+            let s2 = rts.isend(key(9), 200, true);
+            s1.wait();
+            s2.wait();
+        });
+        let rtr = rt.clone();
+        let receiver = thread::spawn(move || {
+            let r1 = rtr.irecv(key(9));
+            let r2 = rtr.irecv(key(9));
+            (r1.wait(), r2.wait())
+        });
+        sender.join().unwrap();
+        let (v1, v2) = receiver.join().unwrap();
+        assert_eq!((v1, v2), (100, 200), "receives matched out of post order");
+        assert!(rt.drained());
+    });
+}
+
+/// Rendezvous handshake: the sender's completion must happen-after the
+/// receive is posted, and the blocking wait on it must never miss the
+/// wakeup (a lost notify would deadlock the schedule and fail the model).
+#[test]
+fn rendezvous_completion_waits_for_the_receiver() {
+    loom::model_with(SCHEDULES, 0xDE2F, || {
+        let rt = Arc::new(MiniRt::new());
+        let recv_posted = Arc::new(AtomicBool::new(false));
+        let rts = rt.clone();
+        let flag = recv_posted.clone();
+        let sender = thread::spawn(move || {
+            let req = rts.isend(key(5), 7, false);
+            req.wait();
+            // Rendezvous: by the time the send completes, the receive must
+            // have been posted (eager buffering is not allowed here).
+            assert!(
+                flag.load(Ordering::SeqCst),
+                "rendezvous send completed before its receive was posted"
+            );
+        });
+        let rtr = rt.clone();
+        let flag2 = recv_posted.clone();
+        let receiver = thread::spawn(move || {
+            flag2.store(true, Ordering::SeqCst);
+            rtr.irecv(key(5)).wait()
+        });
+        sender.join().unwrap();
+        assert_eq!(receiver.join().unwrap(), 7);
+        assert!(rt.drained());
+    });
+}
+
+/// Distinct envelopes are fully independent: concurrent traffic on two
+/// tags never cross-matches and never deadlocks, whichever side posts
+/// first on each.
+#[test]
+fn disjoint_envelopes_do_not_interfere() {
+    loom::model_with(SCHEDULES, 0x5EED, || {
+        let rt = Arc::new(MiniRt::new());
+        let rta = rt.clone();
+        let a = thread::spawn(move || {
+            let s = rta.isend(key(1), 111, true);
+            let r = rta.irecv(key(2));
+            s.wait();
+            r.wait()
+        });
+        let rtb = rt.clone();
+        let b = thread::spawn(move || {
+            let s = rtb.isend(key(2), 222, false);
+            let r = rtb.irecv(key(1));
+            s.wait();
+            r.wait()
+        });
+        assert_eq!(a.join().unwrap(), 222);
+        assert_eq!(b.join().unwrap(), 111);
+        assert!(rt.drained());
+    });
+}

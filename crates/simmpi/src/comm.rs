@@ -26,11 +26,16 @@ use crate::state::SplitGather;
 use crate::universe::{op_actor_id, PlanCache, UniShared};
 
 /// Compile (or fetch from `cache`) the per-rank plans for one collective
-/// shape, selecting the algorithm via `sel` and statically linting fresh
-/// plans per verification level `mode` (`Warn` prints findings, `Strict`
-/// panics). Backend-neutral: both the simulator and the `ovcomm-rt`
+/// shape, selecting the algorithm via `sel` and statically analyzing
+/// fresh plans per verification level `mode`: `Warn` lints and prints
+/// findings, `Strict` additionally model-checks the schedule (every
+/// receive-match interleaving at every eager/rendezvous cutpoint) and
+/// panics on any finding. Analysis results are memoized in the cache, so
+/// each shape is analyzed — and its findings rendered — exactly once per
+/// run. Backend-neutral: both the simulator and the `ovcomm-rt`
 /// wall-clock backend compile collectives through this exact path, so the
-/// `CollSelector` and the lint wall behave identically on either.
+/// `CollSelector` and the static-analysis wall behave identically on
+/// either.
 pub fn compile_plans(
     cache: &parking_lot::Mutex<PlanCache>,
     sel: &CollSelector,
@@ -43,12 +48,27 @@ pub fn compile_plans(
     let algo = sel.select(kind, n, p);
     let key = (kind, algo, p, n, root);
     let mut cache = cache.lock();
-    if let Some(plans) = cache.get(&key) {
-        return plans.clone();
+    if let Some(cached) = cache.get(&key) {
+        // Memoized: findings (if any) were already rendered at first
+        // compile — never re-print on a hit.
+        return cached.plans.clone();
     }
     let plans = plan::build_all(kind, algo, p, n, root);
+    let mut findings: Vec<String> = Vec::new();
     if mode != VerifyMode::Off {
-        let findings = plan::lint_plans(&plans);
+        findings.extend(plan::lint_plans(&plans).iter().map(|f| f.to_string()));
+        if mode == VerifyMode::Strict {
+            let report = plan::model_check_single(&plans, &plan::McConfig::default());
+            findings.extend(report.findings.iter().map(|f| f.to_string()));
+            if report.truncated {
+                findings.push(format!(
+                    "error[mc-truncated]: model check exhausted its state budget \
+                     ({} states explored)",
+                    report.states
+                ));
+            }
+        }
+        findings.dedup();
         if !findings.is_empty() {
             if mode == VerifyMode::Warn {
                 for f in &findings {
@@ -57,7 +77,7 @@ pub fn compile_plans(
             } else {
                 use std::fmt::Write as _;
                 let mut msg =
-                    format!("static plan lint failed for {algo} p={p} n={n} root={root}:");
+                    format!("static plan analysis failed for {algo} p={p} n={n} root={root}:");
                 for f in findings.iter().take(8) {
                     let _ = write!(msg, "\n  {f}");
                 }
@@ -68,9 +88,12 @@ pub fn compile_plans(
             }
         }
     }
-    let plans = Arc::new(plans);
-    cache.insert(key, plans.clone());
-    plans
+    let cached = crate::universe::CachedPlans {
+        plans: Arc::new(plans),
+        findings: Arc::new(findings),
+    };
+    cache.insert(key, cached.clone());
+    cached.plans
 }
 
 /// `compile_plans` against the simulator universe's cache and selector.

@@ -36,6 +36,7 @@ use std::fmt;
 
 use crate::event::CollKind;
 
+use super::mc::McCounterexample;
 use super::{chunk_bounds, BufId, CollPlan, StepOp};
 
 /// One defect found by the static plan linter. All findings are
@@ -109,6 +110,10 @@ pub enum PlanFinding {
         /// First blocked step of the lowest stuck rank.
         detail: String,
     },
+    /// A violation found by the stateful model checker
+    /// ([`super::mc::model_check`]), carrying the full counterexample
+    /// interleaving that exhibits it.
+    Mc(McCounterexample),
 }
 
 impl PlanFinding {
@@ -123,6 +128,7 @@ impl PlanFinding {
             PlanFinding::ChunkGap { .. } => "plan-chunk-gap",
             PlanFinding::DoubleCount { .. } => "plan-double-count",
             PlanFinding::Deadlock { .. } => "plan-deadlock",
+            PlanFinding::Mc(ce) => ce.code,
         }
     }
 }
@@ -167,22 +173,23 @@ impl fmt::Display for PlanFinding {
             PlanFinding::Deadlock { stuck, detail } => {
                 write!(f, "plan deadlocks: ranks {stuck:?} never finish; {detail}")
             }
+            PlanFinding::Mc(ce) => write!(f, "{ce}"),
         }
     }
 }
 
 /// A set of contributing ranks (bitmask over the communicator).
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct RankSet(Vec<u64>);
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct RankSet(Vec<u64>);
 
 impl RankSet {
-    fn single(r: usize, p: usize) -> RankSet {
+    pub(crate) fn single(r: usize, p: usize) -> RankSet {
         let mut v = vec![0u64; p.div_ceil(64)];
         v[r / 64] |= 1 << (r % 64);
         RankSet(v)
     }
 
-    fn all(p: usize) -> RankSet {
+    pub(crate) fn all(p: usize) -> RankSet {
         let mut v = vec![u64::MAX; p.div_ceil(64)];
         if !p.is_multiple_of(64) {
             if let Some(last) = v.last_mut() {
@@ -192,11 +199,11 @@ impl RankSet {
         RankSet(v)
     }
 
-    fn union(&self, o: &RankSet) -> RankSet {
+    pub(crate) fn union(&self, o: &RankSet) -> RankSet {
         RankSet(self.0.iter().zip(o.0.iter()).map(|(a, b)| a | b).collect())
     }
 
-    fn intersects(&self, o: &RankSet) -> bool {
+    pub(crate) fn intersects(&self, o: &RankSet) -> bool {
         self.0.iter().zip(o.0.iter()).any(|(a, b)| a & b != 0)
     }
 
@@ -226,19 +233,19 @@ impl fmt::Display for RankSet {
 
 /// One provenance segment: `len` buffer bytes holding logical positions
 /// `lo..lo+len`, reduced over contributor set `mask`.
-#[derive(Debug, Clone)]
-struct Seg {
-    len: usize,
-    lo: usize,
-    mask: RankSet,
+#[derive(Debug, Clone, Hash)]
+pub(crate) struct Seg {
+    pub(crate) len: usize,
+    pub(crate) lo: usize,
+    pub(crate) mask: RankSet,
 }
 
 /// A buffer's contents: provenance segments in buffer-byte order
 /// (zero-length segments are never stored).
-type BufVal = Vec<Seg>;
+pub(crate) type BufVal = Vec<Seg>;
 
 /// Extract buffer bytes `off..off+len` from a value.
-fn slice_val(val: &BufVal, off: usize, len: usize) -> BufVal {
+pub(crate) fn slice_val(val: &BufVal, off: usize, len: usize) -> BufVal {
     let mut out = Vec::new();
     let (mut pos, mut want_from, mut want) = (0usize, off, len);
     for s in val {
@@ -262,14 +269,14 @@ fn slice_val(val: &BufVal, off: usize, len: usize) -> BufVal {
     out
 }
 
-fn val_len(val: &BufVal) -> usize {
+pub(crate) fn val_len(val: &BufVal) -> usize {
     val.iter().map(|s| s.len).sum()
 }
 
 /// Split both values at the union of their internal breakpoints so they
 /// can be compared segment by segment. Values must have equal total
 /// length.
-fn refine(a: &BufVal, b: &BufVal) -> (BufVal, BufVal) {
+pub(crate) fn refine(a: &BufVal, b: &BufVal) -> (BufVal, BufVal) {
     let mut cuts: Vec<usize> = Vec::new();
     for v in [a, b] {
         let mut pos = 0;
@@ -582,7 +589,7 @@ fn bad(out: &mut Vec<PlanFinding>, rank: usize, detail: String) {
 }
 
 /// Structural validation of one plan (ids, ranges, shapes).
-fn check_structure(plans: &[CollPlan]) -> Vec<PlanFinding> {
+pub(crate) fn check_structure(plans: &[CollPlan]) -> Vec<PlanFinding> {
     let mut out = Vec::new();
     let p = plans.len();
     for (r, plan) in plans.iter().enumerate() {
@@ -722,7 +729,13 @@ fn check_structure(plans: &[CollPlan]) -> Vec<PlanFinding> {
 
 /// Expected provenance of rank `r`'s output, or `None` if the rank must
 /// not produce one.
-fn expected_output(kind: CollKind, p: usize, n: usize, root: usize, r: usize) -> Option<BufVal> {
+pub(crate) fn expected_output(
+    kind: CollKind,
+    p: usize,
+    n: usize,
+    root: usize,
+    r: usize,
+) -> Option<BufVal> {
     let chunked = |owner_of: &dyn Fn(usize) -> RankSet| -> BufVal {
         let bounds = chunk_bounds(n, p);
         (0..p)

@@ -26,14 +26,18 @@
 //! used by every chunked algorithm.
 
 pub mod builders;
+pub mod compose;
 pub mod lint;
+pub mod mc;
 
 use std::fmt;
 
 use crate::event::CollKind;
 
 pub use builders::{build_all, build_plan};
+pub use compose::{check_compose, dup_instances, seq_instances, PlanInstance};
 pub use lint::{lint_plans, PlanFinding};
+pub use mc::{cutpoints, model_check, model_check_single, McConfig, McCounterexample, McReport};
 
 /// Which algorithm a plan encodes. The selector picks one per
 /// (collective, message size, communicator size); benches can force one.

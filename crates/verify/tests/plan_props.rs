@@ -1,0 +1,103 @@
+//! Property tests for the plan static-analysis stack: lint, composition,
+//! and the model checker. These run under Miri in CI (the job covers
+//! `-p ovcomm-verify`), so case counts drop sharply there — the point
+//! under Miri is UB detection on the exploration machinery, not coverage.
+
+use proptest::prelude::*;
+
+use ovcomm_verify::plan::{
+    build_all, check_compose, cutpoints, dup_instances, lint_plans, model_check,
+    model_check_single, seq_instances, CollAlgo, McConfig, PlanInstance,
+};
+
+fn algo_strategy() -> impl Strategy<Value = CollAlgo> {
+    prop::sample::select(CollAlgo::all().to_vec())
+}
+
+const CASES: u32 = if cfg!(miri) { 3 } else { 32 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(CASES))]
+
+    /// Every shipped builder, on a random shape, is lint-clean and
+    /// model-check-clean at every protocol cutpoint.
+    #[test]
+    fn builders_are_clean_on_random_shapes(
+        algo in algo_strategy(),
+        p in 1usize..8,
+        n in prop::sample::select(vec![0usize, 8, 64, 1000]),
+        root_pick in 0usize..64,
+    ) {
+        // Miri is ~2 orders of magnitude slower: keep shapes tiny there.
+        let (p, n) = if cfg!(miri) { (p.min(3), n.min(64)) } else { (p, n) };
+        let root = match algo.kind() {
+            ovcomm_verify::CollKind::Allreduce
+            | ovcomm_verify::CollKind::Allgather
+            | ovcomm_verify::CollKind::Barrier => 0,
+            _ => root_pick % p,
+        };
+        let plans = build_all(algo.kind(), algo, p, n, root);
+        prop_assert!(lint_plans(&plans).is_empty(), "{algo} p={p} n={n} root={root} lint");
+        let rep = model_check_single(&plans, &McConfig::default());
+        prop_assert!(rep.clean(), "{algo} p={p} n={n} root={root}: {:?}", rep.findings);
+    }
+
+    /// Cutpoints are always sorted, deduplicated, and start at 0 (the
+    /// all-rendezvous protocol).
+    #[test]
+    fn cutpoints_are_canonical(
+        algo in algo_strategy(),
+        p in 1usize..8,
+        n in prop::sample::select(vec![0usize, 8, 64, 1000]),
+    ) {
+        let plans = build_all(algo.kind(), algo, p, n, 0);
+        let inst = PlanInstance::new(0, 0, plans);
+        let cuts = cutpoints(&[inst]);
+        prop_assert_eq!(cuts.first(), Some(&0usize));
+        prop_assert!(cuts.windows(2).all(|w| w[0] < w[1]), "not strictly sorted: {:?}", cuts);
+    }
+
+    /// Composition helpers always produce disjoint namespaces: any number
+    /// of dup'd or sequenced copies of any builder pass the static
+    /// composition check.
+    #[test]
+    fn dup_and_seq_compositions_never_collide(
+        algo in algo_strategy(),
+        p in 2usize..6,
+        copies in 2usize..5,
+    ) {
+        let plans = build_all(algo.kind(), algo, p, 64, 0);
+        prop_assert!(check_compose(&dup_instances(&plans, copies)).is_empty());
+        prop_assert!(check_compose(&seq_instances(&plans, copies)).is_empty());
+    }
+
+    /// The checker is deterministic: two runs over the same composition
+    /// report identical finding codes, state counts, and cutpoints.
+    #[test]
+    fn model_check_is_deterministic(
+        algo in algo_strategy(),
+        p in 2usize..6,
+        same_ctx_pick in 0usize..2,
+    ) {
+        let p = if cfg!(miri) { p.min(3) } else { p };
+        let plans = build_all(algo.kind(), algo, p, 64, 0);
+        // Either a legal dup composition or a colliding one — both must
+        // be reproducible.
+        let insts = if same_ctx_pick == 1 {
+            vec![
+                PlanInstance::new(1, 0, plans.clone()),
+                PlanInstance::new(1, 0, plans),
+            ]
+        } else {
+            dup_instances(&plans, 2)
+        };
+        let a = model_check(&insts, &McConfig::default());
+        let b = model_check(&insts, &McConfig::default());
+        let codes = |r: &ovcomm_verify::plan::McReport| -> Vec<&'static str> {
+            r.findings.iter().map(|f| f.code()).collect()
+        };
+        prop_assert_eq!(codes(&a), codes(&b));
+        prop_assert_eq!(a.states, b.states);
+        prop_assert_eq!(a.cutpoints, b.cutpoints);
+    }
+}
