@@ -42,7 +42,7 @@ use ovcomm_densemat::{BlockBuf, BlockGrid, Partition1D};
 use ovcomm_kernels::{symm_square_cube_optimized, Mesh2D, Mesh3D, SymmInput};
 use ovcomm_obs::ProfileBlock;
 use ovcomm_rt::{RtConfig, RtRankCtx};
-use ovcomm_simmpi::{Payload, RankCtx, SimConfig};
+use ovcomm_simmpi::{CollAlgo, CollSelector, Payload, RankCtx, SimConfig, VerifyMode};
 use ovcomm_simnet::MachineProfile;
 use serde::Serialize;
 use serde_json::Value;
@@ -60,6 +60,11 @@ const SUITE: &[(&str, usize)] = &[
     ("symm3d_opt", 8),
 ];
 
+/// Sim-only cases: scales only the event-driven fiber engine can reach
+/// (the rt backend spawns an OS thread per rank, so these would exhaust
+/// the box). Tracks the engine's large-p wall-clock trajectory.
+const SIM_ONLY_SUITE: &[(&str, usize)] = &[("allreduce_ed_p4096", 4096)];
+
 /// Pinned problem size for a case: element count for matvec, message
 /// bytes for collectives, matrix dimension for symm.
 fn case_size(case: &str, backend: Backend, smoke: bool) -> usize {
@@ -72,6 +77,8 @@ fn case_size(case: &str, backend: Backend, smoke: bool) -> usize {
         ("symm3d_opt", Backend::Sim, true) => 128,
         ("symm3d_opt", Backend::Rt, false) => 128,
         ("symm3d_opt", Backend::Rt, true) => 64,
+        ("allreduce_ed_p4096", Backend::Sim, false) => 1 << 20,
+        ("allreduce_ed_p4096", Backend::Sim, true) => 1 << 16,
         (_, Backend::Sim, false) => 8 << 20,
         (_, Backend::Sim, true) => 1 << 20,
         (_, Backend::Rt, false) => 1 << 18,
@@ -111,6 +118,9 @@ fn workload<R: RankHandle>(rc: &R, case: &str, size: usize) -> f64 {
             let comms = NDupComms::new(&w, 4);
             let _ = overlapped_reduce(&comms, 0, &Payload::Phantom(size));
         }
+        "allreduce_ed_p4096" => {
+            let _ = w.allreduce(Payload::Phantom(size));
+        }
         "symm3d_opt" => {
             let mesh = Mesh3D::new(rc, 2);
             let grid = BlockGrid::new(size, 2);
@@ -149,11 +159,25 @@ fn run_case(backend: Backend, case: &'static str, nranks: usize, smoke: bool) ->
     let size = case_size(case, backend, smoke);
     let (seconds, metrics, profile, trace_and_makespan) = match backend {
         Backend::Sim => {
-            let out = ovcomm_simmpi::run(
-                SimConfig::natural(nranks, 1, MachineProfile::stampede2_skylake()).with_trace(),
-                move |rc: RankCtx| workload(&rc, case, size),
-            )
-            .unwrap_or_else(|e| panic!("sim {case}: {e}"));
+            // The large-p engine-trajectory case packs 32 ranks per node,
+            // turns runtime verification off (its cost is Θ(messages) and
+            // would dominate the measurement at 4096 ranks), and pins the
+            // logarithmic-depth algorithm — the selector's long-message
+            // choices make Θ(p²) messages, which is a different benchmark.
+            let large = case == "allreduce_ed_p4096";
+            let ppn = if large { 32 } else { 1 };
+            let mut cfg =
+                SimConfig::natural(nranks, ppn, MachineProfile::stampede2_skylake()).with_trace();
+            if large {
+                cfg = cfg
+                    .with_verify(VerifyMode::Off)
+                    .with_coll_select(
+                        CollSelector::default().force(CollAlgo::AllreduceRecursiveDoubling),
+                    )
+                    .with_fiber_stack(128 << 10);
+            }
+            let out = ovcomm_simmpi::run(cfg, move |rc: RankCtx| workload(&rc, case, size))
+                .unwrap_or_else(|e| panic!("sim {case}: {e}"));
             let t = out.results.iter().cloned().fold(0.0, f64::max);
             let (m, p) = (metrics_block(&out), profile_block(&out));
             (t, m, p, out.trace.map(|tr| (tr, out.makespan)))
@@ -319,6 +343,9 @@ fn main() {
         for backend in [Backend::Sim, Backend::Rt] {
             cases.push(run_case(backend, case, nranks, smoke));
         }
+    }
+    for &(case, nranks) in SIM_ONLY_SUITE {
+        cases.push(run_case(Backend::Sim, case, nranks, smoke));
     }
     assert_profiles(&cases);
 

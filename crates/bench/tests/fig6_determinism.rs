@@ -1,0 +1,77 @@
+//! Run-to-run determinism of traced fig6-style scenarios.
+//!
+//! The fig6 artifact was historically nondeterministic: with thread-per-rank
+//! execution, OS scheduling rotated which duplicate communicator's span
+//! group came first and shifted span starts by a few microseconds between
+//! runs. The fiber engine releases actors in (virtual time, actor id) order,
+//! so two runs of the same traced scenario must now produce *identical*
+//! span and edge streams — which is what lets
+//! `results/fig6_time_diagram.json` be a committed, reproducible artifact.
+
+use ovcomm_core::NDupComms;
+use ovcomm_simmpi::{run, Payload, RankCtx, SimConfig, SimOutput};
+use ovcomm_simnet::MachineProfile;
+
+/// Serialize every span and edge of a run's trace, in recording order.
+fn trace_fingerprint(out: &SimOutput<()>) -> String {
+    let trace = out.trace.as_ref().expect("tracing enabled");
+    let mut s = String::new();
+    for sp in trace.spans() {
+        s.push_str(&format!(
+            "span actor={} kind={} label={:?} chunk={:?} start={} end={}\n",
+            sp.actor,
+            sp.kind.name(),
+            sp.label,
+            sp.chunk,
+            sp.start.as_nanos(),
+            sp.end.as_nanos(),
+        ));
+    }
+    for e in trace.edges() {
+        s.push_str(&format!(
+            "edge kind={} from={}@{} to={}@{}\n",
+            e.kind.name(),
+            e.from_actor,
+            e.from_time.as_nanos(),
+            e.to_actor,
+            e.to_time.as_nanos(),
+        ));
+    }
+    s
+}
+
+/// The scenario that used to rotate between runs: N_DUP = 4 nonblocking
+/// reduce of 4 × 2 MB on 4 nodes, waits issued in duplicate order.
+fn ndup_reduce_once() -> SimOutput<()> {
+    let msg = 2 << 20;
+    let n_dup = 4;
+    run(
+        SimConfig::natural(4, 1, MachineProfile::stampede2_skylake()).with_trace(),
+        move |rc: RankCtx| {
+            let w = rc.world();
+            let comms = NDupComms::new(&w, n_dup);
+            let reqs: Vec<_> = comms
+                .iter()
+                .map(|(c, comm)| (c, comm.ireduce(0, Payload::Phantom(msg))))
+                .collect();
+            for (c, r) in &reqs {
+                let _ = comms
+                    .comm(*c)
+                    .wait_traced_chunk(r, "wait MPI_Ireduce", *c as u32);
+            }
+        },
+    )
+    .expect("ndup reduce scenario")
+}
+
+#[test]
+fn traced_ndup_scenario_is_bit_identical_across_runs() {
+    let a = ndup_reduce_once();
+    let b = ndup_reduce_once();
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.end_times, b.end_times);
+    let fa = trace_fingerprint(&a);
+    let fb = trace_fingerprint(&b);
+    assert!(!fa.is_empty(), "scenario recorded no spans");
+    assert_eq!(fa, fb, "trace streams differ between identical runs");
+}

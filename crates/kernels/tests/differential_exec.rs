@@ -1,0 +1,214 @@
+//! Every kernel, run at small scale in both execution modes
+//! (event-driven fibers vs. thread-per-rank), must produce bit-identical
+//! simulations: same per-rank outputs, same virtual end times, same
+//! traffic counters. The two modes share the serialized engine and its
+//! `(time, id)` release order, so a divergence is a scheduler bug, not a
+//! numerics issue.
+
+use std::sync::Arc;
+
+use ovcomm_core::NDupComms;
+use ovcomm_densemat::{BlockBuf, BlockGrid, Matrix, Partition1D};
+use ovcomm_kernels::{
+    block_cg, matvec_blocking, matvec_pipelined, md_init, md_run, summa_multiply,
+    summa_multiply_pipelined, symm_square_cube_25d, symm_square_cube_baseline,
+    symm_square_cube_optimized, symm_square_cube_original, BlockCgConfig, CgComms, MatvecInput,
+    MdConfig, Mesh25D, Mesh2D, Mesh3D, SummaBundles, SymmInput, VecBuf,
+};
+use ovcomm_simmpi::{run, ExecMode, RankCtx, SimConfig, SimOutput};
+use ovcomm_simnet::MachineProfile;
+
+fn test_matrix(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let d = i.abs_diff(j) as f64;
+        1.0 / (1.0 + d) + if i == j { 0.5 } else { 0.0 } + ((i + j) % 3) as f64 * 0.1
+    })
+}
+
+/// Fold a slice of f64s into a single bit pattern (wrapping, order-fixed).
+fn bits(v: &[f64]) -> u64 {
+    v.iter().fold(0u64, |a, x| a.wrapping_add(x.to_bits()))
+}
+
+/// Run `body` (which returns a bit pattern) in both modes and assert the
+/// entire observable simulation matches.
+fn assert_modes_identical<F>(nranks: usize, ppn: usize, body: F)
+where
+    F: Fn(&RankCtx) -> u64 + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let run_mode = |exec: ExecMode| -> SimOutput<(u64, ovcomm_simnet::SimTime)> {
+        let b = body.clone();
+        run(
+            SimConfig::natural(nranks, ppn, MachineProfile::test_profile()).with_exec(exec),
+            move |rc: RankCtx| {
+                let out = b(&rc);
+                (out, rc.now())
+            },
+        )
+        .unwrap_or_else(|e| panic!("{exec:?} run failed: {e}"))
+    };
+    let ev = run_mode(ExecMode::EventDriven);
+    let th = run_mode(ExecMode::Threads);
+    assert_eq!(ev.results, th.results, "per-rank results diverge");
+    assert_eq!(ev.end_times, th.end_times, "virtual end times diverge");
+    assert_eq!(ev.makespan, th.makespan, "makespan diverges");
+    assert_eq!(ev.messages, th.messages, "message counts diverge");
+    assert_eq!(ev.inter_node_bytes, th.inter_node_bytes);
+    assert_eq!(ev.intra_node_bytes, th.intra_node_bytes);
+}
+
+#[test]
+fn matvec_blocking_and_pipelined_match_across_modes() {
+    for n_dup in [None, Some(2)] {
+        assert_modes_identical(4, 2, move |rc| {
+            let p = 2;
+            let n = 17;
+            let mesh = Mesh2D::new(rc, p);
+            let part = Partition1D::new(n, p);
+            let grid = BlockGrid::new(n, p);
+            let a = BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j));
+            let x_full: Vec<f64> = (0..n).map(|t| (t as f64 * 0.3).sin()).collect();
+            let (s, l) = part.range(mesh.j);
+            let input = MatvecInput {
+                n,
+                a,
+                x: VecBuf::Real(x_full[s..s + l].to_vec()),
+            };
+            let y = match n_dup {
+                None => matvec_blocking(rc, &mesh, &input),
+                Some(d) => {
+                    let row = NDupComms::new(&mesh.row, d);
+                    let col = NDupComms::new(&mesh.col, d);
+                    matvec_pipelined(rc, &mesh, &row, &col, &input)
+                }
+            };
+            match y {
+                VecBuf::Real(v) => bits(&v),
+                VecBuf::Phantom(_) => unreachable!(),
+            }
+        });
+    }
+}
+
+#[test]
+fn symm3d_all_algorithms_match_across_modes() {
+    for algo in 0..3usize {
+        assert_modes_identical(8, 4, move |rc| {
+            let (n, p) = (18, 2);
+            let mesh = Mesh3D::new(rc, p);
+            let grid = BlockGrid::new(n, p);
+            let d_block = (mesh.k == 0)
+                .then(|| BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j)));
+            let input = SymmInput { n, d_block };
+            let result = match algo {
+                0 => symm_square_cube_original(rc, &mesh, &input),
+                1 => symm_square_cube_baseline(rc, &mesh, &input),
+                _ => {
+                    let bundles = mesh.dup_bundles(2);
+                    symm_square_cube_optimized(rc, &mesh, &bundles, &input)
+                }
+            };
+            result.d2.map_or(0, |d2| {
+                bits(d2.unwrap_real().data())
+                    .wrapping_add(bits(result.d3.unwrap().unwrap_real().data()))
+            })
+        });
+    }
+}
+
+#[test]
+fn symm25d_matches_across_modes() {
+    assert_modes_identical(8, 4, |rc| {
+        let (n, q, c) = (18, 2, 2);
+        let mesh = Mesh25D::new(rc, q, c);
+        let grid = BlockGrid::new(n, q);
+        let d_block =
+            (mesh.k == 0).then(|| BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j)));
+        let grd_ndup = NDupComms::new(&mesh.grd, 2);
+        let input = SymmInput { n, d_block };
+        let result = symm_square_cube_25d(rc, &mesh, &grd_ndup, &input);
+        result.d2.map_or(0, |d2| {
+            bits(d2.unwrap_real().data())
+                .wrapping_add(bits(result.d3.unwrap().unwrap_real().data()))
+        })
+    });
+}
+
+#[test]
+fn summa_plain_and_pipelined_match_across_modes() {
+    for pipelined in [false, true] {
+        assert_modes_identical(4, 2, move |rc| {
+            let (n, p) = (16, 2);
+            let mesh = Mesh2D::new(rc, p);
+            let grid = BlockGrid::new(n, p);
+            let bundles = SummaBundles::new(&mesh, 2);
+            let a = BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j));
+            let b = BlockBuf::Real(grid.extract(&test_matrix(n).transpose(), mesh.i, mesh.j));
+            let rate = rc.profile().process_flops(1, n / p);
+            let c = if pipelined {
+                summa_multiply_pipelined(rc, &mesh, &grid, &bundles, &a, &b, rate)
+            } else {
+                summa_multiply(rc, &mesh, &grid, &bundles, &a, &b, rate)
+            };
+            bits(c.unwrap_real().data())
+        });
+    }
+}
+
+#[test]
+fn block_cg_matches_across_modes() {
+    for overlap in [false, true] {
+        assert_modes_identical(4, 2, move |rc| {
+            let (n, p, s) = (20, 2, 2);
+            let mesh = Mesh2D::new(rc, p);
+            let grid = BlockGrid::new(n, p);
+            let part = Partition1D::new(n, p);
+            // SPD by diagonal dominance — deterministic, no RNG.
+            let a_full = Matrix::from_fn(n, n, |i, j| {
+                let base = 1.0 / (1.0 + i.abs_diff(j) as f64);
+                if i == j {
+                    base + n as f64
+                } else {
+                    base
+                }
+            });
+            let a = BlockBuf::Real(grid.extract(&a_full, mesh.i, mesh.j));
+            let b_full = Matrix::from_fn(n, s, |i, j| ((i * 7 + j * 13) % 11) as f64 - 5.0);
+            let (st, l) = part.range(mesh.j);
+            let b_seg = BlockBuf::Real(b_full.submatrix(st, 0, l, s));
+            let comms = CgComms::new(&mesh, 2);
+            let cfg = BlockCgConfig {
+                n,
+                s,
+                tol: 1e-10,
+                max_iter: 50,
+                overlap,
+            };
+            let res = block_cg(rc, &mesh, &comms, &cfg, &a, &b_seg);
+            bits(res.x_segment.unwrap_real().data()).wrapping_add(res.iterations as u64)
+        });
+    }
+}
+
+#[test]
+fn particles_md_matches_across_modes() {
+    for overlap in [None, Some(2)] {
+        assert_modes_identical(4, 2, move |rc| {
+            let mesh = Mesh2D::new(rc, 2);
+            let cfg = MdConfig {
+                n_particles: 24,
+                steps: 4,
+                dt: 0.01,
+                overlap,
+                neighbors: None,
+            };
+            let state = md_init(rc, &mesh, &cfg, false);
+            let fin = md_run(rc, &mesh, &cfg, state);
+            match fin.x {
+                VecBuf::Real(v) => bits(&v),
+                VecBuf::Phantom(_) => 0,
+            }
+        });
+    }
+}

@@ -25,12 +25,20 @@ use crate::request::{ReqMeta, Request};
 use crate::state::SplitGather;
 use crate::universe::{op_actor_id, PlanCache, UniShared};
 
+/// Largest communicator size whose compiled schedules are model-checked
+/// under `Strict`. The check explores receive-match interleavings across
+/// eager/rendezvous cutpoints, which grows far faster than the schedule
+/// itself; beyond this size the state budget would only ever truncate, so
+/// large shapes keep the (linear) lint pass and skip the model check.
+pub const MODEL_CHECK_MAX_P: usize = 128;
+
 /// Compile (or fetch from `cache`) the per-rank plans for one collective
 /// shape, selecting the algorithm via `sel` and statically analyzing
 /// fresh plans per verification level `mode`: `Warn` lints and prints
 /// findings, `Strict` additionally model-checks the schedule (every
-/// receive-match interleaving at every eager/rendezvous cutpoint) and
-/// panics on any finding. Analysis results are memoized in the cache, so
+/// receive-match interleaving at every eager/rendezvous cutpoint, for
+/// communicators up to [`MODEL_CHECK_MAX_P`] ranks) and panics on any
+/// finding. Analysis results are memoized in the cache, so
 /// each shape is analyzed — and its findings rendered — exactly once per
 /// run. Backend-neutral: both the simulator and the `ovcomm-rt`
 /// wall-clock backend compile collectives through this exact path, so the
@@ -57,7 +65,7 @@ pub fn compile_plans(
     let mut findings: Vec<String> = Vec::new();
     if mode != VerifyMode::Off {
         findings.extend(plan::lint_plans(&plans).iter().map(|f| f.to_string()));
-        if mode == VerifyMode::Strict {
+        if mode == VerifyMode::Strict && p <= MODEL_CHECK_MAX_P {
             let report = plan::model_check_single(&plans, &plan::McConfig::default());
             findings.extend(report.findings.iter().map(|f| f.to_string()));
             if report.truncated {
@@ -878,9 +886,6 @@ impl Comm {
         let op_idx = self.agent.op_counter.fetch_add(1, Ordering::Relaxed);
         let id = op_actor_id(rank, op_idx);
         let cell = Arc::new(ParkCell::new());
-        // Register before returning so the engine cannot advance past the
-        // post time before the worker thread picks the job up.
-        uni.engine.register_actor(id, cell.clone());
         let start = self.agent.now();
         let (req, vid): (Request<T>, Option<ReqId>) = match uni.verify.as_ref() {
             Some(v) => {
@@ -909,8 +914,12 @@ impl Comm {
         };
         let req2 = req.clone();
         let uni2 = uni.clone();
+        let cell2 = cell.clone();
         uni.metrics.pool_occupancy.inc();
-        uni.pool.submit(Box::new(move || {
+        // The op body is mode-agnostic: `await_release` blocks a pool
+        // thread or consumes the fiber's deposited release time, and the
+        // engine releases the op at its post time `start` either way.
+        let body: Box<dyn FnOnce() + Send> = Box::new(move || {
             struct Finish {
                 uni: Arc<crate::universe::UniShared>,
                 id: u32,
@@ -931,10 +940,13 @@ impl Comm {
                 }
             }
             let _occupied = Occupied(uni2.clone());
-            let agent = Agent::new_op(id, rank, start, cell, uni2.clone());
-            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&agent)));
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                uni2.engine.await_release(&cell2);
+                let agent = Agent::new_op(id, rank, start, cell2.clone(), uni2.clone());
+                (f(&agent), agent)
+            }));
             match out {
-                Ok(v) => {
+                Ok((v, agent)) => {
                     // Log completion before completing the request, so an
                     // analysis scanning forward from a matched wait always
                     // finds the collective's completion snapshot.
@@ -949,8 +961,12 @@ impl Comm {
                     uni2.complete(&req2, v, done)
                 }
                 Err(e) => {
-                    // Deadlock unwinds land here; record others for the
+                    // Fiber cancellation keeps unwinding; deadlock unwinds
+                    // land here; other panics are recorded for the
                     // universe to surface.
+                    if e.downcast_ref::<ovcomm_simnet::ForcedUnwind>().is_some() {
+                        std::panic::resume_unwind(e);
+                    }
                     let msg = e
                         .downcast_ref::<&str>()
                         .map(|s| s.to_string())
@@ -959,7 +975,21 @@ impl Comm {
                     uni2.record_op_panic(rank, msg);
                 }
             }
-        }));
+        });
+        // Register before returning so the engine cannot advance past the
+        // post time before the op actor starts. The op becomes ready at
+        // its post time, which keeps the release order — and therefore the
+        // whole simulation — identical across execution modes.
+        match uni.exec {
+            crate::universe::ExecMode::EventDriven => {
+                let fiber = ovcomm_simnet::Fiber::new(uni.fiber_stack, body);
+                uni.engine.register_fiber_at(id, fiber, cell, start);
+            }
+            crate::universe::ExecMode::Threads => {
+                uni.engine.register_actor_at(id, cell, start);
+                uni.pool.submit(body);
+            }
+        }
         req
     }
 }

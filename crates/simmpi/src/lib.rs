@@ -1,9 +1,12 @@
 //! # ovcomm-simmpi
 //!
 //! An in-process MPI-like message-passing library running over the
-//! `ovcomm-simnet` virtual-time network simulator. Every rank is an OS
-//! thread that blocks inside communication calls — rank code reads exactly
-//! like MPI code — while virtual time is accounted by the simulator.
+//! `ovcomm-simnet` virtual-time network simulator. Every rank is a
+//! stackful fiber (or, for differential testing, an OS thread — see
+//! [`ExecMode`]) that blocks inside communication calls — rank code reads
+//! exactly like MPI code — while virtual time is accounted by the
+//! simulator. The fiber mode runs tens of thousands of ranks in one
+//! process on one scheduler thread.
 //!
 //! Implemented surface (what the paper's algorithms need, §III–§IV):
 //!
@@ -67,4 +70,4 @@ pub use progress::Pool;
 pub use request::Request;
 #[doc(hidden)]
 pub use state::SplitResult;
-pub use universe::{actor_name, run, RankCtx, SimConfig, SimError, SimOutput};
+pub use universe::{actor_name, run, ExecMode, RankCtx, SimConfig, SimError, SimOutput};

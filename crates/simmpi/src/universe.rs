@@ -1,5 +1,6 @@
-//! The simulation universe: spawns rank threads, runs the event loop, and
-//! collects results.
+//! The simulation universe: launches rank actors (fibers by default, OS
+//! threads for differential testing), runs the event loop, and collects
+//! results.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -8,8 +9,8 @@ use parking_lot::Mutex;
 
 use ovcomm_obs::MetricsSnapshot;
 use ovcomm_simnet::{
-    ClusterResources, ClusterSpec, Engine, MachineProfile, NetStats, NodeMap, ParkCell,
-    ResourceKind, SimDur, SimTime, Trace,
+    ClusterResources, ClusterSpec, Engine, Fabric, Fiber, ForcedUnwind, MachineProfile, NetStats,
+    NodeMap, ParkCell, ResourceKind, SimDur, SimTime, Trace,
 };
 use ovcomm_verify::plan::{CollAlgo, CollPlan};
 use ovcomm_verify::{DeadlockReport, Finding, Severity, Verifier, VerifyMode, VerifyReport};
@@ -24,6 +25,24 @@ use crate::state::MpiState;
 
 /// World communicator context id.
 pub(crate) const WORLD_CTX: u32 = 0;
+
+/// How rank bodies (and progress ops) are executed.
+///
+/// Both modes run under the same serialized engine and release actors in
+/// identical `(virtual time, actor id)` order, so a program produces
+/// bit-identical results either way — that equivalence is what the
+/// differential tests check.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExecMode {
+    /// Every rank and every in-flight nonblocking operation is a stackful
+    /// fiber resumed inline by the engine's scheduler thread. One OS
+    /// thread total; scales to tens of thousands of ranks in one process.
+    EventDriven,
+    /// Legacy mode: one OS thread per rank plus a worker pool for
+    /// progress ops. Costs an OS thread per rank, so it only scales to a
+    /// few hundred ranks; kept for differential testing the fiber path.
+    Threads,
+}
 
 /// Configuration for one simulated run.
 pub struct SimConfig {
@@ -43,6 +62,12 @@ pub struct SimConfig {
     /// Collective-algorithm selection policy. The default reproduces the
     /// legacy hardcoded 32 KiB short/long thresholds exactly.
     pub coll_select: CollSelector,
+    /// Execution mode for rank bodies: fibers (default) or OS threads.
+    pub exec: ExecMode,
+    /// Stack size for rank/op fibers in [`ExecMode::EventDriven`]. Stacks
+    /// are committed lazily by the OS, so the default is generous; lower
+    /// it for very large sweeps if address space matters.
+    pub fiber_stack: usize,
 }
 
 impl SimConfig {
@@ -58,6 +83,8 @@ impl SimConfig {
             trace_out: None,
             verify: VerifyMode::Strict,
             coll_select: CollSelector::default(),
+            exec: ExecMode::EventDriven,
+            fiber_stack: ovcomm_simnet::DEFAULT_STACK_SIZE,
         }
     }
 
@@ -71,7 +98,28 @@ impl SimConfig {
             trace_out: None,
             verify: VerifyMode::Strict,
             coll_select: CollSelector::default(),
+            exec: ExecMode::EventDriven,
+            fiber_stack: ovcomm_simnet::DEFAULT_STACK_SIZE,
         }
+    }
+
+    /// Set the execution mode (fibers vs. OS threads).
+    pub fn with_exec(mut self, exec: ExecMode) -> SimConfig {
+        self.exec = exec;
+        self
+    }
+
+    /// Replace the default full-bisection fabric with an explicit cluster
+    /// topology (fat-tree or dragonfly) whose links contend.
+    pub fn with_fabric(mut self, fabric: Fabric) -> SimConfig {
+        self.cluster = self.cluster.with_fabric(fabric);
+        self
+    }
+
+    /// Set the per-fiber stack size used in [`ExecMode::EventDriven`].
+    pub fn with_fiber_stack(mut self, bytes: usize) -> SimConfig {
+        self.fiber_stack = bytes;
+        self
     }
 
     /// Set the verification level.
@@ -212,6 +260,10 @@ pub(crate) struct UniShared {
     /// `(kind, algo, p, n, root)` — plans depend on nothing else, so one
     /// compile (plus static lint) serves every instance of a shape.
     pub plan_cache: Mutex<PlanCache>,
+    /// How ops are dispatched: fibers (default) or pool threads.
+    pub exec: ExecMode,
+    /// Stack size for op fibers in event-driven mode.
+    pub fiber_stack: usize,
 }
 
 /// One compiled plan shape plus its memoized static-analysis findings.
@@ -483,22 +535,9 @@ where
     if cfg.trace {
         engine.enable_trace();
     }
-    // Register node resources on the engine's flow network in the canonical
-    // (tx, rx, mem per node) order.
-    let resources = {
-        let mut tx = Vec::with_capacity(cfg.cluster.nodes);
-        let mut rx = Vec::with_capacity(cfg.cluster.nodes);
-        let mut mem = Vec::with_capacity(cfg.cluster.nodes);
-        for node in 0..cfg.cluster.nodes {
-            let n = node as u32;
-            tx.push(engine.add_resource_kind(cfg.cluster.profile.nic_bw, ResourceKind::NicTx(n)));
-            rx.push(engine.add_resource_kind(cfg.cluster.profile.nic_bw, ResourceKind::NicRx(n)));
-            mem.push(
-                engine.add_resource_kind(cfg.cluster.profile.node_mem_bw, ResourceKind::Mem(n)),
-            );
-        }
-        ClusterResources::from_parts(tx, rx, mem)
-    };
+    // Register cluster resources: per-node NIC/memory in the canonical
+    // (tx, rx, mem per node) order, then any fabric link resources.
+    let resources = engine.build_cluster(&cfg.cluster);
     let cpu: Vec<ovcomm_simnet::ResourceId> = (0..nranks)
         .map(|r| {
             engine.add_resource_kind(
@@ -531,44 +570,49 @@ where
         verify_mode: cfg.verify,
         coll_select: cfg.coll_select.clone(),
         plan_cache: Mutex::new(std::collections::BTreeMap::new()),
+        exec: cfg.exec,
+        fiber_stack: cfg.fiber_stack,
     });
-
-    // Register all rank actors before any thread starts so the engine
-    // cannot advance early.
-    let cells: Vec<Arc<ParkCell>> = (0..nranks).map(|_| Arc::new(ParkCell::new())).collect();
-    for (r, cell) in cells.iter().enumerate() {
-        uni.engine.register_actor(r as u32, cell.clone());
-    }
 
     let f = Arc::new(f);
     let world_ranks: Arc<Vec<u32>> = Arc::new((0..nranks as u32).collect());
-    let mut handles = Vec::with_capacity(nranks);
-    for (r, cell) in cells.into_iter().enumerate() {
+    // Rank results and captured rank panics, filled in by the rank bodies
+    // themselves so fibers and threads share one code path.
+    let results: Arc<Mutex<Vec<Option<T>>>> =
+        Arc::new(Mutex::new((0..nranks).map(|_| None).collect()));
+    let rank_panics: Arc<Mutex<Vec<(usize, String)>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // The body of one rank actor, identical in both execution modes: wait
+    // for the scheduler's first release, run the user closure, record the
+    // result (or the panic), and — via the drop guard, so unwinding paths
+    // are covered — retire the actor.
+    let body_for = |r: usize, cell: Arc<ParkCell>| {
         let uni2 = uni.clone();
         let f2 = f.clone();
         let world_ranks2 = world_ranks.clone();
-        let h = std::thread::Builder::new()
-            .name(format!("rank-{r}"))
-            .stack_size(4 << 20)
-            .spawn(move || {
-                struct Finish {
-                    uni: Arc<UniShared>,
-                    id: u32,
+        let results2 = results.clone();
+        let panics2 = rank_panics.clone();
+        move || {
+            struct Finish {
+                uni: Arc<UniShared>,
+                id: u32,
+            }
+            impl Drop for Finish {
+                fn drop(&mut self) {
+                    self.uni.engine.actor_finished(self.id);
                 }
-                impl Drop for Finish {
-                    fn drop(&mut self) {
-                        self.uni.engine.actor_finished(self.id);
-                    }
-                }
-                let _guard = Finish {
-                    uni: uni2.clone(),
-                    id: r as u32,
-                };
-                let agent = Agent::new_rank(r as u32, cell, uni2.clone());
+            }
+            let _guard = Finish {
+                uni: uni2.clone(),
+                id: r as u32,
+            };
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                uni2.engine.await_release(&cell);
+                let agent = Agent::new_rank(r as u32, cell.clone(), uni2.clone());
                 let world = Comm::new(
                     CommInfo {
                         ctx: WORLD_CTX,
-                        ranks: world_ranks2,
+                        ranks: world_ranks2.clone(),
                         me: r,
                     },
                     agent.clone(),
@@ -578,34 +622,71 @@ where
                     world,
                     active_ppn: std::cell::Cell::new(0),
                 };
-                let out = f2(rc);
+                let v = f2(rc);
                 uni2.state.lock().rank_end_times[r] = agent.now();
-                out
-            })
-            .expect("failed to spawn rank thread");
-        handles.push(h);
-    }
+                v
+            }));
+            match out {
+                Ok(v) => results2.lock()[r] = Some(v),
+                Err(e) => {
+                    // Fiber cancellation must keep unwinding; everything
+                    // else is a rank panic to report.
+                    if e.downcast_ref::<ForcedUnwind>().is_some() {
+                        std::panic::resume_unwind(e);
+                    }
+                    let msg = e
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| e.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic>".to_string());
+                    panics2.lock().push((r, msg));
+                }
+            }
+        }
+    };
 
-    // Drive the event loop on this thread.
-    uni.engine.run_loop();
-
-    let mut results = Vec::with_capacity(nranks);
-    let mut panics: Vec<(usize, String)> = Vec::new();
-    for (r, h) in handles.into_iter().enumerate() {
-        match h.join() {
-            Ok(v) => results.push(Some(v)),
-            Err(p) => {
-                results.push(None);
-                let msg = p
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| p.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "<non-string panic>".to_string());
-                panics.push((r, msg));
+    // Register all rank actors before the loop starts so the engine cannot
+    // advance early.
+    let cells: Vec<Arc<ParkCell>> = (0..nranks).map(|_| Arc::new(ParkCell::new())).collect();
+    let mut handles = Vec::new();
+    match cfg.exec {
+        ExecMode::EventDriven => {
+            for (r, cell) in cells.into_iter().enumerate() {
+                let fiber = Fiber::new(cfg.fiber_stack, body_for(r, cell.clone()));
+                uni.engine
+                    .register_fiber_at(r as u32, fiber, cell, SimTime::ZERO);
+            }
+        }
+        ExecMode::Threads => {
+            for (r, cell) in cells.iter().enumerate() {
+                uni.engine.register_actor(r as u32, cell.clone());
+            }
+            handles.reserve(nranks);
+            for (r, cell) in cells.into_iter().enumerate() {
+                let h = std::thread::Builder::new()
+                    .name(format!("rank-{r}"))
+                    .stack_size(4 << 20)
+                    .spawn(body_for(r, cell))
+                    .expect("failed to spawn rank thread");
+                handles.push(h);
             }
         }
     }
+
+    // Drive the event loop on this thread (fibers resume inline here).
+    uni.engine.run_loop();
+    for h in handles {
+        // Rank panics were captured inside the body; a join error here can
+        // only be a ForcedUnwind propagated past it.
+        let _ = h.join();
+    }
+    uni.engine.drain_fibers();
     uni.pool.shutdown();
+
+    let results: Vec<Option<T>> = std::mem::take(&mut *results.lock());
+    let mut panics: Vec<(usize, String)> = std::mem::take(&mut *rank_panics.lock());
+    // Thread-mode capture order is scheduling-dependent; report by rank.
+    panics.sort();
 
     // A rank panic often *causes* the deadlock that unwinds everyone else;
     // report the root cause, not the induced deadlock panics.

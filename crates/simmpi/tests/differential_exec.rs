@@ -1,0 +1,226 @@
+//! Differential tests between the two execution modes: the event-driven
+//! fiber scheduler (default) and the legacy thread-per-rank mode must
+//! produce *bit-identical* simulations — same per-rank results, same
+//! virtual end times, same message counts, same verification findings.
+//! Both run under the same serialized engine and release actors in the
+//! same `(time, id)` order, so any divergence is a scheduler bug.
+//!
+//! Also hosts the large-scale smoke test: a 10,000-rank broadcast +
+//! allreduce under `VerifyMode::Strict`, which only the fiber mode can
+//! run (10k OS threads would exhaust the host).
+
+use std::sync::Arc;
+
+use ovcomm_simmpi::{run, ExecMode, Payload, RankCtx, SimConfig, SimOutput, VerifyMode};
+use ovcomm_simnet::MachineProfile;
+
+/// Run the same program in both modes and assert the outputs match bit
+/// for bit.
+fn assert_modes_identical<T, F>(mk_cfg: impl Fn() -> SimConfig, body: F) -> SimOutput<T>
+where
+    T: Send + PartialEq + std::fmt::Debug + 'static,
+    F: Fn(RankCtx) -> T + Send + Sync + 'static,
+{
+    let body = Arc::new(body);
+    let run_mode = |exec: ExecMode| {
+        let b = body.clone();
+        run(mk_cfg().with_exec(exec), move |rc: RankCtx| b(rc))
+            .unwrap_or_else(|e| panic!("{exec:?} run failed: {e}"))
+    };
+    let ev = run_mode(ExecMode::EventDriven);
+    let th = run_mode(ExecMode::Threads);
+    assert_eq!(ev.results, th.results, "per-rank results diverge");
+    assert_eq!(ev.end_times, th.end_times, "virtual end times diverge");
+    assert_eq!(ev.makespan, th.makespan, "makespan diverges");
+    assert_eq!(ev.messages, th.messages, "message counts diverge");
+    assert_eq!(
+        ev.inter_node_bytes, th.inter_node_bytes,
+        "inter-node bytes diverge"
+    );
+    assert_eq!(
+        ev.intra_node_bytes, th.intra_node_bytes,
+        "intra-node bytes diverge"
+    );
+    let render = |o: &SimOutput<T>| -> Vec<String> {
+        o.verify.findings.iter().map(|f| f.to_string()).collect()
+    };
+    assert_eq!(render(&ev), render(&th), "verify findings diverge");
+    ev
+}
+
+fn cfg(nranks: usize, ppn: usize) -> SimConfig {
+    SimConfig::natural(nranks, ppn, MachineProfile::test_profile())
+}
+
+/// Deterministic per-rank payload whose reduction is exactly
+/// representable, so sums are bit-stable regardless of order anyway; the
+/// tests still compare raw bits.
+fn contrib(rank: usize, len: usize) -> Payload {
+    Payload::from_f64s(
+        &(0..len)
+            .map(|i| (rank * len + i) as f64)
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[test]
+fn p2p_ring_is_bit_identical_across_modes() {
+    assert_modes_identical(
+        || cfg(6, 2),
+        |rc: RankCtx| {
+            let w = rc.world();
+            let p = rc.nranks();
+            let next = (rc.rank() + 1) % p;
+            let prev = (rc.rank() + p - 1) % p;
+            let got = w.sendrecv(next, prev, 7, contrib(rc.rank(), 64));
+            (
+                got.to_f64s()
+                    .iter()
+                    .fold(0u64, |a, x| a.wrapping_add(x.to_bits())),
+                rc.now(),
+            )
+        },
+    );
+}
+
+#[test]
+fn blocking_collectives_are_bit_identical_across_modes() {
+    assert_modes_identical(
+        || cfg(8, 2),
+        |rc: RankCtx| {
+            let w = rc.world();
+            let me = rc.rank();
+            let data = (me == 0).then(|| contrib(1, 32));
+            let b = w.bcast(0, data, 32 * 8);
+            let red = w.reduce(2, contrib(me, 16));
+            let all = w.allreduce(contrib(me, 16));
+            w.barrier();
+            let sc = w.scatter(
+                1,
+                (me == 1).then(|| contrib(3, 8 * rc.nranks())),
+                8 * 8 * rc.nranks(),
+            );
+            let ga = w.gather(0, contrib(me, 8), 8 * 8 * rc.nranks());
+            let ag = w.allgather(contrib(me, 4), 4 * 8 * rc.nranks());
+            let bits = |p: &Payload| {
+                p.to_f64s()
+                    .iter()
+                    .fold(0u64, |a, x| a.wrapping_add(x.to_bits()))
+            };
+            (
+                bits(&b)
+                    .wrapping_add(red.as_ref().map_or(0, bits))
+                    .wrapping_add(bits(&all))
+                    .wrapping_add(bits(&sc))
+                    .wrapping_add(ga.as_ref().map_or(0, bits))
+                    .wrapping_add(bits(&ag)),
+                rc.now(),
+            )
+        },
+    );
+}
+
+#[test]
+fn nonblocking_collectives_are_bit_identical_across_modes() {
+    assert_modes_identical(
+        || cfg(8, 4),
+        |rc: RankCtx| {
+            let w = rc.world();
+            let me = rc.rank();
+            // Two overlapping nonblocking collectives on dup'd comms plus
+            // an ibarrier: exercises op actors in both modes.
+            let c1 = w.dup();
+            let c2 = w.dup();
+            let r1 = c1.ibcast(0, (me == 0).then(|| contrib(2, 1024)), 1024 * 8);
+            let r2 = c2.iallreduce(contrib(me, 512));
+            let rb = w.ibarrier();
+            let a = c1.wait(&r1);
+            let b = c2.wait(&r2);
+            w.wait(&rb);
+            let bits = |p: &Payload| {
+                p.to_f64s()
+                    .iter()
+                    .fold(0u64, |a, x| a.wrapping_add(x.to_bits()))
+            };
+            (bits(&a).wrapping_add(bits(&b)), rc.now())
+        },
+    );
+}
+
+#[test]
+fn split_grid_traffic_is_bit_identical_across_modes() {
+    assert_modes_identical(
+        || cfg(9, 3),
+        |rc: RankCtx| {
+            let w = rc.world();
+            let me = rc.rank();
+            let (row, col) = (me / 3, me % 3);
+            let rcomm = w.split(row as i64, col as u64).expect("row comm");
+            let ccomm = w.split(3 + col as i64, row as u64).expect("col comm");
+            let rsum = rcomm.allreduce(contrib(me, 32));
+            let croot = ccomm.reduce(0, rsum);
+            let out = ccomm.bcast(0, croot, 32 * 8);
+            (
+                out.to_f64s()
+                    .iter()
+                    .fold(0u64, |a, x| a.wrapping_add(x.to_bits())),
+                rc.now(),
+            )
+        },
+    );
+}
+
+#[test]
+fn mixed_p2p_and_nonblocking_under_warn_mode_matches() {
+    // Warn mode exercises the verifier event log in both modes without
+    // aborting; findings (if any) must render identically.
+    assert_modes_identical(
+        || cfg(6, 3).with_verify(VerifyMode::Warn),
+        |rc: RankCtx| {
+            let w = rc.world();
+            let me = rc.rank();
+            let p = rc.nranks();
+            let r = w.ireduce(0, contrib(me, 128));
+            let got = w.sendrecv((me + 1) % p, (me + p - 1) % p, 1, contrib(me, 16));
+            let red = w.wait(&r);
+            let bits = |p: &Payload| {
+                p.to_f64s()
+                    .iter()
+                    .fold(0u64, |a, x| a.wrapping_add(x.to_bits()))
+            };
+            (
+                bits(&got).wrapping_add(red.as_ref().map_or(0, bits)),
+                rc.now(),
+            )
+        },
+    );
+}
+
+/// The tentpole's scale target: 10,000 ranks in one process, broadcast +
+/// allreduce under strict verification (static lint + dynamic recorder;
+/// the per-shape model check and the vector-clock race pass gate
+/// themselves off at this size). Thread mode cannot run this at all.
+#[test]
+fn ten_thousand_rank_bcast_allreduce_strict_smoke() {
+    let p = 10_000;
+    let out = run(
+        SimConfig::natural(p, 4, MachineProfile::test_profile())
+            .with_verify(VerifyMode::Strict)
+            // 256 KiB of stack per fiber keeps the footprint modest.
+            .with_fiber_stack(256 << 10),
+        move |rc: RankCtx| {
+            let w = rc.world();
+            let data = (rc.rank() == 0).then(|| Payload::from_f64s(&[42.0; 8]));
+            let b = w.bcast(0, data, 8 * 8);
+            let s = w.allreduce(Payload::from_f64s(&[1.0]));
+            (b.to_f64s()[0], s.to_f64s()[0])
+        },
+    )
+    .expect("10k-rank smoke run");
+    assert_eq!(out.results.len(), p);
+    for (b, s) in &out.results {
+        assert_eq!(*b, 42.0);
+        assert_eq!(*s, p as f64);
+    }
+    assert!(out.makespan.as_nanos() > 0);
+}

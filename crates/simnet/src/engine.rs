@@ -1,36 +1,59 @@
-//! The discrete-event engine with threads-as-actors.
+//! The discrete-event engine with serialized actors.
 //!
-//! Actor (rank) code runs on ordinary OS threads and *blocks* in
-//! communication calls, exactly like an MPI program. Virtual time advances
-//! only inside the engine: the event loop pops the earliest event **only when
-//! every registered actor is parked**, which makes the simulation a
-//! conservative discrete-event simulation regardless of how the OS schedules
-//! the threads.
+//! Actor (rank) code runs either on OS threads that *block* in communication
+//! calls (thread mode, exactly like an MPI program) or as stackful
+//! [`Fiber`]s that *yield* at the same points (event-driven mode, which
+//! scales to tens of thousands of ranks on one core). Either way the engine
+//! serializes execution: at any moment exactly one of {an actor, an event
+//! callback} runs. Virtual time advances only inside the scheduler loop.
 //!
 //! # Determinism
 //!
-//! Event ordering is a total order on [`EventKey`] `(time, class, origin,
-//! seq)`. Actor-posted events carry the actor's id and a per-actor sequence
-//! number; engine-posted events carry [`ENGINE_ORIGIN`] and an engine
-//! counter. Because actors may only schedule events at or after their own
-//! local clock, and the engine only advances when all actors are parked, the
-//! popped sequence — and therefore every virtual timestamp — is identical
-//! across runs and independent of thread scheduling.
+//! The scheduler interleaves two deterministic orders:
+//!
+//! * **Events** are totally ordered by [`EventKey`] `(time, class, origin,
+//!   seq)`. Actor-posted events carry the actor's id and a per-actor
+//!   sequence number; engine-posted events carry [`ENGINE_ORIGIN`] and an
+//!   engine counter (which is itself deterministic because only one context
+//!   runs at a time).
+//! * **Actor releases** are totally ordered by `(wake time, actor id)`.
+//!
+//! At each step the scheduler picks the earlier of the two; an actor release
+//! wins a time tie against an event. Because actors may only schedule events
+//! at or after their own local clocks and wakes never target the past, the
+//! executed sequence — and therefore every virtual timestamp, trace span
+//! order, and verify log — is identical across runs and independent of OS
+//! thread scheduling.
+//!
+//! # Actor protocol
+//!
+//! An actor is registered with [`Engine::register_actor`] (threads) or
+//! [`Engine::register_fiber_at`] (fibers) together with its [`ParkCell`].
+//! The actor's body must call [`Engine::await_release`] on that cell before
+//! touching anything else, park only via [`Engine::park`] **on its own
+//! registered cell**, and call [`Engine::actor_finished`] when done
+//! (normally via a drop guard). Wakes directed at a registered cell are
+//! routed through the scheduler's ready queue; waking an unregistered cell
+//! would release a thread outside the serialization discipline, so all
+//! cells parked on must be registered.
 //!
 //! # Lock ordering
 //!
 //! `Engine`'s core mutex and each [`ParkCell`]'s mutex are never held
 //! simultaneously. Higher layers (simmpi) take their own state lock *before*
-//! calling into the engine; engine callbacks run with the core lock
-//! released.
+//! calling into the engine; engine callbacks and fiber bodies run with the
+//! core lock released.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::fiber::{self, Fiber};
 use crate::flow::{FlowId, FlowNet, FlowSpec, ResourceId, ResourceKind, ResourceStats};
 use crate::time::{SimDur, SimTime};
+use crate::topology::{ClusterResources, ClusterSpec};
 use crate::trace::{Trace, TraceEdge, TraceSpan};
 
 /// Origin id used for events scheduled by the engine itself (flow
@@ -41,6 +64,9 @@ pub const ENGINE_ORIGIN: u32 = u32::MAX;
 /// events so that, e.g., a wake posted "at" a flow's completion instant is
 /// handled deterministically).
 pub const CLASS_FLOW: u8 = 200;
+
+/// Cell id meaning "not registered with the engine".
+const ACTOR_NONE: u32 = u32::MAX;
 
 /// A callback run by the event loop at its scheduled virtual time, with the
 /// core lock released.
@@ -115,10 +141,13 @@ struct CellState {
 }
 
 /// Per-actor parking spot. An actor parks on its cell inside blocking
-/// calls; event callbacks release it via [`Engine::wake`].
+/// calls; the scheduler releases it at its turn in `(time, id)` order.
 pub struct ParkCell {
     state: Mutex<CellState>,
     cv: Condvar,
+    /// The actor id this cell was registered under ([`ACTOR_NONE`] while
+    /// unregistered). Lets [`Engine::wake`] route wakes to the ready queue.
+    id: AtomicU32,
 }
 
 impl Default for ParkCell {
@@ -133,11 +162,11 @@ impl ParkCell {
         ParkCell {
             state: Mutex::new(CellState::default()),
             cv: Condvar::new(),
+            id: AtomicU32::new(ACTOR_NONE),
         }
     }
 
     /// Block the calling thread until woken; returns the wake time.
-    /// Must be preceded by [`Engine::park_begin`].
     fn wait(&self) -> (SimTime, WakeKind) {
         let mut st = self.state.lock();
         loop {
@@ -151,16 +180,22 @@ impl ParkCell {
         }
     }
 
-    /// Engine-free wake: deposit a pending wake at `t` (repeated wakes merge
-    /// to the latest time) and notify any parked thread. For wall-clock
-    /// runtimes that reuse the cell as a plain parking spot without the
-    /// virtual-time engine's runnable bookkeeping. Never mix the `_direct`
-    /// methods with [`Engine::park`]/[`Engine::wake`] on the same cell.
-    pub fn wake_direct(&self, t: SimTime) {
+    /// Deposit a pending wake at `t` (repeated wakes merge to the latest
+    /// time) and notify any parked thread. No scheduler involvement.
+    fn deposit(&self, t: SimTime) {
         let mut st = self.state.lock();
         st.pending = Some(st.pending.map_or(t, |p| p.max(t)));
         drop(st);
         self.cv.notify_all();
+    }
+
+    /// Engine-free wake: deposit a pending wake at `t` (repeated wakes merge
+    /// to the latest time) and notify any parked thread. For wall-clock
+    /// runtimes that reuse the cell as a plain parking spot without the
+    /// virtual-time engine's scheduling. Never mix the `_direct` methods
+    /// with [`Engine::park`]/[`Engine::wake`] on the same cell.
+    pub fn wake_direct(&self, t: SimTime) {
+        self.deposit(t);
     }
 
     /// Engine-free park: block until a pending wake is deposited, returning
@@ -197,16 +232,39 @@ impl ParkCell {
     }
 }
 
+/// How an actor's suspended continuation is stored.
+enum ActorSlot {
+    /// Actor body runs on an OS thread parked on the cell.
+    Thread(Arc<ParkCell>),
+    /// Actor body is a fiber; `None` while the fiber is running (the
+    /// scheduler takes it out to resume it outside the core lock).
+    Fiber(Option<Fiber>, Arc<ParkCell>),
+}
+
+impl ActorSlot {
+    fn cell(&self) -> &Arc<ParkCell> {
+        match self {
+            ActorSlot::Thread(c) => c,
+            ActorSlot::Fiber(_, c) => c,
+        }
+    }
+}
+
 struct Core {
     now: SimTime,
     queue: BTreeMap<EventKey, Slot>,
-    runnable: usize,
     live: usize,
     engine_seq: u64,
     flows: FlowNet,
     flow_meta: BTreeMap<FlowId, FlowMeta>,
     flows_settled_at: SimTime,
-    actors: BTreeMap<u32, Arc<ParkCell>>,
+    actors: BTreeMap<u32, ActorSlot>,
+    /// Actors awaiting release, ordered by `(wake time, id)`.
+    ready: BTreeSet<(SimTime, u32)>,
+    /// Pending release time per ready actor (wakes merge to the max).
+    ready_time: BTreeMap<u32, SimTime>,
+    /// The actor currently running, if any. While set, the scheduler waits.
+    current: Option<u32>,
     trace: Option<Trace>,
     completed_flows: u64,
     total_queue_delay_secs: f64,
@@ -218,11 +276,14 @@ struct Core {
 }
 
 /// The virtual-time discrete-event engine. Shared by reference between the
-/// event-loop thread and all actor threads.
+/// scheduler thread and all actor threads/fibers.
 pub struct Engine {
     core: Mutex<Core>,
     cv: Condvar,
 }
+
+const DEADLOCK_MSG: &str = "simulation deadlock: every rank is blocked and no event is pending \
+                            (mismatched send/recv or collective call order?)";
 
 impl Engine {
     /// New engine at virtual time zero with no resources or actors.
@@ -231,13 +292,15 @@ impl Engine {
             core: Mutex::new(Core {
                 now: SimTime::ZERO,
                 queue: BTreeMap::new(),
-                runnable: 0,
                 live: 0,
                 engine_seq: 0,
                 flows: FlowNet::new(),
                 flow_meta: BTreeMap::new(),
                 flows_settled_at: SimTime::ZERO,
                 actors: BTreeMap::new(),
+                ready: BTreeSet::new(),
+                ready_time: BTreeMap::new(),
+                current: None,
                 trace: None,
                 completed_flows: 0,
                 total_queue_delay_secs: 0.0,
@@ -285,6 +348,13 @@ impl Engine {
         self.core.lock().flows.add_resource_kind(capacity, kind)
     }
 
+    /// Register a whole cluster's resources (NICs, memory channels, and —
+    /// for fat-tree/dragonfly fabrics — per-link resources) in one lock
+    /// acquisition and return the routing table.
+    pub fn build_cluster(&self, spec: &ClusterSpec) -> ClusterResources {
+        spec.build_resources(&mut self.core.lock().flows)
+    }
+
     /// Snapshot per-resource utilization and flow-level queueing-delay
     /// accounting. Utilization integrals are settled up to the engine's
     /// current virtual time before the snapshot is taken.
@@ -292,6 +362,7 @@ impl Engine {
         let mut core = self.core.lock();
         let now = core.now;
         core.settle_flows(now);
+        core.flows.settle_all();
         NetStats {
             resources: core
                 .flows
@@ -314,8 +385,8 @@ impl Engine {
         self.core.lock().trace.as_ref().map_or(0, Trace::clamped)
     }
 
-    /// Current virtual time of the event loop. Actor threads should use
-    /// their own local clocks; this is primarily for event callbacks.
+    /// Current virtual time of the event loop. Actor code should use its own
+    /// local clock; this is primarily for event callbacks.
     pub fn now(&self) -> SimTime {
         self.core.lock().now
     }
@@ -332,28 +403,72 @@ impl Engine {
         self.core.lock().deadlock_actors.clone()
     }
 
-    /// Register an actor and its park cell. The actor starts runnable.
+    /// Register a thread-backed actor, ready to be released at time zero.
+    /// The actor's body must call [`Engine::await_release`] on `cell` before
+    /// doing anything else.
     pub fn register_actor(&self, id: u32, cell: Arc<ParkCell>) {
+        self.register_actor_at(id, cell, SimTime::ZERO);
+    }
+
+    /// Register a thread-backed actor that becomes ready at `ready_at`
+    /// (e.g. a collective-op job released at its post time).
+    pub fn register_actor_at(&self, id: u32, cell: Arc<ParkCell>, ready_at: SimTime) {
+        self.register_slot(id, ActorSlot::Thread(cell), ready_at);
+    }
+
+    /// Register a fiber-backed actor that becomes ready at `ready_at`. The
+    /// scheduler resumes the fiber at its turns; the fiber's body must call
+    /// [`Engine::await_release`] on `cell` first, park only via
+    /// [`Engine::park`] on `cell`, and call [`Engine::actor_finished`]
+    /// before returning.
+    pub fn register_fiber_at(&self, id: u32, fiber: Fiber, cell: Arc<ParkCell>, ready_at: SimTime) {
+        self.register_slot(id, ActorSlot::Fiber(Some(fiber), cell), ready_at);
+    }
+
+    fn register_slot(&self, id: u32, slot: ActorSlot, ready_at: SimTime) {
+        assert!(id != ACTOR_NONE, "actor id {id} is reserved");
+        slot.cell().id.store(id, Ordering::Relaxed);
         let mut core = self.core.lock();
+        debug_assert!(ready_at >= core.now, "actor {id} registered in the past");
         assert!(
-            core.actors.insert(id, cell).is_none(),
+            core.actors.insert(id, slot).is_none(),
             "actor {id} registered twice"
         );
         core.live += 1;
-        core.runnable += 1;
+        core.ready.insert((ready_at, id));
+        core.ready_time.insert(id, ready_at);
     }
 
-    /// Mark an actor finished (called from the actor thread, including on
-    /// unwind). The actor must currently be runnable.
+    /// Mark an actor finished (called from the actor's body, including on
+    /// unwind).
     // An unknown id here is engine-state corruption; crashing is correct.
     #[allow(clippy::expect_used)]
     pub fn actor_finished(&self, id: u32) {
         let mut core = self.core.lock();
         core.actors.remove(&id).expect("finishing unknown actor");
         core.live -= 1;
-        core.runnable -= 1;
-        if core.runnable == 0 {
+        if let Some(t) = core.ready_time.remove(&id) {
+            core.ready.remove(&(t, id));
+        }
+        if core.current == Some(id) {
+            core.current = None;
             self.cv.notify_all();
+        }
+    }
+
+    /// Block the calling actor until the scheduler releases it for the
+    /// first time; returns the release time. Must be the first engine call
+    /// an actor's body makes (for fibers it just consumes the deposited
+    /// release time).
+    pub fn await_release(&self, cell: &ParkCell) -> SimTime {
+        if fiber::in_fiber() {
+            // The scheduler deposits the release time before resuming.
+            cell.state.lock().pending.take().unwrap_or(SimTime::ZERO)
+        } else {
+            match cell.wait() {
+                (t, WakeKind::Normal) => t,
+                (_, WakeKind::Deadlock) => panic!("{DEADLOCK_MSG}"),
+            }
         }
     }
 
@@ -366,7 +481,9 @@ impl Engine {
         assert!(prev.is_none(), "event key collision: {key:?}");
     }
 
-    /// Schedule an action with an engine-assigned sequence number.
+    /// Schedule an action with an engine-assigned sequence number. The
+    /// engine counter is deterministic because exactly one context (actor or
+    /// callback) runs at a time.
     pub fn schedule_engine(&self, time: SimTime, class: u8, action: Action) -> EventKey {
         let mut core = self.core.lock();
         assert!(!core.stopped, "scheduling after stop");
@@ -412,155 +529,290 @@ impl Engine {
             cap,
             bytes,
         });
+        let eta = core.flows.eta_secs(id);
+        assert!(
+            eta.is_finite(),
+            "flow {id:?} has infinite ETA (zero rate with bytes remaining)"
+        );
         let seq = core.engine_seq;
         core.engine_seq += 1;
+        let key = EventKey {
+            time: now + SimDur::from_secs_f64(eta),
+            class: CLASS_FLOW,
+            origin: ENGINE_ORIGIN,
+            seq,
+        };
         core.flow_meta.insert(
             id,
             FlowMeta {
-                // Placeholder; fixed up by reschedule_flows below.
-                key: EventKey {
-                    time: now,
-                    class: CLASS_FLOW,
-                    origin: ENGINE_ORIGIN,
-                    seq,
-                },
+                key,
                 on_complete: Some(on_complete),
                 started: now,
                 ideal_secs: if cap > 0.0 { bytes / cap } else { 0.0 },
             },
         );
-        core.queue.insert(
-            EventKey {
-                time: now,
-                class: CLASS_FLOW,
-                origin: ENGINE_ORIGIN,
-                seq,
-            },
-            Slot::FlowDone(id),
-        );
-        core.reschedule_flows();
+        let prev = core.queue.insert(key, Slot::FlowDone(id));
+        debug_assert!(prev.is_none(), "flow key collision");
+        core.apply_rate_changes(Some(id));
         id
     }
 
     /// Release a parked actor at virtual time `t`. May be called before the
     /// actor has actually gone to sleep (the wake is then consumed
-    /// immediately); repeated wakes merge to the latest time.
+    /// immediately); repeated wakes merge to the latest time. The cell must
+    /// belong to a registered actor.
     pub fn wake(&self, cell: &ParkCell, t: SimTime) {
-        let mut st = cell.state.lock();
-        let was_pending = st.pending.is_some();
-        st.pending = Some(st.pending.map_or(t, |p| p.max(t)));
-        drop(st);
-        if !was_pending {
-            self.core.lock().runnable += 1;
+        let id = cell.id.load(Ordering::Relaxed);
+        let mut core = self.core.lock();
+        let routed = id != ACTOR_NONE && core.current != Some(id) && core.actors.contains_key(&id);
+        if routed {
+            // The target is parked (or walking toward its park): queue the
+            // release; the scheduler will deposit the wake at its turn.
+            let c = &mut *core;
+            match c.ready_time.entry(id) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let old = *e.get();
+                    if t > old {
+                        c.ready.remove(&(old, id));
+                        c.ready.insert((t, id));
+                        *e.get_mut() = t;
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(t);
+                    c.ready.insert((t, id));
+                }
+            }
+        } else {
+            // Self-wake of the running actor (or an unregistered cell):
+            // deposit directly; `park`/`consume_pending` picks it up without
+            // a scheduler round-trip.
+            drop(core);
+            cell.deposit(t);
         }
-        cell.cv.notify_all();
     }
 
-    /// Consume a pending wake on `cell` without sleeping, decrementing the
-    /// runnable count that the wake added. Waiters that find their condition
-    /// satisfied *without* parking must call this before returning, or the
-    /// engine would believe an extra actor is runnable forever.
+    /// Consume a pending wake on `cell` without sleeping. Waiters that find
+    /// their condition satisfied *without* parking call this to clear a
+    /// self-wake deposited while they were running.
     pub fn consume_pending(&self, cell: &ParkCell) -> Option<SimTime> {
-        let t = cell.state.lock().pending.take();
-        if t.is_some() {
-            let mut core = self.core.lock();
-            core.runnable -= 1;
-            if core.runnable == 0 {
-                self.cv.notify_all();
-            }
-        }
-        t
+        cell.state.lock().pending.take()
     }
 
-    /// Declare the calling actor blocked, then sleep on `cell` until woken.
-    /// Returns the wake time; panics with a diagnostic if the simulation
-    /// deadlocked.
+    /// Declare the calling actor blocked and sleep until the scheduler
+    /// releases it. Returns the wake time; panics with a diagnostic if the
+    /// simulation deadlocked. Must be called on the actor's own registered
+    /// cell.
     pub fn park(&self, cell: &ParkCell) -> SimTime {
-        {
-            let mut core = self.core.lock();
-            core.runnable -= 1;
-            if core.runnable == 0 {
+        // A wake deposited while we were running (self-wake): consume it
+        // without a scheduler round-trip — the actor just keeps running,
+        // which is exactly what the old runnable-count engine did.
+        if let Some(t) = cell.state.lock().pending.take() {
+            return t;
+        }
+        if fiber::in_fiber() {
+            {
+                let mut core = self.core.lock();
+                debug_assert_eq!(
+                    core.current,
+                    Some(cell.id.load(Ordering::Relaxed)),
+                    "fiber parking on a cell it is not registered under"
+                );
+                core.current = None;
+            }
+            // The scheduler is blocked inside `Fiber::resume`; yielding
+            // returns control to it. It resumes us with a deposited wake
+            // (or the deadlock flag).
+            fiber::fiber_yield();
+            let mut st = cell.state.lock();
+            if st.deadlock {
+                drop(st);
+                panic!("{DEADLOCK_MSG}");
+            }
+            match st.pending.take() {
+                Some(t) => t,
+                None => {
+                    drop(st);
+                    panic!("fiber resumed without a pending wake");
+                }
+            }
+        } else {
+            {
+                let mut core = self.core.lock();
+                core.current = None;
                 self.cv.notify_all();
             }
-        }
-        match cell.wait() {
-            (t, WakeKind::Normal) => t,
-            (_, WakeKind::Deadlock) => {
-                // Restore the runnable count so that the unwinding actor's
-                // `actor_finished` (run from a drop guard) doesn't underflow.
-                self.core.lock().runnable += 1;
-                panic!(
-                    "simulation deadlock: every rank is blocked and no event is pending \
-                     (mismatched send/recv or collective call order?)"
-                )
+            match cell.wait() {
+                (t, WakeKind::Normal) => t,
+                (_, WakeKind::Deadlock) => panic!("{DEADLOCK_MSG}"),
             }
         }
     }
 
-    /// Run the event loop until all actors have finished (or deadlock).
-    /// Typically run on the caller's thread while actor threads execute.
+    /// Run the scheduler until all actors have finished (or deadlock).
+    /// Typically run on the caller's thread while thread-actors block and
+    /// fiber-actors are resumed inline.
     // The `expect`s below assert queue/flow-table agreement — invariants
     // whose violation means the engine itself is broken, not user error.
     #[allow(clippy::expect_used)]
     pub fn run_loop(&self) {
+        enum Work {
+            Event(Action),
+            ReleaseThread(Arc<ParkCell>, SimTime),
+            RunFiber(u32, Fiber, Arc<ParkCell>, SimTime),
+            Deadlock(Vec<Arc<ParkCell>>, Vec<Fiber>),
+            Return,
+        }
         loop {
-            let work: Action = {
+            let work: Work = {
                 let mut core = self.core.lock();
                 loop {
                     if core.stopped {
-                        return;
+                        break Work::Return;
                     }
-                    if core.runnable > 0 {
+                    if core.current.is_some() {
+                        // A thread-actor is running; wait for it to park or
+                        // finish. (Fiber-actors never leave `current` set
+                        // across a scheduler iteration.)
                         self.cv.wait(&mut core);
                         continue;
                     }
                     if core.live == 0 {
                         core.stopped = true;
-                        return;
+                        break Work::Return;
                     }
-                    if core.queue.is_empty() {
-                        // Deadlock: release everyone with a diagnostic.
-                        core.deadlocked = true;
-                        core.deadlock_actors = core.actors.keys().copied().collect();
-                        core.stopped = true;
-                        let cells: Vec<Arc<ParkCell>> = core.actors.values().cloned().collect();
-                        drop(core);
-                        for cell in cells {
-                            let mut st = cell.state.lock();
-                            st.deadlock = true;
-                            cell.cv.notify_all();
+                    let next_actor = core.ready.first().copied();
+                    let next_event = core.queue.keys().next().copied();
+                    match (next_actor, next_event) {
+                        (None, None) => {
+                            // Deadlock: release everyone with a diagnostic.
+                            core.deadlocked = true;
+                            core.deadlock_actors = core.actors.keys().copied().collect();
+                            core.stopped = true;
+                            let mut cells = Vec::new();
+                            let mut fibers = Vec::new();
+                            for slot in core.actors.values_mut() {
+                                cells.push(slot.cell().clone());
+                                if let ActorSlot::Fiber(f, _) = slot {
+                                    if let Some(f) = f.take() {
+                                        fibers.push(f);
+                                    }
+                                }
+                            }
+                            break Work::Deadlock(cells, fibers);
                         }
-                        return;
-                    }
-                    let (key, slot) = core.queue.pop_first().expect("queue non-empty");
-                    debug_assert!(key.time >= core.now, "event in the past: {key:?}");
-                    core.now = key.time;
-                    match slot {
-                        Slot::Call(a) => break a,
-                        Slot::FlowDone(id) => {
-                            let now = core.now;
-                            core.settle_flows(now);
-                            let mut meta = core.flow_meta.remove(&id).expect("flow meta missing");
-                            core.flows.remove(id);
-                            core.reschedule_flows();
-                            let actual = now.saturating_since(meta.started).as_secs_f64();
-                            let delay = (actual - meta.ideal_secs).max(0.0);
-                            core.completed_flows += 1;
-                            core.total_queue_delay_secs += delay;
-                            core.max_queue_delay_secs = core.max_queue_delay_secs.max(delay);
-                            let cb = meta.on_complete.take().expect("flow callback missing");
-                            break cb;
+                        (Some((ta, id)), ev) if ev.is_none_or(|k| ta <= k.time) => {
+                            // Release the earliest ready actor; actors win
+                            // ties against same-time events.
+                            core.ready.remove(&(ta, id));
+                            core.ready_time.remove(&id);
+                            if ta > core.now {
+                                core.now = ta;
+                            }
+                            core.current = Some(id);
+                            match core.actors.get_mut(&id).expect("ready actor missing") {
+                                ActorSlot::Thread(cell) => {
+                                    break Work::ReleaseThread(cell.clone(), ta);
+                                }
+                                ActorSlot::Fiber(fiber, cell) => {
+                                    let fiber = fiber.take().expect("fiber already running");
+                                    break Work::RunFiber(id, fiber, cell.clone(), ta);
+                                }
+                            }
+                        }
+                        // The guard above always passes when there is no
+                        // event, so this arm only ever sees `Some` events.
+                        (_, _) => {
+                            let (key, slot) = core.queue.pop_first().expect("queue non-empty");
+                            debug_assert!(key.time >= core.now, "event in the past: {key:?}");
+                            core.now = key.time;
+                            match slot {
+                                Slot::Call(a) => break Work::Event(a),
+                                Slot::FlowDone(id) => {
+                                    let now = core.now;
+                                    core.settle_flows(now);
+                                    let mut meta =
+                                        core.flow_meta.remove(&id).expect("flow meta missing");
+                                    core.flows.remove(id);
+                                    core.apply_rate_changes(None);
+                                    let actual = now.saturating_since(meta.started).as_secs_f64();
+                                    let delay = (actual - meta.ideal_secs).max(0.0);
+                                    core.completed_flows += 1;
+                                    core.total_queue_delay_secs += delay;
+                                    core.max_queue_delay_secs =
+                                        core.max_queue_delay_secs.max(delay);
+                                    let cb =
+                                        meta.on_complete.take().expect("flow callback missing");
+                                    break Work::Event(cb);
+                                }
+                            }
                         }
                     }
                 }
             };
-            work(self);
+            match work {
+                Work::Return => return,
+                Work::Event(a) => a(self),
+                Work::ReleaseThread(cell, t) => {
+                    // Hand the turn to the thread; the next scheduler
+                    // iteration waits until it parks or finishes.
+                    cell.deposit(t);
+                }
+                Work::RunFiber(id, mut fiber, cell, t) => {
+                    cell.deposit(t);
+                    fiber.resume();
+                    // The fiber parked (put it back) or finished (its
+                    // `actor_finished` removed the map entry; drop it).
+                    let mut core = self.core.lock();
+                    if let Some(ActorSlot::Fiber(slot, _)) = core.actors.get_mut(&id) {
+                        debug_assert!(slot.is_none());
+                        *slot = Some(fiber);
+                    } else {
+                        debug_assert!(fiber.done());
+                    }
+                }
+                Work::Deadlock(cells, fibers) => {
+                    for cell in cells {
+                        let mut st = cell.state.lock();
+                        st.deadlock = true;
+                        drop(st);
+                        cell.cv.notify_all();
+                    }
+                    // Resume each suspended fiber once: its `park` sees the
+                    // deadlock flag and panics, unwinding the fiber stack
+                    // through the actor's own panic handling.
+                    for mut fiber in fibers {
+                        if !fiber.done() {
+                            fiber.resume();
+                        }
+                    }
+                    return;
+                }
+            }
         }
     }
 
     /// Number of flows currently in the network (diagnostics).
     pub fn active_flows(&self) -> usize {
         self.core.lock().flows.num_flows()
+    }
+
+    /// Drop any fibers still registered (defensive cleanup after an
+    /// abnormal run). Fibers are cancelled outside the core lock so their
+    /// unwinding destructors may call back into the engine.
+    pub fn drain_fibers(&self) {
+        let mut held = Vec::new();
+        {
+            let mut core = self.core.lock();
+            for slot in core.actors.values_mut() {
+                if let ActorSlot::Fiber(f, _) = slot {
+                    if let Some(f) = f.take() {
+                        held.push(f);
+                    }
+                }
+            }
+        }
+        drop(held);
     }
 }
 
@@ -579,14 +831,18 @@ impl Core {
         self.flows_settled_at = now;
     }
 
-    /// Recompute completion events after any change to the flow set.
+    /// Re-key the completion events of flows whose rates changed in the
+    /// last add/remove. `skip` is a just-added flow whose event was created
+    /// directly by the caller.
     // Every active flow has a meta entry and a queued completion event by
     // construction; a miss is engine-state corruption.
     #[allow(clippy::expect_used)]
-    fn reschedule_flows(&mut self) {
+    fn apply_rate_changes(&mut self, skip: Option<FlowId>) {
         let now = self.flows_settled_at;
-        let ids: Vec<FlowId> = self.flows.flow_ids().collect();
-        for id in ids {
+        for id in self.flows.take_rate_changes() {
+            if Some(id) == skip {
+                continue;
+            }
             let eta = self.flows.eta_secs(id);
             assert!(
                 eta.is_finite(),
@@ -614,15 +870,17 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::thread;
 
-    /// Drive a single-actor simulation: the actor body gets (engine, cell).
+    /// Drive a single-actor simulation: the actor body gets (engine, its
+    /// registered cell) after the scheduler releases it.
     fn run_one_actor<F>(engine: Arc<Engine>, body: F)
     where
-        F: FnOnce(&Engine, &ParkCell) + Send + 'static,
+        F: FnOnce(&Engine, &Arc<ParkCell>) + Send + 'static,
     {
         let cell = Arc::new(ParkCell::new());
         engine.register_actor(0, cell.clone());
         let eng2 = engine.clone();
         let t = thread::spawn(move || {
+            eng2.await_release(&cell);
             body(&eng2, &cell);
             eng2.actor_finished(0);
         });
@@ -635,9 +893,8 @@ mod tests {
         let engine = Arc::new(Engine::new());
         let woke_at = Arc::new(AtomicU64::new(0));
         let woke_at2 = woke_at.clone();
-        run_one_actor(engine, move |eng, _| {
+        run_one_actor(engine, move |eng, cell| {
             // Schedule a wake at t = 5us, then park.
-            let cell = Arc::new(ParkCell::new());
             let cell_for_event = cell.clone();
             eng.schedule(
                 EventKey {
@@ -650,7 +907,7 @@ mod tests {
                     e.wake(&cell_for_event, SimTime(5_000));
                 }),
             );
-            let t = eng.park(&cell);
+            let t = eng.park(cell);
             woke_at2.store(t.as_nanos(), Ordering::SeqCst);
         });
         assert_eq!(woke_at.load(Ordering::SeqCst), 5_000);
@@ -661,8 +918,7 @@ mod tests {
         let engine = Arc::new(Engine::new());
         let order = Arc::new(Mutex::new(Vec::<u32>::new()));
         let order2 = order.clone();
-        run_one_actor(engine, move |eng, _| {
-            let cell = Arc::new(ParkCell::new());
+        run_one_actor(engine, move |eng, cell| {
             for (i, t) in [(0u32, 9_000u64), (1, 3_000), (2, 3_000)] {
                 let order3 = order2.clone();
                 let cell2 = cell.clone();
@@ -682,7 +938,7 @@ mod tests {
                     }),
                 );
             }
-            eng.park(&cell);
+            eng.park(cell);
         });
         // Same-time events (1, 2) fire in seq order, then the later one (0).
         assert_eq!(*order.lock(), vec![1, 2, 0]);
@@ -694,8 +950,7 @@ mod tests {
         let nic = engine.add_resource(1e9); // 1 GB/s
         let done_at = Arc::new(AtomicU64::new(0));
         let done_at2 = done_at.clone();
-        run_one_actor(engine, move |eng, _| {
-            let cell = Arc::new(ParkCell::new());
+        run_one_actor(engine, move |eng, cell| {
             let cell2 = cell.clone();
             // Kick off the flow from an event so it starts at t=0 exactly.
             eng.schedule(
@@ -717,7 +972,7 @@ mod tests {
                     );
                 }),
             );
-            let t = eng.park(&cell);
+            let t = eng.park(cell);
             done_at2.store(t.as_nanos(), Ordering::SeqCst);
         });
         let t = done_at.load(Ordering::SeqCst);
@@ -732,8 +987,7 @@ mod tests {
         let nic = engine.add_resource(1e9);
         let done = Arc::new(Mutex::new(Vec::<u64>::new()));
         let done2 = done.clone();
-        run_one_actor(engine, move |eng, _| {
-            let cell = Arc::new(ParkCell::new());
+        run_one_actor(engine, move |eng, cell| {
             let cell2 = cell.clone();
             let done3 = done2.clone();
             eng.schedule(
@@ -763,7 +1017,7 @@ mod tests {
                     }
                 }),
             );
-            eng.park(&cell);
+            eng.park(cell);
         });
         let times = done.lock().clone();
         assert_eq!(times.len(), 2);
@@ -779,6 +1033,7 @@ mod tests {
         engine.register_actor(0, cell.clone());
         let eng2 = engine.clone();
         let t = thread::spawn(move || {
+            eng2.await_release(&cell);
             // Park with nothing scheduled: guaranteed deadlock.
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 eng2.park(&cell);
@@ -789,16 +1044,16 @@ mod tests {
         engine.run_loop();
         t.join().unwrap();
         assert!(engine.deadlocked());
+        assert_eq!(engine.deadlocked_actors(), vec![0]);
     }
 
     #[test]
     fn wake_before_park_is_not_lost() {
         let engine = Arc::new(Engine::new());
-        run_one_actor(engine, move |eng, _| {
-            let cell = Arc::new(ParkCell::new());
-            // Wake first (e.g. a request completed before the waiter looked).
-            eng.wake(&cell, SimTime(42));
-            let t = eng.park(&cell);
+        run_one_actor(engine, move |eng, cell| {
+            // Self-wake (e.g. a request completed before the waiter looked).
+            eng.wake(cell, SimTime(42));
+            let t = eng.park(cell);
             assert_eq!(t.as_nanos(), 42);
         });
     }
@@ -806,12 +1061,221 @@ mod tests {
     #[test]
     fn merged_wakes_keep_latest_time() {
         let engine = Arc::new(Engine::new());
-        run_one_actor(engine, move |eng, _| {
-            let cell = Arc::new(ParkCell::new());
-            eng.wake(&cell, SimTime(10));
-            eng.wake(&cell, SimTime(30));
-            eng.wake(&cell, SimTime(20));
-            assert_eq!(eng.park(&cell).as_nanos(), 30);
+        run_one_actor(engine, move |eng, cell| {
+            eng.wake(cell, SimTime(10));
+            eng.wake(cell, SimTime(30));
+            eng.wake(cell, SimTime(20));
+            assert_eq!(eng.park(cell).as_nanos(), 30);
         });
+    }
+
+    /// Run `n` fiber actors under the scheduler; each body gets its index,
+    /// the engine, and its registered cell.
+    fn run_fiber_actors<F>(engine: &Arc<Engine>, n: usize, body: F)
+    where
+        F: Fn(usize, Arc<Engine>, Arc<ParkCell>) + Send + Sync + 'static,
+    {
+        let body = Arc::new(body);
+        for i in 0..n {
+            let cell = Arc::new(ParkCell::new());
+            let eng2 = engine.clone();
+            let cell2 = cell.clone();
+            let body2 = body.clone();
+            let fiber = Fiber::new(
+                128 * 1024,
+                Box::new(move || {
+                    eng2.await_release(&cell2);
+                    body2(i, eng2.clone(), cell2.clone());
+                    eng2.actor_finished(i as u32);
+                }),
+            );
+            engine.register_fiber_at(i as u32, fiber, cell, SimTime::ZERO);
+        }
+        engine.run_loop();
+    }
+
+    #[test]
+    fn fiber_actors_sleep_and_wake_in_time_order() {
+        let engine = Arc::new(Engine::new());
+        let order = Arc::new(Mutex::new(Vec::<(u64, usize)>::new()));
+        let order2 = order.clone();
+        run_fiber_actors(&engine, 8, move |i, eng, cell| {
+            let seq = AtomicU64::new(0);
+            // Staggered virtual sleeps; lower i sleeps longer.
+            let mut t = 0u64;
+            for round in 0..5u64 {
+                let at = t + 1_000 * (8 - i as u64) + round;
+                let cell2 = cell.clone();
+                eng.schedule(
+                    EventKey {
+                        time: SimTime(at),
+                        class: 1,
+                        origin: i as u32,
+                        seq: seq.fetch_add(1, Ordering::Relaxed),
+                    },
+                    Box::new(move |e| e.wake(&cell2, SimTime(at))),
+                );
+                t = eng.park(&cell).as_nanos();
+                assert_eq!(t, at);
+            }
+            order2.lock().push((t, i));
+        });
+        let got = order.lock().clone();
+        assert_eq!(got.len(), 8);
+        // Completion order must be sorted by (final wake time, id).
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn fiber_deadlock_unwinds_all_fibers() {
+        let engine = Arc::new(Engine::new());
+        let unwound = Arc::new(AtomicU64::new(0));
+        let u2 = unwound.clone();
+        run_fiber_actors(&engine, 4, move |i, eng, cell| {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // Everyone parks with nothing scheduled after actor 0's
+                // startup event: guaranteed deadlock.
+                eng.park(&cell);
+            }));
+            if let Err(p) = result {
+                let msg = p.downcast_ref::<String>().cloned().unwrap_or_default();
+                assert!(msg.contains("simulation deadlock"), "actor {i}: {msg}");
+                u2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(engine.deadlocked());
+        assert_eq!(unwound.load(Ordering::SeqCst), 4);
+        assert_eq!(engine.deadlocked_actors().len(), 4);
+    }
+
+    #[test]
+    fn mixed_thread_and_fiber_actors_interleave_by_time_and_id() {
+        // One thread actor (id 0) and two fiber actors (ids 1, 2), all
+        // sleeping to the same instants: release order must be id order.
+        let engine = Arc::new(Engine::new());
+        let order = Arc::new(Mutex::new(Vec::<u32>::new()));
+
+        let tcell = Arc::new(ParkCell::new());
+        engine.register_actor(0, tcell.clone());
+        let eng_t = engine.clone();
+        let order_t = order.clone();
+        let th = thread::spawn(move || {
+            eng_t.await_release(&tcell);
+            let seq = AtomicU64::new(0);
+            for round in 0..3u64 {
+                let at = (round + 1) * 1_000;
+                let c2 = tcell.clone();
+                eng_t.schedule(
+                    EventKey {
+                        time: SimTime(at),
+                        class: 1,
+                        origin: 0,
+                        seq: seq.fetch_add(1, Ordering::Relaxed),
+                    },
+                    Box::new(move |e| e.wake(&c2, SimTime(at))),
+                );
+                eng_t.park(&tcell);
+                order_t.lock().push(0);
+            }
+            eng_t.actor_finished(0);
+        });
+
+        for i in 1u32..3 {
+            let cell = Arc::new(ParkCell::new());
+            let eng2 = engine.clone();
+            let cell2 = cell.clone();
+            let order2 = order.clone();
+            let fiber = Fiber::new(
+                128 * 1024,
+                Box::new(move || {
+                    eng2.await_release(&cell2);
+                    let seq = AtomicU64::new(0);
+                    for round in 0..3u64 {
+                        let at = (round + 1) * 1_000;
+                        let c2 = cell2.clone();
+                        eng2.schedule(
+                            EventKey {
+                                time: SimTime(at),
+                                class: 1,
+                                origin: i,
+                                seq: seq.fetch_add(1, Ordering::Relaxed),
+                            },
+                            Box::new(move |e| e.wake(&c2, SimTime(at))),
+                        );
+                        eng2.park(&cell2);
+                        order2.lock().push(i);
+                    }
+                    eng2.actor_finished(i);
+                }),
+            );
+            engine.register_fiber_at(i, fiber, cell, SimTime::ZERO);
+        }
+
+        engine.run_loop();
+        th.join().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn same_time_wakes_release_in_id_order_across_runs() {
+        // The fig6 fix: same-virtual-time releases must be ordered by actor
+        // id, identically on every run.
+        let go = || {
+            let engine = Arc::new(Engine::new());
+            let order = Arc::new(Mutex::new(Vec::<usize>::new()));
+            let order2 = order.clone();
+            run_fiber_actors(&engine, 16, move |i, eng, cell| {
+                let cell2 = cell.clone();
+                eng.schedule(
+                    EventKey {
+                        time: SimTime(500),
+                        class: 1,
+                        origin: i as u32,
+                        seq: 0,
+                    },
+                    Box::new(move |e| e.wake(&cell2, SimTime(500))),
+                );
+                eng.park(&cell);
+                order2.lock().push(i);
+            });
+            Arc::try_unwrap(order).unwrap().into_inner()
+        };
+        let a = go();
+        assert_eq!(a, (0..16).collect::<Vec<_>>());
+        assert_eq!(a, go());
+    }
+
+    #[test]
+    fn fiber_rank_panic_is_catchable_inside_fiber() {
+        // A rank body panic caught inside the fiber (as simmpi does) lets
+        // the rest of the simulation proceed.
+        let engine = Arc::new(Engine::new());
+        let survived = Arc::new(AtomicU64::new(0));
+        let s2 = survived.clone();
+        run_fiber_actors(&engine, 2, move |i, eng, cell| {
+            if i == 0 {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    panic!("rank 0 exploded");
+                }));
+                assert!(r.is_err());
+            } else {
+                let cell2 = cell.clone();
+                eng.schedule(
+                    EventKey {
+                        time: SimTime(100),
+                        class: 1,
+                        origin: i as u32,
+                        seq: 0,
+                    },
+                    Box::new(move |e| e.wake(&cell2, SimTime(100))),
+                );
+                eng.park(&cell);
+                s2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(survived.load(Ordering::SeqCst), 1);
+        assert!(!engine.deadlocked());
     }
 }

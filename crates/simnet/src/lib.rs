@@ -13,12 +13,17 @@
 //!   that a *single* stream cannot saturate a NIC (the paper's Fig. 3 and the
 //!   root motivation for overlapping communications) is modeled by the
 //!   message-size-dependent stream cap in [`profile::MachineProfile`].
-//! * [`engine`] — a conservative discrete-event engine in which each actor
-//!   (MPI rank) is an OS thread that parks inside blocking calls; virtual
-//!   time advances only when every actor is parked, making runs
+//! * [`engine`] — a serialized discrete-event engine: actors (MPI ranks) are
+//!   stackful coroutines ([`fiber`]) or, for differential testing, OS
+//!   threads; exactly one context runs at a time and parked actors are
+//!   released in deterministic `(virtual time, actor id)` order, making runs
 //!   bit-deterministic regardless of OS thread scheduling.
+//! * [`fiber`] — minimal stackful coroutines (one context switch is a few ns
+//!   and a fiber costs one heap stack, so tens of thousands of ranks fit in
+//!   one process).
 //! * [`profile`]/[`topology`] — calibration constants (Stampede2 Skylake
-//!   preset fitted to the paper's measured anchors) and rank→node maps.
+//!   preset fitted to the paper's measured anchors), fat-tree and dragonfly
+//!   fabrics with per-link contention, and rank→node maps.
 //!
 //! Higher layers: `ovcomm-simmpi` implements MPI semantics on these
 //! primitives; `ovcomm-kernels` implements the paper's algorithms on that.
@@ -27,6 +32,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod engine;
+pub mod fiber;
 pub mod flow;
 pub mod profile;
 pub mod time;
@@ -37,8 +43,9 @@ pub use engine::{
     Action, Engine, EventKey, NetStats, ParkCell, ResourceEntry, WakeKind, CLASS_FLOW,
     ENGINE_ORIGIN,
 };
+pub use fiber::{fiber_yield, in_fiber, Fiber, ForcedUnwind, DEFAULT_STACK_SIZE};
 pub use flow::{FlowId, FlowNet, FlowSpec, ResourceId, ResourceKind, ResourceStats};
 pub use profile::MachineProfile;
 pub use time::{SimDur, SimTime};
-pub use topology::{ClusterResources, ClusterSpec, NodeMap};
+pub use topology::{ClusterResources, ClusterSpec, Fabric, GroupPlacement, NodeMap};
 pub use trace::{EdgeKind, SpanKind, Trace, TraceEdge, TraceSpan};

@@ -28,6 +28,7 @@ where
         let body2 = body.clone();
         let results2 = results.clone();
         handles.push(thread::spawn(move || {
+            engine2.await_release(&cell);
             let out = body2(i, &engine2, &cell);
             results2.lock()[i] = out;
             engine2.actor_finished(i as u32);
@@ -93,6 +94,7 @@ fn flows_and_timers_interleave_correctly() {
     let engine2 = engine.clone();
     let completions2 = completions.clone();
     let t = thread::spawn(move || {
+        engine2.await_release(&cell);
         let seq = AtomicU64::new(0);
         // Start flow A (2 MB) at t=0 via an event.
         let c2 = completions2.clone();
@@ -173,6 +175,7 @@ fn trace_spans_accumulate_across_actors() {
     engine.register_actor(0, cell.clone());
     let engine2 = engine.clone();
     let t = thread::spawn(move || {
+        engine2.await_release(&cell);
         for i in 0..5 {
             engine2.record_span(ovcomm_simnet::TraceSpan {
                 actor: i,
