@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Swatinem/rust-cache-style size guard for the per-job target/ caches:
+# drop per-commit incremental artifacts unconditionally, and drop the
+# whole tree when it exceeds the budget — the next run rebuilds from the
+# still-cached registry instead of uploading an ever-growing cache.
+set -eu
+budget_kb=$((4 * 1024 * 1024)) # 4 GiB
+rm -rf target/*/incremental 2>/dev/null || true
+size_kb=$(du -sk target 2>/dev/null | cut -f1)
+echo "target/ is ${size_kb:-0} KiB (budget ${budget_kb} KiB)"
+if [ "${size_kb:-0}" -gt "${budget_kb}" ]; then
+  echo "over budget: pruning target/ before the cache save"
+  rm -rf target
+fi

@@ -22,8 +22,13 @@
 //! track) for the matvec case to `results/bench_trajectory_<backend>.json`
 //! and asserts the profiling acceptance property: every rt blame tree's
 //! leaves sum to the measured makespan, and the rt runs name at least one
-//! runtime-specific cause (spin / park / rendezvous-stall /
+//! runtime-specific cause (spin-poll / park / rendezvous-stall /
 //! progress-delay).
+//!
+//! `BENCH_ovcomm.json` is shared with the `rt_micro` microbenchmark,
+//! whose records carry `kind: "rt-micro"`; this binary only reads and
+//! gates against trajectory records (no `kind`, or `kind:
+//! "trajectory"`).
 
 // Bench drivers fail loudly by design.
 #![allow(clippy::expect_used, clippy::unwrap_used)]
@@ -148,9 +153,21 @@ struct CaseRecord {
 #[derive(Serialize)]
 struct TrajRecord {
     schema: u32,
+    kind: String,
     label: String,
     smoke: bool,
     cases: Vec<CaseRecord>,
+}
+
+/// `BENCH_ovcomm.json` holds both trajectory and `rt_micro` records; a
+/// trajectory baseline is one with no `kind` (pre-split records) or
+/// `kind: "trajectory"`.
+fn is_trajectory(r: &Value) -> bool {
+    match r.get("kind") {
+        None => true,
+        Some(Value::Str(k)) => k == "trajectory",
+        Some(_) => false,
+    }
 }
 
 /// Run one case on one backend; the matvec case also writes the annotated
@@ -236,7 +253,7 @@ fn assert_profiles(cases: &[CaseRecord]) {
             p.makespan_us
         );
         if c.backend == "rt"
-            && ["spin", "park", "rendezvous-stall", "progress-delay"]
+            && ["spin-poll", "park", "rendezvous-stall", "progress-delay"]
                 .iter()
                 .any(|k| p.causes.contains_key(*k))
         {
@@ -372,6 +389,7 @@ fn main() {
 
     let record = TrajRecord {
         schema: TRAJ_SCHEMA,
+        kind: "trajectory".to_string(),
         label,
         smoke,
         cases,
@@ -379,10 +397,9 @@ fn main() {
     let mut records = load_records(out_path);
 
     if check {
-        let prev = records
-            .iter()
-            .rev()
-            .find(|r| matches!(r.get("smoke"), Some(Value::Bool(b)) if *b == smoke));
+        let prev = records.iter().rev().find(|r| {
+            is_trajectory(r) && matches!(r.get("smoke"), Some(Value::Bool(b)) if *b == smoke)
+        });
         match prev {
             None => println!("\nno committed baseline with smoke={smoke}; gate passes vacuously"),
             Some(prev) => {

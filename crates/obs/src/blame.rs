@@ -13,8 +13,10 @@
 //! | `link-transfer`    | time explained by message transport (waits the   |
 //! |                    | DAG could not redirect further — on the sim this |
 //! |                    | is the modeled flow; plan `recv` step bodies)    |
-//! | `spin` / `park`    | rt only: wait time burning CPU vs. parked on the |
-//! |                    | condvar (split by the `rt.wait_*_ns` sums)       |
+//! | `spin-poll`/`park` | rt only: wait time busy-polling for completion   |
+//! |                    | (yield-poll or pure spin, per the configured     |
+//! |                    | wait strategy) vs. parked on the condvar (split  |
+//! |                    | by the `rt.wait_*_ns` sums)                      |
 //! | `rendezvous-stall` | rt only: first-posted side waiting for its peer  |
 //! | `progress-delay`   | enabling completion with no traced work behind   |
 //! |                    | it (pool scheduling, in-flight delivery)         |
@@ -204,7 +206,7 @@ fn add_cause_leaves(node: &mut BlameNode, seg: &ProfileSegment, w: &WaitWeights)
                 // Remainder, not a third ratio: the three shares must sum
                 // to `d` exactly for the leaf-sum invariant.
                 let c = d - a - b;
-                leaf("spin", a);
+                leaf("spin-poll", a);
                 leaf("park", b);
                 leaf("rendezvous-stall", c);
                 // All three shares rounded to zero (d subnormal): keep it.

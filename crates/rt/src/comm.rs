@@ -880,58 +880,65 @@ impl RtComm {
         // deadlock.
         sh.live.fetch_add(1, Ordering::SeqCst);
         sh.metrics.pool_occupancy.inc();
+        // Route by communicator: each dup'd communicator's collectives
+        // progress on their own shard of the engine.
+        let shard = sh.progress.shard_of(ctx);
         let sh2 = sh.clone();
-        sh.pool.submit(Box::new(move || {
-            struct Finish(Arc<RtShared>);
-            impl Drop for Finish {
-                fn drop(&mut self) {
-                    self.0.metrics.pool_occupancy.dec();
-                    self.0.live.fetch_sub(1, Ordering::SeqCst);
-                    self.0.progress_epoch.fetch_add(1, Ordering::SeqCst);
-                }
-            }
-            let _guard = Finish(sh2.clone());
-            let cctx = RtCollCtx {
-                agent: RtAgent {
-                    id,
-                    rank,
-                    cell: Arc::new(ParkCell::new()),
-                    op_counter: Arc::new(AtomicU64::new(0)),
-                    shared: sh2.clone(),
-                },
-                ctx,
-                ranks,
-                me,
-                seq,
-            };
-            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&cctx)));
-            match out {
-                Ok(v) => {
-                    // Log completion before completing the request, so an
-                    // analysis scanning forward from a matched wait always
-                    // finds the collective's completion snapshot.
-                    if let (Some(vf), Some(rid)) = (sh2.verify.as_ref(), vid) {
-                        vf.record(VEvent::CollDone {
-                            req: rid,
-                            op_agent: id,
-                        });
+        sh.progress.submit(
+            shard,
+            Box::new(move || {
+                struct Finish(Arc<RtShared>, usize);
+                impl Drop for Finish {
+                    fn drop(&mut self) {
+                        self.0.progress.job_finished(self.1);
+                        self.0.metrics.pool_occupancy.dec();
+                        self.0.live.fetch_sub(1, Ordering::SeqCst);
+                        self.0.progress_epoch.fetch_add(1, Ordering::SeqCst);
                     }
-                    let done = sh2.now();
-                    sh2.edge(ovcomm_simnet::EdgeKind::PostWait, id, done, rank, done);
-                    sh2.complete(&req2, v);
                 }
-                Err(e) => {
-                    // Deadlock-abort unwinds land here; record others for
-                    // the runtime to surface.
-                    let msg = e
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| e.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "<op worker panic>".to_string());
-                    sh2.record_op_panic(rank, msg);
+                let _guard = Finish(sh2.clone(), shard);
+                let cctx = RtCollCtx {
+                    agent: RtAgent {
+                        id,
+                        rank,
+                        cell: Arc::new(ParkCell::new()),
+                        op_counter: Arc::new(AtomicU64::new(0)),
+                        shared: sh2.clone(),
+                    },
+                    ctx,
+                    ranks,
+                    me,
+                    seq,
+                };
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&cctx)));
+                match out {
+                    Ok(v) => {
+                        // Log completion before completing the request, so an
+                        // analysis scanning forward from a matched wait always
+                        // finds the collective's completion snapshot.
+                        if let (Some(vf), Some(rid)) = (sh2.verify.as_ref(), vid) {
+                            vf.record(VEvent::CollDone {
+                                req: rid,
+                                op_agent: id,
+                            });
+                        }
+                        let done = sh2.now();
+                        sh2.edge(ovcomm_simnet::EdgeKind::PostWait, id, done, rank, done);
+                        sh2.complete(&req2, v);
+                    }
+                    Err(e) => {
+                        // Deadlock-abort unwinds land here; record others for
+                        // the runtime to surface.
+                        let msg = e
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| e.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "<op worker panic>".to_string());
+                        sh2.record_op_panic(rank, msg);
+                    }
                 }
-            }
-        }));
+            }),
+        );
         req
     }
 }

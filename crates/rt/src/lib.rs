@@ -37,6 +37,8 @@
 
 mod comm;
 pub mod mailbox;
+mod progress;
+pub mod queue;
 mod sampler;
 mod shared;
 pub mod sync;
@@ -49,7 +51,7 @@ use std::time::{Duration, Instant};
 use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
 
 use ovcomm_obs::MetricsSnapshot;
-use ovcomm_simmpi::{actor_name, CollSelector, Pool, SimMetrics};
+use ovcomm_simmpi::{actor_name, CollSelector, SimMetrics};
 use ovcomm_simnet::{MachineProfile, NodeMap, ParkCell, SimTime, Trace};
 use ovcomm_verify::{DeadlockReport, Finding, Severity, Verifier, VerifyMode, VerifyReport};
 
@@ -73,6 +75,22 @@ pub enum ComputeMode {
     /// Really sleep for every modeled duration — wall timelines then
     /// resemble the simulator's virtual ones, at the cost of real seconds.
     Emulate,
+}
+
+/// Which envelope-matching transport the runtime uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MailboxBackend {
+    /// The lock-free fast path (default): per-rank SPSC rings and an MPSC
+    /// injector in front of the sequential matching tables, drained by
+    /// whichever poster holds the drain baton. Waits busy-poll with
+    /// `yield` before parking.
+    #[default]
+    LockFree,
+    /// The historical transport: one global mutex around the matching
+    /// tables, pure-spin-then-park waits. Kept selectable so
+    /// microbenchmarks can measure against the pre-fast-path baseline and
+    /// semantics suites can run against both backends.
+    Locked,
 }
 
 /// Configuration of a runtime run — the analogue of the simulator's
@@ -105,6 +123,18 @@ pub struct RtConfig {
     /// Defaults to 1 ms — coarse enough to stay out of the ranks' way,
     /// fine enough to populate occupancy histograms on millisecond runs.
     pub sample_interval: Option<Duration>,
+    /// Envelope-matching transport (default [`MailboxBackend::LockFree`]).
+    pub mailbox: MailboxBackend,
+    /// Busy-poll budget of a wait before it falls back to condvar parking.
+    /// [`None`] (default) resolves per backend: 20 µs of pure spinning on
+    /// [`MailboxBackend::Locked`] (the historical constant), 50 µs of
+    /// yield-polling on [`MailboxBackend::LockFree`].
+    pub spin_budget: Option<Duration>,
+    /// Progress-engine shards (nonblocking-collective jobs route by
+    /// `ctx % shards`). `0` (default) resolves per backend: 1 on
+    /// [`MailboxBackend::Locked`] (the historical single pool), 8 on
+    /// [`MailboxBackend::LockFree`].
+    pub progress_shards: usize,
 }
 
 impl RtConfig {
@@ -125,7 +155,28 @@ impl RtConfig {
             trace_out: None,
             deadlock_timeout: Duration::from_secs(2),
             sample_interval: Some(Duration::from_millis(1)),
+            mailbox: MailboxBackend::default(),
+            spin_budget: None,
+            progress_shards: 0,
         }
+    }
+
+    /// Select the envelope-matching transport.
+    pub fn with_mailbox_backend(mut self, backend: MailboxBackend) -> RtConfig {
+        self.mailbox = backend;
+        self
+    }
+
+    /// Set the busy-poll budget of waits before they park.
+    pub fn with_spin_budget(mut self, d: Duration) -> RtConfig {
+        self.spin_budget = Some(d);
+        self
+    }
+
+    /// Set the number of progress-engine shards (`0` = per-backend auto).
+    pub fn with_progress_shards(mut self, n: usize) -> RtConfig {
+        self.progress_shards = n;
+        self
     }
 
     /// Set the verification level.
@@ -301,6 +352,18 @@ where
     let nranks = cfg.nodemap.nranks();
     let metrics = SimMetrics::new(nranks);
     let prof = crate::shared::RtProf::new(&metrics, nranks);
+    // Per-backend defaults: the locked baseline keeps its historical 20 µs
+    // pure spin and single pool; the lock-free path yield-polls for 50 µs
+    // and shards the progress engine.
+    let spin_budget = cfg.spin_budget.unwrap_or(match cfg.mailbox {
+        MailboxBackend::Locked => Duration::from_micros(20),
+        MailboxBackend::LockFree => Duration::from_micros(50),
+    });
+    let nshards = match (cfg.progress_shards, cfg.mailbox) {
+        (0, MailboxBackend::Locked) => 1,
+        (0, MailboxBackend::LockFree) => 8,
+        (n, _) => n,
+    };
     let shared = Arc::new(RtShared {
         epoch: Instant::now(),
         profile: cfg.profile.clone(),
@@ -310,7 +373,13 @@ where
             rank_end_times: vec![SimTime::ZERO; nranks],
             ..RtState::default()
         }),
-        pool: Pool::new(),
+        transport: RtShared::make_transport(cfg.mailbox, nranks),
+        progress: crate::progress::ProgressShards::new(nshards),
+        spin_budget_ns: spin_budget.as_nanos() as u64,
+        poll_yield: cfg.mailbox == MailboxBackend::LockFree,
+        inter_bytes: AtomicU64::new(0),
+        intra_bytes: AtomicU64::new(0),
+        messages: AtomicU64::new(0),
         metrics,
         prof,
         compute: cfg.compute,
@@ -438,7 +507,7 @@ where
     if let Some(s) = telemetry {
         s.stop();
     }
-    shared.pool.shutdown();
+    shared.progress.shutdown();
 
     // A real bug often *causes* the deadlock that aborts everyone else;
     // report the root cause, not the induced deadlock panics.
@@ -495,20 +564,17 @@ where
         None => VerifyReport::default(),
     };
 
-    let (inter, intra, messages, end_times) = {
-        let st = shared.state.lock();
-        (
-            st.inter_bytes,
-            st.intra_bytes,
-            st.messages,
-            st.rank_end_times.clone(),
-        )
-    };
+    let end_times = shared.state.lock().rank_end_times.clone();
+    let (inter, intra, messages) = (
+        shared.inter_bytes.load(Ordering::Relaxed),
+        shared.intra_bytes.load(Ordering::Relaxed),
+        shared.messages.load(Ordering::Relaxed),
+    );
     let makespan = end_times.iter().copied().max().unwrap_or(SimTime::ZERO);
     shared
         .metrics
         .pool_spawned
-        .set(shared.pool.spawned() as u64);
+        .set(shared.progress.spawned() as u64);
     let trace = if cfg.trace {
         Some(std::mem::replace(&mut *shared.trace.lock(), Trace::new()))
     } else {

@@ -5,8 +5,11 @@
 //! of the runtime's load indicators into the shared obs registry:
 //!
 //! * `rt.sampler.pool_queue_depth` — jobs currently running on progress
-//!   workers (the [`Pool`](ovcomm_simmpi::Pool) grows on demand, so this
-//!   is busy workers ≈ outstanding nonblocking collectives);
+//!   workers, aggregated across every shard of the progress engine (kept
+//!   under its historical name for dashboard compatibility);
+//! * `rt.sampler.shard{N}.queue_depth` — the same occupancy per progress
+//!   shard, so the N_DUP overlap pattern is visible as parallel load on
+//!   distinct shards rather than one blended number;
 //! * `rt.sampler.mailbox_slots` — unmatched sends parked in the mailbox;
 //! * `rt.sampler.posted_recvs` — unmatched posted receives;
 //! * `rt.sampler.blocked_ranks` — threads parked inside a wait;
@@ -16,10 +19,11 @@
 //! All samples land in *histograms*: wall-clock sampling is inherently
 //! nondeterministic, and histograms-of-samples keep the full occupancy
 //! distribution (median queue depth vs. spikes) rather than one final
-//! value. The sampler holds the state lock only long enough to read two
-//! queue sizes, and touches nothing on the rank threads' hot paths — its
-//! overhead is bounded by the sampling frequency, which the
-//! `rt_sampler_overhead` test pins.
+//! value. On the lock-free transport every gauge reads matcher-maintained
+//! atomics; on the locked baseline the mailbox gauges briefly take the
+//! mailbox mutex. Either way the sampler touches nothing on the rank
+//! threads' hot paths — its overhead is bounded by the sampling
+//! frequency, which the `rt_sampler_overhead` test pins.
 
 use crate::sync::Ordering;
 use std::sync::mpsc;
@@ -41,6 +45,7 @@ pub(crate) struct Sampler {
 pub(crate) fn start(shared: Arc<RtShared>, interval: Duration) -> Option<Sampler> {
     struct Handles {
         pool_queue_depth: Histogram,
+        shard_queue_depth: Vec<Histogram>,
         mailbox_slots: Histogram,
         posted_recvs: Histogram,
         blocked_ranks: Histogram,
@@ -49,6 +54,9 @@ pub(crate) fn start(shared: Arc<RtShared>, interval: Duration) -> Option<Sampler
     let reg = shared.metrics.registry();
     let h = Handles {
         pool_queue_depth: reg.histogram("rt.sampler.pool_queue_depth", &[]),
+        shard_queue_depth: (0..shared.progress.nshards())
+            .map(|i| reg.histogram(&format!("rt.sampler.shard{i}.queue_depth"), &[]))
+            .collect(),
         mailbox_slots: reg.histogram("rt.sampler.mailbox_slots", &[]),
         posted_recvs: reg.histogram("rt.sampler.posted_recvs", &[]),
         blocked_ranks: reg.histogram("rt.sampler.blocked_ranks", &[]),
@@ -62,17 +70,14 @@ pub(crate) fn start(shared: Arc<RtShared>, interval: Duration) -> Option<Sampler
             // (or the sender dropping) ends the loop without a full
             // interval of shutdown latency.
             while let Err(mpsc::RecvTimeoutError::Timeout) = stop_rx.recv_timeout(interval) {
-                let (slots, recvs) = {
-                    let st = shared.state.lock();
-                    (
-                        st.mailbox.unmatched_sends() as u64,
-                        st.mailbox.posted_recvs() as u64,
-                    )
-                };
+                let (slots, recvs) = shared.transport.gauges();
                 h.pool_queue_depth
                     .record(shared.metrics.pool_occupancy.get());
-                h.mailbox_slots.record(slots);
-                h.posted_recvs.record(recvs);
+                for (i, sh) in h.shard_queue_depth.iter().enumerate() {
+                    sh.record(shared.progress.occupancy(i) as u64);
+                }
+                h.mailbox_slots.record(slots as u64);
+                h.posted_recvs.record(recvs as u64);
                 h.blocked_ranks
                     .record(shared.blocked.load(Ordering::Relaxed) as u64);
                 h.samples.inc();

@@ -22,30 +22,30 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::mailbox::{Mailbox, RecvPost, RtKey, SendPost};
+use crate::mailbox::{LockFreeMailbox, Mailbox, MatchPair, PostedOp, RecvPost, RtKey, SendPost};
+use crate::progress::ProgressShards;
 use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Mutex, Ordering};
 
 use ovcomm_obs::Histogram;
 use ovcomm_simmpi::payload::Payload;
 use ovcomm_simmpi::request::{ReqMeta, Request};
 use ovcomm_simmpi::universe::PlanCache;
-use ovcomm_simmpi::{CollSelector, Pool, SimMetrics, SplitResult};
+use ovcomm_simmpi::{CollSelector, SimMetrics, SplitResult};
 use ovcomm_simnet::{
     EdgeKind, MachineProfile, NodeMap, ParkCell, SimTime, SpanKind, Trace, TraceEdge, TraceSpan,
 };
 use ovcomm_verify::{Event, ReqId, Verifier, VerifyMode, INTERNAL_TAG_BIT};
 
-use crate::ComputeMode;
+use crate::{ComputeMode, MailboxBackend};
 
 /// How long a parked thread waits before re-checking the abort flag. Also
 /// bounds how quickly a deadlock abort propagates to blocked threads.
 pub(crate) const PARK_SLICE: Duration = Duration::from_millis(25);
 
-/// How long a wait spins (checking completion without parking) before
-/// falling back to condvar parking. Short enough not to burn CPU under
-/// contention, long enough to catch the common fast completions that make
-/// park/unpark round trips the dominant rt overhead.
-pub(crate) const SPIN_BUDGET: Duration = Duration::from_micros(20);
+/// Per-producer ring depth of the lock-free mailbox router. Deep enough
+/// that a rank bursting nonblocking posts rarely self-drains; overflow is
+/// handled (the poster drains to make room), never dropped.
+pub(crate) const RING_CAPACITY: usize = 256;
 
 /// Pre-registered wall-clock-only profiling handles (`rt.*` metrics),
 /// feeding the same registry as the backend's `simmpi.*` handles. The
@@ -99,28 +99,49 @@ pub(crate) struct RtSplitGather {
     pub result: Option<Arc<SplitResult>>,
 }
 
-/// The mutex-protected mutable state of one runtime instance.
+/// What a posted receive parks in the mailbox: its request plus the post
+/// time, for rendezvous-stall accounting.
+pub(crate) type RecvEntry = (Request<Payload>, SimTime);
+
+/// The envelope-matching transport, selected by
+/// [`MailboxBackend`](crate::MailboxBackend).
+pub(crate) enum Transport {
+    /// Pre-fast-path behaviour: one global mutex around the sequential
+    /// matching tables. Kept selectable so microbenches can measure
+    /// against the historical baseline and semantics suites can re-run
+    /// against both backends.
+    Locked(Mutex<Mailbox<Slot, RecvEntry>>),
+    /// The lock-free router: per-rank SPSC rings + an MPSC injector in
+    /// front of the same sequential tables (see [`crate::mailbox`]).
+    LockFree(LockFreeMailbox<Slot, RecvEntry>),
+}
+
+impl Transport {
+    /// (unmatched sends, posted receives) — the sampler's mailbox gauges.
+    pub fn gauges(&self) -> (usize, usize) {
+        match self {
+            Transport::Locked(mb) => {
+                let mb = mb.lock();
+                (mb.unmatched_sends(), mb.posted_recvs())
+            }
+            Transport::LockFree(lf) => (lf.unmatched_sends(), lf.posted_recvs()),
+        }
+    }
+}
+
+/// The mutex-protected mutable state of one runtime instance. Hot-path
+/// traffic counters and the matching tables used to live here; they moved
+/// to atomics and the lock-free [`Transport`] so only cold control-plane
+/// state (communicator registry, split rendezvous, end times) takes this
+/// lock.
 #[derive(Default)]
 pub(crate) struct RtState {
-    /// Envelope-matching tables: parked sends (with payloads) and posted
-    /// receives (with post times for rendezvous-stall accounting). The
-    /// matching discipline itself lives in [`crate::mailbox`], where the
-    /// loom harness can model-check it.
-    pub mailbox: Mailbox<Slot, (Request<Payload>, SimTime)>,
     /// (parent ctx, per-rank dup/split sequence) → child ctx. All ranks
     /// call dup/split in the same order, so the key is rank-independent.
     pub ctx_registry: HashMap<(u32, u64), u32>,
     pub next_ctx: u32,
     /// In-progress `split` rendezvous, keyed by (parent ctx, split seq).
     pub splits: HashMap<(u32, u64), RtSplitGather>,
-    /// Bytes whose src/dst ranks live on different nodes of the (logical)
-    /// node map. Everything is physically shared memory; the split is kept
-    /// so traffic accounting matches the simulator's.
-    pub inter_bytes: u64,
-    /// Bytes between ranks mapped to the same logical node.
-    pub intra_bytes: u64,
-    /// Total messages sent.
-    pub messages: u64,
     /// Final wall clock of each rank, recorded as rank closures return.
     pub rank_end_times: Vec<SimTime>,
 }
@@ -146,7 +167,24 @@ pub(crate) struct RtShared {
     pub profile: MachineProfile,
     pub nodemap: NodeMap,
     pub state: Mutex<RtState>,
-    pub pool: Pool,
+    /// The envelope-matching transport (locked or lock-free).
+    pub transport: Transport,
+    /// The sharded progress engine for nonblocking-collective jobs.
+    pub progress: ProgressShards,
+    /// Busy-poll budget of a wait before it falls back to parking, ns.
+    pub spin_budget_ns: u64,
+    /// Busy-poll flavour: `true` yields the CPU between completion checks
+    /// (the lock-free default — on hosts with fewer cores than runnable
+    /// threads the peer needs the CPU to make progress), `false` is the
+    /// historical pure `spin_loop`.
+    pub poll_yield: bool,
+    /// Bytes whose src/dst ranks live on different logical nodes (kept so
+    /// traffic accounting matches the simulator's).
+    pub inter_bytes: AtomicU64,
+    /// Bytes between ranks mapped to the same logical node.
+    pub intra_bytes: AtomicU64,
+    /// Total messages sent.
+    pub messages: AtomicU64,
     pub metrics: SimMetrics,
     pub prof: RtProf,
     pub compute: ComputeMode,
@@ -287,7 +325,7 @@ impl RtShared {
         // blame layer uses the two per-rank sums to split rt wait time
         // into named causes.
         let t0 = self.now();
-        let spin_until = t0 + ovcomm_simnet::SimDur(SPIN_BUDGET.as_nanos() as u64);
+        let spin_until = t0 + ovcomm_simnet::SimDur(self.spin_budget_ns);
         let mut park_ns: u64 = 0;
         let out = loop {
             if let Some((v, _at)) = req.try_take() {
@@ -297,10 +335,17 @@ impl RtShared {
                 cell.take_pending_direct();
                 break v;
             }
-            // Burn a short spin budget before the first park: fast
+            // Burn a short busy-poll budget before the first park: fast
             // completions then skip the park/unpark round trip entirely.
+            // Under `poll_yield` each failed check releases the CPU — on a
+            // box with fewer cores than runnable threads, the completion
+            // we are polling for can only happen if the peer gets to run.
             if self.now() < spin_until {
-                std::hint::spin_loop();
+                if self.poll_yield {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
                 continue;
             }
             if req.add_waiter(cell) {
@@ -332,6 +377,12 @@ impl RtShared {
         out
     }
 
+    /// The ring index of the calling thread, if it is a rank thread (rank
+    /// agents' ids equal their world rank; op-actor ids carry bit 31).
+    fn ring_producer(agent: u32, rank: u32) -> Option<usize> {
+        (agent & 0x8000_0000 == 0).then_some(rank as usize)
+    }
+
     /// Post a nonblocking send: match against queued receives or park the
     /// payload in the mailbox. Runs inline on the caller — there is no
     /// modeled post cost; the real cost *is* the code.
@@ -360,47 +411,44 @@ impl RtShared {
             // Buffered: the sender may proceed immediately.
             self.complete(&req, ());
         }
-        let posted_at = self.now();
-        let matched = {
-            let mut st = self.state.lock();
-            st.messages += 1;
-            if self.nodemap.node_of(key.src as usize) == self.nodemap.node_of(key.dst as usize) {
-                st.intra_bytes += n as u64;
-            } else {
-                st.inter_bytes += n as u64;
-            }
-            let slot = Slot {
-                payload,
-                sender_req: req.clone(),
-                eager,
-                posted_at,
-            };
-            match st.mailbox.post_send(key, slot) {
-                SendPost::Matched {
-                    send,
-                    recv: (recv, recv_posted_at),
-                } => Some((recv, send.payload, recv_posted_at)),
-                SendPost::Parked(_) => None,
-            }
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        if self.nodemap.node_of(key.src as usize) == self.nodemap.node_of(key.dst as usize) {
+            self.intra_bytes.fetch_add(n as u64, Ordering::Relaxed);
+        } else {
+            self.inter_bytes.fetch_add(n as u64, Ordering::Relaxed);
+        }
+        let slot = Slot {
+            payload,
+            sender_req: req.clone(),
+            eager,
+            posted_at: self.now(),
         };
-        if let Some((recv, payload, recv_posted_at)) = matched {
-            self.record_match(req.verify_id(), recv.verify_id());
-            let now = self.now();
-            // The receiver posted first: a rendezvous receive stalls from
-            // its post until the sender shows up. Blame the receiving rank.
-            if !eager {
-                let stall = now.saturating_since(recv_posted_at).as_nanos();
-                if let Some(h) = self.prof.rendezvous_stall_ns.get(key.dst as usize) {
-                    h.record(stall);
+        match &self.transport {
+            Transport::Locked(mb) => {
+                let matched = match mb.lock().post_send(key, slot) {
+                    SendPost::Matched { send, recv } => Some(MatchPair { key, send, recv }),
+                    SendPost::Parked(_) => None,
+                };
+                if let Some(m) = matched {
+                    self.deliver_match(m);
                 }
             }
-            self.edge(EdgeKind::SendRecv, key.src, now, key.dst, now);
-            // Rendezvous senders complete at match time (the receiver has
-            // arrived); eager senders completed at post above.
-            if !eager {
-                self.complete(&req, ());
+            Transport::LockFree(lf) => {
+                let mut out = Vec::new();
+                // Safety: `ring_producer` returns `Some(rank)` only for
+                // rank agents, and rank `rank`'s agent only ever runs on
+                // its own OS thread — the single-producer contract.
+                unsafe {
+                    lf.post(
+                        Self::ring_producer(agent, rank),
+                        PostedOp::Send { key, slot },
+                        &mut out,
+                    )
+                };
+                for m in out {
+                    self.deliver_match(m);
+                }
             }
-            self.complete(&recv, payload);
         }
         req
     }
@@ -423,29 +471,73 @@ impl RtShared {
             req: id,
             site: Some(site),
         });
-        let matched = {
-            let mut st = self.state.lock();
-            match st.mailbox.post_recv(key, (req.clone(), self.now())) {
-                RecvPost::Matched { send, .. } => Some(send),
-                RecvPost::Parked => None,
-            }
-        };
-        if let Some(slot) = matched {
-            self.record_match(slot.sender_req.verify_id(), req.verify_id());
-            let now = self.now();
-            // The sender posted first: a rendezvous send stalls from its
-            // post until this receive arrives. Blame the sending rank.
-            if !slot.eager {
-                let stall = now.saturating_since(slot.posted_at).as_nanos();
-                if let Some(h) = self.prof.rendezvous_stall_ns.get(key.src as usize) {
-                    h.record(stall);
+        let entry = (req.clone(), self.now());
+        match &self.transport {
+            Transport::Locked(mb) => {
+                let matched = match mb.lock().post_recv(key, entry) {
+                    RecvPost::Matched { send, recv } => Some(MatchPair { key, send, recv }),
+                    RecvPost::Parked => None,
+                };
+                if let Some(m) = matched {
+                    self.deliver_match(m);
                 }
-                self.complete(&slot.sender_req, ());
             }
-            self.edge(EdgeKind::SendRecv, key.src, slot.posted_at, key.dst, now);
-            self.complete(&req, slot.payload);
+            Transport::LockFree(lf) => {
+                let mut out = Vec::new();
+                // Safety: as in `isend_raw` — the producer index is the
+                // calling rank thread's own ring.
+                unsafe {
+                    lf.post(
+                        Self::ring_producer(agent, rank),
+                        PostedOp::Recv { key, entry },
+                        &mut out,
+                    )
+                };
+                for m in out {
+                    self.deliver_match(m);
+                }
+            }
         }
         req
+    }
+
+    /// Complete one matched send/receive pair: verify-log the match,
+    /// attribute any rendezvous stall to the rank whose partner was late,
+    /// record the happens-before edge, and complete both requests.
+    ///
+    /// Runs on whichever thread discovered the match — the poster itself
+    /// on the locked path, possibly a different poster acting as matcher
+    /// on the lock-free path. Pairs are independent (distinct requests),
+    /// so delivery order across pairs is free.
+    fn deliver_match(&self, m: MatchPair<Slot, RecvEntry>) {
+        let MatchPair {
+            key,
+            send,
+            recv: (recv_req, recv_posted_at),
+        } = m;
+        self.record_match(send.sender_req.verify_id(), recv_req.verify_id());
+        let now = self.now();
+        let send_first = send.posted_at <= recv_posted_at;
+        if !send.eager {
+            // The first-posted side of a rendezvous pair stalls from its
+            // post until the partner shows up; blame that side's rank.
+            let (stall, blamed) = if send_first {
+                (now.saturating_since(send.posted_at).as_nanos(), key.src)
+            } else {
+                (now.saturating_since(recv_posted_at).as_nanos(), key.dst)
+            };
+            if let Some(h) = self.prof.rendezvous_stall_ns.get(blamed as usize) {
+                h.record(stall);
+            }
+        }
+        let edge_from = if send_first { send.posted_at } else { now };
+        self.edge(EdgeKind::SendRecv, key.src, edge_from, key.dst, now);
+        // Rendezvous senders complete at match time (the receiver has
+        // arrived); eager senders completed at post.
+        if !send.eager {
+            self.complete(&send.sender_req, ());
+        }
+        self.complete(&recv_req, send.payload);
     }
 
     /// Record a send/recv pairing (before either completion, mirroring the
@@ -453,6 +545,16 @@ impl RtShared {
     fn record_match(&self, send: Option<ReqId>, recv: Option<ReqId>) {
         if let (Some(v), Some(s), Some(r)) = (self.verify.as_ref(), send, recv) {
             v.record(Event::Match { send: s, recv: r });
+        }
+    }
+
+    /// Build the configured transport.
+    pub fn make_transport(backend: MailboxBackend, nranks: usize) -> Transport {
+        match backend {
+            MailboxBackend::Locked => Transport::Locked(Mutex::new(Mailbox::new())),
+            MailboxBackend::LockFree => {
+                Transport::LockFree(LockFreeMailbox::new(nranks, RING_CAPACITY))
+            }
         }
     }
 }

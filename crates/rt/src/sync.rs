@@ -15,11 +15,11 @@
 //! simulator backend) and it is never on a loom-checked path.
 
 #[cfg(loom)]
-pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+pub use loom::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 #[cfg(loom)]
 pub use loom::sync::{Condvar, Mutex, MutexGuard};
 
 #[cfg(not(loom))]
 pub use parking_lot::{Condvar, Mutex, MutexGuard};
 #[cfg(not(loom))]
-pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};

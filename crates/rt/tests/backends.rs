@@ -1,0 +1,232 @@
+//! Envelope-matching semantics re-run against **both** mailbox
+//! transports. `semantics.rs` exercises whatever `RtConfig` defaults to
+//! (the lock-free router); this suite pins each [`MailboxBackend`]
+//! explicitly so the locked baseline keeps its coverage and a default
+//! flip can never silently drop a transport from CI. The properties are
+//! the protocol-defining ones: eager-vs-rendezvous completion ordering,
+//! per-envelope FIFO non-overtaking, and envelope (context) isolation.
+//!
+//! The file ends with a proptest that hammers the [`SpscRing`] itself
+//! with a concurrent producer/consumer pair where a random subset of
+//! full-ring pushes is *cancelled* (the value dropped, never retried) —
+//! the consumer must see exactly the successfully pushed subsequence, in
+//! order.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use ovcomm_rt::queue::SpscRing;
+use ovcomm_rt::{run, MailboxBackend, RtConfig, RtRankCtx};
+use ovcomm_simmpi::Payload;
+use ovcomm_simnet::MachineProfile;
+
+const BACKENDS: [MailboxBackend; 2] = [MailboxBackend::LockFree, MailboxBackend::Locked];
+
+fn cfg(backend: MailboxBackend, nranks: usize) -> RtConfig {
+    RtConfig::natural(nranks, 1, MachineProfile::test_profile()).with_mailbox_backend(backend)
+}
+
+#[test]
+fn eager_completes_before_the_receiver_on_both_backends() {
+    for backend in BACKENDS {
+        let out = run(cfg(backend, 2), |rc: RtRankCtx| {
+            let w = rc.world();
+            if rc.rank() == 0 {
+                let t0 = Instant::now();
+                let req = w.isend(1, 7, Payload::from_vec(vec![9u8; 1024]));
+                w.wait(&req);
+                t0.elapsed()
+            } else {
+                std::thread::sleep(Duration::from_millis(300));
+                assert_eq!(w.recv(0, 7), Payload::from_vec(vec![9u8; 1024]));
+                Duration::ZERO
+            }
+        })
+        .unwrap();
+        assert!(
+            out.results[0] < Duration::from_millis(150),
+            "{backend:?}: eager send waited for the receiver ({:?})",
+            out.results[0]
+        );
+    }
+}
+
+#[test]
+fn rendezvous_waits_for_the_receiver_on_both_backends() {
+    // 256 KiB is above the test profile's 64 KiB eager limit.
+    let n = 256 * 1024;
+    for backend in BACKENDS {
+        let out = run(cfg(backend, 2), move |rc: RtRankCtx| {
+            let w = rc.world();
+            if rc.rank() == 0 {
+                let t0 = Instant::now();
+                let req = w.isend(1, 7, Payload::from_vec(vec![1u8; n]));
+                w.wait(&req);
+                t0.elapsed()
+            } else {
+                std::thread::sleep(Duration::from_millis(300));
+                assert_eq!(w.recv(0, 7).len(), n);
+                Duration::ZERO
+            }
+        })
+        .unwrap();
+        assert!(
+            out.results[0] >= Duration::from_millis(100),
+            "{backend:?}: rendezvous send completed before its receive ({:?})",
+            out.results[0]
+        );
+    }
+}
+
+#[test]
+fn fifo_never_overtakes_on_both_backends() {
+    for backend in BACKENDS {
+        let out = run(cfg(backend, 2), |rc: RtRankCtx| {
+            let w = rc.world();
+            if rc.rank() == 0 {
+                for v in 0..8 {
+                    w.send(1, 1, Payload::from_f64s(&[v as f64]));
+                }
+                vec![]
+            } else {
+                (0..8).map(|_| w.recv(0, 1).to_f64s()[0]).collect()
+            }
+        })
+        .unwrap();
+        let expect: Vec<f64> = (0..8).map(|v| v as f64).collect();
+        assert_eq!(
+            out.results[1], expect,
+            "{backend:?}: non-overtaking violated"
+        );
+    }
+}
+
+#[test]
+fn envelopes_stay_isolated_on_both_backends() {
+    // Same (src, dst, tag) on world and a dup'd communicator are distinct
+    // envelopes; same communicator with distinct tags likewise.
+    for backend in BACKENDS {
+        let out = run(cfg(backend, 2), |rc: RtRankCtx| {
+            let w = rc.world();
+            let d = w.dup();
+            if rc.rank() == 0 {
+                let r1 = w.isend(1, 3, Payload::from_f64s(&[10.0]));
+                let r2 = d.isend(1, 3, Payload::from_f64s(&[20.0]));
+                let r3 = w.isend(1, 4, Payload::from_f64s(&[30.0]));
+                w.wait(&r1);
+                d.wait(&r2);
+                w.wait(&r3);
+                (0.0, 0.0, 0.0)
+            } else {
+                // Receive in reverse posting order: any cross-match would
+                // deliver the wrong payload to at least one of these.
+                let on_tag4 = w.recv(0, 4).to_f64s()[0];
+                let on_dup = d.recv(0, 3).to_f64s()[0];
+                let on_world = w.recv(0, 3).to_f64s()[0];
+                (on_world, on_dup, on_tag4)
+            }
+        })
+        .unwrap();
+        assert_eq!(
+            out.results[1],
+            (10.0, 20.0, 30.0),
+            "{backend:?}: envelope isolation violated"
+        );
+    }
+}
+
+#[test]
+fn explicit_wait_and_shard_knobs_hold_on_both_backends() {
+    // A zero spin budget forces every wait straight to the parker; an odd
+    // shard count exercises non-default `ctx % shards` routing. The
+    // semantics must be knob-invariant.
+    for backend in BACKENDS {
+        let p = 4;
+        let out = run(
+            cfg(backend, p)
+                .with_spin_budget(Duration::ZERO)
+                .with_progress_shards(3),
+            move |rc: RtRankCtx| {
+                let w = rc.world();
+                let comms = w.dup_n(4);
+                let reqs: Vec<_> = comms
+                    .iter()
+                    .map(|c| c.iallreduce(Payload::from_f64s(&[rc.rank() as f64])))
+                    .collect();
+                reqs.iter().map(|r| w.wait(r).to_f64s()[0]).sum::<f64>()
+            },
+        )
+        .unwrap();
+        let per_comm: f64 = (0..p).map(|r| r as f64).sum();
+        for &v in &out.results {
+            assert_eq!(v, 4.0 * per_comm, "{backend:?}: sharded iallreduce wrong");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Concurrent send/recv/cancel hammer on the SPSC ring: a producer
+    /// thread pushes `n` sequenced values through a small ring, dropping
+    /// (cancelling) a pseudo-random subset of the pushes that hit a full
+    /// ring; the consumer must observe exactly the non-cancelled
+    /// subsequence, in order, with the returned-on-full value intact.
+    #[test]
+    fn spsc_ring_hammer_send_recv_cancel(
+        cap in 1usize..9,
+        n in 1u64..200,
+        cancel_seed in 0u64..u64::MAX,
+    ) {
+        let ring = Arc::new(SpscRing::new(cap));
+        let pring = ring.clone();
+        let producer = std::thread::spawn(move || {
+            let mut pushed = Vec::new();
+            for i in 0..n {
+                let cancel_on_full = (cancel_seed >> (i % 64)) & 1 == 1;
+                // Safety: this thread is the ring's only producer.
+                match unsafe { pring.try_push(i) } {
+                    Ok(()) => pushed.push(i),
+                    Err(back) => {
+                        // Full ring hands the value back intact…
+                        assert_eq!(back, i, "try_push corrupted the value");
+                        if cancel_on_full {
+                            continue; // …and a cancel just drops it.
+                        }
+                        let mut v = back;
+                        loop {
+                            std::thread::yield_now();
+                            // Safety: still the only producer.
+                            match unsafe { pring.try_push(v) } {
+                                Ok(()) => break,
+                                Err(b) => v = b,
+                            }
+                        }
+                        pushed.push(i);
+                    }
+                }
+            }
+            pushed
+        });
+        let mut got = Vec::new();
+        loop {
+            // Safety: this thread is the ring's only consumer.
+            match unsafe { ring.pop() } {
+                Some(v) => got.push(v),
+                None if producer.is_finished() => {
+                    // Safety: still the only consumer.
+                    while let Some(v) = unsafe { ring.pop() } {
+                        got.push(v);
+                    }
+                    break;
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        let pushed = producer.join().unwrap();
+        prop_assert_eq!(got, pushed);
+        prop_assert!(ring.is_empty());
+    }
+}

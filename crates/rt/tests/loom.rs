@@ -23,7 +23,10 @@ use loom::sync::atomic::{AtomicBool, Ordering};
 use loom::sync::{Arc, Condvar, Mutex};
 use loom::thread;
 
-use ovcomm_rt::mailbox::{Mailbox, RecvPost, RtKey, SendPost};
+use ovcomm_rt::mailbox::{
+    LockFreeMailbox, Mailbox, MatchPair, PostedOp, RecvPost, RtKey, SendPost,
+};
+use ovcomm_rt::queue::{MpscQueue, Popped, SpscRing};
 
 const SCHEDULES: u64 = 64;
 
@@ -214,6 +217,238 @@ fn rendezvous_completion_waits_for_the_receiver() {
         sender.join().unwrap();
         assert_eq!(receiver.join().unwrap(), 7);
         assert!(rt.drained());
+    });
+}
+
+/// Concurrent SPSC push/pop through a deliberately tiny ring: FIFO order
+/// must hold and the full-ring `Err` path must hand the value back intact
+/// for the retry (the production ring-full backoff loop).
+#[test]
+fn spsc_ring_concurrent_push_pop_stays_fifo() {
+    loom::model_with(SCHEDULES, 0x59C0, || {
+        let ring = Arc::new(SpscRing::new(2));
+        let pring = ring.clone();
+        let producer = thread::spawn(move || {
+            for v in 0..4u64 {
+                let mut v = v;
+                // Safety: this thread is the ring's only producer.
+                while let Err(back) = unsafe { pring.try_push(v) } {
+                    v = back;
+                    thread::yield_now();
+                }
+            }
+        });
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            // Safety: this thread is the ring's only consumer.
+            match unsafe { ring.pop() } {
+                Some(v) => got.push(v),
+                None => thread::yield_now(),
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3], "SPSC ring reordered or lost");
+        assert!(ring.is_empty());
+    });
+}
+
+/// Two concurrent producers against one consumer: the MPSC injector must
+/// lose nothing and keep each producer's own order, and the consumer's
+/// view of a producer parked mid-push (`Inconsistent`) must resolve once
+/// that producer runs again.
+#[test]
+fn mpsc_queue_concurrent_producers_preserve_per_producer_order() {
+    loom::model_with(SCHEDULES, 0x3A1B, || {
+        let q = Arc::new(MpscQueue::new());
+        let qa = q.clone();
+        let a = thread::spawn(move || {
+            qa.push(10u64);
+            qa.push(11);
+        });
+        let qb = q.clone();
+        let b = thread::spawn(move || {
+            qb.push(20u64);
+            qb.push(21);
+        });
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            // Safety: this thread is the queue's only consumer.
+            match unsafe { q.pop() } {
+                Popped::Item(v) => got.push(v),
+                Popped::Empty | Popped::Inconsistent => thread::yield_now(),
+            }
+        }
+        a.join().unwrap();
+        b.join().unwrap();
+        let pos = |v: u64| got.iter().position(|&x| x == v).unwrap();
+        assert!(pos(10) < pos(11), "producer A reordered: {got:?}");
+        assert!(pos(20) < pos(21), "producer B reordered: {got:?}");
+        // Safety: still the only consumer.
+        assert_eq!(unsafe { q.pop() }, Popped::Empty);
+    });
+}
+
+/// The drain-baton no-strand obligation: two rank threads post the two
+/// halves of one match concurrently; by the time both `post` calls have
+/// returned, the match must have surfaced in someone's out list — no
+/// final sweep allowed. A schedule where a failed baton CAS strands an
+/// enqueued op fails this count.
+#[test]
+fn lockfree_router_never_strands_a_concurrent_post() {
+    loom::model_with(SCHEDULES, 0x10CF, || {
+        let mb: Arc<LockFreeMailbox<u64, u64>> = Arc::new(LockFreeMailbox::new(2, 4));
+        let m0 = mb.clone();
+        let sender = thread::spawn(move || {
+            let mut out = Vec::new();
+            // Safety: this thread plays rank 0 — sole producer of ring 0.
+            unsafe {
+                m0.post(
+                    Some(0),
+                    PostedOp::Send {
+                        key: key(3),
+                        slot: 7u64,
+                    },
+                    &mut out,
+                )
+            };
+            out
+        });
+        let m1 = mb.clone();
+        let receiver = thread::spawn(move || {
+            let mut out = Vec::new();
+            // Safety: this thread plays rank 1 — sole producer of ring 1.
+            unsafe {
+                m1.post(
+                    Some(1),
+                    PostedOp::Recv {
+                        key: key(3),
+                        entry: 40u64,
+                    },
+                    &mut out,
+                )
+            };
+            out
+        });
+        let mut matches = sender.join().unwrap();
+        matches.extend(receiver.join().unwrap());
+        assert_eq!(matches.len(), 1, "match stranded or duplicated");
+        let MatchPair { send, recv, .. } = &matches[0];
+        assert_eq!((*send, *recv), (7, 40));
+        assert_eq!((mb.unmatched_sends(), mb.posted_recvs()), (0, 0));
+    });
+}
+
+/// Same-envelope FIFO through the lock-free router under concurrency:
+/// whatever interleaving drains the rings, the first-posted send must
+/// pair with the first-posted receive (MPI non-overtaking).
+#[test]
+fn lockfree_router_pairs_same_envelope_in_fifo_order() {
+    loom::model_with(SCHEDULES, 0xF1F1, || {
+        let mb: Arc<LockFreeMailbox<u64, u64>> = Arc::new(LockFreeMailbox::new(2, 4));
+        let m0 = mb.clone();
+        let sender = thread::spawn(move || {
+            let mut out = Vec::new();
+            // Safety: this thread plays rank 0 — sole producer of ring 0.
+            unsafe {
+                m0.post(
+                    Some(0),
+                    PostedOp::Send {
+                        key: key(9),
+                        slot: 100u64,
+                    },
+                    &mut out,
+                );
+                m0.post(
+                    Some(0),
+                    PostedOp::Send {
+                        key: key(9),
+                        slot: 200u64,
+                    },
+                    &mut out,
+                );
+            }
+            out
+        });
+        let m1 = mb.clone();
+        let receiver = thread::spawn(move || {
+            let mut out = Vec::new();
+            // Safety: this thread plays rank 1 — sole producer of ring 1.
+            unsafe {
+                m1.post(
+                    Some(1),
+                    PostedOp::Recv {
+                        key: key(9),
+                        entry: 1u64,
+                    },
+                    &mut out,
+                );
+                m1.post(
+                    Some(1),
+                    PostedOp::Recv {
+                        key: key(9),
+                        entry: 2u64,
+                    },
+                    &mut out,
+                );
+            }
+            out
+        });
+        let mut matches = sender.join().unwrap();
+        matches.extend(receiver.join().unwrap());
+        assert_eq!(matches.len(), 2);
+        matches.sort_by_key(|m| m.recv);
+        let pairs: Vec<(u64, u64)> = matches.iter().map(|m| (m.send, m.recv)).collect();
+        assert_eq!(pairs, vec![(100, 1), (200, 2)], "non-overtaking violated");
+        assert_eq!((mb.unmatched_sends(), mb.posted_recvs()), (0, 0));
+    });
+}
+
+/// A rank-thread ring post racing a progress-worker injector post
+/// (`producer: None`): the two queue kinds must merge through the same
+/// baton without losing either half of the match — including schedules
+/// that catch the injector's mid-push `Inconsistent` window.
+#[test]
+fn lockfree_router_merges_ring_and_injector_posts() {
+    loom::model_with(SCHEDULES, 0x1B0C, || {
+        let mb: Arc<LockFreeMailbox<u64, u64>> = Arc::new(LockFreeMailbox::new(2, 4));
+        let m0 = mb.clone();
+        let rank = thread::spawn(move || {
+            let mut out = Vec::new();
+            // Safety: this thread plays rank 0 — sole producer of ring 0.
+            unsafe {
+                m0.post(
+                    Some(0),
+                    PostedOp::Recv {
+                        key: key(6),
+                        entry: 40u64,
+                    },
+                    &mut out,
+                )
+            };
+            out
+        });
+        let mw = mb.clone();
+        let worker = thread::spawn(move || {
+            let mut out = Vec::new();
+            // Progress workers have no ring: `None` routes via the
+            // injector (safe for any thread).
+            unsafe {
+                mw.post(
+                    None,
+                    PostedOp::Send {
+                        key: key(6),
+                        slot: 7u64,
+                    },
+                    &mut out,
+                )
+            };
+            out
+        });
+        let mut matches = rank.join().unwrap();
+        matches.extend(worker.join().unwrap());
+        assert_eq!(matches.len(), 1, "ring/injector match stranded");
+        assert_eq!((matches[0].send, matches[0].recv), (7, 40));
+        assert_eq!((mb.unmatched_sends(), mb.posted_recvs()), (0, 0));
     });
 }
 

@@ -54,6 +54,47 @@ fn sampler_records_load_under_contention() {
     );
 }
 
+/// Per-shard occupancy gauges: the sampler registers one
+/// `rt.sampler.shard{N}.queue_depth` histogram per configured progress
+/// shard, next to the aggregate `pool_queue_depth`.
+#[test]
+fn sampler_records_one_queue_depth_series_per_shard() {
+    let shards = 3;
+    let out = run(
+        RtConfig::natural(2, 1, MachineProfile::test_profile())
+            .with_progress_shards(shards)
+            .with_sample_interval(Duration::from_micros(500)),
+        |rc: RtRankCtx| {
+            let w = rc.world();
+            let comms = w.dup_n(4);
+            let reqs: Vec<_> = comms
+                .iter()
+                .map(|c| c.iallreduce(Payload::from_f64s(&[rc.rank() as f64])))
+                .collect();
+            std::thread::sleep(Duration::from_millis(5));
+            for r in &reqs {
+                let _ = w.wait(r);
+            }
+        },
+    )
+    .expect("sharded sampled run");
+    for i in 0..shards {
+        let key = format!("rt.sampler.shard{i}.queue_depth");
+        let h = out
+            .metrics
+            .histograms
+            .get(&key)
+            .unwrap_or_else(|| panic!("{key} missing from snapshot"));
+        assert!(h.count > 0, "{key} histogram is empty");
+    }
+    assert!(
+        !out.metrics
+            .histograms
+            .contains_key(&format!("rt.sampler.shard{shards}.queue_depth")),
+        "more shard gauges than configured shards"
+    );
+}
+
 /// No sampler configured: the run records no sampler metrics at all.
 #[test]
 fn without_sampler_records_nothing() {

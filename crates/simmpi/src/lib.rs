@@ -66,7 +66,7 @@ pub use ovcomm_verify::plan::CollAlgo;
 pub use ovcomm_verify::{CollKind, DeadlockReport, Finding, Severity, VerifyMode, VerifyReport};
 pub use payload::Payload;
 #[doc(hidden)]
-pub use progress::Pool;
+pub use progress::{Job, Pool};
 pub use request::Request;
 #[doc(hidden)]
 pub use state::SplitResult;

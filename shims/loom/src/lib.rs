@@ -785,6 +785,59 @@ pub mod sync {
                 self.inner.fetch_or(v, order)
             }
         }
+
+        /// Model-aware atomic pointer: each access is a schedule point.
+        /// Needed by the runtime's lock-free MPSC injector, whose intrusive
+        /// links are `AtomicPtr<Node<T>>`.
+        #[derive(Debug)]
+        pub struct AtomicPtr<T> {
+            inner: std::sync::atomic::AtomicPtr<T>,
+        }
+
+        impl<T> AtomicPtr<T> {
+            /// Create a new atomic pointer holding `p`.
+            pub const fn new(p: *mut T) -> AtomicPtr<T> {
+                AtomicPtr {
+                    inner: std::sync::atomic::AtomicPtr::new(p),
+                }
+            }
+
+            /// Atomic load.
+            pub fn load(&self, order: Ordering) -> *mut T {
+                schedule_point();
+                self.inner.load(order)
+            }
+
+            /// Atomic store.
+            pub fn store(&self, p: *mut T, order: Ordering) {
+                schedule_point();
+                self.inner.store(p, order)
+            }
+
+            /// Atomic swap.
+            pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+                schedule_point();
+                self.inner.swap(p, order)
+            }
+
+            /// Atomic compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                cur: *mut T,
+                new: *mut T,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<*mut T, *mut T> {
+                schedule_point();
+                self.inner.compare_exchange(cur, new, ok, err)
+            }
+        }
+
+        impl<T> Default for AtomicPtr<T> {
+            fn default() -> Self {
+                AtomicPtr::new(std::ptr::null_mut())
+            }
+        }
     }
 }
 
