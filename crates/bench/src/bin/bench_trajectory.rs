@@ -44,7 +44,10 @@ use ovcomm_core::{
     RankHandle,
 };
 use ovcomm_densemat::{BlockBuf, BlockGrid, Partition1D};
-use ovcomm_kernels::{symm_square_cube_optimized, Mesh2D, Mesh3D, SymmInput};
+use ovcomm_kernels::{
+    symm_square_cube_cosma, symm_square_cube_optimized, symm_square_cube_summa, Mesh2D, Mesh3D,
+    SummaBundles, SymmInput,
+};
 use ovcomm_obs::ProfileBlock;
 use ovcomm_rt::{RtConfig, RtRankCtx};
 use ovcomm_simmpi::{CollAlgo, CollSelector, Payload, RankCtx, SimConfig, VerifyMode};
@@ -63,6 +66,7 @@ const SUITE: &[(&str, usize)] = &[
     ("reduce_blocking", 4),
     ("reduce_ndup4", 4),
     ("symm3d_opt", 8),
+    ("cosma_vs_summa", 4),
 ];
 
 /// Sim-only cases: scales only the event-driven fiber engine can reach
@@ -82,6 +86,10 @@ fn case_size(case: &str, backend: Backend, smoke: bool) -> usize {
         ("symm3d_opt", Backend::Sim, true) => 128,
         ("symm3d_opt", Backend::Rt, false) => 128,
         ("symm3d_opt", Backend::Rt, true) => 64,
+        ("cosma_vs_summa", Backend::Sim, false) => 512,
+        ("cosma_vs_summa", Backend::Sim, true) => 128,
+        ("cosma_vs_summa", Backend::Rt, false) => 128,
+        ("cosma_vs_summa", Backend::Rt, true) => 64,
         ("allreduce_ed_p4096", Backend::Sim, false) => 1 << 20,
         ("allreduce_ed_p4096", Backend::Sim, true) => 1 << 16,
         (_, Backend::Sim, false) => 8 << 20,
@@ -125,6 +133,22 @@ fn workload<R: RankHandle>(rc: &R, case: &str, size: usize) -> f64 {
         }
         "allreduce_ed_p4096" => {
             let _ = w.allreduce(Payload::Phantom(size));
+        }
+        "cosma_vs_summa" => {
+            // Head-to-head phase: the two-sided SUMMA multiply followed by
+            // the one-sided COSMA multiply on the same 2×2 mesh — the
+            // trajectory tracks the paired cost so a regression in either
+            // paradigm (or in the RMA epoch machinery) moves the number.
+            let mesh = Mesh2D::new(rc, 2);
+            let grid = BlockGrid::new(size, 2);
+            let (r, c) = grid.block_dims(mesh.i, mesh.j);
+            let input = SymmInput {
+                n: size,
+                d_block: Some(BlockBuf::Phantom(r, c)),
+            };
+            let bundles = SummaBundles::new(&mesh, 2);
+            let _ = symm_square_cube_summa(rc, &mesh, &bundles, &input);
+            let _ = symm_square_cube_cosma(rc, &mesh, &input);
         }
         "symm3d_opt" => {
             let mesh = Mesh3D::new(rc, 2);

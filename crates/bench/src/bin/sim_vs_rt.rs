@@ -12,15 +12,15 @@
 #![allow(clippy::expect_used, clippy::unwrap_used)]
 
 use ovcomm_bench::{
-    metrics_block, metrics_block_rt, profile_block, profile_block_rt, write_json, MetricsBlock,
+    merge_json, metrics_block, metrics_block_rt, profile_block, profile_block_rt, MetricsBlock,
     Table,
 };
 use ovcomm_core::{NDupComms, RankHandle};
 use ovcomm_densemat::{BlockBuf, BlockGrid, Matrix, Partition1D};
 use ovcomm_kernels::{
     matvec_blocking, matvec_pipelined, symm_square_cube_25d, symm_square_cube_baseline,
-    symm_square_cube_optimized, symm_square_cube_summa, MatvecInput, Mesh25D, Mesh2D, Mesh3D,
-    SummaBundles, SymmInput, VecBuf,
+    symm_square_cube_cosma, symm_square_cube_optimized, symm_square_cube_summa, MatvecInput,
+    Mesh25D, Mesh2D, Mesh3D, SummaBundles, SymmInput, VecBuf,
 };
 use ovcomm_obs::ProfileBlock;
 use ovcomm_rt::{RtConfig, RtRankCtx};
@@ -97,6 +97,21 @@ fn workload<R: RankHandle>(rc: &R, kernel: &str, n: usize) -> Vec<f64> {
             let result = symm_square_cube_summa(rc, &mesh, &bundles, &input);
             result.d2.unwrap().unwrap_real().clone().into_vec()
         }
+        "cosma" => {
+            let p = 2;
+            let mesh = Mesh2D::new(rc, p);
+            let grid = BlockGrid::new(n, p);
+            let input = SymmInput {
+                n,
+                d_block: Some(BlockBuf::Real(grid.extract(
+                    &test_matrix(n),
+                    mesh.i,
+                    mesh.j,
+                ))),
+            };
+            let result = symm_square_cube_cosma(rc, &mesh, &input);
+            result.d2.unwrap().unwrap_real().clone().into_vec()
+        }
         "symm25d" => {
             let (q, c) = (2, 2);
             let mesh = Mesh25D::new(rc, q, c);
@@ -149,6 +164,7 @@ const KERNELS: &[(&str, usize, usize, usize)] = &[
     ("symm3d-baseline", 8, 2, 64),
     ("symm3d-optimized", 8, 2, 64),
     ("summa", 4, 2, 64),
+    ("cosma", 4, 2, 64),
     ("symm25d", 8, 2, 64),
 ];
 
@@ -257,5 +273,7 @@ fn main() {
     if let Some(bad) = rows.iter().find(|r| r.bit_identical == Some(false)) {
         panic!("cross-backend divergence on {}", bad.kernel);
     }
-    write_json("sim_vs_rt", &rows);
+    // Merge by inputs rather than rewriting wholesale: rt wall-clock noise
+    // stays out of the diff unless a kernel's configuration changed.
+    merge_json("sim_vs_rt", &rows, &["kernel", "nranks", "ppn", "n"]);
 }

@@ -17,6 +17,7 @@
 //! | Table V (2.5D sweep) | `table5_25d` |
 //! | Collective algorithm sweep (CollPlan) | `algo_sweep` |
 //! | Sim-vs-rt validation report | `sim_vs_rt` |
+//! | One-sided COSMA vs two-sided SUMMA | `rma_sweep` |
 //!
 //! Binaries that run kernels accept `--backend {sim,rt}` where noted:
 //! `sim` (default) reports modeled virtual time from the flow simulator,
@@ -53,7 +54,7 @@ pub use micro::{
     CollKind,
 };
 pub use profile::{profile_block, profile_block_rt};
-pub use report::{canonical_json, canonicalize_value, write_json, Table};
+pub use report::{canonical_json, canonicalize_value, merge_json, merge_rows, write_json, Table};
 pub use sweep::{algo_sweep, measure_cell, sweep_samples, SweepRecord, SWEEP_KINDS};
-pub use symm::{symm_run, MeshSpec, SymmStats};
+pub use symm::{cosma_run, symm_run, MeshSpec, SymmStats};
 pub use timeline::{render, Bar};

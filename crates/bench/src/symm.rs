@@ -8,8 +8,9 @@
 use ovcomm_core::NDupComms;
 use ovcomm_densemat::{BlockBuf, BlockGrid};
 use ovcomm_kernels::{
-    symm_square_cube_25d, symm_square_cube_baseline, symm_square_cube_flops,
-    symm_square_cube_optimized, symm_square_cube_original, Mesh25D, Mesh3D, SymmInput,
+    symm_square_cube_25d, symm_square_cube_baseline, symm_square_cube_cosma,
+    symm_square_cube_flops, symm_square_cube_optimized, symm_square_cube_original, Mesh25D, Mesh2D,
+    Mesh3D, SymmInput,
 };
 use ovcomm_purify::KernelChoice;
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
@@ -181,6 +182,61 @@ pub fn symm_run(
     SymmStats {
         n,
         mesh: mesh.label(),
+        ppn,
+        nodes,
+        time_per_call,
+        tflops: flops / time_per_call / 1e12,
+        inter_bytes_per_call: out.inter_node_bytes / iters as u64,
+        intra_bytes_per_call: out.intra_node_bytes / iters as u64,
+        compute_time,
+        metrics: metrics_block(&out),
+    }
+}
+
+/// Run `iters` back-to-back COSMA-style one-sided SymmSquareCube calls
+/// (barrier-separated) on a `p×p` mesh with phantom paper-scale data and
+/// return averaged statistics — the one-sided counterpart of [`symm_run`]
+/// for the Table V / `rma_sweep` comparisons.
+pub fn cosma_run(
+    profile: &MachineProfile,
+    n: usize,
+    p: usize,
+    ppn: usize,
+    iters: usize,
+) -> SymmStats {
+    assert!(iters >= 1);
+    let nranks = p * p;
+    let cfg = apply_coll_select(SimConfig::natural(nranks, ppn, profile.clone()));
+    let nodes = nranks.div_ceil(ppn);
+    let out = run(cfg, move |rc: RankCtx| {
+        let mesh = Mesh2D::new(&rc, p);
+        let grid = BlockGrid::new(n, p);
+        let (r, c) = grid.block_dims(mesh.i, mesh.j);
+        rc.world().barrier();
+        let t0 = rc.now();
+        for _ in 0..iters {
+            let input = SymmInput {
+                n,
+                d_block: Some(BlockBuf::Phantom(r, c)),
+            };
+            let _ = symm_square_cube_cosma(&rc, &mesh, &input);
+            rc.world().barrier();
+        }
+        (rc.now() - t0).as_secs_f64()
+    })
+    .unwrap_or_else(|e| panic!("cosma_run n={n} {p}x{p} ppn={ppn}: {e}"));
+
+    let total: f64 = out.results.iter().cloned().fold(0.0, f64::max);
+    let time_per_call = total / iters as f64;
+    let flops = symm_square_cube_flops(n);
+    let b = n.div_ceil(p) as f64;
+    let rate = profile.process_flops(ppn, n.div_ceil(p));
+    // Two multiplications, each p block-GEMM steps of 2·b³ flops per rank.
+    let compute_time = 2.0 * p as f64 * 2.0 * b * b * b / rate;
+
+    SymmStats {
+        n,
+        mesh: format!("{p}x{p}"),
         ppn,
         nodes,
         time_per_call,

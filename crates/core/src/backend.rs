@@ -118,6 +118,77 @@ pub trait Communicator: Clone + Send + Sync + Sized + 'static {
     fn iallreduce(&self, contrib: Payload) -> Request<Payload>;
     /// Nonblocking barrier (`MPI_Ibarrier`).
     fn ibarrier(&self) -> Request<()>;
+
+    // -- one-sided (RMA) ----------------------------------------------
+
+    /// This backend's one-sided window type.
+    type Win: Window;
+    /// Collective: every member exposes `local` as its window segment and
+    /// gets back a [`Window`] handle over all segments (like
+    /// `MPI_Win_create`). The window starts outside any epoch — call
+    /// [`Window::fence`] to open the first access epoch, or take a
+    /// passive-target [`Window::lock`].
+    fn win_create(&self, local: Payload) -> Self::Win;
+}
+
+/// A one-sided RMA window, generic over the runtime backend: every member
+/// of the creating communicator exposes a byte segment; any member reads
+/// (`get`), writes (`put`) or sum-accumulates (`accumulate`) any segment
+/// without the target posting anything.
+///
+/// Synchronization is epoch-based and identical on both backends:
+///
+/// * **Active target:** [`Window::fence`] is collective; it closes the
+///   current epoch (all puts/accumulates staged during it are applied to
+///   the target segments, in deterministic `(origin rank, post order)`
+///   order) and opens the next. Gets read the *committed* segment state,
+///   which is stable within an epoch — so results are bit-identical
+///   across backends.
+/// * **Passive target:** [`Window::lock`]`/`[`Window::unlock`] bracket an
+///   epoch against a single target; staged operations apply at unlock,
+///   and the lock serializes origins.
+///
+/// Overlapping conflicting accesses inside one epoch (put/put, put/get,
+/// put/accumulate) are flagged by the verifier (`rma-conflict`);
+/// accumulate/accumulate commutes and is allowed.
+pub trait Window {
+    /// Number of ranks spanning the window (the creating communicator's
+    /// size).
+    fn size(&self) -> usize;
+    /// This rank's index within the window.
+    fn rank(&self) -> usize;
+    /// Byte length of `rank`'s exposed segment.
+    fn segment_len(&self, rank: usize) -> usize;
+    /// One-sided write of `data` into `target`'s segment at byte `offset`.
+    /// Applied when the epoch closes (fence or unlock); the call returns
+    /// immediately and the origin buffer is reusable.
+    fn put(&self, target: usize, offset: usize, data: Payload);
+    /// One-sided read of `len` bytes from `target`'s segment at `offset`.
+    /// The request completes with the data once the transfer lands; it
+    /// reads the committed (epoch-stable) segment state.
+    fn get(&self, target: usize, offset: usize, len: usize) -> Request<Payload>;
+    /// One-sided element-wise `f64` sum of `data` into `target`'s segment
+    /// at byte `offset` (8-aligned). Applied at epoch close in
+    /// deterministic origin order.
+    fn accumulate(&self, target: usize, offset: usize, data: Payload);
+    /// Wait for a [`Window::get`] request and take its payload.
+    fn wait(&self, req: &Request<Payload>) -> Payload;
+    /// Active-target epoch boundary (collective, like `MPI_Win_fence`):
+    /// completes all outstanding transfers, applies staged operations to
+    /// every segment, and opens the next epoch.
+    fn fence(&self);
+    /// Acquire the passive-target lock on `target`'s segment (exclusive;
+    /// blocks until granted).
+    fn lock(&self, target: usize);
+    /// Release the passive-target lock on `target`, applying this origin's
+    /// staged operations to the segment first.
+    fn unlock(&self, target: usize);
+    /// Snapshot of this rank's committed local segment.
+    fn local(&self) -> Payload;
+    /// Collective: tear the window down (like `MPI_Win_free`). Dropping a
+    /// window without calling this is reported by the verifier as a
+    /// `win-leak`.
+    fn free(self);
 }
 
 /// The per-rank execution context, generic over the runtime backend:
@@ -264,6 +335,49 @@ impl Communicator for Comm {
     }
     fn ibarrier(&self) -> Request<()> {
         Comm::ibarrier(self)
+    }
+    type Win = ovcomm_simmpi::SimWin;
+    fn win_create(&self, local: Payload) -> ovcomm_simmpi::SimWin {
+        Comm::win_create(self, local)
+    }
+}
+
+impl Window for ovcomm_simmpi::SimWin {
+    fn size(&self) -> usize {
+        ovcomm_simmpi::SimWin::size(self)
+    }
+    fn rank(&self) -> usize {
+        ovcomm_simmpi::SimWin::rank(self)
+    }
+    fn segment_len(&self, rank: usize) -> usize {
+        ovcomm_simmpi::SimWin::segment_len(self, rank)
+    }
+    fn put(&self, target: usize, offset: usize, data: Payload) {
+        ovcomm_simmpi::SimWin::put(self, target, offset, data)
+    }
+    fn get(&self, target: usize, offset: usize, len: usize) -> Request<Payload> {
+        ovcomm_simmpi::SimWin::get(self, target, offset, len)
+    }
+    fn accumulate(&self, target: usize, offset: usize, data: Payload) {
+        ovcomm_simmpi::SimWin::accumulate(self, target, offset, data)
+    }
+    fn wait(&self, req: &Request<Payload>) -> Payload {
+        ovcomm_simmpi::SimWin::wait(self, req)
+    }
+    fn fence(&self) {
+        ovcomm_simmpi::SimWin::fence(self)
+    }
+    fn lock(&self, target: usize) {
+        ovcomm_simmpi::SimWin::lock(self, target)
+    }
+    fn unlock(&self, target: usize) {
+        ovcomm_simmpi::SimWin::unlock(self, target)
+    }
+    fn local(&self) -> Payload {
+        ovcomm_simmpi::SimWin::local(self)
+    }
+    fn free(self) {
+        ovcomm_simmpi::SimWin::free(self)
     }
 }
 

@@ -35,7 +35,7 @@ pub mod ppn;
 pub mod tuning;
 
 pub use autotune::{AutoTuner, MeasuredCurve};
-pub use backend::{Communicator, RankHandle};
+pub use backend::{Communicator, RankHandle, Window};
 pub use chunk::ChunkPlan;
 pub use collsel::{fit_selector, AlgoSample};
 pub use model::{block_bytes, AlphaBeta};

@@ -9,6 +9,9 @@
 //!   overlap (Algorithm 5);
 //! * [`symm25d`] — SymmSquareCube over 2.5D multiplication with Cannon's
 //!   algorithm (Algorithm 6), with its collectives self-overlapped;
+//! * [`cosma`] — COSMA-style communication-optimal multiply over one-sided
+//!   RMA windows, prefetching the next operand blocks during the current
+//!   local GEMM;
 //! * [`mesh`] — 2-D/3-D/2.5D process meshes with the paper's "natural"
 //!   rank placement.
 //!
@@ -21,6 +24,7 @@
 
 pub mod blockcg;
 pub mod convert;
+pub mod cosma;
 pub mod matvec;
 pub mod mesh;
 pub mod particles;
@@ -29,6 +33,7 @@ pub mod symm25d;
 pub mod symm3d;
 
 pub use blockcg::{block_cg, BlockCgConfig, BlockCgResult, CgComms};
+pub use cosma::{cosma_multiply, symm_square_cube_cosma};
 pub use matvec::{matvec_blocking, matvec_pipelined, MatvecInput, VecBuf};
 pub use mesh::{Mesh2D, Mesh3D, Mesh3DBundles};
 pub use particles::{md_init, md_run, MdConfig, MdState};

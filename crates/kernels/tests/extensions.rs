@@ -3,7 +3,8 @@
 
 use ovcomm_densemat::{gemm, symmetric_with_spectrum, BlockBuf, BlockGrid, Matrix, Partition1D};
 use ovcomm_kernels::{
-    block_cg, symm_square_cube_summa, BlockCgConfig, CgComms, Mesh2D, SummaBundles, SymmInput,
+    block_cg, symm_square_cube_cosma, symm_square_cube_summa, BlockCgConfig, CgComms, Mesh2D,
+    SummaBundles, SymmInput,
 };
 use ovcomm_simmpi::{run, RankCtx, SimConfig};
 use ovcomm_simnet::MachineProfile;
@@ -86,6 +87,99 @@ fn summa_phantom_and_real_timing_agree() {
                     d_block: Some(d_block),
                 };
                 let _ = symm_square_cube_summa(&rc, &mesh, &bundles, &input);
+                rc.now().as_nanos()
+            },
+        )
+        .unwrap()
+    };
+    assert_eq!(go(false).makespan, go(true).makespan);
+}
+
+// ---------------------------------------------------------------------
+// COSMA-style one-sided multiply.
+// ---------------------------------------------------------------------
+
+fn run_cosma(n: usize, p: usize) -> (Matrix, Matrix) {
+    let out = run(
+        SimConfig::natural(p * p, 2, MachineProfile::test_profile()),
+        move |rc: RankCtx| {
+            let mesh = Mesh2D::new(&rc, p);
+            let grid = BlockGrid::new(n, p);
+            let d_block = BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j));
+            let input = SymmInput {
+                n,
+                d_block: Some(d_block),
+            };
+            let result = symm_square_cube_cosma(&rc, &mesh, &input);
+            (
+                mesh.i,
+                mesh.j,
+                result.d2.unwrap().unwrap_real().clone().into_vec(),
+                result.d3.unwrap().unwrap_real().clone().into_vec(),
+            )
+        },
+    )
+    .unwrap_or_else(|e| panic!("cosma n={n} p={p}: {e}"));
+
+    let grid = BlockGrid::new(n, p);
+    let mut d2_blocks = vec![Matrix::zeros(0, 0); p * p];
+    let mut d3_blocks = vec![Matrix::zeros(0, 0); p * p];
+    for (i, j, d2, d3) in out.results {
+        let (r, c) = grid.block_dims(i, j);
+        d2_blocks[i * p + j] = Matrix::from_vec(r, c, d2);
+        d3_blocks[i * p + j] = Matrix::from_vec(r, c, d3);
+    }
+    (grid.assemble(&d2_blocks), grid.assemble(&d3_blocks))
+}
+
+#[test]
+fn cosma_square_cube_correct() {
+    for (n, p) in [(18, 2), (20, 3), (25, 4)] {
+        let d = test_matrix(n);
+        let d2_ref = gemm(&d, &d);
+        let d3_ref = gemm(&d2_ref, &d);
+        let (d2, d3) = run_cosma(n, p);
+        assert!(
+            d2.max_abs_diff(&d2_ref) < 1e-9,
+            "cosma D² wrong (n={n}, p={p})"
+        );
+        assert!(
+            d3.max_abs_diff(&d3_ref) < 1e-8,
+            "cosma D³ wrong (n={n}, p={p})"
+        );
+    }
+}
+
+#[test]
+fn cosma_and_summa_blocks_are_bit_identical() {
+    // Same step order, same GEMM accumulation — only the transport differs
+    // (one-sided gets vs broadcast trees), so the numbers must agree bit
+    // for bit, not just within tolerance.
+    let (c2, c3) = run_cosma(20, 3);
+    let (s2, s3) = run_summa(20, 3, 2);
+    assert_eq!(c2.max_abs_diff(&s2), 0.0, "D² differs from SUMMA");
+    assert_eq!(c3.max_abs_diff(&s3), 0.0, "D³ differs from SUMMA");
+}
+
+#[test]
+fn cosma_phantom_and_real_timing_agree() {
+    let go = |phantom: bool| {
+        run(
+            SimConfig::natural(9, 3, MachineProfile::test_profile()),
+            move |rc: RankCtx| {
+                let mesh = Mesh2D::new(&rc, 3);
+                let grid = BlockGrid::new(21, 3);
+                let d_block = if phantom {
+                    let (r, c) = grid.block_dims(mesh.i, mesh.j);
+                    BlockBuf::Phantom(r, c)
+                } else {
+                    BlockBuf::Real(grid.extract(&test_matrix(21), mesh.i, mesh.j))
+                };
+                let input = SymmInput {
+                    n: 21,
+                    d_block: Some(d_block),
+                };
+                let _ = symm_square_cube_cosma(&rc, &mesh, &input);
                 rc.now().as_nanos()
             },
         )

@@ -65,27 +65,30 @@ pub(crate) struct RtAgent {
 }
 
 impl RtAgent {
-    fn wait<T>(&self, req: &Request<T>) -> T {
+    pub(crate) fn wait<T>(&self, req: &Request<T>) -> T {
         self.shared.wait_req(self.id, self.rank, &self.cell, req)
     }
 }
 
 /// Group/topology info shared by all clones of a communicator handle.
 #[derive(Clone)]
-struct RtCommInfo {
-    ctx: u32,
-    ranks: Arc<Vec<u32>>,
-    me: usize,
+pub(crate) struct RtCommInfo {
+    pub(crate) ctx: u32,
+    pub(crate) ranks: Arc<Vec<u32>>,
+    pub(crate) me: usize,
 }
 
 /// A communicator handle for one rank of the wall-clock runtime.
 #[derive(Clone)]
 pub struct RtComm {
-    info: RtCommInfo,
-    agent: RtAgent,
+    pub(crate) info: RtCommInfo,
+    pub(crate) agent: RtAgent,
     dup_seq: Arc<AtomicU64>,
     split_seq: Arc<AtomicU64>,
     coll_seq: Arc<AtomicU64>,
+    /// Per-rank window-creation counter (all members call `win_create` in
+    /// the same order, so the values agree across ranks).
+    win_seq: Arc<AtomicU64>,
 }
 
 impl RtComm {
@@ -113,6 +116,7 @@ impl RtComm {
             dup_seq: Arc::new(AtomicU64::new(0)),
             split_seq: Arc::new(AtomicU64::new(0)),
             coll_seq: Arc::new(AtomicU64::new(0)),
+            win_seq: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -232,6 +236,47 @@ impl RtComm {
     #[track_caller]
     pub fn dup_n(&self, n: usize) -> Vec<RtComm> {
         (0..n).map(|_| self.dup()).collect()
+    }
+
+    /// Collective window creation (`MPI_Win_create`): every member exposes
+    /// `local` as its segment and gets back a handle over all segments.
+    /// The window starts **outside** any epoch — the first
+    /// [`crate::window::RtWin::fence`] opens the first access epoch, or
+    /// take a passive-target [`crate::window::RtWin::lock`].
+    #[track_caller]
+    pub fn win_create(&self, local: Payload) -> crate::window::RtWin {
+        let site: Site = std::panic::Location::caller();
+        let sh = self.agent.shared.clone();
+        let seq = self.win_seq.fetch_add(1, Ordering::Relaxed);
+        let key = (self.info.ctx, seq);
+        let id = ((self.info.ctx as u64) << 32) | seq;
+        let p = self.size();
+        if let Some(v) = sh.verify.as_ref() {
+            v.record(VEvent::WinDecl {
+                agent: self.agent.id,
+                rank: self.agent.rank,
+                ctx: self.info.ctx,
+                win: id,
+                len: local.len(),
+                site: Some(site),
+            });
+        }
+        crate::window::rma_metric(&sh, self.agent.rank, "win_create", local.len());
+        let core = {
+            let mut st = sh.state.lock();
+            st.windows
+                .entry(key)
+                .or_insert_with(|| Arc::new(crate::window::WinCore::new(p)))
+                .clone()
+        };
+        core.deposit(self.rank(), &local);
+        // Private duplicate for the window's own barriers, so fence
+        // traffic can never match user traffic on the parent comm.
+        let wcomm = self.dup();
+        // Creation is collective: no rank may issue one-sided ops until
+        // every segment is deposited.
+        wcomm.barrier();
+        crate::window::RtWin::new(wcomm, core, key, id)
     }
 
     /// Split by color/key (like `MPI_Comm_split`). Negative colors get
@@ -1175,6 +1220,10 @@ impl Communicator for RtComm {
     }
     fn ibarrier(&self) -> Request<()> {
         RtComm::ibarrier(self)
+    }
+    type Win = crate::window::RtWin;
+    fn win_create(&self, local: Payload) -> crate::window::RtWin {
+        RtComm::win_create(self, local)
     }
 }
 

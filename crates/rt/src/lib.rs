@@ -42,6 +42,7 @@ pub mod queue;
 mod sampler;
 mod shared;
 pub mod sync;
+pub mod window;
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -56,6 +57,7 @@ use ovcomm_simnet::{MachineProfile, NodeMap, ParkCell, SimTime, Trace};
 use ovcomm_verify::{DeadlockReport, Finding, Severity, Verifier, VerifyMode, VerifyReport};
 
 pub use comm::{RtComm, RtRankCtx};
+pub use window::RtWin;
 
 use crate::comm::RtAgent;
 use crate::shared::{RtShared, RtState};

@@ -142,6 +142,10 @@ pub(crate) struct RtState {
     pub next_ctx: u32,
     /// In-progress `split` rendezvous, keyed by (parent ctx, split seq).
     pub splits: HashMap<(u32, u64), RtSplitGather>,
+    /// Live one-sided windows, keyed by (creating ctx, per-comm window
+    /// seq). All members call `win_create` in the same order, so the key
+    /// is rank-independent; the last `free` removes the entry.
+    pub windows: HashMap<(u32, u64), Arc<crate::window::RtWinCore>>,
     /// Final wall clock of each rank, recorded as rank closures return.
     pub rank_end_times: Vec<SimTime>,
 }

@@ -12,9 +12,9 @@ use ovcomm_core::{NDupComms, RankHandle, StagePlan};
 use ovcomm_densemat::{BlockBuf, BlockGrid, Matrix, Partition1D};
 use ovcomm_kernels::{
     block_cg, matvec_blocking, matvec_pipelined, md_init, md_run, symm_square_cube_25d,
-    symm_square_cube_baseline, symm_square_cube_optimized, symm_square_cube_original,
-    symm_square_cube_summa, BlockCgConfig, CgComms, MatvecInput, MdConfig, Mesh25D, Mesh2D, Mesh3D,
-    SummaBundles, SymmInput, VecBuf,
+    symm_square_cube_baseline, symm_square_cube_cosma, symm_square_cube_optimized,
+    symm_square_cube_original, symm_square_cube_summa, BlockCgConfig, CgComms, MatvecInput,
+    MdConfig, Mesh25D, Mesh2D, Mesh3D, SummaBundles, SymmInput, VecBuf,
 };
 use ovcomm_purify::{purify_rank, scf_staged, KernelChoice, PurifyConfig, ScfConfig};
 use ovcomm_rt::{RtConfig, RtRankCtx};
@@ -195,6 +195,42 @@ fn summa_worker<R: RankHandle>(rc: &R, n: usize, p: usize, n_dup: usize) -> (Vec
 fn summa_identical_on_both_backends() {
     let (sim, rt) = run_both(4, 2, dispatch!(|rc| summa_worker(rc, 18, 2, 2)));
     assert_eq!(sim, rt, "SUMMA must be bit-identical");
+}
+
+// ---------------------------------------------------------------------
+// COSMA-style one-sided multiply (RMA windows: win_create, fenced get
+// epochs, prefetch overlap) — the rma-smoke cross-backend gate.
+// ---------------------------------------------------------------------
+
+fn cosma_worker<R: RankHandle>(rc: &R, n: usize, p: usize) -> (Vec<f64>, Vec<f64>) {
+    let mesh = Mesh2D::new(rc, p);
+    let grid = BlockGrid::new(n, p);
+    let d_block = BlockBuf::Real(grid.extract(&test_matrix(n), mesh.i, mesh.j));
+    let input = SymmInput {
+        n,
+        d_block: Some(d_block),
+    };
+    let result = symm_square_cube_cosma(rc, &mesh, &input);
+    (
+        result.d2.unwrap().unwrap_real().clone().into_vec(),
+        result.d3.unwrap().unwrap_real().clone().into_vec(),
+    )
+}
+
+#[test]
+fn cosma_identical_on_both_backends() {
+    let (sim, rt) = run_both(4, 2, dispatch!(|rc| cosma_worker(rc, 18, 2)));
+    assert_eq!(sim, rt, "one-sided COSMA must be bit-identical");
+}
+
+#[test]
+fn cosma_matches_summa_across_backends() {
+    // One-sided and two-sided transports of the same schedule: every
+    // backend × algorithm combination must produce the same bits.
+    let (sim_c, rt_c) = run_both(9, 3, dispatch!(|rc| cosma_worker(rc, 20, 3)));
+    let (sim_s, rt_s) = run_both(9, 3, dispatch!(|rc| summa_worker(rc, 20, 3, 2)));
+    assert_eq!(sim_c, sim_s, "cosma vs SUMMA on sim");
+    assert_eq!(rt_c, rt_s, "cosma vs SUMMA on rt");
 }
 
 // ---------------------------------------------------------------------

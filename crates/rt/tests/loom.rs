@@ -27,6 +27,8 @@ use ovcomm_rt::mailbox::{
     LockFreeMailbox, Mailbox, MatchPair, PostedOp, RecvPost, RtKey, SendPost,
 };
 use ovcomm_rt::queue::{MpscQueue, Popped, SpscRing};
+use ovcomm_rt::window::{StagedOp, WinCore};
+use ovcomm_simmpi::Payload;
 
 const SCHEDULES: u64 = 64;
 
@@ -449,6 +451,159 @@ fn lockfree_router_merges_ring_and_injector_posts() {
         assert_eq!(matches.len(), 1, "ring/injector match stranded");
         assert_eq!((matches[0].send, matches[0].recv), (7, 40));
         assert_eq!((mb.unmatched_sends(), mb.posted_recvs()), (0, 0));
+    });
+}
+
+// ---------------------------------------------------------------------
+// One-sided window core (`ovcomm_rt::window::WinCore`) — the
+// loom-checked half of the RMA path. The harness plays the role of
+// `RtWin`: grants are completion cells (the production type is a
+// `Request<()>` completed through the shared runtime), completed outside
+// the core's mutex exactly as `RtWin::unlock` does.
+// ---------------------------------------------------------------------
+
+/// Passive-target lock/unlock handoff: three origins contend for rank 0's
+/// lock, each staging one accumulate inside its critical section. Under
+/// every schedule the lock is mutually exclusive, no queued grant is ever
+/// lost (a lost handoff deadlocks the schedule and fails the model with
+/// its seed), and the applied ops sum exactly.
+#[test]
+fn window_lock_handoff_is_exclusive_and_never_lost() {
+    loom::model_with(SCHEDULES, 0x10CC, || {
+        let core: Arc<WinCore<Arc<CompletionCell<()>>>> = Arc::new(WinCore::new(3));
+        for r in 0..3 {
+            core.deposit(r, &Payload::from_f64s(&[0.0]));
+        }
+        let in_crit = Arc::new(loom::sync::atomic::AtomicUsize::new(0));
+        let handles: Vec<_> = (1..3u32)
+            .map(|me| {
+                let core = core.clone();
+                let in_crit = in_crit.clone();
+                thread::spawn(move || {
+                    let grant = Arc::new(CompletionCell::new());
+                    if !core.lock_or_queue(0, me, grant.clone()) {
+                        grant.wait();
+                    }
+                    assert_eq!(
+                        in_crit.fetch_add(1, Ordering::SeqCst),
+                        0,
+                        "two origins inside the lock"
+                    );
+                    core.stage(
+                        0,
+                        StagedOp {
+                            origin: me,
+                            seq: 0,
+                            offset: 0,
+                            acc: true,
+                            data: Payload::from_f64s(&[f64::from(me)]),
+                        },
+                    );
+                    in_crit.fetch_sub(1, Ordering::SeqCst);
+                    let (_bytes, next) = core.unlock(0, me);
+                    // The handoff completes outside the core's mutex,
+                    // exactly as `RtWin::unlock` does.
+                    if let Some((_rank, g)) = next {
+                        g.complete(());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(core.holder(0), None, "lock still held after all unlocks");
+        // Each origin's ops were applied at its unlock: 1.0 + 2.0.
+        let v = core.snapshot(0, 0, 8).to_f64s();
+        assert_eq!(v, vec![3.0], "accumulates lost or double-applied");
+    });
+}
+
+/// Concurrent fenced accumulate/put determinism: two origins stage against
+/// rank 0 in racing threads, then the epoch closes (`apply_target`). The
+/// apply order is `(origin, seq)` — so whatever interleaving staged the
+/// ops, the committed bytes must come out identical: accumulates sum, and
+/// the last-origin put wins the overwritten slot.
+#[test]
+fn window_concurrent_ops_apply_deterministically() {
+    loom::model_with(SCHEDULES, 0xACC0, || {
+        let core: Arc<WinCore<Arc<CompletionCell<()>>>> = Arc::new(WinCore::new(3));
+        for r in 0..3 {
+            core.deposit(r, &Payload::from_f64s(&[0.0, 0.0]));
+        }
+        let handles: Vec<_> = (1..3u32)
+            .map(|me| {
+                let core = core.clone();
+                thread::spawn(move || {
+                    // Slot 0: accumulate (commutes). Slot 1: put (must
+                    // resolve by origin order, not schedule order).
+                    core.stage(
+                        0,
+                        StagedOp {
+                            origin: me,
+                            seq: 0,
+                            offset: 0,
+                            acc: true,
+                            data: Payload::from_f64s(&[f64::from(me)]),
+                        },
+                    );
+                    core.stage(
+                        0,
+                        StagedOp {
+                            origin: me,
+                            seq: 1,
+                            offset: 8,
+                            acc: false,
+                            data: Payload::from_f64s(&[10.0 * f64::from(me)]),
+                        },
+                    );
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let bytes = core.apply_target(0);
+        assert_eq!(bytes, 32, "four staged ops of 8 bytes each");
+        let v = core.snapshot(0, 0, 16).to_f64s();
+        // 1.0 + 2.0 accumulated; origin 2's put applies after origin 1's.
+        assert_eq!(v, vec![3.0, 20.0], "apply order depended on the schedule");
+    });
+}
+
+/// Epoch-close atomicity vs gets: a reader snapshots rank 0's segment
+/// while the epoch-close applies a two-slot put. The snapshot must be the
+/// committed state before or after the whole apply — never a torn,
+/// half-applied mix.
+#[test]
+fn window_snapshot_never_observes_a_half_applied_epoch() {
+    loom::model_with(SCHEDULES, 0x5AFE, || {
+        let core: Arc<WinCore<Arc<CompletionCell<()>>>> = Arc::new(WinCore::new(2));
+        for r in 0..2 {
+            core.deposit(r, &Payload::from_f64s(&[0.0, 0.0]));
+        }
+        core.stage(
+            0,
+            StagedOp {
+                origin: 1,
+                seq: 0,
+                offset: 0,
+                acc: false,
+                data: Payload::from_f64s(&[1.0, 1.0]),
+            },
+        );
+        let closer = {
+            let core = core.clone();
+            thread::spawn(move || {
+                core.apply_target(0);
+            })
+        };
+        let v = core.snapshot(0, 0, 16).to_f64s();
+        closer.join().unwrap();
+        assert!(
+            v == vec![0.0, 0.0] || v == vec![1.0, 1.0],
+            "torn snapshot: {v:?}"
+        );
     });
 }
 

@@ -150,6 +150,10 @@ pub struct Comm {
     dup_seq: Arc<AtomicU64>,
     split_seq: Arc<AtomicU64>,
     coll_seq: Arc<AtomicU64>,
+    /// Per-rank window-creation counter (all members call `win_create` in
+    /// the same order, so the values agree across ranks). Consumed by
+    /// `Comm::win_create` in the `rma` module.
+    pub(crate) win_seq: Arc<AtomicU64>,
 }
 
 impl Comm {
@@ -168,6 +172,7 @@ impl Comm {
             dup_seq: Arc::new(AtomicU64::new(0)),
             split_seq: Arc::new(AtomicU64::new(0)),
             coll_seq: Arc::new(AtomicU64::new(0)),
+            win_seq: Arc::new(AtomicU64::new(0)),
         }
     }
 

@@ -43,6 +43,8 @@ mod p2p;
 mod progress;
 mod state;
 
+pub mod rma;
+
 pub mod collsel;
 pub mod comm;
 pub mod payload;
@@ -68,6 +70,7 @@ pub use payload::Payload;
 #[doc(hidden)]
 pub use progress::{Job, Pool};
 pub use request::Request;
+pub use rma::SimWin;
 #[doc(hidden)]
 pub use state::SplitResult;
 pub use universe::{actor_name, run, ExecMode, RankCtx, SimConfig, SimError, SimOutput};

@@ -45,10 +45,10 @@ fn record_match(uni: &UniShared, send: Option<ReqId>, recv: Option<ReqId>) {
 /// Transfer path parameters: resources, per-stream cap, latency, rendezvous
 /// handshake extra.
 pub(crate) struct Path {
-    resources: Vec<ovcomm_simnet::ResourceId>,
-    cap: f64,
-    alpha: SimDur,
-    rdv_extra: SimDur,
+    pub(crate) resources: Vec<ovcomm_simnet::ResourceId>,
+    pub(crate) cap: f64,
+    pub(crate) alpha: SimDur,
+    pub(crate) rdv_extra: SimDur,
 }
 
 pub(crate) fn path_params(uni: &UniShared, src: u32, dst: u32, n: usize) -> Path {

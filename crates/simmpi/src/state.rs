@@ -73,6 +73,10 @@ pub(crate) struct MpiState {
     pub next_ctx: u32,
     /// In-progress `split` rendezvous, keyed by (parent ctx, split seq).
     pub splits: HashMap<(u32, u64), SplitGather>,
+    /// Live one-sided windows, keyed by (creating ctx, per-comm window
+    /// seq). All members call `win_create` in the same order, so the key
+    /// is rank-independent; the last `free` removes the entry.
+    pub windows: HashMap<(u32, u64), Arc<parking_lot::Mutex<crate::rma::WinData>>>,
     /// Inter-node bytes injected into the network.
     pub inter_bytes: u64,
     /// Intra-node (shared-memory) bytes.

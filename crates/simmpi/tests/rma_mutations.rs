@@ -1,0 +1,192 @@
+//! Seeded-mutation suite for the one-sided (RMA) lints: each test plants
+//! one RMA-usage bug into an otherwise-legal window program and asserts
+//! `VerifyMode::Strict` catches it with a diagnostic that names the
+//! offending rank, window, and operation. A clean epoch-disciplined
+//! program is checked first to pin that the lints have no false positives.
+
+use ovcomm_simmpi::{run, Finding, Payload, RankCtx, SimConfig, SimError, SimOutput};
+use ovcomm_simnet::MachineProfile;
+
+fn cfg(nranks: usize, ppn: usize) -> SimConfig {
+    SimConfig::natural(nranks, ppn, MachineProfile::test_profile())
+}
+
+/// The run must fail verification; returns the rendered findings.
+fn expect_findings<T>(result: Result<SimOutput<T>, SimError>) -> String {
+    match result {
+        Err(SimError::Verification { findings }) => render(&findings),
+        Ok(_) => panic!("run passed verification; expected findings"),
+        Err(other) => panic!("expected a verification failure, got: {other}"),
+    }
+}
+
+fn render(findings: &[Finding]) -> String {
+    findings
+        .iter()
+        .map(|f| f.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+// ---------------------------------------------------------------------
+// Baseline: a disciplined window program is clean
+// ---------------------------------------------------------------------
+
+#[test]
+fn disciplined_window_program_is_clean() {
+    let out = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        let win = w.win_create(Payload::from_f64s(&[0.0; 8]));
+        // Active-target epoch: both origins accumulate into rank 0.
+        win.fence();
+        win.accumulate(0, 0, Payload::from_f64s(&[1.0 + rc.rank() as f64]));
+        win.fence();
+        // Passive-target epoch: rank 1 puts into rank 0 under the lock.
+        if rc.rank() == 1 {
+            win.lock(0);
+            win.put(0, 8, Payload::from_f64s(&[7.0]));
+            win.unlock(0);
+        }
+        w.barrier();
+        win.fence();
+        let local = win.local().to_f64s();
+        win.free();
+        local
+    })
+    .expect("disciplined program must verify clean");
+    assert!(out.verify.findings.is_empty(), "{:?}", out.verify.findings);
+    // Both accumulates landed (1 + 2), then the locked put wrote slot 1.
+    assert_eq!(out.results[0][0], 3.0);
+    assert_eq!(out.results[0][1], 7.0);
+}
+
+// ---------------------------------------------------------------------
+// Bug class 1: put outside any epoch (no fence, no lock)
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_put_outside_epoch_is_flagged() {
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        let win = w.win_create(Payload::from_f64s(&[0.0; 4]));
+        // Mutation: the put is issued before any fence opens an access
+        // epoch. The staged data still applies at the later fence, so the
+        // run completes — only the verifier sees the race.
+        if rc.rank() == 1 {
+            win.put(0, 0, Payload::from_f64s(&[1.0]));
+        }
+        win.fence();
+        win.fence();
+        win.free();
+    });
+    let msg = expect_findings(result);
+    assert!(msg.contains("rma-outside-epoch"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains("MPI_Rput"), "{msg}");
+    assert!(msg.contains("outside any epoch"), "{msg}");
+}
+
+// ---------------------------------------------------------------------
+// Bug class 2: missing closing fence (epoch left open at free)
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_missing_closing_fence_is_flagged() {
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        let win = w.win_create(Payload::from_f64s(&[0.0; 4]));
+        win.fence();
+        if rc.rank() == 1 {
+            win.put(0, 0, Payload::from_f64s(&[2.0]));
+        }
+        // Mutation: the closing fence is missing — the put is never
+        // synchronized before the window is torn down.
+        win.free();
+    });
+    let msg = expect_findings(result);
+    assert!(msg.contains("rma-unclosed-epoch"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains("unsynchronized operation"), "{msg}");
+}
+
+// ---------------------------------------------------------------------
+// Bug class 3: conflicting put/accumulate in one epoch
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_conflicting_put_and_accumulate_is_flagged() {
+    let result = run(cfg(3, 1), |rc: RankCtx| {
+        let w = rc.world();
+        let win = w.win_create(Payload::from_f64s(&[0.0; 4]));
+        win.fence();
+        // Mutation: rank 1 puts bytes 0..16 of rank 0's segment while
+        // rank 2 accumulates bytes 8..24 in the *same* epoch — the final
+        // value of bytes 8..16 depends on apply order across origins.
+        // (Concurrent accumulates alone would commute and be legal.)
+        if rc.rank() == 1 {
+            win.put(0, 0, Payload::from_f64s(&[1.0, 1.0]));
+        } else if rc.rank() == 2 {
+            win.accumulate(0, 8, Payload::from_f64s(&[1.0, 1.0]));
+        }
+        win.fence();
+        win.free();
+    });
+    let msg = expect_findings(result);
+    assert!(msg.contains("rma-conflict"), "{msg}");
+    assert!(msg.contains("conflicting one-sided accesses"), "{msg}");
+    assert!(
+        msg.contains("MPI_Rput") && msg.contains("MPI_Raccumulate"),
+        "{msg}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Bug class 4: double unlock
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_double_unlock_is_flagged() {
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        let win = w.win_create(Payload::from_f64s(&[0.0; 4]));
+        if rc.rank() == 1 {
+            win.lock(0);
+            win.put(0, 0, Payload::from_f64s(&[3.0]));
+            win.unlock(0);
+            // Mutation: a second unlock of a target this rank no longer
+            // holds. The backends tolerate it (nothing is released), so
+            // the run reaches verification.
+            win.unlock(0);
+        }
+        w.barrier();
+        win.fence();
+        win.fence();
+        win.free();
+    });
+    let msg = expect_findings(result);
+    assert!(msg.contains("rma-double-unlock"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+}
+
+// ---------------------------------------------------------------------
+// Bug class 5: window handle dropped without free (leak, satellite of
+// the request-leak detector)
+// ---------------------------------------------------------------------
+
+#[test]
+fn mutation_dropped_window_is_flagged_with_creation_site() {
+    let result = run(cfg(2, 1), |rc: RankCtx| {
+        let w = rc.world();
+        // Mutation: the window is created, used legally, then dropped
+        // without `free` — the `Win` analogue of a request leak.
+        let win = w.win_create(Payload::from_f64s(&[0.0; 4]));
+        win.fence();
+        win.fence();
+        drop(win);
+    });
+    let msg = expect_findings(result);
+    assert!(msg.contains("win-leak"), "{msg}");
+    assert!(msg.contains("without freeing it"), "{msg}");
+    // The diagnostic carries the `win_create` call site of this file.
+    assert!(msg.contains("rma_mutations.rs"), "{msg}");
+}

@@ -18,7 +18,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
-use crate::event::{AgentId, CollKind, Event, ReqId, Site};
+use crate::event::{AgentId, CollKind, Event, ReqId, RmaKind, Site};
 use crate::finding::{CollCallDesc, Finding, FindingKind, LeakKind, SeqEntry, Severity};
 
 #[derive(Clone)]
@@ -54,6 +54,14 @@ enum Post {
         kind: CollKind,
         site: Option<Site>,
     },
+    Rma {
+        rank: u32,
+        win: u64,
+        kind: RmaKind,
+        target: u32,
+        bytes: usize,
+        site: Option<Site>,
+    },
 }
 
 impl Post {
@@ -75,20 +83,95 @@ impl Post {
             Post::Coll { ctx, kind, .. } => {
                 format!("{} on comm {ctx}", kind.name(false))
             }
+            Post::Rma {
+                win,
+                kind,
+                target,
+                bytes,
+                ..
+            } => {
+                format!("{}({bytes}B, rank {target}) on win {win}", kind.name())
+            }
         }
     }
 
     fn rank(&self) -> u32 {
         match self {
-            Post::Send { rank, .. } | Post::Recv { rank, .. } | Post::Coll { rank, .. } => *rank,
+            Post::Send { rank, .. }
+            | Post::Recv { rank, .. }
+            | Post::Coll { rank, .. }
+            | Post::Rma { rank, .. } => *rank,
         }
     }
 
     fn site(&self) -> Option<Site> {
         match self {
-            Post::Send { site, .. } | Post::Recv { site, .. } | Post::Coll { site, .. } => *site,
+            Post::Send { site, .. }
+            | Post::Recv { site, .. }
+            | Post::Coll { site, .. }
+            | Post::Rma { site, .. } => *site,
         }
     }
+}
+
+/// One one-sided operation inside an epoch group, for conflict detection.
+struct RmaOpRec {
+    rank: u32,
+    kind: RmaKind,
+    offset: usize,
+    len: usize,
+    site: Option<Site>,
+}
+
+impl RmaOpRec {
+    fn describe(&self) -> String {
+        format!(
+            "rank {} {}({}B at offset {}..{})",
+            self.rank,
+            self.kind.name(),
+            self.len,
+            self.offset,
+            self.offset + self.len
+        )
+    }
+
+    fn overlaps(&self, other: &RmaOpRec) -> bool {
+        self.len > 0
+            && other.len > 0
+            && self.offset < other.offset + other.len
+            && other.offset < self.offset + self.len
+    }
+}
+
+/// Do two overlapping one-sided accesses conflict, and how badly?
+/// Concurrent gets are fine; concurrent accumulates commute by definition
+/// (applied in deterministic origin order); anything involving a put is a
+/// write-write or read-write race. Get-vs-accumulate is deterministic in
+/// the staged epoch model but non-portable to real MPI, so it warns.
+fn rma_conflict_severity(a: RmaKind, b: RmaKind) -> Option<Severity> {
+    use RmaKind::*;
+    match (a, b) {
+        (Get, Get) | (Accumulate, Accumulate) => None,
+        (Put, _) | (_, Put) => Some(Severity::Error),
+        (Get, Accumulate) | (Accumulate, Get) => Some(Severity::Warning),
+    }
+}
+
+/// Per-(rank, window) epoch state machine, driven in program order.
+#[derive(Default)]
+struct WinRankState {
+    /// Completed fences (0 = no access epoch has been opened yet).
+    fence_count: u64,
+    /// Ops posted since the last fence (outside lock epochs).
+    ops_since_fence: usize,
+    /// Site of the most recent such op.
+    last_op_site: Option<Site>,
+    /// Held passive-target locks: target -> lock instance id.
+    locks: BTreeMap<u32, u64>,
+    /// Monotone lock instance counter.
+    lock_seq: u64,
+    /// Has `free` run?
+    freed: bool,
 }
 
 #[derive(Default)]
@@ -126,6 +209,17 @@ pub fn analyze(events: &[Event]) -> Vec<Finding> {
     // one rank thread, so this order is program order).
     let mut send_envelopes: BTreeMap<(u32, u32, u32, u64), Vec<ReqId>> = BTreeMap::new();
     let mut recv_envelopes: BTreeMap<(u32, u32, u32, u64), Vec<ReqId>> = BTreeMap::new();
+    // RMA: per-(rank, win) epoch state, creation sites, and epoch op
+    // groups for conflict detection. Fence epochs are numbered by the
+    // per-rank fence count — consistent across ranks because fence is
+    // collective on the window — so ops from all origins targeting one
+    // segment in the same global epoch share a group. Lock epochs key on
+    // the origin too: the lock serializes different origins, so only
+    // same-origin overlaps are races there.
+    let mut win_sites: HashMap<(u32, u64), Option<Site>> = HashMap::new();
+    let mut win_states: BTreeMap<(u32, u64), WinRankState> = BTreeMap::new();
+    let mut fence_groups: BTreeMap<(u64, u32, u64), Vec<RmaOpRec>> = BTreeMap::new();
+    let mut lock_groups: BTreeMap<(u64, u32, u32, u64), Vec<RmaOpRec>> = BTreeMap::new();
 
     for ev in events {
         match ev {
@@ -254,7 +348,216 @@ pub fn analyze(events: &[Event]) -> Vec<Finding> {
                     states.entry(*req).or_default().dropped_incomplete = true;
                 }
             }
+            Event::WinDecl {
+                rank, win, site, ..
+            } => {
+                win_sites.insert((*rank, *win), *site);
+                win_states.entry((*rank, *win)).or_default();
+            }
+            Event::WinFence { rank, win, .. } => {
+                let st = win_states.entry((*rank, *win)).or_default();
+                st.fence_count += 1;
+                st.ops_since_fence = 0;
+                st.last_op_site = None;
+            }
+            Event::WinLock {
+                rank, win, target, ..
+            } => {
+                let st = win_states.entry((*rank, *win)).or_default();
+                st.lock_seq += 1;
+                let seq = st.lock_seq;
+                st.locks.insert(*target, seq);
+            }
+            Event::WinUnlock {
+                rank,
+                win,
+                target,
+                site,
+                ..
+            } => {
+                let st = win_states.entry((*rank, *win)).or_default();
+                if st.locks.remove(target).is_none() {
+                    findings.push(Finding {
+                        severity: Severity::Error,
+                        kind: FindingKind::RmaDoubleUnlock {
+                            rank: *rank,
+                            win: *win,
+                            target: *target,
+                            site: *site,
+                        },
+                    });
+                }
+            }
+            Event::RmaOp {
+                rank,
+                win,
+                kind,
+                target,
+                offset,
+                len,
+                req,
+                site,
+                ..
+            } => {
+                if let Some(r) = req {
+                    posts.insert(
+                        *r,
+                        Post::Rma {
+                            rank: *rank,
+                            win: *win,
+                            kind: *kind,
+                            target: *target,
+                            bytes: *len,
+                            site: *site,
+                        },
+                    );
+                    post_order.push(*r);
+                    states.entry(*r).or_default();
+                }
+                let rec = RmaOpRec {
+                    rank: *rank,
+                    kind: *kind,
+                    offset: *offset,
+                    len: *len,
+                    site: *site,
+                };
+                let st = win_states.entry((*rank, *win)).or_default();
+                if let Some(&lock_inst) = st.locks.get(target) {
+                    lock_groups
+                        .entry((*win, *target, *rank, lock_inst))
+                        .or_default()
+                        .push(rec);
+                } else if st.fence_count >= 1 {
+                    st.ops_since_fence += 1;
+                    st.last_op_site = *site;
+                    fence_groups
+                        .entry((*win, *target, st.fence_count))
+                        .or_default()
+                        .push(rec);
+                } else {
+                    findings.push(Finding {
+                        severity: Severity::Error,
+                        kind: FindingKind::RmaOutsideEpoch {
+                            rank: *rank,
+                            win: *win,
+                            op: format!(
+                                "{}({len}B, rank {target} at offset {offset})",
+                                kind.name()
+                            ),
+                            site: *site,
+                        },
+                    });
+                }
+            }
+            Event::WinFree { rank, win, .. } => {
+                let st = win_states.entry((*rank, *win)).or_default();
+                st.freed = true;
+                if st.ops_since_fence > 0 {
+                    findings.push(Finding {
+                        severity: Severity::Error,
+                        kind: FindingKind::RmaUnclosedEpoch {
+                            rank: *rank,
+                            win: *win,
+                            what: format!(
+                                "{} unsynchronized operation(s) posted after the last fence",
+                                st.ops_since_fence
+                            ),
+                            site: st.last_op_site,
+                        },
+                    });
+                    st.ops_since_fence = 0;
+                }
+                for (&target, _) in std::mem::take(&mut st.locks).iter() {
+                    findings.push(Finding {
+                        severity: Severity::Error,
+                        kind: FindingKind::RmaUnclosedEpoch {
+                            rank: *rank,
+                            win: *win,
+                            what: format!("lock on rank {target} still held"),
+                            site: None,
+                        },
+                    });
+                }
+            }
+            Event::WinDropped { rank, win, freed } => {
+                if !freed {
+                    findings.push(Finding {
+                        severity: Severity::Error,
+                        kind: FindingKind::WinLeak {
+                            rank: *rank,
+                            win: *win,
+                            site: win_sites.get(&(*rank, *win)).copied().flatten(),
+                        },
+                    });
+                }
+            }
         }
+    }
+
+    // ---- analysis 0: RMA epoch closure and conflicts ----------------
+    // Windows never freed: anything still open at end-of-log is
+    // unsynchronized (the leak itself is reported via `WinDropped`).
+    for ((rank, win), st) in &win_states {
+        if st.freed {
+            continue;
+        }
+        if st.ops_since_fence > 0 {
+            findings.push(Finding {
+                severity: Severity::Error,
+                kind: FindingKind::RmaUnclosedEpoch {
+                    rank: *rank,
+                    win: *win,
+                    what: format!(
+                        "{} unsynchronized operation(s) posted after the last fence",
+                        st.ops_since_fence
+                    ),
+                    site: st.last_op_site,
+                },
+            });
+        }
+        for &target in st.locks.keys() {
+            findings.push(Finding {
+                severity: Severity::Error,
+                kind: FindingKind::RmaUnclosedEpoch {
+                    rank: *rank,
+                    win: *win,
+                    what: format!("lock on rank {target} still held"),
+                    site: None,
+                },
+            });
+        }
+    }
+    // Overlap sweep inside each epoch group. Groups are per (window,
+    // target, epoch[, origin]), so they stay small; one finding per group
+    // keeps a single buggy loop from flooding the report.
+    let sweep = |win: u64, target: u32, ops: &[RmaOpRec], findings: &mut Vec<Finding>| {
+        'outer: for i in 0..ops.len() {
+            for j in (i + 1)..ops.len() {
+                let (a, b) = (&ops[i], &ops[j]);
+                if !a.overlaps(b) {
+                    continue;
+                }
+                if let Some(severity) = rma_conflict_severity(a.kind, b.kind) {
+                    findings.push(Finding {
+                        severity,
+                        kind: FindingKind::RmaConflict {
+                            win,
+                            target,
+                            a: a.describe(),
+                            b: b.describe(),
+                            site: b.site,
+                        },
+                    });
+                    break 'outer;
+                }
+            }
+        }
+    };
+    for ((win, target, _epoch), ops) in &fence_groups {
+        sweep(*win, *target, ops, &mut findings);
+    }
+    for ((win, target, _origin, _lock), ops) in &lock_groups {
+        sweep(*win, *target, ops, &mut findings);
     }
 
     // ---- analysis 1a: per-communicator collective matching ---------
@@ -388,7 +691,7 @@ pub fn analyze(events: &[Event]) -> Vec<Finding> {
         };
         let internal = match post {
             Post::Send { internal, .. } | Post::Recv { internal, .. } => *internal,
-            Post::Coll { .. } => false,
+            Post::Coll { .. } | Post::Rma { .. } => false,
         };
         if !internal && !st.waited && !st.tested {
             findings.push(Finding {
@@ -453,7 +756,7 @@ pub fn analyze(events: &[Event]) -> Vec<Finding> {
                         site: *site,
                     },
                 }),
-                Post::Coll { .. } => {}
+                Post::Coll { .. } | Post::Rma { .. } => {}
             }
         }
     }

@@ -77,6 +77,29 @@ impl CollKind {
     }
 }
 
+/// One-sided (RMA) operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RmaKind {
+    /// Origin writes into the target's window segment.
+    Put,
+    /// Origin reads from the target's window segment.
+    Get,
+    /// Origin element-wise adds into the target's window segment.
+    Accumulate,
+}
+
+impl RmaKind {
+    /// MPI-style display name (the request-returning `R`-forms, which is
+    /// what the `Win` API models).
+    pub fn name(self) -> &'static str {
+        match self {
+            RmaKind::Put => "MPI_Rput",
+            RmaKind::Get => "MPI_Rget",
+            RmaKind::Accumulate => "MPI_Raccumulate",
+        }
+    }
+}
+
 /// One entry of the verification log.
 #[derive(Debug, Clone)]
 pub enum Event {
@@ -193,5 +216,104 @@ pub enum Event {
         completed: bool,
         /// Had its result been taken (waited)?
         taken: bool,
+    },
+    /// A one-sided window came into existence on some rank (`win_create`
+    /// is collective). Emitted by every member.
+    WinDecl {
+        /// Recording agent (always a rank agent).
+        agent: AgentId,
+        /// World rank.
+        rank: u32,
+        /// Context id of the communicator the window was created over.
+        ctx: u32,
+        /// Window id, shared by every member's events for this window.
+        win: u64,
+        /// Size of this rank's exposed segment in bytes.
+        len: usize,
+        /// User call site of `win_create`.
+        site: Option<Site>,
+    },
+    /// A rank completed an active-target `fence` on a window — the only
+    /// synchronization point of the fence epoch model.
+    WinFence {
+        /// Recording agent.
+        agent: AgentId,
+        /// World rank.
+        rank: u32,
+        /// Window id.
+        win: u64,
+        /// User call site.
+        site: Option<Site>,
+    },
+    /// A rank acquired a passive-target lock on `target`'s segment.
+    WinLock {
+        /// Recording agent.
+        agent: AgentId,
+        /// World rank of the origin.
+        rank: u32,
+        /// Window id.
+        win: u64,
+        /// Target world-ish (window) rank being locked.
+        target: u32,
+        /// User call site.
+        site: Option<Site>,
+    },
+    /// A rank released a passive-target lock on `target`'s segment.
+    WinUnlock {
+        /// Recording agent.
+        agent: AgentId,
+        /// World rank of the origin.
+        rank: u32,
+        /// Window id.
+        win: u64,
+        /// Target window rank being unlocked.
+        target: u32,
+        /// User call site.
+        site: Option<Site>,
+    },
+    /// A one-sided operation was posted by an origin rank. The target
+    /// posts nothing — that is the point of the paradigm.
+    RmaOp {
+        /// Recording agent (the origin).
+        agent: AgentId,
+        /// Origin world rank.
+        rank: u32,
+        /// Window id.
+        win: u64,
+        /// Which one-sided operation.
+        kind: RmaKind,
+        /// Target window rank.
+        target: u32,
+        /// Byte offset into the target segment.
+        offset: usize,
+        /// Length in bytes.
+        len: usize,
+        /// Tracked request of data-returning forms (`get`); `None` for
+        /// `put`/`accumulate`, which complete at the closing fence/unlock.
+        req: Option<ReqId>,
+        /// User call site.
+        site: Option<Site>,
+    },
+    /// A rank freed its window handle (collective; closes the window).
+    WinFree {
+        /// Recording agent.
+        agent: AgentId,
+        /// World rank.
+        rank: u32,
+        /// Window id.
+        win: u64,
+        /// User call site.
+        site: Option<Site>,
+    },
+    /// A rank's window handle was dropped. `freed == false` means the
+    /// window leaked — dropped without `free` (the `Win` analogue of
+    /// [`Event::ReqDropped`]).
+    WinDropped {
+        /// World rank whose handle dropped.
+        rank: u32,
+        /// Window id.
+        win: u64,
+        /// Was `free` called first?
+        freed: bool,
     },
 }

@@ -205,6 +205,70 @@ pub enum FindingKind {
         /// Post site of the second, unordered operation.
         site: Option<Site>,
     },
+    /// A one-sided operation was posted outside any epoch: no fence has
+    /// opened an access epoch on the window and the origin holds no
+    /// passive-target lock on the target.
+    RmaOutsideEpoch {
+        /// Origin world rank.
+        rank: u32,
+        /// Window id.
+        win: u64,
+        /// Human-readable operation, e.g. `MPI_Rput(64B to rank 2 at offset 8)`.
+        op: String,
+        /// Post site.
+        site: Option<Site>,
+    },
+    /// Two one-sided operations touched overlapping bytes of the same
+    /// target segment within one epoch with at least one of them writing —
+    /// the result depends on apply order across origins.
+    RmaConflict {
+        /// Window id.
+        win: u64,
+        /// Target window rank whose segment is contended.
+        target: u32,
+        /// First operation (description includes origin rank and range).
+        a: String,
+        /// Second, conflicting operation.
+        b: String,
+        /// Post site of the second operation.
+        site: Option<Site>,
+    },
+    /// A window handle was dropped without `free` — the `Win` analogue of
+    /// a request leak, reported with the creation call site.
+    WinLeak {
+        /// World rank whose handle leaked.
+        rank: u32,
+        /// Window id.
+        win: u64,
+        /// `win_create` call site.
+        site: Option<Site>,
+    },
+    /// One-sided operations (or a held passive-target lock) were never
+    /// closed by a fence/unlock before the window was freed or the run
+    /// ended — the data is unsynchronized.
+    RmaUnclosedEpoch {
+        /// World rank with the open epoch.
+        rank: u32,
+        /// Window id.
+        win: u64,
+        /// What is left open, e.g. `2 unsynchronized operation(s)` or
+        /// `lock on rank 1`.
+        what: String,
+        /// Site of the last offending call.
+        site: Option<Site>,
+    },
+    /// `unlock` without a matching held lock (double unlock, or unlock of
+    /// a never-locked target).
+    RmaDoubleUnlock {
+        /// World rank that called unlock.
+        rank: u32,
+        /// Window id.
+        win: u64,
+        /// Target window rank.
+        target: u32,
+        /// Unlock call site.
+        site: Option<Site>,
+    },
 }
 
 /// One verified observation about the run.
@@ -229,6 +293,11 @@ impl Finding {
             FindingKind::UnmatchedSend { .. } => "unmatched-send",
             FindingKind::UnmatchedRecv { .. } => "unmatched-recv",
             FindingKind::OrderDependentMatch { .. } => "order-dependent-match",
+            FindingKind::RmaOutsideEpoch { .. } => "rma-outside-epoch",
+            FindingKind::RmaConflict { .. } => "rma-conflict",
+            FindingKind::WinLeak { .. } => "win-leak",
+            FindingKind::RmaUnclosedEpoch { .. } => "rma-unclosed-epoch",
+            FindingKind::RmaDoubleUnlock { .. } => "rma-double-unlock",
         }
     }
 }
@@ -351,6 +420,60 @@ impl fmt::Display for Finding {
                 f,
                 "concurrent same-envelope {what} (comm {ctx}, rank {src} -> rank {dst}, \
                  tag={tag}): matching depends on arrival order{}",
+                site_suffix(site)
+            ),
+            FindingKind::RmaOutsideEpoch {
+                rank,
+                win,
+                op,
+                site,
+            } => write!(
+                f,
+                "rank {rank} posted {op} on win {win} outside any epoch (no fence opened \
+                 an access epoch and no lock is held on the target){}",
+                site_suffix(site)
+            ),
+            FindingKind::RmaConflict {
+                win,
+                target,
+                a,
+                b,
+                site,
+            } => write!(
+                f,
+                "conflicting one-sided accesses to rank {target}'s segment of win {win} \
+                 in the same epoch: {a} overlaps {b}{}",
+                site_suffix(site)
+            ),
+            FindingKind::WinLeak { rank, win, site } => {
+                let created = match site {
+                    Some(s) => format!(", created at {}:{}", s.file(), s.line()),
+                    None => String::new(),
+                };
+                write!(
+                    f,
+                    "rank {rank} dropped win {win} without freeing it{created}"
+                )
+            }
+            FindingKind::RmaUnclosedEpoch {
+                rank,
+                win,
+                what,
+                site,
+            } => write!(
+                f,
+                "rank {rank} left an epoch open on win {win} at finalize: {what}{}",
+                site_suffix(site)
+            ),
+            FindingKind::RmaDoubleUnlock {
+                rank,
+                win,
+                target,
+                site,
+            } => write!(
+                f,
+                "rank {rank} unlocked rank {target} on win {win} without holding the \
+                 lock (double unlock){}",
                 site_suffix(site)
             ),
         }

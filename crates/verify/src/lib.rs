@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::Mutex;
 
 pub use deadlock::{BlockedAgent, DeadlockReport, PendingOp};
-pub use event::{AgentId, CollKind, Event, ReqId, Site, INTERNAL_TAG_BIT};
+pub use event::{AgentId, CollKind, Event, ReqId, RmaKind, Site, INTERNAL_TAG_BIT};
 pub use finding::{CollCallDesc, Finding, FindingKind, LeakKind, SeqEntry, Severity};
 
 /// How much verification a run performs.
@@ -407,5 +407,196 @@ mod tests {
         v.req_dropped(a, false, false);
         v.req_dropped(b, true, false);
         assert_eq!(v.drop_counters(), (1, 1));
+    }
+
+    // ------------------------------------------------------------------
+    // RMA epoch discipline
+    // ------------------------------------------------------------------
+
+    fn win_decl(rank: u32, win: u64, len: usize) -> Event {
+        Event::WinDecl {
+            agent: rank,
+            rank,
+            ctx: 0,
+            win,
+            len,
+            site: None,
+        }
+    }
+
+    fn fence(rank: u32, win: u64) -> Event {
+        Event::WinFence {
+            agent: rank,
+            rank,
+            win,
+            site: None,
+        }
+    }
+
+    fn rma(rank: u32, win: u64, kind: RmaKind, target: u32, offset: usize, len: usize) -> Event {
+        Event::RmaOp {
+            agent: rank,
+            rank,
+            win,
+            kind,
+            target,
+            offset,
+            len,
+            req: None,
+            site: None,
+        }
+    }
+
+    fn win_close(v: &Verifier, ranks: &[u32], win: u64) {
+        for &r in ranks {
+            v.record(Event::WinFree {
+                agent: r,
+                rank: r,
+                win,
+                site: None,
+            });
+            v.record(Event::WinDropped {
+                rank: r,
+                win,
+                freed: true,
+            });
+        }
+    }
+
+    #[test]
+    fn fenced_puts_are_clean() {
+        let v = Verifier::new();
+        v.record(win_decl(0, 1, 64));
+        v.record(win_decl(1, 1, 64));
+        v.record(fence(0, 1));
+        v.record(fence(1, 1));
+        v.record(rma(0, 1, RmaKind::Put, 1, 0, 32));
+        v.record(rma(1, 1, RmaKind::Put, 0, 0, 32));
+        v.record(fence(0, 1));
+        v.record(fence(1, 1));
+        win_close(&v, &[0, 1], 1);
+        assert!(v.analyze().is_empty(), "{:?}", v.analyze());
+    }
+
+    #[test]
+    fn put_before_first_fence_is_outside_epoch() {
+        let v = Verifier::new();
+        v.record(win_decl(0, 1, 64));
+        v.record(rma(0, 1, RmaKind::Put, 1, 0, 32));
+        v.record(fence(0, 1));
+        win_close(&v, &[0], 1);
+        let f = v.analyze();
+        assert!(codes(&f).contains(&"rma-outside-epoch"), "{f:?}");
+        assert_eq!(f[0].severity, Severity::Error);
+        assert!(f[0].to_string().contains("MPI_Rput"), "{}", f[0]);
+    }
+
+    #[test]
+    fn overlapping_put_and_accumulate_conflict() {
+        let v = Verifier::new();
+        v.record(win_decl(0, 1, 64));
+        v.record(win_decl(1, 1, 64));
+        v.record(fence(0, 1));
+        v.record(fence(1, 1));
+        // Both origins hit rank 0's bytes 8..24 in the same epoch.
+        v.record(rma(0, 1, RmaKind::Put, 0, 8, 16));
+        v.record(rma(1, 1, RmaKind::Accumulate, 0, 16, 16));
+        v.record(fence(0, 1));
+        v.record(fence(1, 1));
+        win_close(&v, &[0, 1], 1);
+        let f = v.analyze();
+        assert!(codes(&f).contains(&"rma-conflict"), "{f:?}");
+        assert_eq!(f[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn concurrent_accumulates_commute_and_are_clean() {
+        let v = Verifier::new();
+        v.record(win_decl(0, 1, 64));
+        v.record(win_decl(1, 1, 64));
+        v.record(fence(0, 1));
+        v.record(fence(1, 1));
+        v.record(rma(0, 1, RmaKind::Accumulate, 0, 0, 64));
+        v.record(rma(1, 1, RmaKind::Accumulate, 0, 0, 64));
+        v.record(fence(0, 1));
+        v.record(fence(1, 1));
+        win_close(&v, &[0, 1], 1);
+        assert!(v.analyze().is_empty(), "{:?}", v.analyze());
+    }
+
+    #[test]
+    fn same_range_in_different_epochs_is_clean() {
+        let v = Verifier::new();
+        v.record(win_decl(0, 1, 64));
+        v.record(win_decl(1, 1, 64));
+        v.record(fence(0, 1));
+        v.record(fence(1, 1));
+        v.record(rma(0, 1, RmaKind::Put, 0, 0, 64));
+        v.record(fence(0, 1));
+        v.record(fence(1, 1));
+        v.record(rma(1, 1, RmaKind::Put, 0, 0, 64));
+        v.record(fence(0, 1));
+        v.record(fence(1, 1));
+        win_close(&v, &[0, 1], 1);
+        assert!(v.analyze().is_empty(), "{:?}", v.analyze());
+    }
+
+    #[test]
+    fn lock_epoch_allows_ops_and_double_unlock_is_flagged() {
+        let v = Verifier::new();
+        v.record(win_decl(0, 1, 64));
+        v.record(win_decl(1, 1, 64));
+        v.record(Event::WinLock {
+            agent: 0,
+            rank: 0,
+            win: 1,
+            target: 1,
+            site: None,
+        });
+        v.record(rma(0, 1, RmaKind::Accumulate, 1, 0, 8));
+        v.record(Event::WinUnlock {
+            agent: 0,
+            rank: 0,
+            win: 1,
+            target: 1,
+            site: None,
+        });
+        // Second unlock of the same target: nothing is held.
+        v.record(Event::WinUnlock {
+            agent: 0,
+            rank: 0,
+            win: 1,
+            target: 1,
+            site: None,
+        });
+        win_close(&v, &[0, 1], 1);
+        let f = v.analyze();
+        assert_eq!(codes(&f), vec!["rma-double-unlock"], "{f:?}");
+    }
+
+    #[test]
+    fn unfenced_ops_at_free_are_unclosed_epoch() {
+        let v = Verifier::new();
+        v.record(win_decl(0, 1, 64));
+        v.record(fence(0, 1));
+        v.record(rma(0, 1, RmaKind::Put, 0, 0, 8));
+        // Missing closing fence before free.
+        win_close(&v, &[0], 1);
+        let f = v.analyze();
+        assert!(codes(&f).contains(&"rma-unclosed-epoch"), "{f:?}");
+    }
+
+    #[test]
+    fn dropped_window_without_free_is_a_leak() {
+        let v = Verifier::new();
+        v.record(win_decl(0, 1, 64));
+        v.record(Event::WinDropped {
+            rank: 0,
+            win: 1,
+            freed: false,
+        });
+        let f = v.analyze();
+        assert_eq!(codes(&f), vec!["win-leak"], "{f:?}");
+        assert!(f[0].to_string().contains("rank 0"), "{}", f[0]);
     }
 }
